@@ -1,0 +1,52 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark runs one experiment cell through the harness (simulated
+time is deterministic; wall time measures simulator cost) and appends a
+paper-style row to a session report printed at the end of the run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+#: simulated-duration scale for benchmark runs (1.0 = paper-scale
+#: durations; image sizes and network volumes are unaffected by scale).
+SCALE = 1.0
+
+_reports = defaultdict(list)
+
+
+@pytest.fixture
+def report():
+    """Append rows as (table-name, row-tuple); printed at session end."""
+
+    def add(table: str, row: tuple) -> None:
+        _reports[table].append(row)
+
+    return add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro.metrics import print_table
+
+    headers = {
+        "fig5": ("app", "nodes", "base [s]", "zapc [s]", "overhead [%]"),
+        "fig6a": ("app", "nodes", "checkpoints", "mean ckpt [ms]", "net ckpt [ms]", "net share [%]"),
+        "fig6b": ("app", "nodes", "restart [ms]", "net restore [ms]"),
+        "fig6c": ("app", "nodes", "largest pod image [MB]", "network state [KB]"),
+        "ablations": ("experiment", "variant", "metric", "value"),
+    }
+    titles = {
+        "fig5": "Figure 5 — completion times, vanilla (Base) vs ZapC",
+        "fig6a": "Figure 6(a) — average checkpoint time (10 evenly spaced checkpoints)",
+        "fig6b": "Figure 6(b) — restart time from a mid-execution image",
+        "fig6c": "Figure 6(c) — average checkpoint image size (largest pod)",
+        "ablations": "Design ablations",
+    }
+    for name in ("fig5", "fig6a", "fig6b", "fig6c", "ablations"):
+        rows = _reports.get(name)
+        if rows:
+            print()
+            print_table(titles[name], headers[name], sorted(rows, key=lambda r: (str(r[0]), str(r[1]))))

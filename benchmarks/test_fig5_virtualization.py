@@ -1,0 +1,46 @@
+"""Figure 5 — virtualization overhead.
+
+Regenerates the completion-time comparison between vanilla (Base) and
+ZapC (pods) for all four applications across the paper's node counts.
+The paper's finding: completion times "almost indistinguishable", with
+pod overhead well inside run-to-run variation, and unimpaired speedup.
+"""
+
+import pytest
+
+from repro.harness import APPS, run_fig5_row
+
+from .conftest import SCALE
+
+CELLS = [(app, n) for app, spec in APPS.items() for n in spec.node_counts]
+
+
+@pytest.mark.parametrize("app,nodes", CELLS, ids=[f"{a}-{n}" for a, n in CELLS])
+def test_fig5_cell(benchmark, report, app, nodes):
+    cell = benchmark.pedantic(run_fig5_row, args=(app, nodes),
+                              kwargs={"scale": SCALE}, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        base_s=cell.base_time, zapc_s=cell.zapc_time, overhead_pct=cell.overhead_pct)
+    report("fig5", (app, nodes, f"{cell.base_time:.3f}", f"{cell.zapc_time:.3f}",
+                    f"{cell.overhead_pct:.4f}"))
+    # the paper's claim: negligible overhead
+    assert cell.zapc_time >= cell.base_time  # interposition can't speed things up
+    assert cell.overhead_pct < 1.0
+
+
+@pytest.mark.parametrize("app", list(APPS))
+def test_fig5_speedup_preserved(benchmark, app):
+    """Relative speedup must be essentially identical for Base and ZapC
+    (the scalability claim)."""
+    spec = APPS[app]
+    small, large = spec.node_counts[0], spec.node_counts[-2]
+
+    def run():
+        rows = [run_fig5_row(app, n, scale=SCALE) for n in (small, large)]
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_speedup = rows[0].base_time / rows[1].base_time
+    zapc_speedup = rows[0].zapc_time / rows[1].zapc_time
+    assert zapc_speedup == pytest.approx(base_speedup, rel=0.01)
+    assert base_speedup > 1.5  # the workload really does scale

@@ -1,0 +1,36 @@
+"""Figure 6(a) — checkpoint times.
+
+Ten evenly spaced snapshots per run; the reported time is Manager
+invocation → every pod done (image written to memory).  Paper envelope:
+all subsecond (100–300 ms), with the network-state share under 10 ms
+(3–10% of the total) — the fact that motivates saving network state
+*first*, overlapped with the Manager's meta-data sync.
+"""
+
+import pytest
+
+from repro.harness import APPS, run_fig6_cell
+
+from .conftest import SCALE
+
+CELLS = [(app, n) for app, spec in APPS.items() for n in spec.node_counts]
+
+
+@pytest.mark.parametrize("app,nodes", CELLS, ids=[f"{a}-{n}" for a, n in CELLS])
+def test_fig6a_cell(benchmark, report, app, nodes):
+    cell = benchmark.pedantic(run_fig6_cell, args=(app, nodes),
+                              kwargs={"scale": SCALE, "n_checkpoints": 10},
+                              rounds=1, iterations=1)
+    assert cell.checkpoint_times, "no checkpoint completed during the run"
+    share = 100.0 * cell.mean_network_ckpt / cell.mean_checkpoint
+    benchmark.extra_info.update(
+        mean_ckpt_s=cell.mean_checkpoint,
+        mean_net_ckpt_s=cell.mean_network_ckpt,
+        n_checkpoints=len(cell.checkpoint_times))
+    report("fig6a", (app, nodes, len(cell.checkpoint_times),
+                     f"{cell.mean_checkpoint * 1000:.0f}",
+                     f"{cell.mean_network_ckpt * 1000:.2f}",
+                     f"{share:.1f}"))
+    # the paper's envelope
+    assert cell.mean_checkpoint < 1.0, "checkpoints must be subsecond"
+    assert cell.mean_network_ckpt < 0.010, "network share must be < 10 ms"

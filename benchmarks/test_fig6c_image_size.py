@@ -1,0 +1,67 @@
+"""Figure 6(c) — checkpoint image sizes.
+
+The average over checkpoints of the *largest* pod image (pods proceed in
+parallel, so the largest drives the time budget).  Paper shape: CPI
+16→7 MB, PETSc 145→24 MB, BT 340→35 MB as nodes go 1→16 (roughly 1/n
+scaling of the split working set), POV-Ray ≈10 MB flat; and network
+state is always orders of magnitude smaller than application state.
+"""
+
+import pytest
+
+from repro.harness import APPS, run_fig6_cell
+
+from .conftest import SCALE
+
+#: the paper's reported (app, nodes) → MB points, for shape comparison.
+PAPER_SIZES = {
+    ("CPI", 1): 16, ("CPI", 16): 7,
+    ("PETSc", 1): 145, ("PETSc", 16): 24,
+    ("BT/NAS", 1): 340, ("BT/NAS", 16): 35,
+}
+
+CELLS = [(app, n) for app, spec in APPS.items() for n in spec.node_counts]
+
+
+@pytest.mark.parametrize("app,nodes", CELLS, ids=[f"{a}-{n}" for a, n in CELLS])
+def test_fig6c_cell(benchmark, report, app, nodes):
+    cell = benchmark.pedantic(run_fig6_cell, args=(app, nodes),
+                              kwargs={"scale": SCALE, "n_checkpoints": 5},
+                              rounds=1, iterations=1)
+    assert cell.image_sizes
+    mb = cell.mean_image_size / 1e6
+    benchmark.extra_info.update(image_mb=mb, netstate_bytes=cell.max_netstate)
+    report("fig6c", (app, nodes, f"{mb:.1f}", f"{cell.max_netstate / 1000:.1f}"))
+    paper = PAPER_SIZES.get((app, nodes))
+    if paper is not None:
+        assert mb == pytest.approx(paper, rel=0.25), \
+            f"image size {mb:.1f} MB strays from the paper's {paper} MB"
+    # application state dominates network state by orders of magnitude
+    assert cell.mean_image_size > 50 * max(cell.max_netstate, 1)
+
+
+@pytest.mark.parametrize("app", ["CPI", "PETSc", "BT/NAS"])
+def test_fig6c_scaling_down(benchmark, report, app):
+    """Largest-pod image size must shrink as the cluster grows."""
+    spec = APPS[app]
+
+    def run():
+        first = run_fig6_cell(app, spec.node_counts[0], scale=SCALE, n_checkpoints=3)
+        last = run_fig6_cell(app, spec.node_counts[-1], scale=SCALE, n_checkpoints=3)
+        return first, last
+
+    first, last = benchmark.pedantic(run, rounds=1, iterations=1)
+    # CPI's base footprint dominates (paper ratio 16/7 ≈ 2.3); the grid
+    # apps split much larger working sets (ratios of ~6–10)
+    floor = 2.0 if app == "CPI" else 3.0
+    assert last.mean_image_size < first.mean_image_size / floor
+
+
+def test_fig6c_povray_roughly_constant(benchmark):
+    def run():
+        return (run_fig6_cell("POV-Ray", 2, scale=SCALE, n_checkpoints=3),
+                run_fig6_cell("POV-Ray", 16, scale=SCALE, n_checkpoints=3))
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = large.mean_image_size / small.mean_image_size
+    assert 0.7 < ratio < 1.4  # ≈ constant ~10 MB per worker

@@ -1,0 +1,82 @@
+"""§5 extension bench: checkpoint-restart over a kernel-bypass network.
+
+Measures the coordinated checkpoint of a GM (Myrinet-style) application
+— device-driver state (ports, credits, queues, uncredited sends) rides
+with the image — and a migration between GM-equipped blades.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Manager, migrate
+from repro.net.gm import GmDevice
+from repro.vos import DEAD, build_program
+
+import tests.net.test_gm  # noqa: F401  (registers testapp.gm-* programs)
+
+
+def _world():
+    cluster = Cluster.build(4, seed=47)
+    for i in range(4):
+        GmDevice(cluster.node(i).kernel)
+    return cluster, Manager.deploy(cluster)
+
+
+def _launch(cluster, count):
+    p_srv = cluster.create_pod(cluster.node(0), "gm-srv")
+    cluster.create_pod(cluster.node(1), "gm-cli")
+    cluster.node(0).kernel.spawn(
+        build_program("testapp.gm-echo", port=2, count=count), pod_id="gm-srv")
+    cluster.node(1).kernel.spawn(
+        build_program("testapp.gm-client", peer_vip=p_srv.vip, peer_port=2,
+                      port=2, count=count), pod_id="gm-cli")
+
+
+def _client_acks(cluster):
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == "testapp.gm-client" and proc.exit_code == 0:
+                return proc.regs["acks"]
+    return None
+
+
+def test_gm_checkpoint_bench(benchmark, report):
+    def run():
+        cluster, manager = _world()
+        _launch(cluster, count=200)
+        holder = {}
+        cluster.engine.schedule(0.005, lambda: holder.update(c=manager.checkpoint(
+            [("blade0", "gm-srv", "mem"), ("blade1", "gm-cli", "mem")])))
+        cluster.engine.run(until=300.0)
+        result = holder["c"].finished.result
+        assert result.ok and _client_acks(cluster) == 200
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("ablations", ("gm-extension", "snapshot", "checkpoint [ms]",
+                         f"{result.duration * 1000:.0f}"))
+    assert result.duration < 1.0
+
+
+def test_gm_migration_bench(benchmark, report):
+    def run():
+        cluster, manager = _world()
+        _launch(cluster, count=200)
+        holder = {}
+
+        def kick():
+            holder["m"] = migrate(manager, [
+                ("blade0", "gm-srv", "blade2"),
+                ("blade1", "gm-cli", "blade3"),
+            ])
+
+        cluster.engine.schedule(0.005, kick)
+        cluster.engine.run(until=300.0)
+        mig = holder["m"].finished.result
+        assert mig.ok and _client_acks(cluster) == 200
+        return mig
+
+    mig = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("ablations", ("gm-extension", "migrate", "total [ms]",
+                         f"{mig.duration * 1000:.0f}"))
+    assert mig.restart.ok

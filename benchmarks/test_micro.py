@@ -1,0 +1,102 @@
+"""Substrate micro-benchmarks (real wall-clock, for regression tracking).
+
+Unlike the figure benches (which report *simulated* durations), these
+measure the simulator itself: event throughput, TCP goodput in simulated
+bytes per real second, codec throughput, and checkpoint capture rate.
+They guard against performance regressions that would make the figure
+sweeps painful.
+"""
+
+import pytest
+
+from repro.core import codec
+from repro.sim import Engine
+
+
+def test_engine_event_throughput(benchmark):
+    def run():
+        engine = Engine(seed=1)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                engine.schedule(0.001, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run) == 20_000
+
+
+def test_tcp_transfer_throughput(benchmark):
+    from repro.net import Fabric, NetStack
+    from repro.net.addr import Endpoint
+    from repro.vos import Kernel
+
+    def run():
+        engine = Engine(seed=2)
+        fabric = Fabric(engine)
+        ka = Kernel(engine, "a")
+        sa = NetStack(ka, fabric, "10.0.0.1")
+        kb = Kernel(engine, "b")
+        sb = NetStack(kb, fabric, "10.0.0.2")
+        a = sa.create_socket("tcp")
+        a.local = Endpoint("10.0.0.1", 1)
+        sa.register_established(a, Endpoint("10.0.0.2", 2))
+        b = sb.create_socket("tcp")
+        b.local = Endpoint("10.0.0.2", 2)
+        sb.register_established(b, Endpoint("10.0.0.1", 1))
+        for s in (a, b):
+            s.conn.state = "established"
+            s.conn.pcb.snd_una = s.conn.pcb.snd_nxt = s.conn.pcb.rcv_nxt = 1001
+        b.options["SO_RCVBUF"] = 4 * 2**20  # nobody drains: open the window
+        for _ in range(20):
+            a.conn.app_write(b"x" * 65536)
+        engine.run(until=60.0)
+        b.conn.process_backlog()
+        return len(b.conn.recv_q)
+
+    assert benchmark(run) == 20 * 65536
+
+
+def test_codec_throughput(benchmark):
+    import numpy as np
+
+    payload = {
+        "regs": {f"r{i}": float(i) for i in range(200)},
+        "queues": [b"q" * 4096] * 16,
+        "arr": np.arange(8192, dtype=np.float64),
+    }
+
+    def run():
+        return codec.decode(codec.encode(payload))
+
+    out = benchmark(run)
+    assert len(out["queues"]) == 16
+
+
+def test_checkpoint_capture_rate(benchmark):
+    """Real time per coordinated checkpoint of a 4-pod application."""
+    from repro.core import Manager
+    from repro.harness import APPS, build_cluster
+    from repro.middleware.daemon import checkpoint_targets
+
+    def run():
+        cluster = build_cluster(4, seed=3)
+        manager = Manager.deploy(cluster)
+        handle = APPS["CPI"].launch_pods(cluster, 4, 0.3)
+        out = {}
+
+        def orchestrate():
+            yield cluster.engine.sleep(0.3)
+            result = yield from manager.checkpoint_task(
+                checkpoint_targets(handle, cluster))
+            out["ok"] = result.ok
+
+        cluster.engine.spawn(orchestrate(), name="o")
+        cluster.engine.run(until=60.0)
+        return out["ok"]
+
+    assert benchmark(run) is True

@@ -1,0 +1,34 @@
+"""In-text claim — network-state size.
+
+"The size of the network-state data was only a few kilobytes for all of
+the applications.  For instance in the case of CPI, the network-state
+data saved as part of the checkpoint ranged from 216 bytes to 2 KB."
+"""
+
+import pytest
+
+from repro.harness import run_fig6_cell
+
+from .conftest import SCALE
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4, 8, 16])
+def test_cpi_netstate_is_bytes_to_kilobytes(benchmark, report, nodes):
+    cell = benchmark.pedantic(run_fig6_cell, args=("CPI", nodes),
+                              kwargs={"scale": SCALE, "n_checkpoints": 5},
+                              rounds=1, iterations=1)
+    low = min(cell.netstate_sizes)
+    high = max(cell.netstate_sizes)
+    benchmark.extra_info.update(netstate_min=low, netstate_max=high)
+    report("ablations", ("netstate-size", f"CPI n={nodes}", "bytes", f"{low}–{high}"))
+    assert high < 16_384, "CPI network state must stay in the KB range"
+
+
+@pytest.mark.parametrize("app", ["BT/NAS", "PETSc", "POV-Ray"])
+def test_netstate_orders_of_magnitude_below_image(benchmark, report, app):
+    cell = benchmark.pedantic(run_fig6_cell, args=(app, 4),
+                              kwargs={"scale": SCALE, "n_checkpoints": 5},
+                              rounds=1, iterations=1)
+    ratio = cell.mean_image_size / max(cell.max_netstate, 1)
+    report("ablations", ("netstate-vs-image", app, "image/netstate ratio", f"{ratio:.0f}x"))
+    assert ratio > 100

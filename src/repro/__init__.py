@@ -1,0 +1,61 @@
+"""repro — a full reproduction of *Transparent Checkpoint-Restart of
+Distributed Applications on Commodity Clusters* (Laadan, Phung, Nieh;
+IEEE CLUSTER 2005) on a simulated commodity cluster.
+
+The package layers, bottom to top:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel;
+* :mod:`repro.vos` — per-node virtual OS with checkpointable process
+  images (programs are data; checkpointing needs no app cooperation);
+* :mod:`repro.net` — packet-level TCP/UDP/raw-IP stack with the socket
+  dispatch-vector the checkpointer interposes on;
+* :mod:`repro.pod`, :mod:`repro.cluster`, :mod:`repro.storage` — pods
+  (virtual namespaces), blades, the shared SAN;
+* :mod:`repro.core` — **ZapC**: the coordinated Manager/Agent
+  checkpoint-restart protocol and the transport-protocol-independent
+  network-state mechanism;
+* :mod:`repro.middleware`, :mod:`repro.apps` — mini-MPI/PVM and the four
+  evaluation workloads;
+* :mod:`repro.baselines`, :mod:`repro.harness` — comparison systems and
+  the figure-regeneration harness.
+
+Quick start::
+
+    from repro import Cluster, Manager
+    from repro.middleware import launch_spmd, checkpoint_targets
+    from repro.apps import cpi
+
+    cluster = Cluster.build(4, seed=7)
+    manager = Manager.deploy(cluster)
+    handle = launch_spmd(cluster, "apps.cpi", 4,
+                         lambda r, vips: cpi.params_of(r, vips, nprocs=4),
+                         name="cpi")
+    cluster.engine.schedule(0.3, lambda: manager.checkpoint(
+        checkpoint_targets(handle, cluster)))
+    cluster.engine.run()
+"""
+
+from .cluster import Cluster, Node, NodeSpec
+from .core import Manager, MigrationResult, OpResult, migrate
+from .errors import CheckpointError, ReproError, RestartError
+from .pod import Pod, VNet
+from .sim import Engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckpointError",
+    "Cluster",
+    "Engine",
+    "Manager",
+    "MigrationResult",
+    "Node",
+    "NodeSpec",
+    "OpResult",
+    "Pod",
+    "ReproError",
+    "RestartError",
+    "VNet",
+    "migrate",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""The four evaluation workloads of the paper's Section 6."""
+
+from . import btnas, cpi, petsc_bratu, povray
+from .common import btnas_ballast, cpi_ballast, petsc_ballast, povray_ballast
+
+__all__ = [
+    "btnas",
+    "btnas_ballast",
+    "cpi",
+    "cpi_ballast",
+    "petsc_ballast",
+    "petsc_bratu",
+    "povray",
+    "povray_ballast",
+]

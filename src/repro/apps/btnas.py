@@ -1,0 +1,177 @@
+"""BT/NAS — a miniature of the NAS Block-Tridiagonal benchmark.
+
+"Involves substantial network communication along the computation" and
+"required a square number of nodes to execute".  The miniature keeps
+both properties: a q×q two-dimensional domain decomposition (so the
+world size must be a perfect square) over a toroidal grid, with
+four-neighbor face exchanges every iteration, a global residual
+allreduce, and heavy per-iteration computation.  Faces are padded to
+realistic sizes so the network actually carries BT-like volumes.
+
+The update is elementwise, so the distributed run reproduces the
+sequential reference (:func:`reference_btnas`) bit-for-bit up to the
+reduction order of the final checksum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..middleware import (
+    emit_allreduce,
+    emit_finalize,
+    emit_gather,
+    emit_init,
+    emit_irecv,
+    emit_isend,
+    emit_req_list,
+    emit_req_value,
+    emit_waitall,
+)
+from ..vos.program import imm, program
+from .common import btnas_ballast
+
+#: default global grid edge (G×G doubles per full problem).
+DEFAULT_GRID = 48
+#: default iteration count.
+DEFAULT_ITERS = 30
+#: simulated cycles per grid point per iteration.
+DEFAULT_CYCLES_PER_POINT = 400_000
+#: bytes of padding per face message (models BT's large exchanges).
+DEFAULT_FACE_PAD = 32_768
+
+RELAX = 0.3
+
+
+def initial_block(G: int, q: int, r: int, c: int) -> np.ndarray:
+    """Deterministic initial condition of block (r, c) of a q×q split."""
+    B = G // q
+    gi = np.arange(r * B, (r + 1) * B)[:, None]
+    gj = np.arange(c * B, (c + 1) * B)[None, :]
+    return (((gi * 31 + gj * 17) % 97) / 97.0).astype(np.float64)
+
+
+def source_block(G: int, q: int, r: int, c: int) -> np.ndarray:
+    """Deterministic forcing term of block (r, c)."""
+    B = G // q
+    gi = np.arange(r * B, (r + 1) * B)[:, None].astype(np.float64)
+    gj = np.arange(c * B, (c + 1) * B)[None, :].astype(np.float64)
+    return 0.01 * np.cos(gi * 0.7) * np.sin(gj * 0.9)
+
+
+def bt_step(u: np.ndarray, top: np.ndarray, bottom: np.ndarray,
+            left: np.ndarray, right: np.ndarray, src: np.ndarray) -> Tuple[np.ndarray, float]:
+    """One smoothing step given the four halos; returns (u', |Δ|₁)."""
+    up = np.vstack([top[None, :], u[:-1, :]])
+    down = np.vstack([u[1:, :], bottom[None, :]])
+    lft = np.hstack([left[:, None], u[:, :-1]])
+    rgt = np.hstack([u[:, 1:], right[:, None]])
+    smooth = 0.25 * (up + down + lft + rgt)
+    unew = u + RELAX * (smooth - u) + src
+    return unew, float(np.abs(unew - u).sum())
+
+
+def reference_btnas(G: int = DEFAULT_GRID, iters: int = DEFAULT_ITERS) -> Tuple[float, list]:
+    """Sequential reference: (final checksum, per-iteration residuals)."""
+    u = initial_block(G, 1, 0, 0)
+    src = source_block(G, 1, 0, 0)
+    residuals = []
+    for _ in range(iters):
+        u, res = bt_step(u, u[-1, :], u[0, :], u[:, -1], u[:, 0], src)
+        residuals.append(res)
+    return float(u.sum()), residuals
+
+
+def _pack_face(arr: np.ndarray, pad: int) -> tuple:
+    return (arr.copy(), b"\0" * pad)
+
+
+def _face(msg: tuple) -> np.ndarray:
+    return msg[0]
+
+
+@program("apps.btnas")
+def _btnas(b, *, rank, nprocs, vips, grid=DEFAULT_GRID, iters=DEFAULT_ITERS,
+           cycles_per_point=DEFAULT_CYCLES_PER_POINT, face_pad=DEFAULT_FACE_PAD):
+    q = int(math.isqrt(nprocs))
+    if q * q != nprocs:
+        raise ValueError("BT/NAS requires a square number of ranks")
+    if grid % q:
+        raise ValueError("grid must divide evenly across the rank mesh")
+    r, c = divmod(rank, q)
+    up = ((r - 1) % q) * q + c
+    down = ((r + 1) % q) * q + c
+    left = r * q + (c - 1) % q
+    right = r * q + (c + 1) % q
+
+    b.alloc(imm(btnas_ballast(nprocs)), "heap")
+    emit_init(b, rank=rank, nprocs=nprocs, vips=vips)
+    b.op("u", lambda G=grid, Q=q, R=r, C=c: initial_block(G, Q, R, C))
+    b.op("src", lambda G=grid, Q=q, R=r, C=c: source_block(G, Q, R, C))
+    b.mov("residuals", imm([]))
+    cycles = (cycles_per_point * (grid * grid)) // nprocs
+
+    with b.for_range("__it", imm(0), imm(iters)):
+        if q == 1:
+            # single block: toroidal halos come from my own edges
+            b.op("t", lambda u: u[-1, :].copy(), "u")
+            b.op("bo", lambda u: u[0, :].copy(), "u")
+            b.op("l", lambda u: u[:, -1].copy(), "u")
+            b.op("ri", lambda u: u[:, 0].copy(), "u")
+        else:
+            # post all four halo receives up front (nonblocking, matched
+            # by source+tag — arrival order does not matter), then send
+            # the boundary faces, then complete the exchange: the real
+            # BT communication structure
+            emit_req_list(b, "__halo_reqs")
+            emit_irecv(b, "__halo_reqs", src=up, tag="h.down")     # → top halo
+            emit_irecv(b, "__halo_reqs", src=down, tag="h.up")     # → bottom halo
+            emit_irecv(b, "__halo_reqs", src=left, tag="h.right")  # → left halo
+            emit_irecv(b, "__halo_reqs", src=right, tag="h.left")  # → right halo
+            b.op("__fu", lambda u, p=face_pad: _pack_face(u[0, :], p), "u")
+            emit_isend(b, up, "__fu", tag="h.up")
+            b.op("__fd", lambda u, p=face_pad: _pack_face(u[-1, :], p), "u")
+            emit_isend(b, down, "__fd", tag="h.down")
+            b.op("__fl", lambda u, p=face_pad: _pack_face(u[:, 0], p), "u")
+            emit_isend(b, left, "__fl", tag="h.left")
+            b.op("__fr", lambda u, p=face_pad: _pack_face(u[:, -1], p), "u")
+            emit_isend(b, right, "__fr", tag="h.right")
+            emit_waitall(b, "__halo_reqs")
+            emit_req_value(b, "__halo_reqs", 0, "__hu")
+            b.op("t", _face, "__hu")
+            emit_req_value(b, "__halo_reqs", 1, "__hd")
+            b.op("bo", _face, "__hd")
+            emit_req_value(b, "__halo_reqs", 2, "__hl")
+            b.op("l", _face, "__hl")
+            emit_req_value(b, "__halo_reqs", 3, "__hr")
+            b.op("ri", _face, "__hr")
+        b.op("__stepped", bt_step, "u", "t", "bo", "l", "ri", "src")
+        b.op("u", lambda s: s[0], "__stepped")
+        b.op("__res", lambda s: s[1], "__stepped")
+        b.compute(imm(cycles))
+        emit_allreduce(b, "__res", "__gres", op="sum", rank=rank, size=nprocs)
+        b.op("residuals", lambda rs, g: rs + [g], "residuals", "__gres")
+
+    # final verification data: the root assembles the global checksum
+    b.op("__mysum", lambda u: float(u.sum()), "u")
+    emit_gather(b, "__mysum", "__sums", rank=rank, size=nprocs)
+    if rank == 0:
+        b.op("checksum", lambda sums: float(sum(sums)), "__sums")
+    else:
+        b.mov("checksum", imm(None))
+    emit_finalize(b)
+    b.halt(imm(0))
+
+
+def params_of(rank: int, vips, *, nprocs: int, grid: int = DEFAULT_GRID,
+              iters: int = DEFAULT_ITERS,
+              cycles_per_point: int = DEFAULT_CYCLES_PER_POINT,
+              face_pad: int = DEFAULT_FACE_PAD) -> dict:
+    """Program params for :func:`repro.middleware.launch_spmd`."""
+    return {
+        "rank": rank, "nprocs": nprocs, "vips": list(vips), "grid": grid,
+        "iters": iters, "cycles_per_point": cycles_per_point, "face_pad": face_pad,
+    }

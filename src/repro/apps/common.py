@@ -1,0 +1,48 @@
+"""Shared pieces of the evaluation applications.
+
+Each application models its paper counterpart along three axes:
+
+* **real computation** — a scaled-down numerical core (numpy) whose
+  result is deterministic and machine-checkable, so checkpoint-restart
+  correctness is verified by *answers*, not just by liveness;
+* **simulated computation** — explicit ``compute`` cycles calibrating
+  completion times to the paper's scale (the real core is orders of
+  magnitude smaller than the real application);
+* **accounted memory** — per-rank resident-set ballast following the
+  paper's Figure 6(c) footprints (working set splits across ranks for
+  CPI/PETSc/BT, constant for POV-Ray).
+"""
+
+from __future__ import annotations
+
+#: Per-rank resident-set models, bytes, as functions of the world size.
+#: Derived from Figure 6(c): largest-pod image ≈ base + share/n.
+MB = 1_000_000
+
+
+def cpi_ballast(nprocs: int) -> int:
+    """CPI: 16 MB at 1 node → 7 MB at 16 nodes."""
+    return 6 * MB + (10 * MB) // nprocs
+
+
+def petsc_ballast(nprocs: int) -> int:
+    """PETSc: 145 MB at 1 node → 24 MB at 16 nodes."""
+    return 16 * MB + (129 * MB) // nprocs
+
+
+def btnas_ballast(nprocs: int) -> int:
+    """BT/NAS: 340 MB at 1 node → 35 MB at 16 nodes."""
+    return 15 * MB + (325 * MB) // nprocs
+
+
+def povray_ballast() -> int:
+    """POV-Ray: roughly constant ≈ 10 MB per worker."""
+    return 10 * MB
+
+
+def grid_partition(n: int, parts: int, index: int) -> tuple:
+    """Contiguous 1-D block partition: (start, stop) of block ``index``."""
+    base, extra = divmod(n, parts)
+    start = index * base + min(index, extra)
+    stop = start + base + (1 if index < extra else 0)
+    return start, stop

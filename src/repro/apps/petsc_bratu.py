@@ -1,0 +1,158 @@
+"""PETSc Bratu — the solid-fuel-ignition (SFI) example.
+
+"A scalable package of PDE solvers ... in particular the Bratu (SFI —
+solid fuel ignition) example, that uses distributed arrays to partition
+the problem grid with a moderate level of communication."
+
+The miniature solves −Δu = λ·eᵘ on the unit square (Dirichlet zero
+boundary) by Picard iteration with Jacobi sweeps, on a 1-D strip
+decomposition of the grid (PETSc's DA with one dimension distributed).
+Each sweep exchanges one halo row with each strip neighbor; each outer
+iteration allreduces the residual norm — moderate communication, as
+billed.  The update is elementwise, so the distributed solution matches
+the sequential reference exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..middleware import emit_allreduce, emit_finalize, emit_gather, emit_init, emit_recv, emit_send
+from ..vos.program import imm, program
+from .common import grid_partition, petsc_ballast
+
+#: default global grid edge.
+DEFAULT_GRID = 48
+#: Bratu parameter λ (below the fold point, so Picard converges).
+DEFAULT_LAMBDA = 4.0
+#: outer (Picard) iterations.
+DEFAULT_OUTER = 8
+#: Jacobi sweeps per outer iteration.
+DEFAULT_SWEEPS = 12
+#: simulated cycles per grid point per sweep.
+DEFAULT_CYCLES_PER_POINT = 120_000
+
+
+def jacobi_sweep(u: np.ndarray, above: np.ndarray, below: np.ndarray,
+                 lam_h2_exp: np.ndarray, interior_rows: slice) -> np.ndarray:
+    """One Jacobi sweep of a strip given its two halo rows.
+
+    ``u`` is the strip (rows × G); boundary columns and global boundary
+    rows are pinned at zero by the caller's ``interior_rows`` slice.
+    """
+    padded = np.vstack([above[None, :], u, below[None, :]])
+    north = padded[:-2, :]
+    south = padded[2:, :]
+    west = np.hstack([np.zeros((u.shape[0], 1)), u[:, :-1]])
+    east = np.hstack([u[:, 1:], np.zeros((u.shape[0], 1))])
+    unew = u.copy()
+    update = 0.25 * (north + south + west + east + lam_h2_exp)
+    unew[interior_rows, 1:-1] = update[interior_rows, 1:-1]
+    return unew
+
+
+def strip_rows(G: int, nprocs: int, rank: int) -> Tuple[int, int]:
+    """Global row range [start, stop) owned by ``rank``."""
+    return grid_partition(G, nprocs, rank)
+
+
+def _interior_slice(start: int, stop: int, G: int) -> slice:
+    lo = 1 - start if start == 0 else 0
+    hi = (stop - start) - (1 if stop == G else 0)
+    return slice(max(lo, 0), hi)
+
+
+def _lam_h2_exp(u: np.ndarray, lam: float, G: int) -> np.ndarray:
+    h = 1.0 / (G - 1)
+    return lam * h * h * np.exp(u)
+
+
+def bratu_strip_iteration(u: np.ndarray, above: np.ndarray, below: np.ndarray,
+                          lam: float, G: int, start: int, stop: int) -> np.ndarray:
+    """One Jacobi sweep of the Bratu Picard linearization on a strip."""
+    rows = _interior_slice(start, stop, G)
+    return jacobi_sweep(u, above, below, _lam_h2_exp(u, lam, G), rows)
+
+
+def local_residual(u_old: np.ndarray, u_new: np.ndarray) -> float:
+    """Strip contribution to the squared-residual norm."""
+    return float(((u_new - u_old) ** 2).sum())
+
+
+def reference_bratu(G: int = DEFAULT_GRID, lam: float = DEFAULT_LAMBDA,
+                    outer: int = DEFAULT_OUTER, sweeps: int = DEFAULT_SWEEPS
+                    ) -> Tuple[float, List[float]]:
+    """Sequential reference: (solution checksum, per-outer-step norms)."""
+    u = np.zeros((G, G))
+    zero = np.zeros(G)
+    norms = []
+    for _ in range(outer):
+        u_prev = u
+        for _ in range(sweeps):
+            u = bratu_strip_iteration(u, zero, zero, lam, G, 0, G)
+        norms.append(np.sqrt(local_residual(u_prev, u)))
+    return float(u.sum()), norms
+
+
+@program("apps.petsc_bratu")
+def _bratu(b, *, rank, nprocs, vips, grid=DEFAULT_GRID, lam=DEFAULT_LAMBDA,
+           outer=DEFAULT_OUTER, sweeps=DEFAULT_SWEEPS,
+           cycles_per_point=DEFAULT_CYCLES_PER_POINT):
+    start, stop = strip_rows(grid, nprocs, rank)
+    first, last = rank == 0, rank == nprocs - 1
+
+    b.alloc(imm(petsc_ballast(nprocs)), "heap")
+    emit_init(b, rank=rank, nprocs=nprocs, vips=vips)
+    b.op("u", lambda rows=stop - start, G=grid: np.zeros((rows, G)))
+    b.mov("norms", imm([]))
+    cycles_per_sweep = (cycles_per_point * grid * grid) // nprocs
+
+    with b.for_range("__outer", imm(0), imm(outer)):
+        b.op("__uprev", lambda u: u.copy(), "u")
+        with b.for_range("__sweep", imm(0), imm(sweeps)):
+            # exchange halo rows with strip neighbors (Dirichlet rows of
+            # zeros at the global edges)
+            if first:
+                b.op("above", lambda G=grid: np.zeros(G))
+            else:
+                b.op("__up", lambda u: u[0, :].copy(), "u")
+                emit_send(b, rank - 1, "__up", tag="b.up")
+            if last:
+                b.op("below", lambda G=grid: np.zeros(G))
+            else:
+                b.op("__down", lambda u: u[-1, :].copy(), "u")
+                emit_send(b, rank + 1, "__down", tag="b.down")
+            if not first:
+                emit_recv(b, rank - 1, "above", tag="b.down")
+            if not last:
+                emit_recv(b, rank + 1, "below", tag="b.up")
+            b.op("u", lambda u, a, bl, L=lam, G=grid, s=start, e=stop:
+                 bratu_strip_iteration(u, a, bl, L, G, s, e),
+                 "u", "above", "below")
+            b.compute(imm(cycles_per_sweep))
+        b.op("__rsq", local_residual, "__uprev", "u")
+        emit_allreduce(b, "__rsq", "__gsq", op="sum", rank=rank, size=nprocs)
+        b.op("norms", lambda ns, g: ns + [float(np.sqrt(g))], "norms", "__gsq")
+
+    b.op("__mysum", lambda u: float(u.sum()), "u")
+    emit_gather(b, "__mysum", "__sums", rank=rank, size=nprocs)
+    if rank == 0:
+        b.op("checksum", lambda sums: float(sum(sums)), "__sums")
+    else:
+        b.mov("checksum", imm(None))
+    emit_finalize(b)
+    b.halt(imm(0))
+
+
+def params_of(rank: int, vips, *, nprocs: int, grid: int = DEFAULT_GRID,
+              lam: float = DEFAULT_LAMBDA, outer: int = DEFAULT_OUTER,
+              sweeps: int = DEFAULT_SWEEPS,
+              cycles_per_point: int = DEFAULT_CYCLES_PER_POINT) -> dict:
+    """Program params for :func:`repro.middleware.launch_spmd`."""
+    return {
+        "rank": rank, "nprocs": nprocs, "vips": list(vips), "grid": grid,
+        "lam": lam, "outer": outer, "sweeps": sweeps,
+        "cycles_per_point": cycles_per_point,
+    }

@@ -1,0 +1,152 @@
+"""POV-Ray — the PVM ray tracer.
+
+"A CPU-intensive ray-tracing application that fully exploits cluster
+parallelism to render three-dimensional graphics."  The PVM version
+splits the image into tiles that a master hands to workers dynamically
+(work-stealing by request), so faster tiles rebalance automatically.
+
+The miniature "renders" a tile by evaluating a deterministic integer
+pixel function (exact checksums — no float ordering concerns) and
+charging cycles proportional to the tile's scene complexity, which
+varies across the image as real scenes do.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..middleware import (
+    emit_master_init,
+    emit_pvm_recv,
+    emit_pvm_recv_any,
+    emit_pvm_send,
+    emit_worker_close,
+    emit_worker_init,
+)
+from ..vos.program import imm, program
+from .common import povray_ballast
+
+#: default image and tiling.
+DEFAULT_WIDTH = 256
+DEFAULT_HEIGHT = 192
+DEFAULT_TILE = 64
+#: simulated cycles per pixel at complexity 1.0.
+DEFAULT_CYCLES_PER_PIXEL = 1_200_000
+
+_A = 2654435761
+_B = 40503
+_M = 1 << 32
+
+
+def make_tiles(width: int, height: int, tile: int) -> List[Tuple[int, int, int, int]]:
+    """The work queue: (x0, y0, w, h) tiles in scanline order."""
+    tiles = []
+    for y0 in range(0, height, tile):
+        for x0 in range(0, width, tile):
+            tiles.append((x0, y0, min(tile, width - x0), min(tile, height - y0)))
+    return tiles
+
+
+def render_tile(job: Tuple[int, int, int, int]) -> int:
+    """The pixel function summed over a tile (exact integer checksum)."""
+    x0, y0, w, h = job
+    x = np.arange(x0, x0 + w, dtype=np.uint64)[None, :]
+    y = np.arange(y0, y0 + h, dtype=np.uint64)[:, None]
+    pix = ((x * _A) ^ (y * _B)) % _M
+    return int(pix.sum())
+
+
+def tile_complexity(job: Tuple[int, int, int, int], width: int, height: int) -> float:
+    """Scene complexity varies across the image (center is 3× the edge),
+    which is what makes dynamic assignment worthwhile."""
+    x0, y0, w, h = job
+    cx = (x0 + w / 2) / width - 0.5
+    cy = (y0 + h / 2) / height - 0.5
+    return 1.0 + 2.0 * (1.0 - min(1.0, 2.0 * (cx * cx + cy * cy) ** 0.5))
+
+
+def tile_cycles(job: Tuple[int, int, int, int], width: int, height: int,
+                cycles_per_pixel: int) -> int:
+    """Simulated render cost of one tile."""
+    _x0, _y0, w, h = job
+    return int(w * h * cycles_per_pixel * tile_complexity(job, width, height))
+
+
+def reference_image(width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT,
+                    tile: int = DEFAULT_TILE) -> int:
+    """Sequential reference: the full-image checksum."""
+    return sum(render_tile(job) for job in make_tiles(width, height, tile))
+
+
+@program("apps.povray_master")
+def _master(b, *, nworkers, width=DEFAULT_WIDTH, height=DEFAULT_HEIGHT,
+            tile=DEFAULT_TILE):
+    b.alloc(imm(povray_ballast()), "heap")
+    emit_master_init(b, nworkers=nworkers)
+    b.op("queue", lambda w=width, h=height, t=tile: make_tiles(w, h, t))
+    b.mov("image", imm(0))
+    b.mov("outstanding", imm(0))
+    # seed every worker with one tile (if enough tiles exist)
+    for worker in range(1, nworkers + 1):
+        b.op("__have", lambda q: bool(q), "queue")
+        with b.if_("__have"):
+            b.op("__job", lambda q: q[0], "queue")
+            b.op("queue", lambda q: q[1:], "queue")
+            emit_pvm_send(b, worker, "__job", tag="job")
+            b.op("outstanding", lambda o: o + 1, "outstanding")
+    b.op("__pending", lambda q, o: bool(q) or o > 0, "queue", "outstanding")
+    with b.while_("__pending"):
+        emit_pvm_recv_any(b, "__res", "__who", tag="result")
+        b.op("image", lambda acc, r: acc + r, "image", "__res")
+        b.op("outstanding", lambda o: o - 1, "outstanding")
+        b.op("__more", lambda q: bool(q), "queue")
+        with b.if_("__more"):
+            b.op("__job", lambda q: q[0], "queue")
+            b.op("queue", lambda q: q[1:], "queue")
+            emit_pvm_send(b, "__who", "__job", tag="job")
+            b.op("outstanding", lambda o: o + 1, "outstanding")
+        b.op("__pending", lambda q, o: bool(q) or o > 0, "queue", "outstanding")
+    # retire the workers
+    b.mov("__stop", imm(None))
+    for worker in range(1, nworkers + 1):
+        emit_pvm_send(b, worker, "__stop", tag="job")
+    b.halt(imm(0))
+
+
+@program("apps.povray_worker")
+def _worker(b, *, task_id, master_vip, width=DEFAULT_WIDTH, height=DEFAULT_HEIGHT,
+            cycles_per_pixel=DEFAULT_CYCLES_PER_PIXEL):
+    b.alloc(imm(povray_ballast()), "heap")
+    emit_worker_init(b, task_id=task_id, master_vip=master_vip)
+    b.mov("rendered", imm(0))
+    b.mov("__running", imm(True))
+    with b.while_("__running"):
+        emit_pvm_recv(b, 0, "__job", tag="job")
+        b.op("__running", lambda j: j is not None, "__job")
+        with b.if_("__running"):
+            b.op("__cycles", lambda j, w=width, h=height, c=cycles_per_pixel:
+                 tile_cycles(j, w, h, c), "__job")
+            b.compute("__cycles")
+            b.op("__res", render_tile, "__job")
+            emit_pvm_send(b, 0, "__res", tag="result")
+            b.op("rendered", lambda n: n + 1, "rendered")
+    emit_worker_close(b)
+    b.halt(imm(0))
+
+
+def master_params(*, nworkers: int, width: int = DEFAULT_WIDTH,
+                  height: int = DEFAULT_HEIGHT, tile: int = DEFAULT_TILE) -> dict:
+    """Master program params for launch_master_worker."""
+    return {"nworkers": nworkers, "width": width, "height": height, "tile": tile}
+
+
+def worker_params(task_id: int, master_vip: str, *, width: int = DEFAULT_WIDTH,
+                  height: int = DEFAULT_HEIGHT,
+                  cycles_per_pixel: int = DEFAULT_CYCLES_PER_PIXEL) -> dict:
+    """Worker program params for launch_master_worker."""
+    return {
+        "task_id": task_id, "master_vip": master_vip,
+        "width": width, "height": height, "cycles_per_pixel": cycles_per_pixel,
+    }

@@ -1,0 +1,17 @@
+"""Comparison baselines: vanilla Linux, Cruz-style peek, library-level."""
+
+from .libckpt import LibCheckpoint, LibCkptRuntime, emit_ckpt_point
+from .peek import PeekAgent, capture_socket_peek, deploy_peek_manager
+from .vanilla import VanillaHandle, launch_master_worker_vanilla, launch_spmd_vanilla
+
+__all__ = [
+    "LibCheckpoint",
+    "LibCkptRuntime",
+    "PeekAgent",
+    "VanillaHandle",
+    "capture_socket_peek",
+    "deploy_peek_manager",
+    "emit_ckpt_point",
+    "launch_master_worker_vanilla",
+    "launch_spmd_vanilla",
+]

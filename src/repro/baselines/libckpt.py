@@ -1,0 +1,137 @@
+"""A library-level (CoCheck/Condor-style) checkpointer — the §2 contrast.
+
+Library-level distributed checkpointing requires applications to be
+"well-behaved": they must be (re)linked against a checkpoint-aware
+library, reach explicit safe points before a checkpoint can be taken,
+flush communication channels cooperatively, and — crucially — "cannot
+use common operating system services as system identifiers such as
+process identifiers cannot be preserved after a restart".
+
+This module implements that model faithfully enough to *measure its
+restrictions* against ZapC:
+
+* applications must emit :func:`emit_ckpt_point` calls; a checkpoint
+  request only completes once **every** participating process reaches
+  its next safe point (the request→capture latency is workload-phase
+  dependent, vs ZapC's immediate SIGSTOP);
+* the capture records each process's registers and program position —
+  *application* state only; kernel state (sockets, pids, timers) is not
+  captured, and restart gives processes fresh pids (so applications
+  that stored a pre-checkpoint pid and ``kill`` it fail — the
+  identifier-preservation restriction).
+
+Scope note (documented in DESIGN.md): restart rebuilds processes at
+their last safe point with fresh identifiers and no socket state; it is
+a latency/restriction baseline, not a competing full system — the paper
+itself compares against such systems only qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..cluster.builder import Cluster
+from ..sim.tasks import Future
+from ..vos.kernel import Kernel
+from ..vos.process import Process
+from ..vos.program import ProgramBuilder, build_program, imm
+from ..vos.syscalls import BLOCK, Complete
+
+
+def emit_ckpt_point(b: ProgramBuilder) -> None:
+    """Emit a safe point: the process offers itself for checkpointing.
+
+    Costs one syscall; blocks only while a checkpoint is in progress.
+    """
+    b.syscall(None, "lib_ckpt_point", imm(0))
+
+
+@dataclass
+class LibCheckpoint:
+    """A completed library-level checkpoint."""
+
+    requested_at: float
+    completed_at: float
+    #: (hostname, pid) -> application-visible state at the safe point.
+    states: Dict[tuple, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        """Request→capture latency (the phase-dependent cost)."""
+        return self.completed_at - self.requested_at
+
+
+class LibCkptRuntime:
+    """Coordinator for library-level checkpoints of one process group."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        #: (hostname, pid) -> kernel; pids are only node-unique.
+        self._watched: Dict[tuple, Kernel] = {}
+        self._pending: Optional[LibCheckpoint] = None
+        self._parked: List[Any] = []
+        self._future: Optional[Future] = None
+        for node in cluster.nodes:
+            node.kernel.register_syscall("lib_ckpt_point", self._sys_point)
+
+    def watch(self, proc: Process, kernel: Kernel) -> None:
+        """Add a process to the checkpointed group."""
+        self._watched[(kernel.hostname, proc.pid)] = kernel
+
+    def request(self) -> Future:
+        """Ask for a checkpoint; resolves with a :class:`LibCheckpoint`
+        once every watched process reaches a safe point."""
+        if self._future is not None:
+            raise RuntimeError("library checkpoint already in progress")
+        self._pending = LibCheckpoint(self.engine.now, 0.0)
+        self._future = Future("lib-ckpt")
+        return self._future
+
+    # -- syscall handler ------------------------------------------------
+    def _sys_point(self, kernel: Kernel, proc: Any, args, restarted):
+        key = (kernel.hostname, proc.pid)
+        if self._pending is None or key not in self._watched:
+            return Complete(0)
+        if key in self._pending.states:
+            return Complete(0)  # already captured this round
+        self._pending.states[key] = {
+            "regs": dict(proc.regs),
+            "pc": proc.pc,
+            "program": proc.program.name,
+            "params": dict(proc.program.params),
+        }
+        self._parked.append((proc, kernel))
+        if len(self._pending.states) == len(self._watched):
+            self._finish(kernel)
+            return Complete(0)  # last arriver continues immediately
+        return BLOCK
+
+    def _finish(self, kernel: Kernel) -> None:
+        ckpt, self._pending = self._pending, None
+        fut, self._future = self._future, None
+        parked, self._parked = self._parked, []
+        ckpt.completed_at = self.engine.now
+        for proc, proc_kernel in parked:
+            proc_kernel.complete_syscall(proc, 0)
+        if fut is not None:
+            fut.set_result(ckpt)
+
+    # -- restart (restriction demo) --------------------------------------
+    def restart_states(self, ckpt: LibCheckpoint, kernel: Kernel) -> List[Process]:
+        """Recreate processes from a library checkpoint on ``kernel``.
+
+        Processes come back at their safe point with their registers —
+        but with **fresh pids and no kernel state**: any stored pid or
+        fd in the registers now dangles, which is precisely why the
+        paper says these systems suit only a narrow range of apps.
+        """
+        out = []
+        for _old_pid, state in sorted(ckpt.states.items()):
+            prog = build_program(state["program"], **state["params"])
+            proc = Process(kernel.alloc_pid(), prog, regs=dict(state["regs"]))
+            proc.pc = state["pc"]
+            kernel.adopt_process(proc, enqueue=True)
+            out.append(proc)
+        return out

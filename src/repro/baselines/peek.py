@@ -1,0 +1,80 @@
+"""The Cruz-style *peek* network checkpointer (the §2 comparison).
+
+Cruz "uses low-level details of the Linux TCP implementation to attempt
+to save and restore network state ... in part by peeking at the data in
+the receive queue.  This technique is incomplete and will fail to
+capture all of the data in the network queues with TCP, including
+crucial out-of-band, urgent, and backlog queue data."
+
+This baseline reproduces that approach against the simulated stack: the
+receive queue is captured with ``MSG_PEEK`` through the normal read path
+*without* taking the socket lock first, so
+
+* delivered-but-unprocessed **backlog** segments are missed, and
+* **out-of-band/urgent** data is missed entirely
+
+while everything else (options, send queue, PCB) matches ZapC.  The
+:class:`PeekAgent` drops into the standard Manager/Agent machinery, so
+the two capture strategies are compared end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..cluster.builder import Cluster
+from ..core.agent import Agent
+from ..core.manager import Manager
+from ..core.netckpt import capture_socket
+from ..net.sockets import MSG_PEEK, NetStack, Socket
+from ..pod.pod import Pod
+
+
+def capture_socket_peek(stack: NetStack, sock: Socket) -> Dict[str, Any]:
+    """Capture one socket the Cruz way.
+
+    Reuses the complete capture for the parts Cruz also gets right, then
+    *replaces* the receive-side data with what a lock-free peek sees —
+    and puts back what the complete capture drained, so the comparison
+    is apples to apples on a live socket.
+    """
+    if sock.proto != "tcp" or sock.listening:
+        return capture_socket(stack, sock)
+    conn = sock.conn
+    # what a peek (no socket lock, no backlog drain) would see:
+    peek_visible = bytes(conn.recv_q)
+    # the full capture (drains backlog, reads OOB, installs an altqueue)
+    rec = capture_socket(stack, sock)
+    # Cruz's view: only the peeked prefix, no urgent data
+    rec["recv_data"] = peek_visible
+    rec["oob_data"] = b""
+    return rec
+
+
+def capture_pod_network_peek(pod: Pod) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Pod-level sweep using the peek capture (same shape as the real one)."""
+    from ..core import netckpt
+
+    original = netckpt.capture_socket
+    netckpt.capture_socket = capture_socket_peek
+    try:
+        return netckpt.capture_pod_network(pod)
+    finally:
+        netckpt.capture_socket = original
+
+
+class PeekAgent(Agent):
+    """An Agent whose network-state capture peeks instead of reading."""
+
+    def _capture_network(self, pod: Pod):
+        return capture_pod_network_peek(pod)
+
+
+def deploy_peek_manager(cluster: Cluster) -> Manager:
+    """A Manager whose Agents all use the peek capture."""
+    agents = {}
+    for node in cluster.nodes:
+        agent = PeekAgent(cluster, node)
+        agent.start()
+        agents[node.name] = agent
+    return Manager(cluster, agents)

@@ -1,0 +1,88 @@
+"""The *Base* configuration of Figure 5: vanilla Linux, no pods.
+
+Applications run as plain processes on the node kernels — no namespace,
+no syscall interposition, sockets bound to real node addresses.
+Comparing completion times against the pod runs measures exactly the
+virtualization overhead the paper reports as "almost indistinguishable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..cluster.builder import Cluster
+from ..vos.process import DEAD, Process
+from ..vos.program import build_program
+
+
+@dataclass
+class VanillaHandle:
+    """A distributed application launched without pods."""
+
+    name: str
+    rank_program: str
+    daemon_pids: List[tuple]  # (node index, pid)
+
+    def _daemons(self, cluster: Cluster) -> List[Process]:
+        return [cluster.node(i).kernel.procs[pid] for i, pid in self.daemon_pids]
+
+    def ok(self, cluster: Cluster) -> bool:
+        """True when every endpoint's daemon exited cleanly."""
+        return all(d.state == DEAD and d.exit_code == 0 for d in self._daemons(cluster))
+
+    def results(self, cluster: Cluster, reg: str) -> List[Any]:
+        """Collect a register from every completed endpoint."""
+        out: Dict[int, Any] = {}
+        for node in cluster.nodes:
+            for proc in node.kernel.procs.values():
+                if proc.program.name == self.rank_program and proc.state == DEAD \
+                        and proc.exit_code == 0 and reg in proc.regs:
+                    key = proc.program.params.get(
+                        "rank", proc.program.params.get("task_id", 0))
+                    out[key] = proc.regs[reg]
+        return [out[k] for k in sorted(out)]
+
+
+def launch_spmd_vanilla(cluster: Cluster, app_program: str, nprocs: int,
+                        params_of: Any, *, name: str,
+                        nodes: Optional[List[int]] = None,
+                        pods_per_node: int = 1) -> VanillaHandle:
+    """Launch an SPMD app with no virtualization (endpoint addresses are
+    the real node addresses; multiple endpoints per node share one)."""
+    if nodes is None:
+        node_count = max(1, nprocs // pods_per_node)
+        nodes = [i % node_count for i in range(nprocs)]
+    ips = [cluster.node(nodes[rank]).ip for rank in range(nprocs)]
+    daemon_pids = []
+    for rank in range(nprocs):
+        node = cluster.node(nodes[rank])
+        params = params_of(rank, ips)
+        daemon = node.kernel.spawn(
+            build_program("middleware.daemon", app=app_program, params=params))
+        daemon_pids.append((nodes[rank], daemon.pid))
+    return VanillaHandle(name, app_program, daemon_pids)
+
+
+def launch_master_worker_vanilla(cluster: Cluster, master_program: str,
+                                 worker_program: str, nworkers: int,
+                                 master_params: dict, worker_params_of: Any,
+                                 *, name: str, nodes: Optional[List[int]] = None,
+                                 pods_per_node: int = 1) -> VanillaHandle:
+    """Master/worker launch with no virtualization."""
+    total = nworkers + 1
+    if nodes is None:
+        node_count = max(1, total // pods_per_node)
+        nodes = [i % node_count for i in range(total)]
+    master_ip = cluster.node(nodes[0]).ip
+    daemon_pids = []
+    d0 = cluster.node(nodes[0]).kernel.spawn(
+        build_program("middleware.daemon", app=master_program, params=master_params))
+    daemon_pids.append((nodes[0], d0.pid))
+    for task_id in range(1, total):
+        node = cluster.node(nodes[task_id])
+        d = node.kernel.spawn(
+            build_program("middleware.daemon", app=worker_program,
+                          params=worker_params_of(task_id, master_ip)))
+        daemon_pids.append((nodes[task_id], d.pid))
+    return VanillaHandle(name, worker_program, daemon_pids)

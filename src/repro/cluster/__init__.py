@@ -1,0 +1,7 @@
+"""Cluster substrate: blades, construction, fault injection."""
+
+from .builder import Cluster
+from .faults import crash_node, heal_node, isolate_node
+from .node import Node, NodeSpec
+
+__all__ = ["Cluster", "Node", "NodeSpec", "crash_node", "heal_node", "isolate_node"]

@@ -1,0 +1,91 @@
+"""Cluster construction.
+
+One call builds the whole testbed: engine, fabric, shared virtual
+address plane, SAN, and N blades.  Pods are created through the cluster
+so virtual addresses are allocated consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import PodError
+from ..net.addr import real_ip, virtual_ip
+from ..net.fabric import Fabric
+from ..pod.pod import Pod
+from ..pod.vnet import VNet
+from ..sim.engine import Engine
+from ..storage.san import SharedStorage
+from ..storage.snapshot import SnapshotManager
+from .node import Node, NodeSpec
+
+
+class Cluster:
+    """A set of simulated blades sharing a fabric, VNet and SAN."""
+
+    def __init__(self, engine: Engine, fabric: Fabric, vnet: VNet,
+                 san: SharedStorage, nodes: List[Node]) -> None:
+        self.engine = engine
+        self.fabric = fabric
+        self.vnet = vnet
+        self.san = san
+        self.nodes = nodes
+        self.snapshots = SnapshotManager()
+        self._next_vip = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, n_nodes: int, ncpus: int = 1, seed: int = 0,
+              spec: Optional[NodeSpec] = None,
+              engine: Optional[Engine] = None) -> "Cluster":
+        """Construct an ``n_nodes``-blade cluster (each with ``ncpus``)."""
+        engine = engine if engine is not None else Engine(seed=seed)
+        fabric = Fabric(engine)
+        vnet = VNet()
+        san = SharedStorage()
+        nodes = []
+        for i in range(n_nodes):
+            node_spec = spec if spec is not None else NodeSpec(ncpus=ncpus)
+            nodes.append(Node(engine, i, f"blade{i}", real_ip(i), fabric, vnet, san, node_spec))
+        return cls(engine, fabric, vnet, san, nodes)
+
+    # ------------------------------------------------------------------
+    def node(self, index: int) -> Node:
+        """Blade by index."""
+        return self.nodes[index]
+
+    def node_by_name(self, name: str) -> Node:
+        """Blade by hostname."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise PodError(f"no node named {name!r}")
+
+    def create_pod(self, node: Node, pod_id: str, vip: Optional[str] = None) -> Pod:
+        """Create a pod on ``node``, allocating a virtual address."""
+        if vip is None:
+            vip = virtual_ip(self._next_vip)
+            self._next_vip += 1
+        return Pod.create(node.kernel, pod_id, vip, self.vnet)
+
+    def find_pod(self, pod_id: str) -> Pod:
+        """Locate a pod wherever it currently lives."""
+        for node in self.nodes:
+            pod = node.kernel.pods.get(pod_id)
+            if pod is not None:
+                return pod
+        raise PodError(f"no pod {pod_id!r} in the cluster")
+
+    def pods(self) -> Dict[str, Pod]:
+        """All pods by id."""
+        out: Dict[str, Pod] = {}
+        for node in self.nodes:
+            out.update(node.kernel.pods)
+        return out
+
+    def node_of_pod(self, pod_id: str) -> Node:
+        """The blade currently hosting ``pod_id``."""
+        for node in self.nodes:
+            if pod_id in node.kernel.pods:
+                return node
+        raise PodError(f"no pod {pod_id!r} in the cluster")

@@ -1,0 +1,47 @@
+"""Failure injection.
+
+The motivating use cases of the paper — "fault resilience by migrating
+applications off of faulty cluster nodes, fault recovery by restarting
+from the last checkpoint" — need faults to recover from.  This module
+provides node crashes (fail-stop: processes die, NIC goes dark) and
+Manager/Agent link failures (which must abort a checkpoint gracefully,
+per Section 4).
+"""
+
+from __future__ import annotations
+
+from ..errors import NoSuchProcessError
+from ..vos.signals import SIGKILL
+from .builder import Cluster
+from .node import Node
+
+
+def crash_node(cluster: Cluster, node: Node) -> None:
+    """Fail-stop crash: every process dies and the NIC stops answering.
+
+    Pods hosted on the node are lost (that is the point — recovery comes
+    from restarting their last checkpoint elsewhere).
+    """
+    node.crashed = True
+    for pid in list(node.kernel.procs):
+        try:
+            node.kernel.send_signal(pid, SIGKILL)
+        except NoSuchProcessError:
+            pass
+    for pod in list(node.kernel.pods.values()):
+        pod.destroy()
+    node.stack.nic.ingress = None  # the NIC goes dark
+
+
+def isolate_node(cluster: Cluster, node: Node) -> None:
+    """Network-partition ``node`` from every other blade (node stays up)."""
+    for other in cluster.nodes:
+        if other is not node:
+            cluster.fabric.partition(node.ip, other.ip)
+
+
+def heal_node(cluster: Cluster, node: Node) -> None:
+    """Undo :func:`isolate_node`."""
+    for other in cluster.nodes:
+        if other is not node:
+            cluster.fabric.heal(node.ip, other.ip)

@@ -1,0 +1,630 @@
+"""The per-node ZapC Agent.
+
+A daemon (host task) on every cluster node that executes the local side
+of the coordinated checkpoint-restart protocol:
+
+Checkpoint (Figure 1): suspend the pod and block its network → capture
+network state → report *meta-data* to the Manager → capture standalone
+pod state (overlapping the Manager's collection of everyone's
+meta-data) → wait for ``continue`` → unblock the network and report
+``done`` → finally resume (snapshot) or destroy (migration) the pod.
+
+Restart (Figure 3): create an empty pod → recover network connectivity
+from the Manager's schedule using **two threads of execution** ("one
+thread handles requests for incoming connections, and the other
+establishes connections to remote pods" — which is what makes the
+recovery deadlock-free without computing a deadlock-free order) →
+restore network state → standalone restart → report ``done``.
+
+The Agent also receives streamed images for direct migration, and
+aborts gracefully (resuming the pod) when the Manager dies mid-protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cluster.builder import Cluster
+from ..cluster.node import Node
+from ..errors import RestartError
+from ..pod.pod import Pod
+from ..sim.tasks import all_of
+from ..storage.san import SAN_MOUNT
+from ..vos.syscalls import Errno
+from . import codec
+from .devckpt import capture_pod_devices, restore_pod_devices
+from .image import PodImage, pack_pod_image
+from .meta import build_pod_meta
+from .netckpt import capture_pod_network, netstate_nbytes, restore_socket_state
+from .standalone import activate_pod, capture_pod_standalone, restore_pod_standalone
+from .wire import recv_msg, send_msg
+
+#: TCP port every Agent listens on (on the node's real address).
+AGENT_PORT = 7700
+#: per-socket kernel work during network-state capture, seconds
+#: (queue reads + option enumeration through standard interfaces).
+CKPT_PER_SOCKET = 0.4e-3
+#: per-socket kernel work during network-state restore, seconds
+#: (socket creation, options, alternate-queue injection).
+RESTORE_PER_SOCKET = 2e-3
+#: polling period while waiting for a suspended pod to quiesce.
+QUIESCE_POLL = 0.2e-3
+#: connector retry delay when the peer's listener is not up yet.
+CONNECT_RETRY = 2e-3
+
+
+class Agent:
+    """One node's checkpoint-restart agent."""
+
+    def __init__(self, cluster: Cluster, node: Node) -> None:
+        self.cluster = cluster
+        self.node = node
+        self.kernel = node.kernel
+        self.engine = node.kernel.engine
+        #: in-memory checkpoint store: pod_id -> PodImage (the paper's
+        #: write-to-memory semantics; flushing to the SAN is separate).
+        self.images: Dict[str, PodImage] = {}
+        #: redirected send-queue data awaiting a restart here:
+        #: (pod_id, sock_id) -> bytes, pushed by migrating peers'
+        #: agents ("merge it with the peer's stream of checkpoint data").
+        self.redirect_store: Dict[Tuple[str, int], bytes] = {}
+        self._task = None
+
+    # ------------------------------------------------------------------
+    # daemon
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the listening daemon."""
+        self._task = self.engine.spawn(self._serve(), name=f"agent@{self.node.name}")
+
+    def _serve(self):
+        kernel = self.kernel
+        chan = kernel.host_channel("agent-listen")
+        lfd = yield kernel.host_call(chan, "socket", "tcp")
+        yield kernel.host_call(chan, "setsockopt", lfd, "SO_REUSEADDR", 1)
+        yield kernel.host_call(chan, "bind", lfd, (self.node.ip, AGENT_PORT))
+        yield kernel.host_call(chan, "listen", lfd, 64)
+        while True:
+            result = yield kernel.host_call(chan, "accept", lfd)
+            if isinstance(result, Errno):
+                return
+            newfd, _peer = result
+            # hand the connection to a session with its own channel so
+            # sessions proceed concurrently
+            sock = chan.fds.pop(newfd)
+            schan = kernel.host_channel("agent-session")
+            schan.fds[newfd] = sock
+            schan.next_fd = max(schan.next_fd, newfd + 1)
+            self.engine.spawn(self._session(schan, newfd), name=f"agent-session@{self.node.name}")
+
+    def _session(self, chan, fd):
+        kernel = self.kernel
+        try:
+            msg = yield from recv_msg(kernel, chan, fd)
+            if msg is None:
+                return
+            cmd = msg.get("cmd")
+            try:
+                if cmd == "checkpoint":
+                    yield from self._do_checkpoint(chan, fd, msg)
+                    return
+                elif cmd == "load_meta":
+                    yield from self._do_load_meta(chan, fd, msg)
+                    return
+                elif cmd == "restart":
+                    yield from self._do_restart(chan, fd, msg)
+                    return
+            except RestartError as err:
+                # a failed restart is reported, not hung: the Manager
+                # hears the reason instead of waiting out its deadline
+                yield from send_msg(kernel, chan, fd, {
+                    "type": "done", "pod": msg.get("pod"),
+                    "status": "failed", "error": str(err),
+                })
+                return
+            if cmd == "push_image":
+                self._store_pushed(msg)
+                yield from send_msg(kernel, chan, fd, {"type": "stored"})
+            elif cmd == "push_redirect":
+                self.redirect_store[(msg["pod"], int(msg["sock_id"]))] = bytes(msg["data"])
+                yield from send_msg(kernel, chan, fd, {"type": "stored"})
+            elif cmd == "ping":
+                yield from send_msg(kernel, chan, fd, {"type": "pong", "node": self.node.name})
+            else:
+                yield from send_msg(kernel, chan, fd, {"type": "error", "error": f"unknown cmd {cmd!r}"})
+        finally:
+            # synchronous close: a ``yield`` here would break generator
+            # finalization when an abandoned session is garbage-collected
+            sock = chan.fds.pop(fd, None)
+            if sock is not None and not sock.closed:
+                sock.release(kernel, chan)
+
+    # ------------------------------------------------------------------
+    # checkpoint (Figure 1, Agent side)
+    # ------------------------------------------------------------------
+    def _capture_network(self, pod: Pod):
+        """Network-state capture strategy; baselines override this
+        (e.g. the Cruz-style peek capture in repro.baselines.peek)."""
+        return capture_pod_network(pod)
+
+    def _do_checkpoint(self, chan, fd, msg):
+        kernel = self.kernel
+        engine = self.engine
+        pod_id = msg["pod"]
+        uri = msg["uri"]
+        context = msg.get("context", "snapshot")
+        pod: Optional[Pod] = kernel.pods.get(pod_id)
+        if pod is None:
+            yield from send_msg(kernel, chan, fd, {"type": "error", "error": f"no pod {pod_id!r}"})
+            return
+        stack = kernel.netstack
+        t0 = engine.now
+
+        # 1. suspend pod, block network
+        pod.suspend()
+        while not pod.quiescent():
+            yield engine.sleep(QUIESCE_POLL)
+        stack.netfilter.block_ip(pod.vip)
+        t_suspended = engine.now
+
+        # Ordering ablation: the default saves network state first so the
+        # standalone capture overlaps the Manager's meta-data sync; the
+        # "standalone-first" variant serializes them (the design §4 argues
+        # against), exposing the sync latency in the total.
+        order = msg.get("order", "net-first")
+
+        def standalone_pass():
+            standalone = capture_pod_standalone(pod)
+            return standalone
+
+        if order == "standalone-first":
+            standalone = standalone_pass()
+            yield engine.sleep(self.node.spec.ckpt_fixed_s)
+
+        # 2. network-state checkpoint (plus bypass-device state, §5 ext.)
+        sock_records, sock_fd_rows = self._capture_network(pod)
+        dev_states, dev_fd_rows = capture_pod_devices(pod)
+        devices = {"states": dev_states, "fd_rows": dev_fd_rows}
+        net_bytes = netstate_nbytes(sock_records)
+        yield engine.sleep(CKPT_PER_SOCKET * max(1, len(sock_records))
+                           + net_bytes / self.node.spec.memcpy_bandwidth)
+        t_net_done = engine.now
+        meta = build_pod_meta(pod_id, sock_records)
+
+        if order == "standalone-first":
+            # serialize the image *before* reporting: nothing overlaps
+            image = pack_pod_image(standalone, sock_records, sock_fd_rows, devices)
+            yield engine.sleep(self.node.serialize_delay(image.total_bytes))
+
+        # 2a. report meta-data
+        report: Dict[str, Any] = {"type": "meta", "pod": pod_id, "meta": meta}
+        ok = yield from send_msg(kernel, chan, fd, report)
+        if not ok:
+            self._abort_checkpoint(pod)
+            return
+
+        # 3. standalone checkpoint (overlaps the Manager's meta sync)
+        if order != "standalone-first":
+            standalone = standalone_pass()
+            image = pack_pod_image(standalone, sock_records, sock_fd_rows, devices)
+            yield engine.sleep(self.node.spec.ckpt_fixed_s
+                               + self.node.serialize_delay(image.total_bytes))
+        t_standalone_done = engine.now
+
+        # 3a/4a. finish only after 'continue' arrives
+        reply = yield from recv_msg(kernel, chan, fd)
+        if reply is None or reply.get("cmd") == "abort":
+            # Manager died or aborted: resume the application gracefully
+            self._abort_checkpoint(pod)
+            yield from send_msg(kernel, chan, fd, {"type": "aborted", "pod": pod_id})
+            return
+
+        if context == "snapshot":
+            stack.netfilter.unblock_ip(pod.vip)
+        else:
+            # migration: silence and destroy the old pod before lifting
+            # the filter so nothing stale can reach the restored peers
+            pod.destroy()
+            stack.netfilter.unblock_ip(pod.vip)
+
+        # §5 optimization: redirect send-queue contents into the peers'
+        # checkpoint streams, eliminating the post-restart re-send.  The
+        # Manager's continue message carries the destinations (it alone
+        # knows where each peer pod is migrating).
+        redirect_out = reply.get("redirect_out", [])
+        if redirect_out:
+            rec_by_id = {int(r["sock_id"]): r for r in sock_records}
+            for entry in redirect_out:
+                rec = rec_by_id.get(int(entry["sock_id"]))
+                if rec is None:
+                    continue
+                trimmed = bytes(rec["send_data"][int(entry["discard"]):])
+                rec["send_data"] = b""
+                rec["send_redirected"] = True
+                if trimmed:
+                    yield from self._push_redirect(
+                        entry["dst_node"], entry["peer_pod"],
+                        int(entry["peer_sock_id"]), trimmed)
+            # the image must reflect the stripped queues
+            image = pack_pod_image(standalone, sock_records, sock_fd_rows, devices)
+        self.images[pod_id] = image
+
+        # optional file-system snapshot, "taken immediately prior to
+        # reactivating the pod" — point-in-time capture of the shared
+        # storage the pod's chroot lives on, so restart can also roll
+        # files back to the checkpointed instant
+        snapshot_id = None
+        if msg.get("fs_snapshot"):
+            snap = self.cluster.snapshots.take(self.cluster.san, now=engine.now)
+            snapshot_id = len(self.cluster.snapshots) - 1
+
+        # 4. report done
+        yield from send_msg(kernel, chan, fd, {
+            "type": "done",
+            "pod": pod_id,
+            "status": "ok",
+            "stats": {
+                "t_suspend": t_suspended - t0,
+                "t_network": t_net_done - t_suspended,
+                "t_standalone": t_standalone_done - t_net_done,
+                "t_local": engine.now - t0,
+                "image_bytes": image.total_bytes,
+                "encoded_bytes": image.encoded_bytes,
+                "netstate_bytes": image.netstate_bytes,
+                "sockets": len(sock_records),
+                "fs_snapshot": snapshot_id,
+            },
+        })
+
+        # finalize
+        if context == "snapshot":
+            pod.resume()
+        if uri.startswith("agent://"):
+            yield from self._stream_image(chan, fd, image, uri)
+        elif uri.startswith("file:"):
+            # flush to shared storage after the application resumed —
+            # deliberately outside the checkpoint latency, per the paper
+            yield from self._flush_to_file(image, uri)
+            yield from send_msg(kernel, chan, fd, {"type": "flushed", "pod": pod_id})
+
+    def _abort_checkpoint(self, pod: Pod) -> None:
+        stack = self.kernel.netstack
+        stack.netfilter.unblock_ip(pod.vip)
+        pod.resume()
+
+    def _stream_image(self, chan, fd, image: PodImage, uri: str):
+        """Direct migration: push the image to the destination Agent.
+
+        The encoded payload travels over the simulated network for real;
+        the accounted (ballast) memory is charged as streaming time at
+        fabric bandwidth without materializing the bytes.
+        """
+        kernel = self.kernel
+        target = self.cluster.node_by_name(uri[len("agent://"):])
+        tchan = kernel.host_channel("agent-push")
+        tfd = yield kernel.host_call(tchan, "socket", "tcp")
+        rc = yield kernel.host_call(tchan, "connect", tfd, (target.ip, AGENT_PORT))
+        if isinstance(rc, Errno):
+            yield from send_msg(kernel, chan, fd, {"type": "error", "error": f"push connect: {rc.name}"})
+            return
+        yield self.engine.sleep(image.accounted_bytes / self.cluster.fabric.bandwidth)
+        yield from send_msg(kernel, tchan, tfd, {
+            "cmd": "push_image",
+            "pod": image.pod_id,
+            "data": image.data,
+            "accounted": image.accounted_bytes,
+            "netstate": image.netstate_bytes,
+        })
+        ack = yield from recv_msg(kernel, tchan, tfd)
+        yield kernel.host_call(tchan, "close", tfd)
+        status = "streamed" if ack and ack.get("type") == "stored" else "stream-failed"
+        yield from send_msg(kernel, chan, fd, {"type": status, "pod": image.pod_id})
+
+    def _push_redirect(self, dst_node: str, peer_pod: str, peer_sock_id: int,
+                       data: bytes):
+        """Ship redirected send-queue bytes straight to the destination
+        Agent of the peer pod (one transfer instead of two)."""
+        kernel = self.kernel
+        target = self.cluster.node_by_name(dst_node)
+        tchan = kernel.host_channel("agent-redirect")
+        tfd = yield kernel.host_call(tchan, "socket", "tcp")
+        rc = yield kernel.host_call(tchan, "connect", tfd, (target.ip, AGENT_PORT))
+        if isinstance(rc, Errno):
+            return
+        yield from send_msg(kernel, tchan, tfd, {
+            "cmd": "push_redirect", "pod": peer_pod,
+            "sock_id": peer_sock_id, "data": data,
+        })
+        yield from recv_msg(kernel, tchan, tfd)
+        yield kernel.host_call(tchan, "close", tfd)
+
+    def _store_pushed(self, msg) -> None:
+        self.images[msg["pod"]] = PodImage(
+            pod_id=msg["pod"],
+            data=bytes(msg["data"]),
+            encoded_bytes=len(msg["data"]),
+            accounted_bytes=int(msg["accounted"]),
+            netstate_bytes=int(msg["netstate"]),
+        )
+
+    def _flush_to_file(self, image: PodImage, uri: str):
+        path = uri[len("file:"):]
+        container = codec.encode({
+            "data": image.data,
+            "accounted": image.accounted_bytes,
+            "netstate": image.netstate_bytes,
+        })
+        yield self.engine.sleep(self.cluster.san.flush_delay(image.total_bytes))
+        handle = self.kernel.vfs.open(path, "w")
+        handle.write(container)
+
+    def _load_image(self, pod_id: str, uri: str):
+        """Load a checkpoint image; yields (image, load_delay_charged)."""
+        if uri in ("mem", "") or uri.startswith("agent://"):
+            image = self.images.get(pod_id)
+            if image is None:
+                raise RestartError(f"no in-memory image for pod {pod_id!r} on {self.node.name}")
+            return image
+        if uri.startswith("file:"):
+            path = uri[len("file:"):]
+            handle = self.kernel.vfs.open(path, "r")
+            container = codec.decode(bytes(handle.file.data))
+            return PodImage(
+                pod_id=pod_id,
+                data=bytes(container["data"]),
+                encoded_bytes=len(container["data"]),
+                accounted_bytes=int(container["accounted"]),
+                netstate_bytes=int(container["netstate"]),
+            )
+        raise RestartError(f"unsupported URI {uri!r}")
+
+    # ------------------------------------------------------------------
+    # restart (Figure 3, Agent side)
+    # ------------------------------------------------------------------
+    def _do_load_meta(self, chan, fd, msg):
+        """Phase 0 of restart: load the image, report its meta-data."""
+        kernel = self.kernel
+        try:
+            image = self._load_image(msg["pod"], msg["uri"])
+        except RestartError as err:
+            yield from send_msg(kernel, chan, fd, {"type": "error", "error": str(err)})
+            return
+        if msg["uri"].startswith("file:") and not msg.get("preloaded", True):
+            yield self.engine.sleep(self.cluster.san.transfer_delay(image.total_bytes))
+        payload = image.unpack()
+        meta = build_pod_meta(msg["pod"], payload["sockets"])
+        yield from send_msg(kernel, chan, fd, {
+            "type": "meta",
+            "pod": msg["pod"],
+            "meta": meta,
+            "vip": payload["standalone"]["vip"],
+        })
+        # keep the session open: the restart command follows on this conn
+        msg2 = yield from recv_msg(kernel, chan, fd)
+        if msg2 is None or msg2.get("cmd") != "restart":
+            return
+        yield from self._do_restart(chan, fd, msg2, image=image)
+
+    def _do_restart(self, chan, fd, msg, image: Optional[PodImage] = None):
+        kernel = self.kernel
+        engine = self.engine
+        pod_id = msg["pod"]
+        t0 = engine.now
+        if image is None:
+            image = self._load_image(pod_id, msg.get("uri", "mem"))
+        payload = image.unpack()
+        standalone = payload["standalone"]
+        records: List[Dict[str, Any]] = payload["sockets"]
+        rec_by_id = {int(r["sock_id"]): r for r in records}
+        listeners = msg.get("listeners", [])
+        schedule = msg.get("schedule", [])
+        redirects: Dict[str, bytes] = msg.get("redirects", {})
+        timevirt_on = bool(msg.get("time_virtualization", True))
+
+        # 1. create a new (empty) pod
+        pod = Pod.create(kernel, pod_id, msg.get("vip", standalone["vip"]), self.cluster.vnet)
+
+        # 2. recover network connectivity: two threads of execution
+        socket_map: Dict[int, Any] = {}
+        accept_entries = [e for e in schedule if e["role"] == "accept"]
+        connect_entries = [e for e in schedule if e["role"] == "connect"]
+        defer_entries = [e for e in schedule if e["role"] == "defer"]
+        if msg.get("recovery_mode", "two-thread") == "sequential":
+            # Ablation: a single thread of execution that accepts first,
+            # then connects.  On cyclic topologies every Agent sits in
+            # accept while the connects that would satisfy it are queued
+            # behind — the deadlock the two-thread design exists to avoid.
+            yield from self._acceptor_thread(pod, listeners, accept_entries,
+                                             rec_by_id, socket_map)
+            yield from self._connector_thread(pod, connect_entries, defer_entries,
+                                              socket_map)
+        else:
+            acceptor = engine.spawn(
+                self._acceptor_thread(pod, listeners, accept_entries, rec_by_id, socket_map),
+                name=f"restart-accept@{pod_id}")
+            connector = engine.spawn(
+                self._connector_thread(pod, connect_entries, defer_entries, socket_map),
+                name=f"restart-connect@{pod_id}")
+            yield all_of([acceptor.finished, connector.finished])
+        t_conn_done = engine.now
+
+        # non-connection sockets (datagram, unconnected TCP) are rebuilt
+        # directly — no peer coordination needed
+        chan2 = kernel.host_channel("restart-misc")
+        orphan_ids = {int(e["sock_id"]) for e in schedule if e["role"] == "orphan"}
+        for rec in records:
+            sid = int(rec["sock_id"])
+            if sid in socket_map:
+                continue
+            if rec["proto"] == "tcp" and (rec["remote"] is not None or rec["listening"]) \
+                    and sid not in orphan_ids:
+                continue  # handled by the threads (or a pending child)
+            sfd = yield kernel.host_call(chan2, "socket", rec["proto"])
+            if rec["local"] is not None:
+                yield kernel.host_call(chan2, "bind", sfd, tuple(rec["local"]))
+            socket_map[sid] = chan2.fds[sfd]
+
+        # 3. restore network state
+        inject_bytes = 0
+        for rec in records:
+            sid = int(rec["sock_id"])
+            sock = socket_map.get(sid)
+            if sock is None:
+                continue
+            entry = next((e for e in schedule if int(e["sock_id"]) == sid), None)
+            discard = int(entry["send_discard"]) if entry else 0
+            # redirected peer send-queue data, delivered either directly
+            # by the migrating peer's agent or (legacy path) via the
+            # Manager's restart command
+            extra = self.redirect_store.pop((pod_id, sid), b"") or bytes(redirects.get(str(sid), b""))
+            rec = dict(rec)
+            rec.setdefault("send_redirected", False)
+            if entry is not None and entry["role"] == "orphan":
+                # peer already gone: restore the unread data and EOF, but
+                # there is no connection to re-send the send queue on
+                rec["send_data"] = b""
+                rec["fin_sent"] = False
+                restore_socket_state(kernel.netstack, sock, rec)
+                sock.rd_closed = True
+                continue
+            restore_socket_state(kernel.netstack, sock, rec, send_discard=discard,
+                                 redirect_extra=extra)
+            inject_bytes += len(rec["recv_data"]) + len(rec["send_data"]) + len(extra)
+            # re-queue connections that were accepted by the kernel but
+            # not yet by the application
+            if rec.get("pending_accept_of") is not None:
+                listener = socket_map.get(int(rec["pending_accept_of"]))
+                if listener is not None:
+                    sock.listener = listener
+                    listener.accept_q.append(sock)
+        yield engine.sleep(RESTORE_PER_SOCKET * max(1, len(records))
+                           + inject_bytes / self.node.spec.memcpy_bandwidth)
+        t_net_done = engine.now
+
+        # 4. standalone restart
+        yield engine.sleep(self.node.spec.restart_fixed_s
+                           + image.total_bytes / self.node.spec.restore_bandwidth)
+        restore_pod_standalone(pod, standalone, socket_map, payload["socket_fds"],
+                               time_virtualization=timevirt_on)
+        devices = payload.get("devices", {"states": [], "fd_rows": []})
+        restore_pod_devices(pod, devices["states"], devices["fd_rows"])
+        activate_pod(pod)
+        t_done = engine.now
+
+        # 5. report done
+        yield from send_msg(kernel, chan, fd, {
+            "type": "done",
+            "pod": pod_id,
+            "status": "ok",
+            "stats": {
+                "t_connectivity": t_conn_done - t0,
+                "t_network": t_net_done - t0,
+                "t_standalone": t_done - t_net_done,
+                "t_local": t_done - t0,
+                "image_bytes": image.total_bytes,
+                "netstate_bytes": image.netstate_bytes,
+                "sockets": len(records),
+            },
+        })
+
+    def _acceptor_thread(self, pod: Pod, listeners, accept_entries, rec_by_id, socket_map):
+        """Restart thread #1: accept all scheduled incoming connections."""
+        kernel = self.kernel
+        # recreate application listeners first (they must exist for port
+        # inheritance), plus temporary listeners for orphaned accept ports
+        lchan = kernel.host_channel("restart-listen")
+        by_port: Dict[Tuple[str, int], Any] = {}
+        temp_fds: List[int] = []
+        for lrec in listeners:
+            ip, port = lrec["local"]
+            lfd = yield kernel.host_call(lchan, "socket", "tcp")
+            yield kernel.host_call(lchan, "setsockopt", lfd, "SO_REUSEADDR", 1)
+            yield kernel.host_call(lchan, "bind", lfd, (ip, int(port)))
+            yield kernel.host_call(lchan, "listen", lfd, 64)
+            sock = lchan.fds[lfd]
+            rec = rec_by_id.get(int(lrec["sock_id"]))
+            if rec is not None:
+                restore_socket_state(kernel.netstack, sock, rec)
+            socket_map[int(lrec["sock_id"])] = sock
+            by_port[(ip, int(port))] = (lfd, sock, False)
+        for entry in accept_entries:
+            key = (entry["src"][0], int(entry["src"][1]))
+            if key not in by_port:
+                lfd = yield kernel.host_call(lchan, "socket", "tcp")
+                yield kernel.host_call(lchan, "setsockopt", lfd, "SO_REUSEADDR", 1)
+                yield kernel.host_call(lchan, "bind", lfd, key)
+                yield kernel.host_call(lchan, "listen", lfd, 64)
+                by_port[key] = (lfd, lchan.fds[lfd], True)
+                temp_fds.append(lfd)
+
+        # group expected connections by listening port; one sub-task per
+        # listener keeps accepts concurrent across ports
+        groups: Dict[Tuple[str, int], List[dict]] = {}
+        for entry in accept_entries:
+            groups.setdefault((entry["src"][0], int(entry["src"][1])), []).append(entry)
+
+        def accept_group(lfd: int, expected: List[dict]):
+            gchan = kernel.host_channel("restart-accept")
+            # accept on the shared listener object through a dedicated
+            # channel: move a duplicate fd reference into it (keeping fd
+            # allocation clear of the injected number)
+            gchan.fds[lfd] = lchan.fds[lfd]
+            gchan.next_fd = max(gchan.next_fd, lfd + 1)
+            want = {tuple(e["dst"]): e for e in expected}
+            while want:
+                result = yield kernel.host_call(gchan, "accept", lfd)
+                if isinstance(result, Errno):
+                    raise RestartError(f"accept failed: {result.name}")
+                newfd, peer = result
+                entry = want.pop(tuple(peer), None)
+                if entry is None:
+                    continue  # unscheduled connection: ignore
+                socket_map[int(entry["sock_id"])] = gchan.fds[newfd]
+
+        tasks = [self.engine.spawn(accept_group(lfd, group),
+                                   name=f"accept-{port}")
+                 for (ip, port), group in groups.items()
+                 for lfd in [by_port[(ip, port)][0]]]
+        if tasks:
+            yield all_of([t.finished for t in tasks])
+        # temporary listeners served their purpose
+        for lfd in temp_fds:
+            yield kernel.host_call(lchan, "close", lfd)
+
+    def _connector_thread(self, pod: Pod, connect_entries, defer_entries, socket_map):
+        """Restart thread #2: initiate all scheduled outgoing connections."""
+        kernel = self.kernel
+        chan = kernel.host_channel("restart-connect")
+        for entry in connect_entries:
+            while True:
+                sfd = yield kernel.host_call(chan, "socket", "tcp")
+                yield kernel.host_call(chan, "setsockopt", sfd, "SO_REUSEADDR", 1)
+                # bind the original source port: endpoints must match the
+                # checkpointed connection exactly
+                yield kernel.host_call(chan, "bind", sfd, tuple(entry["src"]))
+                rc = yield kernel.host_call(chan, "connect", sfd, tuple(entry["dst"]))
+                if not isinstance(rc, Errno):
+                    socket_map[int(entry["sock_id"])] = chan.fds[sfd]
+                    del chan.fds[sfd]  # ownership moves to the socket map
+                    break
+                # the peer's listener may not be up yet: retry
+                yield kernel.host_call(chan, "close", sfd)
+                yield self.engine.sleep(CONNECT_RETRY)
+        for entry in defer_entries:
+            # a connection that was still mid-handshake at checkpoint:
+            # recreate the bound socket; the process's re-issued connect
+            # syscall will drive the handshake itself
+            sfd = yield kernel.host_call(chan, "socket", "tcp")
+            yield kernel.host_call(chan, "bind", sfd, tuple(entry["src"]))
+            socket_map[int(entry["sock_id"])] = chan.fds[sfd]
+            del chan.fds[sfd]
+
+
+def deploy_agents(cluster: Cluster) -> Dict[str, Agent]:
+    """Start one Agent per node; returns them by node name."""
+    agents = {}
+    for node in cluster.nodes:
+        agent = Agent(cluster, node)
+        agent.start()
+        agents[node.name] = agent
+    return agents

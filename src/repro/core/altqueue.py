@@ -1,0 +1,124 @@
+"""The alternate receive queue and dispatch-vector interposition.
+
+The kernel provides no interface to insert data into a socket's receive
+queue, so ZapC "allocate[s] an alternate receive queue in which this
+data is deposited.  We then interpose on the socket interface calls to
+ensure that future application requests will be satisfied with this data
+first, before access is made to the main receive queue. ... Specifically
+we interpose on the three methods that may involve the data in the
+receive queue: ``recvmsg``, ``poll`` and ``release``.  Interposition
+only persists as long as the alternate queue contains data; when the
+data becomes depleted, the original methods are reinstalled to avoid
+incurring overhead for regular socket operation."
+
+This module is a line-for-line realization of that design against the
+simulated socket layer's per-socket dispatch vector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Set
+
+from ..net.sockets import MSG_OOB, MSG_PEEK, NetStack, Socket, _MSG_WANT_SRC
+
+
+class AltQueue:
+    """Restored receive-side data attached in front of a live socket."""
+
+    def __init__(self, data: bytes = b"", oob: bytes = b"") -> None:
+        self.data = bytearray(data)
+        self.oob = bytearray(oob)
+
+    @property
+    def empty(self) -> bool:
+        """True once both stream data and urgent data are consumed."""
+        return not self.data and not self.oob
+
+    def append(self, data: bytes) -> None:
+        """Concatenate more stream data (the send-queue-redirect path:
+        a migrating peer's send queue lands at the tail of this queue)."""
+        self.data.extend(data)
+
+
+def install(sock: Socket, alt: AltQueue) -> None:
+    """Interpose on ``recvmsg``, ``poll`` and ``release`` of ``sock``.
+
+    The original methods are captured in the closures and reinstalled by
+    :func:`_maybe_uninstall` when the alternate queue drains.
+    """
+    if alt.empty:
+        return
+    sock.zapc_altqueue = alt
+    orig_recvmsg = sock.dispatch["recvmsg"]
+    orig_poll = sock.dispatch["poll"]
+    orig_release = sock.dispatch["release"]
+    originals = {"recvmsg": orig_recvmsg, "poll": orig_poll, "release": orig_release}
+
+    def alt_recvmsg(stack: NetStack, s: Socket, n: int, flags: int) -> Any:
+        if flags & MSG_OOB:
+            if alt.oob:
+                take = bytes(alt.oob[:n])
+                if not flags & MSG_PEEK:
+                    del alt.oob[:n]
+                    _maybe_uninstall(s, alt, originals)
+                return take
+            return orig_recvmsg(stack, s, n, flags)
+        if alt.data:
+            if flags & MSG_PEEK:
+                return bytes(alt.data[:n])
+            take = bytearray(alt.data[:n])
+            del alt.data[:n]
+            # POSIX allows a short read; but if the caller asked for more
+            # and the main queue already has contiguous data, splice it in
+            # so restored data never reorders after new data.
+            if len(take) < n:
+                rest = orig_recvmsg(stack, s, n - len(take), flags)
+                if isinstance(rest, (bytes, bytearray)):
+                    take.extend(rest)
+            _maybe_uninstall(s, alt, originals)
+            if flags & _MSG_WANT_SRC:
+                return (bytes(take), tuple(s.remote) if s.remote else ("", 0))
+            return bytes(take)
+        return orig_recvmsg(stack, s, n, flags)
+
+    def alt_poll(stack: NetStack, s: Socket) -> Set[str]:
+        events = set(orig_poll(stack, s))
+        if alt.data or alt.oob:
+            events.add("r")
+        return events
+
+    def alt_release(stack: NetStack, s: Socket, proc: Any) -> None:
+        # proper cleanup "in case the data has not been entirely consumed
+        # before the process terminates"
+        alt.data.clear()
+        alt.oob.clear()
+        _reinstall(s, originals)
+        orig_release(stack, s, proc)
+
+    sock.dispatch["recvmsg"] = alt_recvmsg
+    sock.dispatch["poll"] = alt_poll
+    sock.dispatch["release"] = alt_release
+
+
+def _maybe_uninstall(sock: Socket, alt: AltQueue, originals: dict) -> None:
+    if alt.empty:
+        _reinstall(sock, originals)
+
+
+def _reinstall(sock: Socket, originals: dict) -> None:
+    sock.dispatch.update(originals)
+    if getattr(sock, "zapc_altqueue", None) is not None:
+        sock.zapc_altqueue = None
+
+
+def active_altqueue(sock: Socket) -> Optional[AltQueue]:
+    """The live alternate queue on ``sock``, if interposition is active.
+
+    The checkpoint procedure uses this because it "must save the state of
+    the alternate queue, if applicable (e.g. if a second checkpoint is
+    taken before the application reads its pending data)".
+    """
+    alt = getattr(sock, "zapc_altqueue", None)
+    if alt is not None and not alt.empty:
+        return alt
+    return None

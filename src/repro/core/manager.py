@@ -1,0 +1,303 @@
+"""The ZapC Manager: the coordination front-end.
+
+"Our coordinated checkpointing scheme consists of a Manager client that
+orchestrates the operation and a set of Agents, one on each node. ...
+It accepts a user's checkpoint or restart request and translates it into
+a set of commands to the Agents."  Requests are lists of
+``«node, pod, URI»`` tuples.
+
+The Manager enforces the protocol's **single synchronization point**: it
+broadcasts ``checkpoint``, collects every Agent's meta-data, and only
+then broadcasts ``continue`` — the sync that prevents any pod from
+resuming network activity before every pod has frozen its state.  On
+restart there is no barrier at all: each Agent proceeds as soon as it
+has the merged connectivity plan; synchronization is induced only by
+connection establishment itself.
+
+Failure semantics: the Manager keeps reliable connections to all Agents
+for the duration of an operation; a broken connection or a deadline
+expiry aborts the operation gracefully (Agents resume their pods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cluster.builder import Cluster
+from ..cluster.node import Node
+from ..sim.tasks import Future, Task, all_of
+from ..vos.syscalls import Errno
+from .agent import AGENT_PORT, Agent, deploy_agents
+from .meta import derive_restart_plan
+from .wire import recv_msg, send_msg
+
+#: «node, pod, URI» — the request tuple of Section 4.
+Target = Tuple[str, str, str]
+
+
+@dataclass
+class OpResult:
+    """Outcome of one coordinated operation, as measured by the Manager.
+
+    ``duration`` is invocation → all pods reported done — the quantity
+    Figures 6(a)/6(b) plot.
+    """
+
+    kind: str
+    status: str
+    t_start: float
+    t_end: float
+    pods: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    metas: Dict[str, List[dict]] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def max_stat(self, name: str) -> float:
+        """Max of a per-pod stat (pods proceed in parallel, so the max
+        is what the end-to-end time reflects)."""
+        return max((stats.get(name, 0) for stats in self.pods.values()), default=0)
+
+    def max_image_bytes(self) -> int:
+        """The largest pod image — the Figure 6(c) metric."""
+        return int(self.max_stat("image_bytes"))
+
+
+class Manager:
+    """Front-end client for coordinated checkpoint-restart."""
+
+    def __init__(self, cluster: Cluster, agents: Dict[str, Agent],
+                 home: Optional[Node] = None) -> None:
+        self.cluster = cluster
+        self.agents = agents
+        #: the node the Manager runs on ("can be run from anywhere,
+        #: inside or outside the cluster" — we put it on blade 0, as the
+        #: paper's evaluation does).
+        self.home = home if home is not None else cluster.node(0)
+        self.last_checkpoint: Optional[OpResult] = None
+
+    @classmethod
+    def deploy(cls, cluster: Cluster) -> "Manager":
+        """Start an Agent on every node and return a Manager."""
+        return cls(cluster, deploy_agents(cluster))
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _open(self, node_name: str):
+        """Open a control connection to a node's Agent; yields (chan, fd)."""
+        kernel = self.home.kernel
+        node = self.cluster.node_by_name(node_name)
+        chan = kernel.host_channel(f"mgr->{node_name}")
+        fd = yield kernel.host_call(chan, "socket", "tcp")
+        rc = yield kernel.host_call(chan, "connect", fd, (node.ip, AGENT_PORT))
+        if isinstance(rc, Errno):
+            return None
+        return chan, fd
+
+    # ------------------------------------------------------------------
+    # checkpoint
+    # ------------------------------------------------------------------
+    def checkpoint(self, targets: List[Target], **kw) -> Task:
+        """Spawn a coordinated checkpoint; returns the Task (its
+        ``finished`` future resolves to an :class:`OpResult`)."""
+        return self.cluster.engine.spawn(self.checkpoint_task(targets, **kw),
+                                         name="manager-checkpoint")
+
+    def checkpoint_task(self, targets: List[Target], context: str = "snapshot",
+                        deadline: float = 60.0, order: str = "net-first",
+                        redirect_moves: Optional[Dict[str, str]] = None,
+                        fs_snapshot: bool = False):
+        """The Manager side of Figure 1 (generator; run as a host task).
+
+        ``redirect_moves`` (pod → destination node) activates the §5
+        send-queue redirect during a migration: the Manager, which alone
+        knows where every pod is headed, attaches per-connection redirect
+        destinations to each Agent's ``continue`` message.
+        """
+        engine = self.cluster.engine
+        kernel = self.home.kernel
+        result = OpResult("checkpoint", "ok", engine.now, engine.now)
+        conns: Dict[str, Tuple[Any, int]] = {}
+        meta_count = [0]
+        all_meta = Future("all-meta")
+        expect_stream = {pod for (_n, pod, uri) in targets if uri.startswith("agent://")}
+        expect_flush = {pod for (_n, pod, uri) in targets if uri.startswith("file:")}
+
+        def redirect_out_for(pod_id: str) -> List[dict]:
+            if not redirect_moves:
+                return []
+            plan = derive_restart_plan(result.metas)
+            out = []
+            for entry in plan.get(pod_id, {}).get("schedule", []):
+                peer_pod = entry.get("peer_pod")
+                if peer_pod is None or peer_pod not in redirect_moves:
+                    continue
+                out.append({
+                    "sock_id": entry["sock_id"],
+                    "discard": entry["send_discard"],
+                    "peer_pod": peer_pod,
+                    "peer_sock_id": entry["peer_sock_id"],
+                    "dst_node": redirect_moves[peer_pod],
+                })
+            return out
+
+        def pod_task(node_name: str, pod_id: str, uri: str):
+            opened = yield from self._open(node_name)
+            if opened is None:
+                result.errors.append(f"{pod_id}: cannot reach agent on {node_name}")
+                return
+            chan, fd = opened
+            conns[pod_id] = (chan, fd)
+            # 1. broadcast checkpoint command
+            yield from send_msg(kernel, chan, fd, {
+                "cmd": "checkpoint", "pod": pod_id, "uri": uri,
+                "context": context, "order": order,
+                "fs_snapshot": fs_snapshot,
+            })
+            # 2. receive meta-data
+            msg = yield from recv_msg(kernel, chan, fd)
+            if msg is None or msg.get("type") != "meta":
+                result.errors.append(f"{pod_id}: {msg.get('error') if msg else 'agent connection lost'}")
+                if not all_meta.done:
+                    all_meta.set_exception(RuntimeError(f"meta failed for {pod_id}"))
+                return
+            result.metas[pod_id] = msg["meta"]
+            meta_count[0] += 1
+            if meta_count[0] == len(targets) and not all_meta.done:
+                all_meta.set_result(True)
+            # 3. the single synchronization point
+            try:
+                yield all_meta
+            except RuntimeError:
+                yield from send_msg(kernel, chan, fd, {"cmd": "abort"})
+                yield from recv_msg(kernel, chan, fd)
+                return
+            yield from send_msg(kernel, chan, fd, {
+                "cmd": "continue",
+                "redirect_out": redirect_out_for(pod_id),
+            })
+            # 4. receive status
+            done = yield from recv_msg(kernel, chan, fd)
+            if done is None or done.get("status") != "ok":
+                result.errors.append(f"{pod_id}: checkpoint failed")
+                return
+            result.pods[pod_id] = done["stats"]
+            # checkpoint time is measured to the last 'done' — the flush
+            # to storage (below) happens after the application resumed
+            result.t_end = max(result.t_end, engine.now)
+            # direct-migration streaming / file flush acknowledgements
+            if pod_id in expect_stream:
+                ack = yield from recv_msg(kernel, chan, fd)
+                if ack is None or ack.get("type") != "streamed":
+                    result.errors.append(f"{pod_id}: image streaming failed")
+            elif pod_id in expect_flush:
+                yield from recv_msg(kernel, chan, fd)  # "flushed"
+
+        tasks = [engine.spawn(pod_task(n, p, u), name=f"ckpt-{p}") for n, p, u in targets]
+        ok, _ = yield engine.timeout(all_of([t.finished for t in tasks]), deadline)
+        if not ok:
+            result.status = "timeout"
+            for pod_id, (chan, fd) in conns.items():
+                if pod_id not in result.pods:
+                    yield from send_msg(kernel, chan, fd, {"cmd": "abort"})
+            result.errors.append("deadline expired; aborted")
+        elif result.errors:
+            result.status = "failed"
+        for chan, fd in conns.values():
+            yield kernel.host_call(chan, "close", fd)
+        if len(result.pods) != len(targets):
+            result.t_end = engine.now  # failed/partial ops report full elapsed time
+        if result.ok:
+            self.last_checkpoint = result
+        return result
+
+    # ------------------------------------------------------------------
+    # restart
+    # ------------------------------------------------------------------
+    def restart(self, targets: List[Target], **kw) -> Task:
+        """Spawn a coordinated restart; Task resolves to an OpResult."""
+        return self.cluster.engine.spawn(self.restart_task(targets, **kw),
+                                         name="manager-restart")
+
+    def restart_task(self, targets: List[Target], time_virtualization: bool = True,
+                     deadline: float = 60.0, recovery_mode: str = "two-thread"):
+        """The Manager side of Figure 3 (generator; run as a host task)."""
+        engine = self.cluster.engine
+        kernel = self.home.kernel
+        result = OpResult("restart", "ok", engine.now, engine.now)
+        metas: Dict[str, List[dict]] = {}
+        vips: Dict[str, str] = {}
+        meta_count = [0]
+        all_meta = Future("all-restart-meta")
+        plan_ready = Future("restart-plan")
+
+        def pod_task(node_name: str, pod_id: str, uri: str):
+            opened = yield from self._open(node_name)
+            if opened is None:
+                result.errors.append(f"{pod_id}: cannot reach agent on {node_name}")
+                if not all_meta.done:
+                    all_meta.set_exception(RuntimeError("agent unreachable"))
+                return
+            chan, fd = opened
+            # phase 0: have the agent load the image and report meta-data
+            yield from send_msg(kernel, chan, fd, {"cmd": "load_meta", "pod": pod_id, "uri": uri})
+            msg = yield from recv_msg(kernel, chan, fd)
+            if msg is None or msg.get("type") != "meta":
+                result.errors.append(f"{pod_id}: {msg.get('error') if msg else 'agent connection lost'}")
+                if not all_meta.done:
+                    all_meta.set_exception(RuntimeError(f"load failed for {pod_id}"))
+                return
+            metas[pod_id] = msg["meta"]
+            vips[pod_id] = msg["vip"]
+            meta_count[0] += 1
+            if meta_count[0] == len(targets) and not all_meta.done:
+                all_meta.set_result(True)
+            plan = yield plan_ready
+            pod_plan = plan[pod_id]
+            # 1. send restart command + (modified) meta-data
+            yield from send_msg(kernel, chan, fd, {
+                "cmd": "restart",
+                "pod": pod_id,
+                "vip": vips[pod_id],
+                "uri": uri,
+                "listeners": pod_plan["listeners"],
+                "schedule": pod_plan["schedule"],
+                "time_virtualization": time_virtualization,
+                "recovery_mode": recovery_mode,
+            })
+            # 2. receive status
+            done = yield from recv_msg(kernel, chan, fd)
+            if done is None or done.get("status") != "ok":
+                detail = done.get("error", "restart failed") if done else "agent connection lost"
+                result.errors.append(f"{pod_id}: {detail}")
+                return
+            result.pods[pod_id] = done["stats"]
+            yield kernel.host_call(chan, "close", fd)
+
+        def planner():
+            try:
+                yield all_meta
+            except RuntimeError as err:
+                plan_ready.set_exception(err)
+                return
+            plan_ready.set_result(derive_restart_plan(metas))
+
+        engine.spawn(planner(), name="restart-planner")
+        tasks = [engine.spawn(pod_task(n, p, u), name=f"restart-{p}") for n, p, u in targets]
+        ok, _ = yield engine.timeout(all_of([t.finished for t in tasks]), deadline)
+        if not ok:
+            result.status = "timeout"
+            result.errors.append("deadline expired")
+        elif result.errors:
+            result.status = "failed"
+        result.t_end = engine.now
+        result.metas = metas
+        return result

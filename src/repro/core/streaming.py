@@ -1,0 +1,71 @@
+"""Direct migration: checkpoint streamed node-to-node, then restart.
+
+"ZapC can also directly stream checkpoint data from one set of nodes to
+another, enabling direct migration of a distributed application to a
+new set of nodes without saving and restoring state from secondary
+storage."  A migration is a checkpoint whose URIs point at the
+destination Agents (``agent://<node>``), followed by a restart from the
+destinations' in-memory stores.  Because pods are the unit of migration,
+N source nodes may map onto M destination nodes with N ≠ M.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim.tasks import Task
+from .manager import Manager, OpResult
+
+#: (source node, pod, destination node)
+Move = Tuple[str, str, str]
+
+
+@dataclass
+class MigrationResult:
+    """Both halves of a migration, for reporting."""
+
+    checkpoint: OpResult
+    restart: OpResult
+
+    @property
+    def ok(self) -> bool:
+        return self.checkpoint.ok and self.restart.ok
+
+    @property
+    def duration(self) -> float:
+        """Invocation to every pod running at its destination."""
+        return self.restart.t_end - self.checkpoint.t_start
+
+
+def migrate_task(manager: Manager, moves: List[Move], redirect: bool = False,
+                 time_virtualization: bool = True, deadline: float = 120.0,
+                 recovery_mode: str = "two-thread"):
+    """Generator orchestrating a live migration (run as a host task).
+
+    ``redirect`` turns on the send-queue redirect optimization: instead
+    of re-transmitting each socket's send queue over the re-established
+    connection after restart, the data is merged into the peer's
+    checkpoint stream and appended to the peer's alternate receive queue
+    — "merging both into a single transfer".
+    """
+    ckpt_targets = [(src, pod, f"agent://{dst}") for src, pod, dst in moves]
+    redirect_moves = {pod: dst for _src, pod, dst in moves} if redirect else None
+    ckpt = yield from manager.checkpoint_task(
+        ckpt_targets, context="migrate", deadline=deadline,
+        redirect_moves=redirect_moves)
+    if not ckpt.ok:
+        return MigrationResult(ckpt, OpResult("restart", "skipped",
+                                              manager.cluster.engine.now,
+                                              manager.cluster.engine.now))
+    restart_targets = [(dst, pod, "mem") for _src, pod, dst in moves]
+    restart = yield from manager.restart_task(
+        restart_targets, time_virtualization=time_virtualization,
+        deadline=deadline, recovery_mode=recovery_mode)
+    return MigrationResult(ckpt, restart)
+
+
+def migrate(manager: Manager, moves: List[Move], **kw) -> Task:
+    """Spawn a migration; the Task resolves to a MigrationResult."""
+    return manager.cluster.engine.spawn(migrate_task(manager, moves, **kw),
+                                        name="manager-migrate")

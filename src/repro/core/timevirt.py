@@ -1,0 +1,81 @@
+"""Time virtualization across checkpoint-restart.
+
+"During restart we compute the delta between the current time and the
+current time as recorded during checkpoint.  Responses to subsequent
+inquiries of the time are then biased by that delay.  Standard operating
+system timers owned by the application are also virtualized ... We note
+that this sort of virtualization is optional, and can be turned on or
+off per application as necessary."
+
+Pods already report virtual time (``engine.now + pod.time_offset``);
+this module computes the offset at restart and re-arms checkpointed
+timers — with their *remaining* duration when virtualization is on, or
+at their original absolute expiry (possibly already past — the
+"undesired effect") when off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..pod.pod import Pod
+from ..vos.kernel import Kernel, _fire_timer
+
+
+def apply_clock(pod: Pod, vtime_at_checkpoint: float, enabled: bool) -> float:
+    """Set the pod's clock offset after a restart.
+
+    Returns the delta (checkpoint→restart gap) for reporting.  With
+    virtualization the pod's virtual clock continues from the checkpoint
+    instant; without it the pod sees real time jump forward.
+    """
+    now = pod.kernel.engine.now
+    delta = now - vtime_at_checkpoint
+    pod.time_offset = (vtime_at_checkpoint - now) if enabled else 0.0
+    pod.time_virtualization = enabled
+    return delta
+
+
+def capture_timers(pod: Pod) -> List[Dict[str, Any]]:
+    """Checkpoint every timer owned by the pod's processes.
+
+    Records virtual timer ids (stable across migration) and remaining
+    virtual durations.
+    """
+    kernel = pod.kernel
+    sample = next(iter(pod.processes()), None)
+    vnow = kernel.vnow(sample) if sample is not None else kernel.engine.now
+    images = []
+    for timer in kernel.timers.owned_by(set(pod.pids)):
+        image = timer.to_image(vnow)
+        image["vtid"] = pod.vtimer_of(timer.tid)
+        image["vpid"] = kernel.procs[timer.pid].vpid
+        images.append(image)
+    return images
+
+
+def restore_timers(pod: Pod, timer_images: List[Dict[str, Any]], enabled: bool) -> None:
+    """Re-arm checkpointed timers on the restart node.
+
+    * virtualization on: expiry = now + checkpointed remaining time;
+    * virtualization off: expiry = the original *virtual* instant read
+      against the un-biased clock — if that is already past, the timer
+      fires immediately (the behaviour applications with their own
+      timeout layers experience without ZapC's virtualization).
+    """
+    kernel = pod.kernel
+    for image in timer_images:
+        owner = kernel.procs[pod.namespace.to_real(image["vpid"])]
+        if enabled:
+            delay = float(image["remaining"])
+            vexpiry = kernel.vnow(owner) + delay
+        else:
+            vexpiry = float(image["vexpiry"])
+            delay = max(0.0, vexpiry - kernel.engine.now)
+        timer = kernel.timers.create(owner.pid, vexpiry)
+        if image["vtid"] is not None:
+            pod.bind_timer(timer.tid, vtid=int(image["vtid"]))
+        if image["fired"]:
+            timer.fired = True
+        else:
+            timer.handle = kernel.engine.schedule(delay, _fire_timer, kernel, timer.tid)

@@ -1,0 +1,48 @@
+"""Length-prefixed message framing for Manager↔Agent control channels.
+
+Messages are codec-encoded objects behind a 4-byte big-endian length.
+The helpers are generators usable from host tasks via ``yield from``.
+The Manager "maintains reliable network connections with the Agents
+throughout the entire operation", so failure detection is simply
+noticing EOF/reset on these channels — both helpers return/accept
+``None`` for a broken connection rather than raising.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Optional
+
+from ..vos.kernel import Kernel
+from ..vos.syscalls import Errno, HostChannel
+from . import codec
+
+
+def send_msg(kernel: Kernel, chan: HostChannel, fd: int, obj: Any):
+    """Send one framed message; yields True on success, False on error."""
+    data = codec.encode(obj)
+    frame = struct.pack(">I", len(data)) + data
+    result = yield kernel.host_call(chan, "send", fd, frame, 0)
+    return not isinstance(result, Errno)
+
+
+def recv_msg(kernel: Kernel, chan: HostChannel, fd: int) -> Any:
+    """Receive one framed message; yields the object, or None on EOF/error."""
+    header = yield from _recv_exact(kernel, chan, fd, 4)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    body = yield from _recv_exact(kernel, chan, fd, length)
+    if body is None:
+        return None
+    return codec.decode(body)
+
+
+def _recv_exact(kernel: Kernel, chan: HostChannel, fd: int, n: int) -> Optional[bytes]:
+    buf = b""
+    while len(buf) < n:
+        chunk = yield kernel.host_call(chan, "recv", fd, n - len(buf), 0)
+        if isinstance(chunk, Errno) or chunk == b"":
+            return None
+        buf += chunk
+    return buf

@@ -1,0 +1,66 @@
+"""Exception hierarchy shared across the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+The sub-hierarchies mirror the subsystems: simulation kernel, virtual OS,
+network stack, pods, and the ZapC checkpoint-restart core.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimError(ReproError):
+    """Errors raised by the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimError):
+    """The event queue drained while tasks or processes were still blocked.
+
+    Raised by :meth:`repro.sim.engine.Engine.run` when ``check_deadlock``
+    is enabled; this is the simulated equivalent of a hung cluster.
+    """
+
+
+class VosError(ReproError):
+    """Errors raised by the virtual operating system."""
+
+
+class SyscallError(VosError):
+    """A system call failed; carries a POSIX-like ``errno`` name.
+
+    Syscall handlers raise this internally; the kernel converts it to a
+    negative return value delivered to the calling process, mirroring how
+    a real kernel reports errors to user space.
+    """
+
+    def __init__(self, errno: str, message: str = ""):
+        super().__init__(f"[{errno}] {message}" if message else errno)
+        self.errno = errno
+
+
+class NoSuchProcessError(VosError):
+    """Referenced a PID that does not exist in the target namespace."""
+
+
+class NetError(ReproError):
+    """Errors raised by the simulated network stack."""
+
+
+class PodError(ReproError):
+    """Errors raised by the pod virtualization layer."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint operation failed and was rolled back."""
+
+
+class RestartError(ReproError):
+    """A restart operation failed; the target pods were destroyed."""
+
+
+class CodecError(ReproError):
+    """Malformed data encountered while encoding/decoding a checkpoint image."""

@@ -1,0 +1,83 @@
+"""Command-line figure regeneration: ``python -m repro.figures``.
+
+Prints every table of the paper's Section 6 (Figures 5, 6a, 6b, 6c and
+the network-state size claim) from fresh simulation runs.  Options::
+
+    python -m repro.figures                # everything, paper scale
+    python -m repro.figures --fig 5       # one figure
+    python -m repro.figures --scale 0.2   # shorter runs (sizes unchanged)
+    python -m repro.figures --app CPI     # one application
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .harness import APPS, run_fig5_row, run_fig6_cell, run_fig6b_cell
+from .metrics import print_table
+
+
+def fig5(apps: List[str], scale: float) -> None:
+    rows = []
+    for app in apps:
+        for nodes in APPS[app].node_counts:
+            cell = run_fig5_row(app, nodes, scale=scale)
+            rows.append((app, nodes, f"{cell.base_time:.3f}", f"{cell.zapc_time:.3f}",
+                         f"{cell.overhead_pct:.4f}"))
+    print_table("Figure 5 — completion time [s], Base vs ZapC",
+                ("app", "nodes", "base", "zapc", "overhead %"), rows)
+
+
+def fig6a(apps: List[str], scale: float) -> None:
+    rows = []
+    for app in apps:
+        for nodes in APPS[app].node_counts:
+            cell = run_fig6_cell(app, nodes, scale=scale)
+            share = 100 * cell.mean_network_ckpt / cell.mean_checkpoint
+            rows.append((app, nodes, len(cell.checkpoint_times),
+                         f"{cell.mean_checkpoint * 1000:.0f}",
+                         f"{cell.mean_network_ckpt * 1000:.2f}", f"{share:.1f}"))
+    print_table("Figure 6(a) — checkpoint time",
+                ("app", "nodes", "ckpts", "mean [ms]", "network [ms]", "net share %"),
+                rows)
+
+
+def fig6b(apps: List[str], scale: float) -> None:
+    rows = []
+    for app in apps:
+        for nodes in APPS[app].node_counts:
+            cell = run_fig6b_cell(app, nodes, scale=scale)
+            rows.append((app, nodes, f"{cell.restart_time * 1000:.0f}",
+                         f"{cell.network_restart_time * 1000:.1f}"))
+    print_table("Figure 6(b) — restart time from a mid-execution image",
+                ("app", "nodes", "restart [ms]", "network restore [ms]"), rows)
+
+
+def fig6c(apps: List[str], scale: float) -> None:
+    rows = []
+    for app in apps:
+        for nodes in APPS[app].node_counts:
+            cell = run_fig6_cell(app, nodes, scale=scale, n_checkpoints=5)
+            rows.append((app, nodes, f"{cell.mean_image_size / 1e6:.1f}",
+                         f"{cell.max_netstate}"))
+    print_table("Figure 6(c) — largest-pod checkpoint image size",
+                ("app", "nodes", "image [MB]", "network state [B]"), rows)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fig", choices=["5", "6a", "6b", "6c", "all"], default="all")
+    parser.add_argument("--app", choices=list(APPS), default=None)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="duration scale (image sizes unaffected)")
+    args = parser.parse_args(argv)
+    apps = [args.app] if args.app else list(APPS)
+    runners = {"5": fig5, "6a": fig6a, "6b": fig6b, "6c": fig6c}
+    for name, fn in runners.items():
+        if args.fig in (name, "all"):
+            fn(apps, args.scale)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,335 @@
+"""Experiment harness: one function per paper figure.
+
+Regenerates the evaluation of Section 6 on the simulated testbed:
+
+* :func:`run_fig5_cell` — completion time of one (app, nodes, system)
+  cell of Figure 5 (``system`` ∈ {"base", "zapc"});
+* :func:`run_fig6_cell` — checkpoint metrics of Figure 6(a)/6(c): evenly
+  spaced snapshots during a run, with per-checkpoint network share and
+  largest-pod image sizes;
+* :func:`run_fig6b_cell` — Figure 6(b): restart time from an image taken
+  mid-execution (checkpoint → destroy → restart on the same blades, as
+  the paper did with its limited node count);
+
+plus the node-layout logic of the testbed (≤8 uniprocessor blades; the
+16-"node" configuration is 8 dual-CPU blades with one pod per CPU).
+
+``scale`` multiplies the *simulated* cycle costs only — problem sizes,
+message sizes and memory footprints stay at paper scale, so image sizes
+and network-state sizes are unaffected; only run duration shrinks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .apps import btnas, cpi, petsc_bratu, povray
+from .baselines.vanilla import launch_master_worker_vanilla, launch_spmd_vanilla
+from .cluster.builder import Cluster
+from .core.manager import Manager, OpResult
+from .metrics import Fig5Cell, Fig6Cell
+from .middleware.daemon import checkpoint_targets, launch_master_worker, launch_spmd
+from .vos.kernel import DEFAULT_HZ
+from .vos.process import DEAD
+
+
+# ---------------------------------------------------------------------------
+# application specifications
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AppSpec:
+    """Everything the harness needs to run one evaluation application."""
+
+    name: str
+    kind: str  # "spmd" | "master-worker"
+    node_counts: Tuple[int, ...]
+    launch_pods: Callable[[Cluster, int, float], Any]
+    launch_vanilla: Callable[[Cluster, int, float], Any]
+    work_seconds: Callable[[int, float], float]
+    verify: Callable[[Cluster, Any], bool]
+
+
+def _cpi_params(scale):
+    return dict(intervals=1_000_000, cycles_per_interval=max(1, int(60_000 * scale)))
+
+
+def _bt_params(scale):
+    return dict(grid=48, iters=30, cycles_per_point=max(1, int(400_000 * scale)),
+                face_pad=32_768)
+
+
+def _bratu_params(scale):
+    return dict(grid=48, outer=8, sweeps=12, cycles_per_point=max(1, int(120_000 * scale)))
+
+
+def _pov_geometry():
+    return dict(width=256, height=192, tile=64)
+
+
+def _verify_cpi(cluster, handle) -> bool:
+    vals = [v for v in handle.results(cluster, "pi") if v is not None]
+    return len(vals) == 1 and abs(vals[0] - math.pi) < 1e-8
+
+
+def _verify_bt(scale):
+    def check(cluster, handle) -> bool:
+        ref, _ = btnas.reference_btnas(G=48, iters=30)
+        vals = [v for v in handle.results(cluster, "checksum") if v is not None]
+        return len(vals) == 1 and abs(vals[0] - ref) < 1e-6 * max(1.0, abs(ref))
+    return check
+
+
+def _verify_bratu(scale):
+    def check(cluster, handle) -> bool:
+        ref, _ = petsc_bratu.reference_bratu(G=48, outer=8, sweeps=12)
+        vals = [v for v in handle.results(cluster, "checksum") if v is not None]
+        return len(vals) == 1 and abs(vals[0] - ref) < 1e-6 * max(1.0, abs(ref))
+    return check
+
+
+def _verify_pov(cluster, handle) -> bool:
+    ref = povray.reference_image(**_pov_geometry())
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == "apps.povray_master" and proc.state == DEAD \
+                    and proc.exit_code == 0:
+                return proc.regs["image"] == ref
+    return False
+
+
+def _make_specs() -> Dict[str, AppSpec]:
+    def cpi_pods(cluster, n, scale):
+        return launch_spmd(
+            cluster, "apps.cpi", n,
+            lambda rank, vips: cpi.params_of(rank, vips, nprocs=n, **_cpi_params(scale)),
+            name="cpi", nodes=placement(n))
+
+    def cpi_van(cluster, n, scale):
+        return launch_spmd_vanilla(
+            cluster, "apps.cpi", n,
+            lambda rank, ips: cpi.params_of(rank, ips, nprocs=n, **_cpi_params(scale)),
+            name="cpi", nodes=placement(n))
+
+    def bt_pods(cluster, n, scale):
+        return launch_spmd(
+            cluster, "apps.btnas", n,
+            lambda rank, vips: btnas.params_of(rank, vips, nprocs=n, **_bt_params(scale)),
+            name="bt", nodes=placement(n))
+
+    def bt_van(cluster, n, scale):
+        return launch_spmd_vanilla(
+            cluster, "apps.btnas", n,
+            lambda rank, ips: btnas.params_of(rank, ips, nprocs=n, **_bt_params(scale)),
+            name="bt", nodes=placement(n))
+
+    def bratu_pods(cluster, n, scale):
+        return launch_spmd(
+            cluster, "apps.petsc_bratu", n,
+            lambda rank, vips: petsc_bratu.params_of(rank, vips, nprocs=n, **_bratu_params(scale)),
+            name="bratu", nodes=placement(n))
+
+    def bratu_van(cluster, n, scale):
+        return launch_spmd_vanilla(
+            cluster, "apps.petsc_bratu", n,
+            lambda rank, ips: petsc_bratu.params_of(rank, ips, nprocs=n, **_bratu_params(scale)),
+            name="bratu", nodes=placement(n))
+
+    def _pov_placement(n):
+        # master + workers share the blades of the n-node configuration
+        blades, _ = layout(n)
+        total = max(1, n - 1) + 1
+        return [i % blades for i in range(total)]
+
+    def pov_pods(cluster, n, scale):
+        workers = max(1, n - 1)
+        return launch_master_worker(
+            cluster, "apps.povray_master", "apps.povray_worker", workers,
+            povray.master_params(nworkers=workers, **_pov_geometry()),
+            lambda task_id, vip: povray.worker_params(
+                task_id, vip, width=256, height=192,
+                cycles_per_pixel=max(1, int(1_200_000 * scale))),
+            name="pov", nodes=_pov_placement(n))
+
+    def pov_van(cluster, n, scale):
+        workers = max(1, n - 1)
+        return launch_master_worker_vanilla(
+            cluster, "apps.povray_master", "apps.povray_worker", workers,
+            povray.master_params(nworkers=workers, **_pov_geometry()),
+            lambda task_id, ip: povray.worker_params(
+                task_id, ip, width=256, height=192,
+                cycles_per_pixel=max(1, int(1_200_000 * scale))),
+            name="pov", nodes=_pov_placement(n))
+
+    hz = DEFAULT_HZ
+    pov_total_cycles = lambda scale: sum(  # noqa: E731
+        povray.tile_cycles(t, 256, 192, int(1_200_000 * scale))
+        for t in povray.make_tiles(**_pov_geometry()))
+    return {
+        "CPI": AppSpec(
+            "CPI", "spmd", (1, 2, 4, 8, 16), cpi_pods, cpi_van,
+            lambda n, s: 1_000_000 * 60_000 * s / (hz * n), _verify_cpi),
+        "BT/NAS": AppSpec(
+            "BT/NAS", "spmd", (1, 4, 9, 16), bt_pods, bt_van,
+            lambda n, s: 48 * 48 * 30 * 400_000 * s / (hz * n), _verify_bt(1.0)),
+        "PETSc": AppSpec(
+            "PETSc", "spmd", (1, 2, 4, 8, 16), bratu_pods, bratu_van,
+            lambda n, s: 48 * 48 * 8 * 12 * 120_000 * s / (hz * n), _verify_bratu(1.0)),
+        "POV-Ray": AppSpec(
+            "POV-Ray", "master-worker", (1, 2, 4, 8, 16), pov_pods, pov_van,
+            lambda n, s: pov_total_cycles(s) / (hz * max(1, n - 1)), _verify_pov),
+    }
+
+
+APPS: Dict[str, AppSpec] = _make_specs()
+
+
+# ---------------------------------------------------------------------------
+# testbed layout
+# ---------------------------------------------------------------------------
+
+
+def layout(nodes: int) -> Tuple[int, int]:
+    """(physical blades, CPUs per blade) for an n-"node" configuration.
+
+    Up to 9 nodes are uniprocessor blades; 16 "nodes" are 8 dual-CPU
+    blades, one pod per CPU — the paper's configurations exactly.
+    """
+    if nodes <= 9:
+        return nodes, 1
+    if nodes == 16:
+        return 8, 2
+    raise ValueError(f"unsupported node count {nodes}")
+
+
+def placement(endpoints: int) -> List[int]:
+    """Endpoint→blade placement for an ``endpoints``-node configuration."""
+    blades, ncpus = layout(endpoints) if endpoints in (1, 2, 4, 8, 9, 16) else (endpoints, 1)
+    return [i % blades for i in range(endpoints)]
+
+
+def build_cluster(nodes: int, seed: int = 0) -> Cluster:
+    """A cluster sized for an n-node configuration."""
+    blades, ncpus = layout(nodes)
+    return Cluster.build(blades, ncpus=ncpus, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# figure runners
+# ---------------------------------------------------------------------------
+
+
+def _completion_time(cluster: Cluster, handle: Any) -> float:
+    """When the last endpoint daemon exited (simulated seconds)."""
+    times = []
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == "middleware.daemon" and proc.state == DEAD \
+                    and proc.exit_code == 0:
+                times.append(proc.exit_time)
+    return max(times) if times else float("nan")
+
+
+def run_fig5_cell(app: str, nodes: int, system: str, scale: float = 1.0,
+                  seed: int = 0, until: float = 3600.0) -> float:
+    """Completion time of one Figure 5 cell; verifies the answer."""
+    spec = APPS[app]
+    cluster = build_cluster(nodes, seed=seed)
+    if system == "base":
+        handle = spec.launch_vanilla(cluster, nodes, scale)
+    elif system == "zapc":
+        handle = spec.launch_pods(cluster, nodes, scale)
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    cluster.engine.run(until=until)
+    if not handle.ok(cluster):
+        raise RuntimeError(f"{app} on {nodes} nodes ({system}) did not complete")
+    if not spec.verify(cluster, handle):
+        raise RuntimeError(f"{app} on {nodes} nodes ({system}) produced a wrong answer")
+    return _completion_time(cluster, handle)
+
+
+def run_fig5_row(app: str, nodes: int, scale: float = 1.0, seed: int = 0) -> Fig5Cell:
+    """Base and ZapC completion times for one (app, nodes) pair."""
+    base = run_fig5_cell(app, nodes, "base", scale=scale, seed=seed)
+    zapc = run_fig5_cell(app, nodes, "zapc", scale=scale, seed=seed)
+    return Fig5Cell(app, nodes, base, zapc)
+
+
+def run_fig6_cell(app: str, nodes: int, scale: float = 1.0, seed: int = 0,
+                  n_checkpoints: int = 10, until: float = 3600.0) -> Fig6Cell:
+    """Evenly spaced snapshots during one run: Figure 6(a)/(c) metrics."""
+    spec = APPS[app]
+    cluster = build_cluster(nodes, seed=seed)
+    manager = Manager.deploy(cluster)
+    handle = spec.launch_pods(cluster, nodes, scale)
+    cell = Fig6Cell(app, nodes)
+    expected = spec.work_seconds(nodes, scale)
+    interval = max(expected / (n_checkpoints + 1), 0.02)
+
+    def ticker():
+        for _ in range(n_checkpoints):
+            yield cluster.engine.sleep(interval)
+            if handle.ok(cluster):
+                break
+            try:
+                targets = checkpoint_targets(handle, cluster)
+            except Exception:
+                break
+            result: OpResult = yield from manager.checkpoint_task(targets)
+            if result.ok:
+                cell.checkpoint_times.append(result.duration)
+                cell.network_ckpt_times.append(result.max_stat("t_network"))
+                cell.image_sizes.append(result.max_image_bytes())
+                cell.netstate_sizes.append(int(result.max_stat("netstate_bytes")))
+
+    cluster.engine.spawn(ticker(), name="fig6-ticker")
+    cluster.engine.run(until=until)
+    if not handle.ok(cluster) or not spec.verify(cluster, handle):
+        raise RuntimeError(f"{app} on {nodes} nodes failed under periodic checkpoints")
+    return cell
+
+
+def run_fig6b_cell(app: str, nodes: int, scale: float = 1.0, seed: int = 0,
+                   at_frac: float = 0.5, until: float = 3600.0) -> Fig6Cell:
+    """Restart from a mid-execution image: Figure 6(b) metrics.
+
+    Snapshot at ``at_frac`` of the expected run, kill the pods, restart
+    from the in-memory images on the same blades, and let the run finish
+    (with the answer verified) — "restarts were done using the same set
+    of blades on which the checkpoints were performed".
+    """
+    spec = APPS[app]
+    cluster = build_cluster(nodes, seed=seed)
+    manager = Manager.deploy(cluster)
+    handle = spec.launch_pods(cluster, nodes, scale)
+    cell = Fig6Cell(app, nodes)
+    expected = spec.work_seconds(nodes, scale)
+
+    def orchestrate():
+        yield cluster.engine.sleep(max(expected * at_frac, 0.05))
+        if handle.ok(cluster):
+            return
+        targets = checkpoint_targets(handle, cluster)
+        ckpt = yield from manager.checkpoint_task(targets)
+        if not ckpt.ok:
+            raise RuntimeError(f"fig6b checkpoint failed: {ckpt.errors}")
+        cell.checkpoint_times.append(ckpt.duration)
+        cell.image_sizes.append(ckpt.max_image_bytes())
+        # the pods die; recovery restarts them from the images in place
+        for _node_name, pod_id, _uri in targets:
+            cluster.find_pod(pod_id).destroy()
+        restart = yield from manager.restart_task(targets)
+        if not restart.ok:
+            raise RuntimeError(f"fig6b restart failed: {restart.errors}")
+        cell.restart_time = restart.duration
+        cell.network_restart_time = restart.max_stat("t_network")
+
+    cluster.engine.spawn(orchestrate(), name="fig6b")
+    cluster.engine.run(until=until)
+    if not handle.ok(cluster) or not spec.verify(cluster, handle):
+        raise RuntimeError(f"{app} on {nodes} nodes failed across restart")
+    return cell

@@ -1,0 +1,83 @@
+"""Result records and paper-style table/series formatting."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class Fig5Cell:
+    """One point of Figure 5: completion time for (app, nodes, system)."""
+
+    app: str
+    nodes: int
+    base_time: float
+    zapc_time: float
+
+    @property
+    def overhead_pct(self) -> float:
+        if self.base_time == 0:
+            return 0.0
+        return 100.0 * (self.zapc_time - self.base_time) / self.base_time
+
+
+@dataclass
+class Fig6Cell:
+    """One point of Figure 6: checkpoint/restart metrics for (app, nodes)."""
+
+    app: str
+    nodes: int
+    checkpoint_times: List[float] = field(default_factory=list)
+    network_ckpt_times: List[float] = field(default_factory=list)
+    restart_time: Optional[float] = None
+    network_restart_time: Optional[float] = None
+    image_sizes: List[int] = field(default_factory=list)
+    netstate_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def mean_checkpoint(self) -> float:
+        return statistics.mean(self.checkpoint_times) if self.checkpoint_times else 0.0
+
+    @property
+    def mean_network_ckpt(self) -> float:
+        return statistics.mean(self.network_ckpt_times) if self.network_ckpt_times else 0.0
+
+    @property
+    def mean_image_size(self) -> int:
+        return int(statistics.mean(self.image_sizes)) if self.image_sizes else 0
+
+    @property
+    def max_netstate(self) -> int:
+        return max(self.netstate_sizes, default=0)
+
+
+def fmt_seconds(t: float) -> str:
+    """Human-scale duration."""
+    if t < 1.0:
+        return f"{t * 1000:7.1f} ms"
+    return f"{t:7.2f} s "
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-scale byte count."""
+    if n >= 1_000_000:
+        return f"{n / 1e6:7.1f} MB"
+    if n >= 1_000:
+        return f"{n / 1e3:7.1f} KB"
+    return f"{n:7d} B "
+
+
+def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render and print a fixed-width table; returns the text."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+              for i, h in enumerate(header)]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    return text

@@ -1,0 +1,66 @@
+"""Message-passing middleware: mini-MPI, mini-PVM, per-pod daemons."""
+
+from .collectives import (
+    REDUCE_OPS,
+    emit_allreduce,
+    emit_barrier,
+    emit_bcast,
+    emit_gather,
+    emit_reduce,
+    emit_scatter,
+)
+from .daemon import AppHandle, checkpoint_targets, launch_master_worker, launch_spmd
+from .mpi import (
+    DEFAULT_BASE_PORT,
+    emit_finalize,
+    emit_init,
+    emit_recv,
+    emit_recv_any,
+    emit_send,
+)
+from .nonblocking import (
+    emit_irecv,
+    emit_isend,
+    emit_req_list,
+    emit_req_value,
+    emit_waitall,
+)
+from .pvm import (
+    emit_master_init,
+    emit_pvm_recv,
+    emit_pvm_recv_any,
+    emit_pvm_send,
+    emit_worker_close,
+    emit_worker_init,
+)
+
+__all__ = [
+    "AppHandle",
+    "DEFAULT_BASE_PORT",
+    "REDUCE_OPS",
+    "checkpoint_targets",
+    "emit_allreduce",
+    "emit_barrier",
+    "emit_bcast",
+    "emit_finalize",
+    "emit_gather",
+    "emit_init",
+    "emit_irecv",
+    "emit_isend",
+    "emit_master_init",
+    "emit_pvm_recv",
+    "emit_pvm_recv_any",
+    "emit_pvm_send",
+    "emit_recv",
+    "emit_recv_any",
+    "emit_req_list",
+    "emit_req_value",
+    "emit_reduce",
+    "emit_scatter",
+    "emit_send",
+    "emit_waitall",
+    "emit_worker_close",
+    "emit_worker_init",
+    "launch_master_worker",
+    "launch_spmd",
+]

@@ -1,0 +1,131 @@
+"""Collective operations for mini-MPI.
+
+Binomial-tree broadcast, flat reduce (children stream to the root —
+fine at the paper's ≤16 ranks), allreduce = reduce + bcast, gather,
+scatter and barrier, all emitted as plain program instructions on top of
+the point-to-point layer.  Reduction operators are module-level
+functions so programs stay registry-rebuildable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from ..vos.program import ProgramBuilder, imm
+from .mpi import emit_recv, emit_send
+
+#: named reduction operators.
+REDUCE_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+}
+
+
+def _tree_children(rank: int, size: int, root: int = 0):
+    """Binomial-tree children/parent of ``rank`` in a 0-rooted tree,
+    after relabeling so ``root`` is the tree root."""
+    rel = (rank - root) % size
+    children = []
+    mask = 1
+    while mask < size:
+        if rel & (mask - 1) == 0 and rel | mask != rel and rel + mask < size:
+            children.append(((rel + mask) + root) % size)
+        if rel & mask:
+            break
+        mask <<= 1
+    parent = None
+    if rel != 0:
+        mask = 1
+        while not rel & mask:
+            mask <<= 1
+        parent = ((rel & ~mask) + root) % size
+    return parent, children
+
+
+def emit_bcast(b: ProgramBuilder, reg: str, *, rank: int, size: int, root: int = 0,
+               tag: str = "bcast") -> None:
+    """Emit a binomial-tree broadcast of ``reg`` from ``root``."""
+    parent, children = _tree_children(rank, size, root)
+    if parent is not None:
+        emit_recv(b, parent, reg, tag=tag)
+    for child in children:
+        emit_send(b, child, reg, tag=tag)
+
+
+def emit_reduce(b: ProgramBuilder, reg: str, out_reg: str, *, op: str, rank: int,
+                size: int, root: int = 0, tag: str = "reduce") -> None:
+    """Emit a reduction of ``reg`` into ``out_reg`` at ``root``.
+
+    Non-root ranks leave ``out_reg`` holding None.
+    """
+    fn = REDUCE_OPS[op]
+    if rank == root:
+        b.mov(out_reg, reg)
+        tmp = b._fresh("red")
+        for peer in range(size):
+            if peer == root:
+                continue
+            emit_recv(b, peer, tmp, tag=tag)
+            b.op(out_reg, fn, out_reg, tmp)
+    else:
+        emit_send(b, root, reg, tag=tag)
+        b.mov(out_reg, imm(None))
+
+
+def emit_allreduce(b: ProgramBuilder, reg: str, out_reg: str, *, op: str, rank: int,
+                   size: int, tag: str = "allred") -> None:
+    """Emit reduce-to-0 followed by broadcast (the classic composition)."""
+    emit_reduce(b, reg, out_reg, op=op, rank=rank, size=size, root=0, tag=tag + ".r")
+    emit_bcast(b, out_reg, rank=rank, size=size, root=0, tag=tag + ".b")
+
+
+def emit_gather(b: ProgramBuilder, reg: str, out_reg: str, *, rank: int, size: int,
+                root: int = 0, tag: str = "gather") -> None:
+    """Emit a gather: root receives a list indexed by rank."""
+    if rank == root:
+        b.op(out_reg, lambda n=size: [None] * n)
+        b.op(out_reg, _list_set(root), out_reg, reg)
+        tmp = b._fresh("gat")
+        for peer in range(size):
+            if peer == root:
+                continue
+            emit_recv(b, peer, tmp, tag=tag)
+            b.op(out_reg, _list_set(peer), out_reg, tmp)
+    else:
+        emit_send(b, root, reg, tag=tag)
+        b.mov(out_reg, imm(None))
+
+
+def _list_set(index: int):
+    def setter(lst: list, value: Any, _i=index) -> list:
+        lst = list(lst)
+        lst[_i] = value
+        return lst
+
+    return setter
+
+
+def emit_scatter(b: ProgramBuilder, list_reg: str, out_reg: str, *, rank: int,
+                 size: int, root: int = 0, tag: str = "scatter") -> None:
+    """Emit a scatter: root holds a list, each rank gets its element."""
+    if rank == root:
+        tmp = b._fresh("sca")
+        for peer in range(size):
+            if peer == root:
+                continue
+            b.op(tmp, lambda lst, _i=peer: lst[_i], list_reg)
+            emit_send(b, peer, tmp, tag=tag)
+        b.op(out_reg, lambda lst, _i=root: lst[_i], list_reg)
+    else:
+        emit_recv(b, root, out_reg, tag=tag)
+
+
+def emit_barrier(b: ProgramBuilder, *, rank: int, size: int, tag: str = "barrier") -> None:
+    """Emit a barrier (an allreduce of nothing)."""
+    token = b._fresh("bar")
+    b.mov(token, imm(0))
+    out = b._fresh("bar_out")
+    emit_allreduce(b, token, out, op="sum", rank=rank, size=size, tag=tag)

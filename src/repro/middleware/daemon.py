@@ -1,0 +1,151 @@
+"""Per-pod middleware daemons and application launchers.
+
+"Each pod is seen as an individual node so each pod runs one of the
+respective daemons (mpd or pvmd)."  The daemon is itself an ordinary
+pod process: it spawns the application endpoint inside the pod, waits
+for it, and exits with its status — so every checkpoint exercises a
+multi-process pod with a process blocked in ``waitpid``.
+
+The launchers build one pod per application endpoint (the paper's
+recommended deployment: "ideally placing each application endpoint in a
+separate pod", including one pod per CPU on multiprocessor nodes) and
+return handles the harness uses to detect completion and collect
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..cluster.builder import Cluster
+from ..pod.pod import Pod
+from ..vos.process import DEAD, Process
+from ..vos.program import build_program, imm, program
+
+
+@program("middleware.daemon")
+def _daemon(b, *, app, params):
+    """mpd/pvmd stand-in: spawn the endpoint, wait, propagate its status."""
+    b.syscall("child", "spawn", imm(app), imm(params), imm({}))
+    b.syscall("status", "waitpid", "child")
+    b.halt("status")
+
+
+@dataclass
+class AppHandle:
+    """A launched distributed application.
+
+    Holds pod *ids*, not objects: after a migration the pods (and every
+    process) are fresh objects on other nodes, so all queries resolve
+    against the cluster's current state.
+    """
+
+    name: str
+    pod_ids: List[str]
+    rank_program: str
+
+    def pods(self, cluster: Cluster) -> List[Pod]:
+        """The application's pods wherever they currently live."""
+        return [cluster.find_pod(pid) for pid in self.pod_ids]
+
+    def _daemons_by_pod(self, cluster: Cluster) -> Dict[str, List[Process]]:
+        out: Dict[str, List[Process]] = {pid: [] for pid in self.pod_ids}
+        for node in cluster.nodes:
+            for proc in node.kernel.procs.values():
+                if proc.program.name == "middleware.daemon" and proc.pod_id in out:
+                    out[proc.pod_id].append(proc)
+        return out
+
+    def ok(self, cluster: Cluster) -> bool:
+        """True when every endpoint's daemon exited cleanly somewhere
+        (the original pre-migration corpses killed with -9 don't count)."""
+        by_pod = self._daemons_by_pod(cluster)
+        return all(
+            any(d.state == DEAD and d.exit_code == 0 for d in daemons)
+            for daemons in by_pod.values()
+        )
+
+    def rank_procs(self, cluster: Cluster) -> List[Process]:
+        """The application endpoint processes, wherever they now live."""
+        procs: List[Process] = []
+        for node in cluster.nodes:
+            for proc in node.kernel.procs.values():
+                if proc.program.name == self.rank_program:
+                    procs.append(proc)
+        return sorted(procs, key=lambda p: p.program.params.get(
+            "rank", p.program.params.get("task_id", 0)))
+
+    def results(self, cluster: Cluster, reg: str) -> List[Any]:
+        """Collect a register from every completed endpoint (one entry
+        per endpoint; duplicate pre-migration corpses are skipped)."""
+        out: Dict[int, Any] = {}
+        for proc in self.rank_procs(cluster):
+            key = proc.program.params.get("rank", proc.program.params.get("task_id", 0))
+            if proc.state == DEAD and proc.exit_code == 0 and reg in proc.regs:
+                out[key] = proc.regs[reg]
+        return [out[k] for k in sorted(out)]
+
+
+def launch_spmd(cluster: Cluster, app_program: str, nprocs: int,
+                params_of: Any, *, name: str, nodes: Optional[List[int]] = None,
+                pods_per_node: int = 1) -> AppHandle:
+    """Launch an SPMD (mini-MPI) application, one endpoint per pod.
+
+    ``params_of(rank, vips)`` returns the rank's program params; the
+    endpoint addresses (``vips``) are allocated here, before any program
+    builds, so every rank knows the full address table — the role mpd's
+    configuration plays in the paper's deployment.
+    """
+    if nodes is None:
+        node_count = max(1, nprocs // pods_per_node)
+        nodes = [i % node_count for i in range(nprocs)]
+    pods: List[Pod] = []
+    for rank in range(nprocs):
+        node = cluster.node(nodes[rank])
+        pods.append(cluster.create_pod(node, f"{name}-{rank}"))
+    vips = [pod.vip for pod in pods]
+    for rank in range(nprocs):
+        node = cluster.node(nodes[rank])
+        params = params_of(rank, vips)
+        node.kernel.spawn(
+            build_program("middleware.daemon", app=app_program, params=params),
+            pod_id=pods[rank].id)
+    return AppHandle(name, [pod.id for pod in pods], app_program)
+
+
+def launch_master_worker(cluster: Cluster, master_program: str, worker_program: str,
+                         nworkers: int, master_params: Any, worker_params_of: Any,
+                         *, name: str, nodes: Optional[List[int]] = None,
+                         pods_per_node: int = 1) -> AppHandle:
+    """Launch a master/worker (mini-PVM) application.
+
+    The master is endpoint 0; workers are 1..nworkers.  ``worker_params_of``
+    receives ``(task_id, master_vip)``.
+    """
+    total = nworkers + 1
+    if nodes is None:
+        node_count = max(1, total // pods_per_node)
+        nodes = [i % node_count for i in range(total)]
+    pods = [cluster.create_pod(cluster.node(nodes[i]), f"{name}-{i}") for i in range(total)]
+    master_vip = pods[0].vip
+    cluster.node(nodes[0]).kernel.spawn(
+        build_program("middleware.daemon", app=master_program, params=master_params),
+        pod_id=pods[0].id)
+    for task_id in range(1, total):
+        node = cluster.node(nodes[task_id])
+        node.kernel.spawn(
+            build_program("middleware.daemon", app=worker_program,
+                          params=worker_params_of(task_id, master_vip)),
+            pod_id=pods[task_id].id)
+    return AppHandle(name, [pod.id for pod in pods], worker_program)
+
+
+def checkpoint_targets(handle: AppHandle, cluster: Cluster, uri: str = "mem") -> List[tuple]:
+    """«node, pod, URI» tuples for every pod of an application, resolved
+    to wherever each pod currently lives."""
+    out = []
+    for pod_id in handle.pod_ids:
+        node = cluster.node_of_pod(pod_id)
+        out.append((node.name, pod_id, uri))
+    return out

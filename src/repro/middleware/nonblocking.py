@@ -1,0 +1,151 @@
+"""Nonblocking mini-MPI: irecv / buffered isend / waitall.
+
+Real BT-class codes post all halo receives up front and let the library
+complete them in *arrival* order; a progress engine matches incoming
+frames to posted requests by (source, tag) and parks mismatches on an
+unexpected-message queue.  This module adds that engine to mini-MPI —
+entirely in registers, so it checkpoints transparently like everything
+else an application owns.
+
+Semantics:
+
+* :func:`emit_irecv` posts a receive request into a request-list
+  register (matched by source rank and tag);
+* :func:`emit_isend` is a *buffered* send (MPI_Ibsend-flavored): the
+  frame enters the socket send queue immediately, kernel buffering
+  permitting — ZapC's send-queue capture covers whatever is still
+  queued at a checkpoint;
+* :func:`emit_waitall` runs the progress engine until every posted
+  request has a value; completed values are read from the request list
+  by posting order.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List
+
+from ..vos.program import ProgramBuilder, imm
+from .mpi import FDS, UNEXP_REG, _frame, _unframe, emit_recv_exact
+
+#: alias of the shared unexpected-message queue register.
+UNEXP = UNEXP_REG
+
+
+def emit_req_list(b: ProgramBuilder, reqs_reg: str) -> None:
+    """Initialize an empty request list.
+
+    The unexpected-message queue (``UNEXP``) persists across exchanges;
+    :func:`repro.middleware.mpi.emit_init` creates it once.
+    """
+    b.op(reqs_reg, list)
+
+
+def emit_irecv(b: ProgramBuilder, reqs_reg: str, *, src: int, tag: str) -> None:
+    """Post a receive request for (src, tag) on the request list."""
+    b.op(reqs_reg, _post_recv(src, tag), reqs_reg)
+
+
+def _post_recv(src: int, tag: str):
+    def post(reqs: list, _s=src, _t=tag) -> list:
+        return reqs + [{"src": _s, "tag": _t, "done": False, "value": None}]
+
+    return post
+
+
+def emit_isend(b: ProgramBuilder, dst: int, value_reg: str, tag: str = "msg") -> None:
+    """Buffered send: the frame is handed to the kernel immediately."""
+    s = b._fresh("isnd")
+    fd, frame = f"{s}_fd", f"{s}_f"
+    b.op(fd, lambda d, r=dst: d[r], FDS)
+    b.op(frame, lambda v, t=tag: _frame(t, v), value_reg)
+    b.syscall(None, "send", fd, frame, imm(0))
+
+
+def emit_waitall(b: ProgramBuilder, reqs_reg: str) -> None:
+    """Run the progress engine until every posted request completes."""
+    s = b._fresh("wall")
+    pending, spec, ready, fd, src = (f"{s}_p", f"{s}_spec", f"{s}_r",
+                                     f"{s}_fd", f"{s}_src")
+    hdr, n, body, frame = f"{s}_h", f"{s}_n", f"{s}_b", f"{s}_fr"
+    # drain anything already parked on the unexpected queues
+    b.op(f"{s}_st", _match_unexpected, reqs_reg, UNEXP)
+    b.op(reqs_reg, lambda st: st[0], f"{s}_st")
+    b.op(UNEXP, lambda st: st[1], f"{s}_st")
+    b.op(pending, _any_pending, reqs_reg)
+    with b.while_(pending):
+        # poll the sources with outstanding requests
+        b.op(spec, _poll_spec, reqs_reg, FDS)
+        b.syscall(ready, "poll", spec, imm(None))
+        b.op(fd, lambda r: r[0][0], ready)
+        b.op(src, lambda d, f: next(k for k, v in d.items() if v == f), FDS, fd)
+        # read exactly one frame from that source
+        emit_recv_exact(b, fd, imm(4), hdr)
+        b.op(n, lambda h: struct.unpack(">I", h)[0], hdr)
+        emit_recv_exact(b, fd, n, body)
+        b.op(frame, _unframe, body)
+        # match it to a posted request, or park it as unexpected
+        b.op(f"{s}_st2", _dispatch, reqs_reg, UNEXP, src, frame)
+        b.op(reqs_reg, lambda st: st[0], f"{s}_st2")
+        b.op(UNEXP, lambda st: st[1], f"{s}_st2")
+        b.op(pending, _any_pending, reqs_reg)
+
+
+def emit_req_value(b: ProgramBuilder, reqs_reg: str, index: int, out_reg: str) -> None:
+    """Fetch a completed request's value by posting order."""
+    b.op(out_reg, lambda reqs, _i=index: reqs[_i]["value"], reqs_reg)
+
+
+# ---------------------------------------------------------------------------
+# pure progress-engine steps (module-level: programs stay rebuildable)
+# ---------------------------------------------------------------------------
+
+
+def _any_pending(reqs: List[Dict[str, Any]]) -> bool:
+    return any(not r["done"] for r in reqs)
+
+
+def _poll_spec(reqs: List[Dict[str, Any]], fds: Dict[int, int]) -> list:
+    wanted = sorted({fds[r["src"]] for r in reqs if not r["done"]})
+    if not wanted:
+        raise ConnectionError("waitall progress with nothing pending")
+    return [(fd, "r") for fd in wanted]
+
+
+def _match_one(reqs: List[Dict[str, Any]], src: int, tag: str, value: Any):
+    """First pending request matching (src, tag) gets the value."""
+    out = []
+    matched = False
+    for r in reqs:
+        if not matched and not r["done"] and r["src"] == src and r["tag"] == tag:
+            out.append({**r, "done": True, "value": value})
+            matched = True
+        else:
+            out.append(r)
+    return out, matched
+
+
+def _dispatch(reqs, unexp, src, frame):
+    tag, value = frame
+    reqs2, matched = _match_one(reqs, src, tag, value)
+    if matched:
+        return reqs2, unexp
+    parked = dict(unexp)
+    parked[src] = list(parked.get(src, [])) + [(tag, value)]
+    return reqs, parked
+
+
+def _match_unexpected(reqs, unexp):
+    reqs2 = list(reqs)
+    parked = {s: list(frames) for s, frames in unexp.items()}
+    for src, frames in list(parked.items()):
+        remaining = []
+        for tag, value in frames:
+            reqs2, matched = _match_one(reqs2, src, tag, value)
+            if not matched:
+                remaining.append((tag, value))
+        if remaining:
+            parked[src] = remaining
+        else:
+            parked.pop(src)
+    return reqs2, parked

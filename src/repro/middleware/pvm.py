@@ -1,0 +1,78 @@
+"""Mini-PVM: master/worker messaging in the PVM style.
+
+PVM applications (the paper's POV-Ray) are master/worker rather than
+SPMD: a star topology where workers connect to the master and exchange
+tagged messages, with the master consuming results from *any* worker as
+they arrive.  Built on the same framing as mini-MPI but with its own
+bootstrap (no full mesh) — the pvmd daemon's role of task naming is
+played by worker ids carried in the hello message.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..vos.program import ProgramBuilder, imm
+from .mpi import (
+    DEFAULT_BASE_PORT,
+    FDS,
+    UNEXP_REG,
+    _check_tag,
+    _dict_set_reg,
+    _emit_accept_one,
+    _emit_connect_to,
+    emit_recv,
+    emit_recv_any,
+    emit_send,
+)
+
+#: the master's task id.
+MASTER = 0
+
+
+def emit_master_init(b: ProgramBuilder, *, nworkers: int,
+                     port: int = DEFAULT_BASE_PORT) -> None:
+    """Emit the master's bootstrap: accept one connection per worker."""
+    b.op(FDS, dict)
+    b.op(UNEXP_REG, dict)
+    lfd = b._fresh("pvml")
+    b.syscall(lfd, "socket", imm("tcp"))
+    b.syscall(None, "setsockopt", lfd, imm("SO_REUSEADDR"), imm(1))
+    b.syscall(None, "bind", lfd, imm(("default", port)))
+    b.syscall(None, "listen", lfd, imm(max(4, nworkers)))
+    b.mov("__mpi_lfd", lfd)
+    for _ in range(nworkers):
+        _emit_accept_one(b, lfd)
+
+
+def emit_worker_init(b: ProgramBuilder, *, task_id: int, master_vip: str,
+                     port: int = DEFAULT_BASE_PORT) -> None:
+    """Emit a worker's bootstrap: connect to the master and say hello."""
+    b.op(FDS, dict)
+    b.op(UNEXP_REG, dict)
+    b.mov("__mpi_lfd", imm(None))
+    _emit_connect_to(b, task_id, MASTER, master_vip, port)
+
+
+def emit_pvm_send(b: ProgramBuilder, dst, value_reg: str, tag: str = "pvm") -> None:
+    """Emit pvm_send: typed message to a task id."""
+    emit_send(b, dst, value_reg, tag=tag)
+
+
+def emit_pvm_recv(b: ProgramBuilder, src, out_reg: str, tag: str = "pvm") -> None:
+    """Emit pvm_recv from a specific task."""
+    emit_recv(b, src, out_reg, tag=tag)
+
+
+def emit_pvm_recv_any(b: ProgramBuilder, out_val: str, out_src: str,
+                      tag: str = "pvm") -> None:
+    """Emit pvm_recv from whichever task sends first (master's pattern)."""
+    emit_recv_any(b, out_val, out_src, tag=tag)
+
+
+def emit_worker_close(b: ProgramBuilder) -> None:
+    """Emit a worker's teardown (close the master connection)."""
+    s = b._fresh("pvmfin")
+    fd = f"{s}_fd"
+    b.op(fd, lambda d: d[MASTER], FDS)
+    b.syscall(None, "close", fd)

@@ -1,0 +1,53 @@
+"""The simulated network: fabric, protocols, sockets, filtering.
+
+A packet-level reimplementation of the transports the paper's network
+checkpoint-restart must handle — a TCP-like reliable stream protocol
+(sequence numbers, ACKs, retransmission, urgent/OOB data, backlog
+queue), UDP, and raw IP — behind a BSD-style socket layer whose
+per-socket dispatch vector is the interposition point ZapC alters.
+"""
+
+from .addr import ANY_IP, Endpoint, real_ip, virtual_ip
+from .fabric import Fabric, Nic
+from .netfilter import Netfilter
+from .packet import Packet, Segment
+from .sockets import (
+    IdentityVNet,
+    MSG_OOB,
+    MSG_PEEK,
+    NetStack,
+    Socket,
+    default_poll,
+    default_recvmsg,
+    default_release,
+    default_sendmsg,
+)
+from .sockopt import default_options
+from .tcp import ESTABLISHED, TcpConn, TcpPcb
+from .udp import DatagramConn
+
+__all__ = [
+    "ANY_IP",
+    "DatagramConn",
+    "ESTABLISHED",
+    "Endpoint",
+    "Fabric",
+    "IdentityVNet",
+    "MSG_OOB",
+    "MSG_PEEK",
+    "NetStack",
+    "Netfilter",
+    "Nic",
+    "Packet",
+    "Segment",
+    "Socket",
+    "TcpConn",
+    "TcpPcb",
+    "default_options",
+    "default_poll",
+    "default_recvmsg",
+    "default_release",
+    "default_sendmsg",
+    "real_ip",
+    "virtual_ip",
+]

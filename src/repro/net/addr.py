@@ -1,0 +1,36 @@
+"""Addresses and endpoints.
+
+The simulator distinguishes *virtual* addresses (what applications inside
+pods see — constant for the life of the pod) from *real* addresses (the
+hosting node's NIC — changes on migration).  Both are plain dotted
+strings; an :class:`Endpoint` pairs an address with a port.  The mapping
+between the two lives in :class:`repro.pod.vnet.VNet`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Endpoint(NamedTuple):
+    """An (address, port) pair; hashable so it can key demux tables."""
+
+    ip: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+
+#: The wildcard address (bind to "any").
+ANY_IP = "0.0.0.0"
+
+
+def real_ip(index: int) -> str:
+    """Real (node) address for blade ``index``: the paper's cluster LAN."""
+    return f"10.0.0.{index + 1}"
+
+
+def virtual_ip(index: int) -> str:
+    """Virtual (pod) address ``index``: the namespace apps see."""
+    return f"10.77.0.{index + 1}"

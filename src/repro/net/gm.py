@@ -1,0 +1,309 @@
+"""A Myrinet/GM-style kernel-bypass network device.
+
+The paper closes Section 5 noting that "some high performance clusters
+employ MPI implementations based on specialized high-speed networks
+where it is typical for the applications to bypass the operating system
+kernel and directly access the actual device using a dedicated
+communication library.  Myrinet combined with the GM library is one
+such example.  The ZapC approach can be extended to work in such
+environments if two key requirements are met.  First, the library must
+be decoupled from the device driver instance ... Second, there must be
+some method to extract the state kept by the device driver, as well as
+reinstate this state on another such device driver."
+
+This module builds that environment:
+
+* one :class:`GmDevice` per node, reachable over the same fabric (so a
+  pod's netfilter freeze covers it) but **not** through the socket
+  layer — messages never touch TCP/UDP;
+* GM-style *ports* with **send tokens** (GM's credit flow control) and
+  receive queues — the state "kept by the device driver";
+* reliable delivery via per-message credits and device-level
+  retransmission, so in-flight loss during a checkpoint freeze heals
+  exactly as the paper's argument requires;
+* the two extension hooks ZapC needs: :meth:`GmDevice.extract_state`
+  and :meth:`GmDevice.reinstate_state` (used by
+  :mod:`repro.core.devckpt`).  Library decoupling comes for free: pod
+  processes reach the device only through interposed syscalls, never
+  through a captured device pointer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..errors import SyscallError
+from ..vos.kernel import Kernel
+from ..vos.syscalls import BLOCK, Complete, Errno
+from .addr import Endpoint
+from .packet import Packet
+
+#: send tokens per port (GM's default-ish credit count).
+DEFAULT_TOKENS = 16
+#: device-level retransmission period, seconds.
+GM_RETRY = 0.1
+
+_msg_ids = itertools.count(1)
+
+
+class GmPort:
+    """One open GM port: the user-level endpoint of the bypass device."""
+
+    kind = "gmport"
+
+    def __init__(self, device: "GmDevice", vip: str, port_num: int) -> None:
+        self.device = device
+        self.vip = vip
+        self.port_num = port_num
+        #: received messages awaiting the application:
+        #: (msg id, data, src vip, src port).
+        self.recv_q: Deque[Tuple[int, bytes, str, int]] = deque()
+        #: send credits (receive-buffer slots at the peer); a send
+        #: consumes one, returned when the peer's *application* consumes.
+        self.tokens = DEFAULT_TOKENS
+        #: sent but uncredited messages: msg_id -> (dest vip, dest port, data).
+        self.pending: Dict[int, Tuple[str, int, bytes]] = {}
+        #: message ids accepted into the queue (dedup on device retry).
+        self.seen_ids: set = set()
+        #: message ids consumed and credited (re-credit lost-credit retries).
+        self.credited_ids: set = set()
+        self.recv_waiters: List[Any] = []
+        self.token_waiters: List[Tuple[Any, str, int, bytes]] = []
+        self.closed = False
+        self._retry_handle = None
+
+    def release(self, kernel: Kernel, proc: Any) -> None:
+        """fd-close entry point (mirrors the socket layer's)."""
+        self.device.close_port(self)
+
+    # -- state extraction (the driver interface ZapC's extension needs) --
+    def driver_state(self) -> Dict[str, Any]:
+        """Serializable device-driver state for this port."""
+        return {
+            "vip": self.vip,
+            "port_num": self.port_num,
+            "tokens": self.tokens,
+            "recv_q": [(mid, bytes(d), s, p) for mid, d, s, p in self.recv_q],
+            "pending": {str(mid): (dst, dport, bytes(data))
+                        for mid, (dst, dport, data) in self.pending.items()},
+            "seen_ids": sorted(self.seen_ids),
+            "credited_ids": sorted(self.credited_ids),
+        }
+
+    def load_driver_state(self, state: Dict[str, Any]) -> None:
+        """Reinstate extracted state onto this (fresh) port."""
+        self.tokens = int(state["tokens"])
+        self.recv_q = deque((int(mid), bytes(d), s, int(p))
+                            for mid, d, s, p in state["recv_q"])
+        self.pending = {int(mid): (dst, int(dport), bytes(data))
+                        for mid, (dst, dport, data) in state["pending"].items()}
+        self.seen_ids = set(int(x) for x in state["seen_ids"])
+        self.credited_ids = set(int(x) for x in state.get("credited_ids", []))
+        if self.pending:
+            self.device._arm_retry(self)
+
+
+class GmDevice:
+    """The per-node bypass NIC exposed to pods via syscalls."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.stack = kernel.netstack
+        self.engine = kernel.engine
+        #: (vip, port number) -> open port.
+        self.ports: Dict[Tuple[str, int], GmPort] = {}
+        self.stack.extra_protocols["gm"] = self._ingress
+        kernel.gm_device = self
+        install_gm_syscalls(kernel, self)
+
+    # ------------------------------------------------------------------
+    # port lifecycle
+    # ------------------------------------------------------------------
+    def open_port(self, vip: str, port_num: int) -> GmPort:
+        key = (vip, port_num)
+        if key in self.ports:
+            raise SyscallError("EADDRINUSE", f"gm port {key}")
+        port = GmPort(self, vip, port_num)
+        self.ports[key] = port
+        return port
+
+    def close_port(self, port: GmPort) -> None:
+        if port.closed:
+            return
+        port.closed = True
+        if port._retry_handle is not None:
+            port._retry_handle.cancel()
+            port._retry_handle = None
+        self.ports.pop((port.vip, port.port_num), None)
+        for waiter in port.recv_waiters:
+            self.kernel.complete_syscall(waiter, Errno("ECONNABORTED"))
+        port.recv_waiters.clear()
+        for waiter, *_rest in port.token_waiters:
+            self.kernel.complete_syscall(waiter, Errno("ECONNABORTED"))
+        port.token_waiters.clear()
+
+    # ------------------------------------------------------------------
+    # wire protocol: data frames and credit returns, over the fabric
+    # ------------------------------------------------------------------
+    def _transmit(self, port: GmPort, dst_vip: str, dst_port: int,
+                  payload: bytes) -> None:
+        pkt = Packet(proto="gm", src=Endpoint(port.vip, port.port_num),
+                     dst=Endpoint(dst_vip, dst_port), payload=payload)
+        if not self.stack.netfilter.permits(pkt):
+            return  # frozen for checkpoint: the retry timer will recover
+        pkt.real_src = self.stack.vnet.resolve(port.vip)
+        pkt.real_dst = self.stack.vnet.resolve(dst_vip)
+        self.stack.nic.send(pkt)
+
+    @staticmethod
+    def _frame(kind: bytes, msg_id: int, data: bytes = b"") -> bytes:
+        return kind + msg_id.to_bytes(8, "big") + data
+
+    def send(self, port: GmPort, dst_vip: str, dst_port: int, data: bytes) -> int:
+        """Consume a token and launch a message; returns the message id."""
+        msg_id = next(_msg_ids)
+        port.tokens -= 1
+        port.pending[msg_id] = (dst_vip, dst_port, bytes(data))
+        self._transmit(port, dst_vip, dst_port, self._frame(b"D", msg_id, data))
+        self._arm_retry(port)
+        return msg_id
+
+    def _arm_retry(self, port: GmPort) -> None:
+        if port._retry_handle is None and port.pending:
+            port._retry_handle = self.engine.schedule(GM_RETRY, self._retry, port)
+
+    def _retry(self, port: GmPort) -> None:
+        port._retry_handle = None
+        if port.closed:
+            return
+        for msg_id, (dst, dport, data) in list(port.pending.items()):
+            self._transmit(port, dst, dport, self._frame(b"D", msg_id, data))
+        self._arm_retry(port)
+
+    def _ingress(self, pkt: Packet) -> None:
+        port = self.ports.get((pkt.dst.ip, pkt.dst.port))
+        if port is None or port.closed:
+            return
+        kind = pkt.payload[:1]
+        msg_id = int.from_bytes(pkt.payload[1:9], "big")
+        if kind == b"D":
+            if msg_id in port.seen_ids:
+                # retry of a known message: re-credit only if its credit
+                # was already issued (and possibly lost); still-queued
+                # messages keep the sender throttled
+                if msg_id in port.credited_ids:
+                    self._transmit(port, pkt.src.ip, pkt.src.port,
+                                   self._frame(b"C", msg_id))
+                return
+            port.seen_ids.add(msg_id)
+            port.recv_q.append((msg_id, pkt.payload[9:], pkt.src.ip, pkt.src.port))
+            self._service_receivers(port)
+        elif kind == b"C":
+            if port.pending.pop(msg_id, None) is not None:
+                port.tokens += 1
+                if not port.pending and port._retry_handle is not None:
+                    port._retry_handle.cancel()
+                    port._retry_handle = None
+                self._service_senders(port)
+
+    # ------------------------------------------------------------------
+    # waiter service
+    # ------------------------------------------------------------------
+    def consume(self, port: GmPort) -> Tuple[bytes, Tuple[str, int]]:
+        """App-side dequeue: frees the receive slot and returns a credit."""
+        msg_id, data, src_vip, src_port = port.recv_q.popleft()
+        port.credited_ids.add(msg_id)
+        self._transmit(port, src_vip, src_port, self._frame(b"C", msg_id))
+        return data, (src_vip, src_port)
+
+    def _service_receivers(self, port: GmPort) -> None:
+        while port.recv_waiters and port.recv_q:
+            proc = port.recv_waiters.pop(0)
+            self.kernel.complete_syscall(proc, self.consume(port))
+
+    def _service_senders(self, port: GmPort) -> None:
+        while port.token_waiters and port.tokens > 0:
+            proc, dst_vip, dst_port, data = port.token_waiters.pop(0)
+            self.send(port, dst_vip, dst_port, data)
+            self.kernel.complete_syscall(proc, len(data))
+
+    # ------------------------------------------------------------------
+    # the ZapC extension hooks
+    # ------------------------------------------------------------------
+    def extract_state(self, vip: str) -> List[Dict[str, Any]]:
+        """Extract the driver state of every port owned by ``vip``."""
+        return [port.driver_state()
+                for (pvip, _n), port in sorted(self.ports.items())
+                if pvip == vip]
+
+    def reinstate_state(self, states: List[Dict[str, Any]]) -> Dict[int, GmPort]:
+        """Recreate ports from extracted state; returns them by port number."""
+        out = {}
+        for state in states:
+            port = self.open_port(state["vip"], int(state["port_num"]))
+            port.load_driver_state(state)
+            out[port.port_num] = port
+        return out
+
+    def abort_ports_of(self, vip: str) -> None:
+        """Silently drop a destroyed pod's ports (migration teardown)."""
+        for key in [k for k in self.ports if k[0] == vip]:
+            port = self.ports[key]
+            port.pending.clear()
+            self.close_port(port)
+
+
+# ---------------------------------------------------------------------------
+# syscalls (the "GM library" surface; pods interpose on these like any other)
+# ---------------------------------------------------------------------------
+
+
+def install_gm_syscalls(kernel: Kernel, device: GmDevice) -> None:
+    """Register the GM library's syscall surface on ``kernel``."""
+
+    def _port(proc: Any, fd: int) -> GmPort:
+        obj = proc.fds.get(fd)
+        if not isinstance(obj, GmPort):
+            raise SyscallError("EBADF", f"fd {fd} is not a GM port")
+        return obj
+
+    def sys_gm_open(kern, proc, args, restarted):
+        (port_num,) = args
+        vip = device.stack.default_ip(proc)
+        port = device.open_port(vip, int(port_num))
+        fd = proc.next_fd
+        proc.next_fd += 1
+        proc.fds[fd] = port
+        return Complete(fd)
+
+    def sys_gm_send(kern, proc, args, restarted):
+        fd, dst, data = args
+        port = _port(proc, fd)
+        dst_vip, dst_port = dst
+        if port.tokens <= 0:
+            port.token_waiters.append((proc, dst_vip, int(dst_port), bytes(data)))
+            return BLOCK
+        device.send(port, dst_vip, int(dst_port), bytes(data))
+        return Complete(len(data))
+
+    def sys_gm_recv(kern, proc, args, restarted):
+        (fd,) = args
+        port = _port(proc, fd)
+        if port.recv_q:
+            return Complete(device.consume(port))
+        port.recv_waiters.append(proc)
+        return BLOCK
+
+    def sys_gm_tokens(kern, proc, args, restarted):
+        (fd,) = args
+        return Complete(_port(proc, fd).tokens)
+
+    for name, handler in {
+        "gm_open": sys_gm_open,
+        "gm_send": sys_gm_send,
+        "gm_recv": sys_gm_recv,
+        "gm_tokens": sys_gm_tokens,
+    }.items():
+        kernel.register_syscall(name, handler)

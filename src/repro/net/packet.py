@@ -1,0 +1,64 @@
+"""Wire formats: datagrams and TCP segments.
+
+Packets carry *virtual* endpoints end-to-end (what the communicating
+sockets believe) plus *real* routing addresses stamped at egress by the
+address-translation layer — the simulated form of ZapC transparently
+remapping pod virtual addresses onto whatever node currently hosts the
+pod.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from .addr import Endpoint
+
+#: Per-packet header overhead charged against link bandwidth (bytes).
+HEADER_BYTES = 66  # Ethernet + IP + TCP, roughly
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Segment:
+    """A TCP segment (also reused for the SYN/FIN/RST control packets)."""
+
+    seq: int = 0
+    ack: int = 0
+    flags: FrozenSet[str] = frozenset()  # subset of {SYN, ACK, FIN, RST, URG}
+    data: bytes = b""
+    wnd: int = 0
+
+    def has(self, flag: str) -> bool:
+        """Whether ``flag`` is set."""
+        return flag in self.flags
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        fl = ",".join(sorted(self.flags)) or "-"
+        return f"Segment(seq={self.seq}, ack={self.ack}, [{fl}], len={len(self.data)})"
+
+
+@dataclass
+class Packet:
+    """One unit in flight on the fabric."""
+
+    proto: str  # "tcp" | "udp" | "raw"
+    src: Endpoint  # virtual source
+    dst: Endpoint  # virtual destination
+    payload: bytes = b""  # udp/raw data
+    segment: Optional[Segment] = None  # tcp
+    real_src: str = ""  # routing addresses, stamped at egress
+    real_dst: str = ""
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def size(self) -> int:
+        """Bytes charged against link bandwidth."""
+        body = len(self.segment.data) if self.segment is not None else len(self.payload)
+        return HEADER_BYTES + body
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        core = repr(self.segment) if self.segment else f"len={len(self.payload)}"
+        return f"Packet({self.proto} {self.src}->{self.dst} {core})"

@@ -1,0 +1,86 @@
+"""Socket options.
+
+The paper's network checkpoint saves socket parameters through the
+standard ``getsockopt``/``setsockopt`` interface: "for correctness, the
+entire set of the parameters is included in the saved state".  This
+module defines that set (following Stevens' *UNIX Network Programming*,
+the reference the paper cites), with defaults and a validation table, so
+the checkpointer can enumerate and restore every option generically —
+without knowing what any individual option means.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..errors import SyscallError
+
+#: Socket-level options (SOL_SOCKET) with their defaults.
+SOCKET_OPTIONS: Dict[str, Any] = {
+    "SO_REUSEADDR": 0,
+    "SO_KEEPALIVE": 0,
+    "SO_LINGER": (0, 0),
+    "SO_OOBINLINE": 0,
+    "SO_RCVBUF": 262144,
+    "SO_SNDBUF": 262144,
+    "SO_RCVLOWAT": 1,
+    "SO_SNDLOWAT": 1,
+    "SO_RCVTIMEO": 0.0,
+    "SO_SNDTIMEO": 0.0,
+    "SO_BROADCAST": 0,
+    "SO_DONTROUTE": 0,
+    "SO_PRIORITY": 0,
+    "O_NONBLOCK": 0,  # file-status flag, kept here for one-stop capture
+}
+
+#: TCP-level options with their defaults.
+TCP_OPTIONS: Dict[str, Any] = {
+    "TCP_NODELAY": 1,  # the simulator does not model Nagle batching
+    "TCP_MAXSEG": 16384,
+    "TCP_KEEPALIVE": 7200.0,
+    "TCP_KEEPINTVL": 75.0,
+    "TCP_KEEPCNT": 9,
+    "TCP_STDURG": 0,
+    "TCP_CORK": 0,
+    "TCP_SYNCNT": 5,
+}
+
+#: IP-level options with their defaults.
+IP_OPTIONS: Dict[str, Any] = {
+    "IP_TTL": 64,
+    "IP_TOS": 0,
+}
+
+#: Options that only make sense on TCP sockets.
+_TCP_ONLY = set(TCP_OPTIONS)
+
+
+def default_options(proto: str) -> Dict[str, Any]:
+    """The full initial option table for a socket of ``proto``."""
+    opts = dict(SOCKET_OPTIONS)
+    opts.update(IP_OPTIONS)
+    if proto == "tcp":
+        opts.update(TCP_OPTIONS)
+    return opts
+
+
+def validate_option(proto: str, name: str, value: Any) -> Any:
+    """Check an option assignment; returns the normalized value.
+
+    Raises :class:`~repro.errors.SyscallError` with ``ENOPROTOOPT`` for
+    unknown names or protocol mismatches, and ``EINVAL`` for bad values.
+    """
+    known = name in SOCKET_OPTIONS or name in IP_OPTIONS or name in TCP_OPTIONS
+    if not known:
+        raise SyscallError("ENOPROTOOPT", name)
+    if name in _TCP_ONLY and proto != "tcp":
+        raise SyscallError("ENOPROTOOPT", f"{name} on {proto}")
+    if name in ("SO_RCVBUF", "SO_SNDBUF", "TCP_MAXSEG"):
+        v = int(value)
+        if v <= 0:
+            raise SyscallError("EINVAL", f"{name}={value}")
+        return v
+    if name == "SO_LINGER":
+        onoff, secs = value
+        return (int(onoff), int(secs))
+    return value

@@ -1,0 +1,77 @@
+"""Datagram transports: UDP and raw IP.
+
+Unreliable protocols need *no* protocol-specific checkpoint state — a
+lost datagram is indistinguishable from legitimate packet loss.  The one
+exception the paper calls out: data the application has already *peeked*
+at (``MSG_PEEK``) is part of the application's observed state and must
+be preserved.  The datagram queue tracks a ``peeked`` flag so both the
+ZapC checkpointer (which saves queues regardless) and the test suite can
+reason about that case.
+
+Raw IP sockets reuse the same machinery with the port field carrying the
+IP protocol number.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple, TYPE_CHECKING
+
+from .addr import Endpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .sockets import Socket
+
+
+class DatagramConn:
+    """Per-socket datagram state (UDP or raw)."""
+
+    def __init__(self, sock: "Socket") -> None:
+        self.sock = sock
+        #: queue of (payload, source endpoint), whole-datagram semantics.
+        self.recv_q: Deque[Tuple[bytes, Endpoint]] = deque()
+        #: default peer set by connect(), enabling plain send/recv.
+        self.default_peer: Optional[Endpoint] = None
+        #: True once the application peeked at the head of the queue.
+        self.peeked = False
+
+    def rcvbuf(self) -> int:
+        return int(self.sock.options.get("SO_RCVBUF", 262144))
+
+    def queued_bytes(self) -> int:
+        """Total payload bytes waiting in the receive queue."""
+        return sum(len(d) for d, _ in self.recv_q)
+
+    # ------------------------------------------------------------------
+    def deliver(self, payload: bytes, src: Endpoint) -> None:
+        """NIC-side entry: enqueue (dropping when the buffer is full —
+        standard UDP behaviour) and wake readers."""
+        if self.queued_bytes() + len(payload) > self.rcvbuf():
+            return  # silently dropped, as real UDP does
+        if self.default_peer is not None and src != self.default_peer:
+            return  # connected datagram sockets filter by peer
+        self.recv_q.append((payload, src))
+        self.sock.on_readable()
+
+    def app_send(self, payload: bytes, dst: Endpoint) -> int:
+        """Transmit one datagram."""
+        self.sock.stack.transmit(self.sock, payload=payload, dst=dst)
+        return len(payload)
+
+    # ------------------------------------------------------------------
+    def try_recv(self, n: int, peek: bool = False) -> Optional[Tuple[bytes, Endpoint]]:
+        """Dequeue (or peek) one datagram; None when the queue is empty.
+
+        A datagram shorter than requested returns whole; longer is
+        truncated (excess discarded), matching SOCK_DGRAM semantics.
+        """
+        if not self.recv_q:
+            return None
+        data, src = self.recv_q[0]
+        if peek:
+            self.peeked = True
+        else:
+            self.recv_q.popleft()
+            if not self.recv_q:
+                self.peeked = False
+        return data[:n], src

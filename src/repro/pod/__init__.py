@@ -1,0 +1,7 @@
+"""Pod virtualization: namespaces, virtual addresses, interposition."""
+
+from .namespace import PidNamespace
+from .pod import INTERPOSE_CYCLES, Pod
+from .vnet import VNet
+
+__all__ = ["INTERPOSE_CYCLES", "PidNamespace", "Pod", "VNet"]

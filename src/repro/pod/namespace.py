@@ -1,0 +1,77 @@
+"""Private virtual PID namespaces.
+
+"Names within a pod are trivially assigned in a unique manner in the
+same way that traditional operating systems assign names, but such names
+are localized to the pod. ... there is no need for it to change when the
+pod is migrated, ensuring that identifiers remain constant throughout
+the life of the process."
+
+The namespace maps virtual pids (stable, checkpointed) to host pids
+(reassigned on every restart).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import NoSuchProcessError, PodError
+
+
+class PidNamespace:
+    """vpid ↔ host-pid translation table for one pod."""
+
+    def __init__(self) -> None:
+        self._v2r: Dict[int, int] = {}
+        self._r2v: Dict[int, int] = {}
+        self._next_vpid = 1
+
+    def assign(self, host_pid: int) -> int:
+        """Allocate the next vpid for a new process."""
+        vpid = self._next_vpid
+        self._next_vpid += 1
+        self._bind(vpid, host_pid)
+        return vpid
+
+    def rebind(self, vpid: int, host_pid: int) -> None:
+        """Attach a restored process to its checkpointed vpid.
+
+        Keeps future allocations above every restored vpid so identifiers
+        stay unique after restart.
+        """
+        self._bind(vpid, host_pid)
+        self._next_vpid = max(self._next_vpid, vpid + 1)
+
+    def _bind(self, vpid: int, host_pid: int) -> None:
+        if vpid in self._v2r:
+            raise PodError(f"vpid {vpid} already bound")
+        if host_pid in self._r2v:
+            raise PodError(f"host pid {host_pid} already in namespace")
+        self._v2r[vpid] = host_pid
+        self._r2v[host_pid] = vpid
+
+    def drop_host(self, host_pid: int) -> None:
+        """Remove a (dead) process from the namespace."""
+        vpid = self._r2v.pop(host_pid, None)
+        if vpid is not None:
+            del self._v2r[vpid]
+
+    def to_real(self, vpid: int) -> int:
+        """Translate a vpid to the current host pid."""
+        try:
+            return self._v2r[vpid]
+        except KeyError:
+            raise NoSuchProcessError(f"vpid {vpid}") from None
+
+    def to_virtual(self, host_pid: int) -> int:
+        """Translate a host pid to its vpid."""
+        try:
+            return self._r2v[host_pid]
+        except KeyError:
+            raise NoSuchProcessError(f"host pid {host_pid}") from None
+
+    def vpids(self) -> List[int]:
+        """All live vpids, sorted."""
+        return sorted(self._v2r)
+
+    def __len__(self) -> int:
+        return len(self._v2r)

@@ -1,0 +1,53 @@
+"""Cluster-wide virtual→real address mapping.
+
+"ZapC only allows applications in pods to see virtual network addresses
+which are transparently remapped to underlying real network addresses as
+a pod migrates among different machines."  The :class:`VNet` is that
+remapping: virtual pod addresses resolve to whichever node currently
+hosts the pod.  Real (node) addresses resolve to themselves, so host
+sockets work through the same code path.
+
+On migration the Manager rewrites these placements — deriving "a new
+network connectivity map by substituting the destination network
+addresses in place of the original addresses".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import PodError
+
+
+class VNet:
+    """The virtual address plane shared by every node's network stack."""
+
+    def __init__(self) -> None:
+        #: virtual ip -> real (node) ip currently hosting it.
+        self._placements: Dict[str, str] = {}
+
+    def place(self, vip: str, real: str) -> None:
+        """Map virtual address ``vip`` onto node address ``real``."""
+        self._placements[vip] = real
+
+    def remove(self, vip: str) -> None:
+        """Drop a virtual address (pod destroyed or mid-migration)."""
+        self._placements.pop(vip, None)
+
+    def where(self, vip: str) -> Optional[str]:
+        """The real address hosting ``vip``, or None if unplaced."""
+        return self._placements.get(vip)
+
+    def resolve(self, ip: str) -> str:
+        """Routing resolution: virtual → real, identity for real addresses."""
+        return self._placements.get(ip, ip)
+
+    def move(self, vip: str, new_real: str) -> None:
+        """Re-home a virtual address (the migration step)."""
+        if vip not in self._placements:
+            raise PodError(f"virtual address {vip} is not placed")
+        self._placements[vip] = new_real
+
+    def snapshot(self) -> Dict[str, str]:
+        """Copy of the placement table (for the Manager's meta-data)."""
+        return dict(self._placements)

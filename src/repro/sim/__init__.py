@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel.
+
+The foundation everything else runs on: a deterministic event loop
+(:class:`~repro.sim.engine.Engine`), simulated time
+(:mod:`repro.sim.clock`), seeded random streams
+(:class:`~repro.sim.rng.RngHub`) and generator-based host tasks
+(:mod:`repro.sim.tasks`).
+"""
+
+from .clock import Clock, MICROSECONDS, MILLISECONDS, NANOSECONDS, SECONDS
+from .engine import Engine, EventHandle
+from .rng import RngHub
+from .tasks import Future, Task, all_of
+
+__all__ = [
+    "Clock",
+    "Engine",
+    "EventHandle",
+    "Future",
+    "RngHub",
+    "Task",
+    "all_of",
+    "SECONDS",
+    "MILLISECONDS",
+    "MICROSECONDS",
+    "NANOSECONDS",
+]

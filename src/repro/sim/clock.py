@@ -1,0 +1,49 @@
+"""Simulated wall-clock time.
+
+All durations in the simulator are expressed in *seconds* of simulated
+time as ``float``.  The clock only moves forward, and only the event
+engine may advance it.  Helper constants are provided so cost models read
+naturally (``5 * MILLISECONDS`` instead of ``5e-3``).
+"""
+
+from __future__ import annotations
+
+#: One second of simulated time (the base unit).
+SECONDS = 1.0
+#: One millisecond of simulated time.
+MILLISECONDS = 1e-3
+#: One microsecond of simulated time.
+MICROSECONDS = 1e-6
+#: One nanosecond of simulated time.
+NANOSECONDS = 1e-9
+
+
+class Clock:
+    """Monotonic simulated clock owned by an :class:`~repro.sim.engine.Engine`.
+
+    The clock starts at ``0.0``.  Only :meth:`advance_to` mutates it, and
+    it refuses to move backwards — a regression guard for the event loop.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to time ``t``.
+
+        Raises :class:`ValueError` if ``t`` is in the past; equal times
+        are permitted (many events share a timestamp).
+        """
+        if t < self._now:
+            raise ValueError(f"clock cannot run backwards: {t} < {self._now}")
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock(now={self._now:.9f})"

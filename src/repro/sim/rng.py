@@ -1,0 +1,39 @@
+"""Deterministic random-number streams.
+
+A single root seed fans out into independent, *named* streams so that
+adding a new consumer of randomness (say, a packet-loss model) cannot
+perturb the draws seen by existing consumers (say, a workload generator).
+This is the standard reproducibility discipline for discrete-event
+simulators: identical seeds + identical event order = identical runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngHub:
+    """Factory of named, independent :class:`random.Random` streams.
+
+    Streams are derived by hashing ``(root_seed, name)`` so the mapping is
+    stable across processes and Python versions.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def reset(self) -> None:
+        """Drop all derived streams (they re-derive on next use)."""
+        self._streams.clear()

@@ -1,0 +1,190 @@
+"""Futures and host tasks for the simulation kernel.
+
+*Host tasks* are generator-based coroutines driven by the event engine.
+They model the user-level tools of the paper that live **outside** pods —
+the ZapC Manager, the per-node Agents, measurement probes — and are never
+checkpointed.  (Application processes inside pods are *not* host tasks;
+they are checkpointable :class:`~repro.vos.process.Process` images.)
+
+A host task is a generator that ``yield``\\ s :class:`Future` objects; the
+engine resumes the task with the future's result (or throws its
+exception) once it resolves.  ``yield None`` re-schedules the task at the
+current time (a cooperative yield point).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from ..errors import SimError
+
+#: Type alias for the generator type host tasks are written as.
+TaskGen = Generator["Future", Any, Any]
+
+
+class Future:
+    """A single-assignment value that resolves at some simulated time.
+
+    Futures are the only blocking primitive for host tasks.  Callbacks
+    added with :meth:`add_done_callback` run synchronously when the
+    future resolves (the engine uses this to wake waiting tasks).
+    """
+
+    __slots__ = ("_done", "_result", "_exception", "_callbacks", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[[Future], None]] = []
+        self.name = name
+
+    @property
+    def done(self) -> bool:
+        """Whether the future has resolved (result or exception)."""
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        """The resolved value; raises if not yet done or resolved to an error."""
+        if not self._done:
+            raise SimError(f"future {self.name!r} not resolved")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The exception the future resolved to, if any."""
+        return self._exception
+
+    def set_result(self, value: Any) -> None:
+        """Resolve the future successfully with ``value``."""
+        self._resolve(value, None)
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Resolve the future with an exception."""
+        self._resolve(None, exc)
+
+    def _resolve(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done:
+            raise SimError(f"future {self.name!r} resolved twice")
+        self._done = True
+        self._result = value
+        self._exception = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_done_callback(self, cb: Callable[["Future"], None]) -> None:
+        """Run ``cb(self)`` when resolved; immediately if already done."""
+        if self._done:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self._done else "pending"
+        return f"Future({self.name!r}, {state})"
+
+
+def all_of(futures: List[Future], name: str = "all_of") -> Future:
+    """Combine futures into one that resolves with the list of results.
+
+    Resolves with the first exception if any member fails.
+    """
+    combined = Future(name)
+    remaining = len(futures)
+    if remaining == 0:
+        combined.set_result([])
+        return combined
+    results: List[Any] = [None] * remaining
+
+    def make_cb(i: int) -> Callable[[Future], None]:
+        def cb(fut: Future) -> None:
+            nonlocal remaining
+            if combined.done:
+                return
+            if fut.exception is not None:
+                combined.set_exception(fut.exception)
+                return
+            results[i] = fut._result
+            remaining -= 1
+            if remaining == 0:
+                combined.set_result(results)
+
+        return cb
+
+    for i, fut in enumerate(futures):
+        fut.add_done_callback(make_cb(i))
+    return combined
+
+
+class Task:
+    """A host coroutine being driven by the engine.
+
+    Tasks expose a :attr:`finished` future resolving with the generator's
+    return value, which other tasks can wait on (``yield task.finished``).
+    """
+
+    def __init__(self, engine: "Engine", gen: TaskGen, name: str = "task") -> None:  # noqa: F821
+        self._engine = engine
+        self._gen = gen
+        self.name = name
+        self.finished = Future(f"{name}.finished")
+        self._cancelled = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the coroutine has returned, raised, or been cancelled."""
+        return self.finished.done
+
+    def cancel(self) -> None:
+        """Stop the task; its ``finished`` future resolves with ``None``.
+
+        Cancellation closes the underlying generator so ``finally`` blocks
+        inside the task still run.
+        """
+        if self.finished.done:
+            return
+        self._cancelled = True
+        self._gen.close()
+        self.finished.set_result(None)
+
+    def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        """Advance the generator one hop; wiring for the engine only."""
+        if self.finished.done:
+            return
+        try:
+            if exc is not None:
+                yielded = self._gen.throw(exc)
+            else:
+                yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished.set_result(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - task crash propagates via future
+            self.finished.set_exception(err)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if yielded is None:
+            # Cooperative yield: resume at the current time after other
+            # events scheduled "now" get a chance to run.
+            self._engine.schedule(0.0, self._step, None)
+            return
+        if not isinstance(yielded, Future):
+            self._step(exc=SimError(f"task {self.name!r} yielded {type(yielded).__name__}, expected Future"))
+            return
+
+        def on_done(fut: Future) -> None:
+            if fut.exception is not None:
+                self._engine.schedule(0.0, self._step, None, fut.exception)
+            else:
+                self._engine.schedule(0.0, self._step, fut._result)
+
+        yielded.add_done_callback(on_done)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Task({self.name!r}, done={self.done})"

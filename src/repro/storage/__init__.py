@@ -1,0 +1,13 @@
+"""Storage substrate: the shared SAN and file-system snapshots."""
+
+from .san import FC_BANDWIDTH, FC_LATENCY, SAN_MOUNT, SharedStorage
+from .snapshot import Snapshot, SnapshotManager
+
+__all__ = [
+    "FC_BANDWIDTH",
+    "FC_LATENCY",
+    "SAN_MOUNT",
+    "SharedStorage",
+    "Snapshot",
+    "SnapshotManager",
+]

@@ -1,0 +1,39 @@
+"""Shared storage: the SAN every blade mounts.
+
+Models the paper's testbed (IBM FastT500 SAN over 2 Gb/s Fibre Channel,
+GFS on every blade): one :class:`SharedStorage` file system instance is
+mounted at the same path on every node, so a migrated pod finds its
+files — the assumption that lets ZapC exclude file contents from
+checkpoint images and makes checkpoint-to-disk flush time a pure
+bandwidth question.
+"""
+
+from __future__ import annotations
+
+from ..vos.filesystem import FileSystem
+
+#: 2 Gb/s Fibre Channel, in usable bytes/second.
+FC_BANDWIDTH = 200e6
+#: SAN round-trip service latency, seconds.
+FC_LATENCY = 0.5e-3
+
+#: Conventional mount point on every node.
+SAN_MOUNT = "/san"
+
+
+class SharedStorage(FileSystem):
+    """A SAN-backed file system (shared instance, FC bandwidth)."""
+
+    def __init__(self, name: str = "san", bandwidth: float = FC_BANDWIDTH,
+                 latency: float = FC_LATENCY) -> None:
+        super().__init__(name, bandwidth=bandwidth, latency=latency)
+
+    def flush_delay(self, nbytes: int) -> float:
+        """Seconds to flush ``nbytes`` of checkpoint image to the SAN.
+
+        The paper excludes this from checkpoint latency ("can be done
+        after the application resumes execution and is largely dependent
+        on the bandwidth available to secondary storage"); the harness
+        reports it separately.
+        """
+        return self.transfer_delay(nbytes)

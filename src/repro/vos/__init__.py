@@ -1,0 +1,46 @@
+"""The virtual operating system substrate.
+
+One :class:`~repro.vos.kernel.Kernel` per simulated node: process table,
+multi-CPU scheduler, syscall dispatch with interposition hooks, signals,
+virtual-time timers and a small VFS.  Processes are pure-data images
+executing registered :mod:`~repro.vos.program` programs, which is what
+makes OS-level transparent checkpointing meaningful in simulation.
+"""
+
+from .filesystem import FileSystem, VFS, ensure_dirs
+from .kernel import Kernel
+from .memory import Memory
+from .process import BLOCKED, DEAD, Process, RUNNABLE, RUNNING, SyscallRequest
+from .program import Imm, Program, ProgramBuilder, build_program, imm, program, registered_programs
+from .signals import SIGCONT, SIGKILL, SIGSTOP
+from .syscalls import Block, Complete, CompleteAfter, Errno, HostChannel, is_errno
+
+__all__ = [
+    "BLOCKED",
+    "Block",
+    "Complete",
+    "CompleteAfter",
+    "DEAD",
+    "Errno",
+    "FileSystem",
+    "HostChannel",
+    "Imm",
+    "Kernel",
+    "Memory",
+    "Process",
+    "Program",
+    "ProgramBuilder",
+    "RUNNABLE",
+    "RUNNING",
+    "SIGCONT",
+    "SIGKILL",
+    "SIGSTOP",
+    "SyscallRequest",
+    "VFS",
+    "build_program",
+    "ensure_dirs",
+    "imm",
+    "is_errno",
+    "program",
+    "registered_programs",
+]

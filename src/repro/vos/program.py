@@ -1,0 +1,345 @@
+"""Programs: the mini-ISA that simulated application processes execute.
+
+Transparency is the heart of the paper — the OS checkpoints processes
+that know nothing about checkpointing.  To make that property *real* in
+a simulation, a process must be pure data.  Programs are immutable
+instruction lists; all mutable state (program counter, registers, call
+stack, memory accounting) lives in the :class:`~repro.vos.process.Process`
+image, which the checkpointer serializes without any cooperation from
+the program.
+
+Programs are built once and **registered by name**; a checkpoint stores
+only ``(program name, build params, pc, ...)`` — exactly as a real
+checkpoint stores the executable path rather than its machine code — and
+restart rebuilds the program from the registry.
+
+Instruction set
+---------------
+``op``       apply a pure Python function to operand values, store result
+``compute``  burn CPU cycles (split across scheduler quanta if large)
+``alloc``/``free``  grow/shrink accounted memory segments
+``syscall``  trap into the node kernel (may block the process)
+``jump``/``branch``  control flow (labels resolved at build time)
+``call``/``ret``     subroutine linkage via the process call stack
+``halt``     terminate with an exit code
+
+Operands are register names (``str``) or immediates (wrap literals in
+:func:`imm` — in particular string literals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import VosError
+
+# ---------------------------------------------------------------------------
+# operands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate (literal) operand; use :func:`imm` to construct."""
+
+    value: Any
+
+
+def imm(value: Any) -> Imm:
+    """Wrap a literal so it is not mistaken for a register name."""
+    return Imm(value)
+
+
+Operand = Any  # str (register) | Imm
+
+
+# ---------------------------------------------------------------------------
+# instructions
+# ---------------------------------------------------------------------------
+
+#: Base cycle cost charged per executed instruction, by kind.  COMPUTE adds
+#: its operand on top.  These are coarse but sufficient: fine-grained time
+#: comes from explicit ``compute`` instructions in the workloads.
+INSTR_BASE_CYCLES: Dict[str, int] = {
+    "op": 20,
+    "compute": 5,
+    "alloc": 50,
+    "free": 50,
+    "syscall": 0,  # syscall overhead is charged by the kernel (pods add more)
+    "jump": 2,
+    "branch": 4,
+    "call": 10,
+    "ret": 10,
+    "halt": 5,
+}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded instruction.  ``fields`` vary by ``kind`` (see module doc)."""
+
+    kind: str
+    fn: Optional[Callable[..., Any]] = None
+    dst: Optional[str] = None
+    srcs: Tuple[Operand, ...] = ()
+    name: Optional[str] = None  # syscall name / segment name
+    target: int = -1  # resolved jump target pc
+    sense: bool = True  # branch taken when truthiness == sense
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable, registry-rebuildable instruction sequence."""
+
+    name: str
+    params: Dict[str, Any]
+    instrs: Tuple[Instr, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[..., None]] = {}
+
+
+def program(name: str) -> Callable[[Callable[..., None]], Callable[..., None]]:
+    """Decorator registering a program-builder function under ``name``.
+
+    The decorated function receives a fresh :class:`ProgramBuilder` plus
+    the build params as keyword arguments and emits instructions::
+
+        @program("demo.spin")
+        def _build(b, *, loops):
+            b.for_range("i", 0, loops)
+            ...
+    """
+
+    def deco(fn: Callable[..., None]) -> Callable[..., None]:
+        if name in _REGISTRY:
+            raise VosError(f"program {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def build_program(name: str, **params: Any) -> Program:
+    """Instantiate registered program ``name`` with ``params``.
+
+    Deterministic: the same name+params always yield the same instruction
+    sequence, which is what lets a checkpoint record just the pair.
+    """
+    builder_fn = _REGISTRY.get(name)
+    if builder_fn is None:
+        raise VosError(f"no program registered under {name!r}")
+    b = ProgramBuilder(name, params)
+    builder_fn(b, **params)
+    return b.build()
+
+
+def registered_programs() -> List[str]:
+    """Names of all registered programs (diagnostics)."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# builder
+# ---------------------------------------------------------------------------
+
+
+class _Block:
+    """Bookkeeping for a structured-control-flow region."""
+
+    def __init__(self, builder: "ProgramBuilder", top: str, end: str, step: Optional[Callable[[], None]] = None):
+        self._b = builder
+        self.top = top
+        self.end = end
+        self._step = step
+
+    def __enter__(self) -> "_Block":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        if self._step is not None:
+            self._step()
+        if self.top:
+            self._b.jump(self.top)
+        self._b.label(self.end)
+
+
+class ProgramBuilder:
+    """Emit instructions with structured control flow, then :meth:`build`.
+
+    All emit methods return ``self`` so short sequences can chain.
+    """
+
+    def __init__(self, name: str = "anonymous", params: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.params = dict(params or {})
+        self._instrs: List[Instr] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[Tuple[int, str]] = []  # (instr index, label)
+        self._gensym = 0
+
+    # -- label plumbing -------------------------------------------------
+    def _fresh(self, stem: str) -> str:
+        self._gensym += 1
+        return f"__{stem}_{self._gensym}"
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Define label ``name`` at the current position."""
+        if name in self._labels:
+            raise VosError(f"duplicate label {name!r} in program {self.name!r}")
+        self._labels[name] = len(self._instrs)
+        return self
+
+    def _emit(self, instr: Instr, target_label: Optional[str] = None) -> "ProgramBuilder":
+        if target_label is not None:
+            self._fixups.append((len(self._instrs), target_label))
+        self._instrs.append(instr)
+        return self
+
+    # -- data & compute ---------------------------------------------------
+    def op(self, dst: Optional[str], fn: Callable[..., Any], *srcs: Operand) -> "ProgramBuilder":
+        """``dst = fn(*operand values)``; ``dst=None`` discards the result."""
+        return self._emit(Instr("op", fn=fn, dst=dst, srcs=tuple(srcs)))
+
+    def mov(self, dst: str, src: Operand) -> "ProgramBuilder":
+        """Copy an operand into a register."""
+        return self.op(dst, _identity, src)
+
+    def compute(self, cycles: Operand) -> "ProgramBuilder":
+        """Burn CPU cycles (an int operand; may span scheduler quanta)."""
+        return self._emit(Instr("compute", srcs=(cycles,)))
+
+    def alloc(self, nbytes: Operand, segment: str = "heap") -> "ProgramBuilder":
+        """Grow an accounted memory segment."""
+        return self._emit(Instr("alloc", srcs=(nbytes,), name=segment))
+
+    def free(self, nbytes: Operand, segment: str = "heap") -> "ProgramBuilder":
+        """Shrink an accounted memory segment."""
+        return self._emit(Instr("free", srcs=(nbytes,), name=segment))
+
+    # -- kernel interface -------------------------------------------------
+    def syscall(self, dst: Optional[str], name: str, *args: Operand) -> "ProgramBuilder":
+        """Trap into the kernel; the result lands in ``dst`` (or is dropped)."""
+        return self._emit(Instr("syscall", dst=dst, srcs=tuple(args), name=name))
+
+    def halt(self, code: Operand = Imm(0)) -> "ProgramBuilder":
+        """Terminate the process with an exit code."""
+        return self._emit(Instr("halt", srcs=(code,)))
+
+    # -- raw control flow ---------------------------------------------------
+    def jump(self, label: str) -> "ProgramBuilder":
+        """Unconditional jump to ``label``."""
+        return self._emit(Instr("jump"), target_label=label)
+
+    def branch_if(self, src: Operand, label: str) -> "ProgramBuilder":
+        """Jump to ``label`` when operand is truthy."""
+        return self._emit(Instr("branch", srcs=(src,), sense=True), target_label=label)
+
+    def branch_ifnot(self, src: Operand, label: str) -> "ProgramBuilder":
+        """Jump to ``label`` when operand is falsy."""
+        return self._emit(Instr("branch", srcs=(src,), sense=False), target_label=label)
+
+    def call(self, label: str) -> "ProgramBuilder":
+        """Push return pc on the call stack and jump to ``label``."""
+        return self._emit(Instr("call"), target_label=label)
+
+    def ret(self) -> "ProgramBuilder":
+        """Return to the pc on top of the call stack."""
+        return self._emit(Instr("ret"))
+
+    # -- structured control flow -------------------------------------------
+    def while_(self, src: Operand) -> _Block:
+        """``with b.while_("cond"):`` — loop while the operand is truthy.
+
+        The condition is re-read from the operand at the top of each
+        iteration, so the body must update it.
+        """
+        top, end = self._fresh("while"), self._fresh("wend")
+        self.label(top)
+        self.branch_ifnot(src, end)
+        return _Block(self, top, end)
+
+    def if_(self, src: Operand, negate: bool = False) -> _Block:
+        """``with b.if_("flag"):`` — run the body when operand is truthy."""
+        end = self._fresh("fi")
+        if negate:
+            self.branch_if(src, end)
+        else:
+            self.branch_ifnot(src, end)
+        return _Block(self, "", end)
+
+    def for_range(self, var: str, start: Operand, stop: Operand, step: int = 1) -> _Block:
+        """``with b.for_range("i", 0, imm(10)):`` — a counted loop.
+
+        ``var`` holds the loop index; mutating it inside the body is
+        allowed (the increment applies to whatever value it holds).
+        """
+        top, end = self._fresh("for"), self._fresh("rof")
+        self.mov(var, start)
+        self.label(top)
+        if step > 0:
+            self.op("__cc", _lt, var, stop)
+        else:
+            self.op("__cc", _gt, var, stop)
+        self.branch_ifnot("__cc", end)
+
+        def _step() -> None:
+            self.op(var, _add_const(step), var)
+
+        return _Block(self, top, end, step=_step)
+
+    # -- finalize -----------------------------------------------------------
+    def build(self) -> Program:
+        """Resolve labels and freeze the program."""
+        instrs = list(self._instrs)
+        for idx, label in self._fixups:
+            target = self._labels.get(label)
+            if target is None:
+                raise VosError(f"undefined label {label!r} in program {self.name!r}")
+            old = instrs[idx]
+            instrs[idx] = Instr(
+                kind=old.kind, fn=old.fn, dst=old.dst, srcs=old.srcs,
+                name=old.name, target=target, sense=old.sense,
+            )
+        return Program(self.name, dict(self.params), tuple(instrs), dict(self._labels))
+
+
+# ---------------------------------------------------------------------------
+# tiny op library (module-level so programs stay reconstructible)
+# ---------------------------------------------------------------------------
+
+
+def _identity(x: Any) -> Any:
+    return x
+
+
+def _lt(a: Any, b: Any) -> bool:
+    return a < b
+
+
+def _gt(a: Any, b: Any) -> bool:
+    return a > b
+
+
+_ADD_CONST_CACHE: Dict[int, Callable[[Any], Any]] = {}
+
+
+def _add_const(k: int) -> Callable[[Any], Any]:
+    fn = _ADD_CONST_CACHE.get(k)
+    if fn is None:
+        def fn(x: Any, _k: int = k) -> Any:
+            return x + _k
+
+        _ADD_CONST_CACHE[k] = fn
+    return fn

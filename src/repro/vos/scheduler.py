@@ -1,0 +1,133 @@
+"""Round-robin multi-CPU scheduler for one node.
+
+Each node has ``ncpus`` CPUs; runnable processes share a single run
+queue.  A dispatched process executes up to one quantum of cycles
+*eagerly* (the interpreter mutates its registers immediately) and the
+CPU is then held busy for the corresponding simulated duration; effects
+visible to other actors — syscalls, exits — are applied only when the
+slice's simulated time has elapsed.  Signals (SIGSTOP in particular)
+take effect at slice boundaries, as in a real kernel where signal
+delivery happens on the user/kernel boundary.
+
+Dual-processor blades in the paper's testbed map to ``ncpus=2`` here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, TYPE_CHECKING
+
+from .process import Process, RUNNABLE, RUNNING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+#: Longest pure-compute burn executed as a single event when the CPU has
+#: no competition (seconds * hz set at scheduler construction).
+BURN_SLICE_S = 0.25
+
+
+class Scheduler:
+    """Run queue + CPUs for one :class:`~repro.vos.kernel.Kernel`.
+
+    Two kinds of slices:
+
+    * *interpreter slices* — up to one quantum of instructions, executed
+      eagerly (never preempted mid-slice; signals land at the boundary);
+    * *burn slices* — when a process's ``compute_remaining`` is pending,
+      cycles are consumed as a single long event (up to
+      :data:`BURN_SLICE_S` when the run queue is empty).  Burning has no
+      side effects, so a burn **can** be preempted exactly: a signal
+      cancels the event and refunds the unburned cycles.  This keeps
+      event counts low for compute-bound workloads without inflating
+      SIGSTOP latency.
+    """
+
+    def __init__(self, kernel: "Kernel", ncpus: int, quantum_cycles: int) -> None:
+        self.kernel = kernel
+        self.ncpus = ncpus
+        self.quantum_cycles = int(quantum_cycles)
+        self.runq: Deque[Process] = deque()
+        self._queued: set = set()
+        #: CPU slots; each holds the pid it is running or None when idle.
+        self.cpus: List[Optional[int]] = [None] * ncpus
+        #: Total busy cycles per CPU (utilization accounting).
+        self.busy_cycles: List[int] = [0] * ncpus
+        #: pid -> (cpu, event handle, start time, burn cycles) for
+        #: in-flight burn slices (preemption bookkeeping).
+        self._burns: dict = {}
+
+    # ------------------------------------------------------------------
+    def enqueue(self, proc: Process) -> None:
+        """Make ``proc`` eligible to run (idempotent)."""
+        if proc.state != RUNNABLE or proc.stopped or proc.pid in self._queued:
+            return
+        self.runq.append(proc)
+        self._queued.add(proc.pid)
+        self.kick()
+
+    def kick(self) -> None:
+        """Dispatch queued processes onto idle CPUs."""
+        while self.runq and None in self.cpus:
+            proc = self.runq.popleft()
+            self._queued.discard(proc.pid)
+            # Stale entries: the process may have been stopped or killed
+            # while waiting in the queue.
+            if proc.state != RUNNABLE or proc.stopped:
+                continue
+            cpu = self.cpus.index(None)
+            self._dispatch(cpu, proc)
+
+    def _dispatch(self, cpu: int, proc: Process) -> None:
+        proc.state = RUNNING
+        self.cpus[cpu] = proc.pid
+        if proc.compute_remaining > 0:
+            cap = int(BURN_SLICE_S * self.kernel.hz) if not self.runq else self.quantum_cycles
+            burn = min(proc.compute_remaining, max(cap, self.quantum_cycles))
+            handle = self.kernel.engine.schedule(
+                burn / self.kernel.hz, self._burn_done, cpu, proc, burn)
+            self._burns[proc.pid] = (cpu, handle, self.kernel.engine.now, burn)
+            return
+        used, reason, payload = proc.step(self.quantum_cycles)
+        self.busy_cycles[cpu] += used
+        delay = used / self.kernel.hz
+        self.kernel.engine.schedule(delay, self._slice_done, cpu, proc, reason, payload)
+
+    def _burn_done(self, cpu: int, proc: Process, burn: int) -> None:
+        self._burns.pop(proc.pid, None)
+        proc.compute_remaining -= burn
+        proc.cpu_cycles += burn
+        self.busy_cycles[cpu] += burn
+        self._slice_done(cpu, proc, "quantum", None)
+
+    def preempt_burn(self, proc: Process) -> bool:
+        """Interrupt an in-flight burn slice exactly at the current time.
+
+        Returns True when the process was burning (it is off-CPU with its
+        cycle accounts settled when this returns).
+        """
+        entry = self._burns.pop(proc.pid, None)
+        if entry is None:
+            return False
+        cpu, handle, start, burn = entry
+        handle.cancel()
+        elapsed = int(round((self.kernel.engine.now - start) * self.kernel.hz))
+        consumed = min(burn, max(0, elapsed))
+        proc.compute_remaining -= consumed
+        proc.cpu_cycles += consumed
+        self.busy_cycles[cpu] += consumed
+        self.cpus[cpu] = None
+        self.kick()
+        return True
+
+    def _slice_done(self, cpu: int, proc: Process, reason: str, payload: object) -> None:
+        self.cpus[cpu] = None
+        self.kernel.on_slice_end(proc, reason, payload)
+        self.kick()
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when no CPU is running anything and the queue is empty."""
+        return not self.runq and all(slot is None for slot in self.cpus)

@@ -1,0 +1,24 @@
+"""Signal constants and semantics notes.
+
+Only the signals the paper's mechanisms rely on are modelled:
+
+* ``SIGSTOP`` — freezes a process at its next scheduler-slice boundary
+  (or immediately when it is blocked/runnable).  The ZapC Agent sends it
+  to every process in a pod as the first step of a checkpoint, "to
+  prevent those processes from being altered during checkpoint".
+* ``SIGCONT`` — resumes a stopped process; if a blocking syscall
+  completed while the process was stopped, the parked result is
+  delivered at that point.
+* ``SIGKILL`` — terminates the process, releasing its descriptors (used
+  when a pod is destroyed after a migration checkpoint).
+
+Delivery is implemented by :class:`repro.vos.kernel.Kernel.send_signal`.
+"""
+
+from __future__ import annotations
+
+SIGSTOP = "SIGSTOP"
+SIGCONT = "SIGCONT"
+SIGKILL = "SIGKILL"
+
+ALL_SIGNALS = (SIGSTOP, SIGCONT, SIGKILL)

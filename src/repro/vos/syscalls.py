@@ -1,0 +1,102 @@
+"""Syscall dispatch plumbing shared by the kernel and its subsystems.
+
+A syscall handler is a callable::
+
+    handler(kernel, proc, args, restarted) -> Outcome
+
+where ``proc`` is either a real :class:`~repro.vos.process.Process` or a
+:class:`HostChannel` (the stand-in used by host tasks such as the ZapC
+Agent, which issue syscalls on a node without being schedulable,
+checkpointable processes).  ``restarted`` is True when the kernel
+re-issues a blocking syscall captured in a checkpoint — handlers must be
+idempotent under re-issue, the simulated analogue of ``ERESTARTSYS``.
+
+Outcomes:
+
+* :class:`Complete` — result available immediately.
+* :class:`CompleteAfter` — result after a simulated delay (models I/O
+  service time; the caller stays blocked meanwhile).
+* :class:`Block` — the handler parked the caller on some wait queue and
+  will later call ``kernel.complete_syscall(proc, value)``.
+
+Errors are delivered *as values* of type :class:`Errno` so that programs
+can branch on them; handlers may equivalently raise
+:class:`~repro.errors.SyscallError`, which the kernel converts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..sim.tasks import Future
+
+
+@dataclass(frozen=True)
+class Errno:
+    """A syscall error result (falsy-free by design: test with is_errno)."""
+
+    name: str
+    detail: str = ""
+
+    def __repr__(self) -> str:
+        return f"Errno({self.name})"
+
+
+def is_errno(value: Any, name: Optional[str] = None) -> bool:
+    """True when ``value`` is a syscall error (optionally a specific one).
+
+    Registered for use inside programs via ``b.op(dst, is_errno, src)``.
+    """
+    if not isinstance(value, Errno):
+        return False
+    return name is None or value.name == name
+
+
+@dataclass
+class Complete:
+    """Handler outcome: result available now."""
+
+    value: Any = None
+
+
+@dataclass
+class CompleteAfter:
+    """Handler outcome: result available after ``delay`` sim-seconds."""
+
+    delay: float
+    value: Any = None
+
+
+class Block:
+    """Handler outcome: caller parked; subsystem will complete later."""
+
+
+BLOCK = Block()
+
+
+class HostChannel:
+    """Process stand-in letting host tasks issue syscalls on a node.
+
+    It carries just enough of the Process surface for handlers (an fd
+    table, a pid, no pod) and converts ``complete_syscall`` into resolving
+    a :class:`Future` the host task can wait on.  Host channels are never
+    scheduled and never checkpointed — they model the paper's user-level
+    Manager/Agent tools running outside any pod.
+    """
+
+    is_host = True
+
+    def __init__(self, pid: int, name: str = "host") -> None:
+        self.pid = pid
+        self.name = name
+        self.pod_id: Optional[str] = None
+        self.fds: Dict[int, Any] = {}
+        self.next_fd = 3
+        self.blocked_on = None
+        self.stopped = False
+        #: Future for the in-flight blocking syscall, if any.
+        self.waiting: Optional[Future] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HostChannel(pid={self.pid}, name={self.name!r})"

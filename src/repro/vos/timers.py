@@ -1,0 +1,86 @@
+"""Per-process OS timers, expressed in *virtual* time.
+
+Timers are the second half of the paper's time-virtualization story: at
+restart, "standard operating system timers owned by the application are
+also virtualized — their expiry time is set by calculating the delta
+between the original clock and the current one".  To support that, every
+timer records its expiry in the owning pod's virtual clock; the
+checkpoint stores the *remaining* virtual duration, and restart re-arms
+the timer with that remainder (when virtualization is on) or with the
+original absolute expiry (when off, which may fire immediately — the
+"undesired effect" the paper describes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import VosError
+
+
+class Timer:
+    """One armed (or fired) timer owned by a process."""
+
+    __slots__ = ("tid", "pid", "vexpiry", "fired", "handle", "waiter")
+
+    def __init__(self, tid: int, pid: int, vexpiry: float) -> None:
+        self.tid = tid
+        self.pid = pid
+        #: Expiry in the owner's *virtual* clock.
+        self.vexpiry = vexpiry
+        self.fired = False
+        #: Engine event handle (so re-arming/cancel can cancel it).
+        self.handle: Optional[Any] = None
+        #: Process blocked in ``waittimer``, if any.
+        self.waiter: Optional[Any] = None
+
+    def to_image(self, vnow: float) -> Dict[str, Any]:
+        """Checkpoint record: remaining virtual time, not absolute expiry."""
+        return {
+            "tid": self.tid,
+            "pid": self.pid,
+            "vexpiry": self.vexpiry,
+            "remaining": max(0.0, self.vexpiry - vnow),
+            "fired": self.fired,
+        }
+
+
+class TimerTable:
+    """All timers on one node, keyed by timer id."""
+
+    def __init__(self) -> None:
+        self._timers: Dict[int, Timer] = {}
+        self._next_tid = 1
+
+    def create(self, pid: int, vexpiry: float) -> Timer:
+        """Allocate and record a new timer."""
+        timer = Timer(self._next_tid, pid, vexpiry)
+        self._next_tid += 1
+        self._timers[timer.tid] = timer
+        return timer
+
+    def adopt(self, timer: Timer) -> None:
+        """Insert a restored timer, keeping tid allocation ahead of it."""
+        if timer.tid in self._timers:
+            raise VosError(f"timer id {timer.tid} already present")
+        self._timers[timer.tid] = timer
+        self._next_tid = max(self._next_tid, timer.tid + 1)
+
+    def get(self, tid: int) -> Timer:
+        """Look up a timer; raises VosError if absent."""
+        timer = self._timers.get(tid)
+        if timer is None:
+            raise VosError(f"no timer {tid}")
+        return timer
+
+    def maybe_get(self, tid: int) -> Optional[Timer]:
+        """Look up a timer, returning None if absent."""
+        return self._timers.get(tid)
+
+    def remove(self, tid: int) -> None:
+        """Drop a timer (cancelling is the caller's job)."""
+        self._timers.pop(tid, None)
+
+    def owned_by(self, pids: set) -> List[Timer]:
+        """All timers owned by any pid in ``pids`` (checkpoint sweep)."""
+        return [t for t in self._timers.values() if t.pid in pids]

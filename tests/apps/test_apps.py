@@ -1,0 +1,161 @@
+"""Application correctness: each workload reproduces its sequential
+reference across rank counts (small problem sizes for test speed)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import btnas, cpi, petsc_bratu, povray
+from repro.cluster import Cluster
+from repro.middleware import launch_master_worker, launch_spmd
+
+
+def _run(cluster, handle, until=600.0):
+    cluster.engine.run(until=until)
+    assert handle.ok(cluster), "application did not finish cleanly"
+
+
+# ---------------------------------------------------------------------------
+# CPI
+# ---------------------------------------------------------------------------
+
+CPI_KW = dict(intervals=200_000, cycles_per_interval=2_000)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 8])
+def test_cpi_computes_pi(nprocs):
+    cluster = Cluster.build(max(nprocs, 2), seed=17)
+    handle = launch_spmd(
+        cluster, "apps.cpi", nprocs,
+        lambda rank, vips: cpi.params_of(rank, vips, nprocs=nprocs, **CPI_KW),
+        name="cpi")
+    _run(cluster, handle)
+    (pi_val,) = [v for v in handle.results(cluster, "pi") if v is not None]
+    assert pi_val == pytest.approx(math.pi, abs=1e-9)
+
+
+def test_cpi_matches_across_world_sizes():
+    """The reduction must give the same sum regardless of decomposition."""
+    values = []
+    for nprocs in (1, 4):
+        cluster = Cluster.build(max(nprocs, 2), seed=17)
+        handle = launch_spmd(
+            cluster, "apps.cpi", nprocs,
+            lambda rank, vips: cpi.params_of(rank, vips, nprocs=nprocs, **CPI_KW),
+            name="cpi")
+        _run(cluster, handle)
+        values.append([v for v in handle.results(cluster, "pi") if v is not None][0])
+    assert values[0] == pytest.approx(values[1], rel=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# BT/NAS
+# ---------------------------------------------------------------------------
+
+BT_KW = dict(grid=24, iters=8, cycles_per_point=20_000, face_pad=4096)
+
+
+@pytest.mark.parametrize("nprocs", [1, 4, 9])
+def test_btnas_matches_reference(nprocs):
+    cluster = Cluster.build(max(nprocs, 2), seed=17)
+    handle = launch_spmd(
+        cluster, "apps.btnas", nprocs,
+        lambda rank, vips: btnas.params_of(rank, vips, nprocs=nprocs, **BT_KW),
+        name="bt")
+    _run(cluster, handle)
+    ref_sum, ref_res = btnas.reference_btnas(G=BT_KW["grid"], iters=BT_KW["iters"])
+    (checksum,) = [v for v in handle.results(cluster, "checksum") if v is not None]
+    assert checksum == pytest.approx(ref_sum, rel=1e-12)
+    residuals = handle.results(cluster, "residuals")[0]
+    assert residuals == pytest.approx(ref_res, rel=1e-9)
+
+
+def test_btnas_rejects_non_square_world():
+    with pytest.raises(ValueError):
+        btnas.params_of(0, ["v"], nprocs=3)
+        from repro.vos import build_program
+        build_program("apps.btnas", **btnas.params_of(0, ["v"], nprocs=3))
+    from repro.vos import build_program
+    with pytest.raises(ValueError):
+        build_program("apps.btnas", **btnas.params_of(0, ["v", "v2", "v3"], nprocs=3, **BT_KW))
+
+
+# ---------------------------------------------------------------------------
+# PETSc Bratu
+# ---------------------------------------------------------------------------
+
+BRATU_KW = dict(grid=24, outer=4, sweeps=6, cycles_per_point=10_000)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_bratu_matches_reference(nprocs):
+    cluster = Cluster.build(max(nprocs, 2), seed=17)
+    handle = launch_spmd(
+        cluster, "apps.petsc_bratu", nprocs,
+        lambda rank, vips: petsc_bratu.params_of(rank, vips, nprocs=nprocs, **BRATU_KW),
+        name="bratu")
+    _run(cluster, handle)
+    ref_sum, ref_norms = petsc_bratu.reference_bratu(
+        G=BRATU_KW["grid"], outer=BRATU_KW["outer"], sweeps=BRATU_KW["sweeps"])
+    (checksum,) = [v for v in handle.results(cluster, "checksum") if v is not None]
+    assert checksum == pytest.approx(ref_sum, rel=1e-12)
+    norms = handle.results(cluster, "norms")[0]
+    assert norms == pytest.approx(ref_norms, rel=1e-9)
+
+
+def test_bratu_solution_is_nontrivial():
+    ref_sum, norms = petsc_bratu.reference_bratu(G=24, outer=4, sweeps=6)
+    assert ref_sum > 0  # e^u forcing pushes u positive
+    assert norms[0] > norms[-1]  # Picard iteration actually converges
+
+
+# ---------------------------------------------------------------------------
+# POV-Ray
+# ---------------------------------------------------------------------------
+
+POV_KW = dict(width=96, height=64, tile=32)
+
+
+@pytest.mark.parametrize("nworkers", [1, 3, 7])
+def test_povray_renders_reference_image(nworkers):
+    cluster = Cluster.build(max(nworkers + 1, 2), seed=17)
+    handle = launch_master_worker(
+        cluster, "apps.povray_master", "apps.povray_worker", nworkers,
+        povray.master_params(nworkers=nworkers, **POV_KW),
+        lambda task_id, master_vip: povray.worker_params(
+            task_id, master_vip, width=POV_KW["width"], height=POV_KW["height"],
+            cycles_per_pixel=50_000),
+        name="pov")
+    _run(cluster, handle)
+    masters = [p for p in handle.rank_procs(cluster)]  # workers only
+    # find the master by program name
+    image = None
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == "apps.povray_master" and proc.exit_code == 0:
+                image = proc.regs["image"]
+    assert image == povray.reference_image(**POV_KW)
+
+
+def test_povray_dynamic_assignment_balances():
+    """With varying tile complexity every worker gets some work."""
+    nworkers = 3
+    cluster = Cluster.build(nworkers + 1, seed=17)
+    handle = launch_master_worker(
+        cluster, "apps.povray_master", "apps.povray_worker", nworkers,
+        povray.master_params(nworkers=nworkers, **POV_KW),
+        lambda task_id, master_vip: povray.worker_params(
+            task_id, master_vip, width=POV_KW["width"], height=POV_KW["height"],
+            cycles_per_pixel=50_000),
+        name="pov2")
+    _run(cluster, handle)
+    rendered = handle.results(cluster, "rendered")
+    assert sum(rendered) == len(povray.make_tiles(**POV_KW))
+    assert all(n > 0 for n in rendered)
+
+
+def test_tile_complexity_varies():
+    tiles = povray.make_tiles(256, 192, 64)
+    cx = [povray.tile_complexity(t, 256, 192) for t in tiles]
+    assert max(cx) > 1.5 * min(cx)

@@ -1,0 +1,213 @@
+"""Baseline tests: vanilla launches, peek incompleteness, libckpt limits."""
+
+import math
+
+import pytest
+
+from repro.apps import cpi
+from repro.baselines import (
+    LibCkptRuntime,
+    capture_socket_peek,
+    deploy_peek_manager,
+    emit_ckpt_point,
+    launch_spmd_vanilla,
+)
+from repro.cluster import Cluster
+from repro.core import Manager, migrate
+from repro.core.netckpt import capture_socket
+from repro.net import Fabric, NetStack, Segment
+from repro.vos import DEAD, Kernel, build_program, imm, program
+
+
+# ---------------------------------------------------------------------------
+# vanilla
+# ---------------------------------------------------------------------------
+
+
+def test_vanilla_cpi_runs_without_pods():
+    nprocs = 4
+    cluster = Cluster.build(4, seed=8)
+    handle = launch_spmd_vanilla(
+        cluster, "apps.cpi", nprocs,
+        lambda rank, ips: cpi.params_of(rank, ips, nprocs=nprocs,
+                                        intervals=100_000, cycles_per_interval=2_000),
+        name="vcpi")
+    cluster.engine.run(until=300.0)
+    assert handle.ok(cluster)
+    (pi_val,) = [v for v in handle.results(cluster, "pi") if v is not None]
+    assert pi_val == pytest.approx(math.pi, abs=1e-8)
+    # really no pods were created
+    assert cluster.pods() == {}
+
+
+def test_vanilla_is_faster_or_equal_to_pods():
+    """Pods charge interposition cycles; vanilla must not be slower."""
+    from repro.middleware import launch_spmd
+
+    times = {}
+    for mode in ("vanilla", "pods"):
+        cluster = Cluster.build(2, seed=8)
+        kw = dict(intervals=100_000, cycles_per_interval=2_000)
+        if mode == "vanilla":
+            handle = launch_spmd_vanilla(
+                cluster, "apps.cpi", 2,
+                lambda rank, ips: cpi.params_of(rank, ips, nprocs=2, **kw),
+                name="a")
+        else:
+            handle = launch_spmd(
+                cluster, "apps.cpi", 2,
+                lambda rank, vips: cpi.params_of(rank, vips, nprocs=2, **kw),
+                name="a")
+        cluster.engine.run(until=300.0)
+        assert handle.ok(cluster)
+        # completion time = when the last daemon died; approximate via
+        # engine.now after the run drains
+        times[mode] = cluster.engine.now
+    assert times["vanilla"] <= times["pods"]
+
+
+# ---------------------------------------------------------------------------
+# peek capture (unit level)
+# ---------------------------------------------------------------------------
+
+
+def _connected_socket(engine):
+    kernel = Kernel(engine, "n")
+    stack = NetStack(kernel, Fabric(engine), "10.0.0.1")
+    sock = stack.create_socket("tcp")
+    from repro.net.addr import Endpoint
+    sock.local = Endpoint("10.0.0.1", 1000)
+    stack.register_established(sock, Endpoint("10.0.0.2", 2000))
+    sock.conn.state = "established"
+    return stack, sock
+
+
+def test_peek_misses_backlog_data(engine):
+    """The delivered-but-unprocessed backlog segment: ZapC's lock-taking
+    read sees it, the peek does not."""
+    stack, sock = _connected_socket(engine)
+    base = sock.conn.pcb.rcv_nxt
+    sock.conn.recv_q.extend(b"processed")
+    sock.conn.backlog.append(Segment(seq=base, flags=frozenset({"ACK"}), data=b"+backlogged"))
+
+    peek_rec = capture_socket_peek(stack, sock)
+    assert peek_rec["recv_data"] == b"processed"  # backlog lost
+
+    # rebuild the same state and capture completely
+    stack2, sock2 = _connected_socket(engine)
+    base2 = sock2.conn.pcb.rcv_nxt
+    sock2.conn.recv_q.extend(b"processed")
+    sock2.conn.backlog.append(Segment(seq=base2, flags=frozenset({"ACK"}), data=b"+backlogged"))
+    full_rec = capture_socket(stack2, sock2)
+    assert full_rec["recv_data"] == b"processed+backlogged"
+
+
+def test_peek_misses_oob_data(engine):
+    stack, sock = _connected_socket(engine)
+    sock.conn.oob.extend(b"!")
+    rec = capture_socket_peek(stack, sock)
+    assert rec["oob_data"] == b""
+    stack2, sock2 = _connected_socket(engine)
+    sock2.conn.oob.extend(b"!")
+    assert capture_socket(stack2, sock2)["oob_data"] == b"!"
+
+
+# ---------------------------------------------------------------------------
+# peek capture (end to end): urgent data lost across migration
+# ---------------------------------------------------------------------------
+
+
+def test_peek_based_migration_loses_urgent_data():
+    """Same scenario as the ZapC OOB test, but with PeekAgents: the
+    receiver never gets the urgent byte (it blocks until the run cap)."""
+    import importlib
+    testapps = importlib.import_module("tests.core.test_ckpt_state")  # noqa: F401 registers programs
+
+    cluster = Cluster.build(4, seed=11)
+    manager = deploy_peek_manager(cluster)
+    p_rx = cluster.create_pod(cluster.node(0), "orx")
+    cluster.create_pod(cluster.node(1), "otx")
+    rx = cluster.node(0).kernel.spawn(
+        build_program("testapp.oob-receiver", port=9300), pod_id="orx")
+    cluster.node(1).kernel.spawn(
+        build_program("testapp.oob-sender", peer=p_rx.vip, port=9300), pod_id="otx")
+    holder = {}
+
+    def kick():
+        holder["mig"] = migrate(manager, [
+            ("blade0", "orx", "blade2"),
+            ("blade1", "otx", "blade3"),
+        ])
+
+    cluster.engine.schedule(1.0, kick)
+    cluster.engine.run(until=120.0)
+    assert holder["mig"].finished.result.ok  # the *protocol* succeeds...
+    # ...but the application's data is silently corrupted: the restored
+    # receiver finds no urgent byte where ZapC delivers b"!"
+    from repro.vos.syscalls import Errno
+    restored = [p for n in cluster.nodes for p in n.kernel.procs.values()
+                if p.program.name == "testapp.oob-receiver" and p.exit_code == 0
+                and "urgent" in p.regs]
+    assert restored, "restored receiver should have completed"
+    assert isinstance(restored[0].regs["urgent"], Errno)  # the lost data
+
+
+# ---------------------------------------------------------------------------
+# library-level checkpointing
+# ---------------------------------------------------------------------------
+
+
+@program("baseline.lib-app")
+def _lib_app(b, *, phases, phase_cycles):
+    b.mov("progress", imm(0))
+    with b.for_range("i", imm(0), imm(phases)):
+        b.compute(imm(phase_cycles))
+        b.op("progress", lambda p: p + 1, "progress")
+        emit_ckpt_point(b)
+    b.halt(imm(0))
+
+
+def test_libckpt_waits_for_safe_points():
+    """Request→capture latency depends on the application phase length —
+    the transparency cost ZapC avoids."""
+    cluster = Cluster.build(2, seed=4)
+    runtime = LibCkptRuntime(cluster)
+    phase_cycles = int(0.5 * cluster.node(0).kernel.hz)  # 0.5 s phases
+    procs = []
+    for i in range(2):
+        proc = cluster.node(i).kernel.spawn(
+            build_program("baseline.lib-app", phases=6, phase_cycles=phase_cycles))
+        runtime.watch(proc, cluster.node(i).kernel)
+        procs.append(proc)
+    holder = {}
+
+    def kick():
+        holder["fut"] = runtime.request()
+
+    cluster.engine.schedule(0.6, kick)  # mid-phase: must wait ~0.4s
+    cluster.engine.run(until=60.0)
+    ckpt = holder["fut"].result
+    assert ckpt.latency > 0.2  # waited for the phase boundary
+    assert len(ckpt.states) == 2
+    assert all(p.state == DEAD and p.exit_code == 0 for p in procs)
+
+
+def test_libckpt_restart_does_not_preserve_pids():
+    """The §2 restriction: restored processes get fresh identifiers."""
+    cluster = Cluster.build(1, seed=4)
+    runtime = LibCkptRuntime(cluster)
+    kernel = cluster.node(0).kernel
+    proc = kernel.spawn(build_program("baseline.lib-app", phases=3,
+                                      phase_cycles=1_000_000))
+    runtime.watch(proc, kernel)
+    holder = {}
+    cluster.engine.schedule(0.0001, lambda: holder.update(fut=runtime.request()))
+    cluster.engine.run(until=30.0)
+    ckpt = holder["fut"].result
+    restored = runtime.restart_states(ckpt, kernel)
+    assert len(restored) == 1
+    assert restored[0].pid != proc.pid  # identifier NOT preserved
+    cluster.engine.run(until=60.0)
+    assert restored[0].state == DEAD and restored[0].exit_code == 0
+    # state did round-trip at the application level
+    assert restored[0].regs["progress"] >= 1

@@ -1,0 +1,79 @@
+"""Cluster construction and fault-injection tests."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, crash_node, heal_node, isolate_node
+from repro.errors import PodError
+from repro.vos import DEAD, imm, program
+
+
+@program("test.cluster-sleeper")
+def _sleeper(b, *, seconds=60.0):
+    b.syscall(None, "sleep", imm(seconds))
+    b.halt(imm(0))
+
+
+def _prog(**params):
+    from repro.vos import build_program
+    return build_program("test.cluster-sleeper", **params)
+
+
+def test_build_assigns_distinct_addresses():
+    cluster = Cluster.build(4)
+    ips = [n.ip for n in cluster.nodes]
+    assert len(set(ips)) == 4
+    assert cluster.node(2).name == "blade2"
+    assert cluster.node_by_name("blade3") is cluster.node(3)
+
+
+def test_unknown_node_name_raises():
+    cluster = Cluster.build(1)
+    with pytest.raises(PodError):
+        cluster.node_by_name("bladeX")
+
+
+def test_dual_cpu_spec():
+    cluster = Cluster.build(2, ncpus=2)
+    assert all(n.kernel.ncpus == 2 for n in cluster.nodes)
+
+
+def test_custom_spec_applies():
+    spec = NodeSpec(ncpus=4, memcpy_bandwidth=1e9)
+    cluster = Cluster.build(1, spec=spec)
+    assert cluster.node(0).serialize_delay(1e9) == pytest.approx(1.0)
+
+
+def test_san_is_shared_across_nodes():
+    cluster = Cluster.build(2)
+    fs_a, inner_a = cluster.node(0).kernel.vfs.resolve("/san/x")
+    fs_b, inner_b = cluster.node(1).kernel.vfs.resolve("/san/x")
+    assert fs_a is fs_b is cluster.san
+    assert inner_a == inner_b == "/x"
+
+
+def test_pod_vips_are_unique():
+    cluster = Cluster.build(2)
+    p0 = cluster.create_pod(cluster.node(0), "a")
+    p1 = cluster.create_pod(cluster.node(0), "b")
+    p2 = cluster.create_pod(cluster.node(1), "c")
+    assert len({p0.vip, p1.vip, p2.vip}) == 3
+
+
+def test_crash_node_kills_processes_and_pods():
+    cluster = Cluster.build(2)
+    node = cluster.node(0)
+    cluster.create_pod(node, "p0")
+    proc = node.kernel.spawn(_prog(), pod_id="p0")
+    crash_node(cluster, node)
+    assert node.crashed
+    assert proc.state == DEAD
+    with pytest.raises(PodError):
+        cluster.find_pod("p0")
+
+
+def test_isolate_and_heal_node():
+    cluster = Cluster.build(3)
+    isolate_node(cluster, cluster.node(0))
+    assert (cluster.node(0).ip, cluster.node(1).ip) in cluster.fabric._partitions
+    heal_node(cluster, cluster.node(0))
+    assert (cluster.node(0).ip, cluster.node(1).ip) not in cluster.fabric._partitions

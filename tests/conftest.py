@@ -1,0 +1,13 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh deterministic engine for each test."""
+    return Engine(seed=1234)

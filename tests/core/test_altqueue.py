@@ -1,0 +1,102 @@
+"""Alternate-receive-queue interposition tests."""
+
+from repro.core.altqueue import AltQueue, active_altqueue, install
+from repro.net import Fabric, MSG_OOB, MSG_PEEK, NetStack
+from repro.net.sockets import default_poll, default_recvmsg
+from repro.vos import Kernel
+
+
+def _sock(engine, proto="tcp"):
+    kernel = Kernel(engine, "n")
+    stack = NetStack(kernel, Fabric(engine), "10.0.0.1")
+    sock = stack.create_socket(proto)
+    if proto == "tcp":
+        sock.conn.state = "established"
+    return stack, sock
+
+
+def test_altqueue_served_before_main_queue(engine):
+    stack, sock = _sock(engine)
+    sock.conn.recv_q.extend(b"NEW")
+    install(sock, AltQueue(b"OLD"))
+    first = sock.dispatch["recvmsg"](stack, sock, 3, 0)
+    second = sock.dispatch["recvmsg"](stack, sock, 3, 0)
+    assert first == b"OLD"
+    assert second == b"NEW"
+
+
+def test_altqueue_splices_short_reads(engine):
+    """A read larger than the alt queue continues into the main queue so
+    restored data never reorders after new data."""
+    stack, sock = _sock(engine)
+    sock.conn.recv_q.extend(b"newer")
+    install(sock, AltQueue(b"old-"))
+    got = sock.dispatch["recvmsg"](stack, sock, 9, 0)
+    assert got == b"old-newer"
+
+
+def test_originals_reinstalled_when_drained(engine):
+    stack, sock = _sock(engine)
+    install(sock, AltQueue(b"xy"))
+    assert sock.dispatch["recvmsg"] is not default_recvmsg
+    assert sock.dispatch["recvmsg"](stack, sock, 10, 0) == b"xy"
+    # depleted: interposition removed to avoid overhead
+    assert sock.dispatch["recvmsg"] is default_recvmsg
+    assert sock.dispatch["poll"] is default_poll
+    assert active_altqueue(sock) is None
+
+
+def test_altqueue_poll_reports_readable(engine):
+    stack, sock = _sock(engine)
+    assert "r" not in sock.dispatch["poll"](stack, sock)
+    install(sock, AltQueue(b"data"))
+    assert "r" in sock.dispatch["poll"](stack, sock)
+
+
+def test_altqueue_peek_does_not_consume(engine):
+    stack, sock = _sock(engine)
+    install(sock, AltQueue(b"peekable"))
+    assert sock.dispatch["recvmsg"](stack, sock, 4, MSG_PEEK) == b"peek"
+    assert sock.dispatch["recvmsg"](stack, sock, 8, 0) == b"peekable"
+
+
+def test_altqueue_oob_channel(engine):
+    stack, sock = _sock(engine)
+    install(sock, AltQueue(b"stream", b"!"))
+    assert sock.dispatch["recvmsg"](stack, sock, 10, MSG_OOB) == b"!"
+    assert sock.dispatch["recvmsg"](stack, sock, 10, 0) == b"stream"
+    assert sock.dispatch["recvmsg"] is default_recvmsg
+
+
+def test_altqueue_release_cleans_up(engine):
+    stack, sock = _sock(engine)
+    alt = AltQueue(b"unconsumed")
+    install(sock, alt)
+    sock.dispatch["release"](stack, sock, None)
+    assert alt.empty
+    assert sock.closed
+
+
+def test_second_checkpoint_sees_live_altqueue(engine):
+    """active_altqueue exposes the queue so a second checkpoint can save
+    its state, per the paper."""
+    stack, sock = _sock(engine)
+    alt = AltQueue(b"pending")
+    install(sock, alt)
+    assert active_altqueue(sock) is alt
+    sock.dispatch["recvmsg"](stack, sock, 7, 0)
+    assert active_altqueue(sock) is None
+
+
+def test_append_for_redirected_send_queue(engine):
+    stack, sock = _sock(engine)
+    alt = AltQueue(b"mine")
+    alt.append(b"+peer-sendq")
+    install(sock, alt)
+    assert sock.dispatch["recvmsg"](stack, sock, 64, 0) == b"mine+peer-sendq"
+
+
+def test_empty_altqueue_never_installs(engine):
+    stack, sock = _sock(engine)
+    install(sock, AltQueue(b"", b""))
+    assert sock.dispatch["recvmsg"] is default_recvmsg

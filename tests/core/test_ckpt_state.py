@@ -1,0 +1,240 @@
+"""Checkpoint-restart under adversarial socket state: queued data,
+blocked syscalls, urgent data, UDP, timers."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Manager, migrate
+from repro.net import MSG_OOB
+from repro.vos import DEAD, build_program, imm, program
+
+MOD = (1 << 61) - 1
+
+
+def _roll(acc, msg):
+    return (acc * 31 + int.from_bytes(msg, "big")) % MOD
+
+
+@program("testapp.bulk-sender")
+def _bulk_sender(b, *, peer, port, chunks, chunk_bytes):
+    b.syscall("fd", "socket", imm("tcp"))
+    b.syscall("rc", "connect", "fd", imm((peer, port)))
+    with b.for_range("i", imm(0), imm(chunks)):
+        b.op("msg", lambda i, n=chunk_bytes: bytes([i % 251]) * n, "i")
+        b.syscall(None, "send", "fd", "msg", imm(0))
+    b.syscall(None, "close", "fd")
+    b.halt(imm(0))
+
+
+@program("testapp.slow-receiver")
+def _slow_receiver(b, *, port, total_bytes, compute_per_read=3_000_000):
+    b.syscall("lfd", "socket", imm("tcp"))
+    b.syscall(None, "bind", "lfd", imm(("default", port)))
+    b.syscall(None, "listen", "lfd", imm(4))
+    b.syscall("conn", "accept", "lfd")
+    b.op("cfd", lambda c: c[0], "conn")
+    b.mov("got", imm(0))
+    b.mov("sum", imm(0))
+    b.op("more", lambda g, t=total_bytes: g < t, "got")
+    with b.while_("more"):
+        b.compute(imm(compute_per_read))  # deliberately slow: queues fill
+        b.syscall("m", "recv", "cfd", imm(4096), imm(0))
+        b.op("got", lambda g, m: g + len(m), "got", "m")
+        b.op("sum", _roll, "sum", "m")
+        b.op("more", lambda g, m, t=total_bytes: len(m) > 0 and g < t, "got", "m")
+    b.halt(imm(0))
+
+
+def _expected_stream_state(chunks, chunk_bytes):
+    total = b"".join(bytes([i % 251]) * chunk_bytes for i in range(chunks))
+    return len(total), total
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(4, seed=11)
+    manager = Manager.deploy(cluster)
+    return cluster, manager
+
+
+def _find(cluster, prog):
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == prog and proc.state == DEAD and proc.exit_code == 0:
+                return proc
+    return None
+
+
+def test_migration_with_full_queues_preserves_stream(world):
+    """A fast sender and a slow receiver: at migration time the send and
+    receive queues are non-empty; the byte stream must survive exactly."""
+    cluster, manager = world
+    chunks, chunk_bytes = 60, 4096
+    total = chunks * chunk_bytes
+    p_rx = cluster.create_pod(cluster.node(0), "rx")
+    p_tx = cluster.create_pod(cluster.node(1), "tx")
+    rx = cluster.node(0).kernel.spawn(
+        build_program("testapp.slow-receiver", port=9200, total_bytes=total),
+        pod_id="rx")
+    tx = cluster.node(1).kernel.spawn(
+        build_program("testapp.bulk-sender", peer=p_rx.vip, port=9200,
+                      chunks=chunks, chunk_bytes=chunk_bytes),
+        pod_id="tx")
+    holder = {}
+
+    def kick():
+        # verify the scenario really has queued data right now
+        stacks = [cluster.node(0).stack, cluster.node(1).stack]
+        queued = 0
+        for stack in stacks:
+            for sock in stack.established.values():
+                if sock.proto == "tcp":
+                    queued += len(sock.conn.recv_q) + len(sock.conn.send_buf)
+        holder["queued"] = queued
+        holder["mig"] = migrate(manager, [
+            ("blade0", "rx", "blade2"),
+            ("blade1", "tx", "blade3"),
+        ])
+
+    cluster.engine.schedule(0.05, kick)
+    cluster.engine.run(until=600.0)
+    assert holder["queued"] > 0, "scenario failed to queue data at checkpoint"
+    mig = holder["mig"].finished.result
+    assert mig.ok, (mig.checkpoint.errors, mig.restart.errors)
+    receiver = _find(cluster, "testapp.slow-receiver")
+    assert receiver is not None
+    want_len, want_data = _expected_stream_state(chunks, chunk_bytes)
+    assert receiver.regs["got"] == want_len
+    # rolling checksum over whatever read-chunking happened is not
+    # chunk-invariant, so recompute per the actual reads is impossible;
+    # instead check totals plus sender completion
+    sender = _find(cluster, "testapp.bulk-sender")
+    assert sender is not None
+
+
+@program("testapp.oob-receiver")
+def _oob_receiver(b, *, port):
+    b.syscall("lfd", "socket", imm("tcp"))
+    b.syscall(None, "bind", "lfd", imm(("default", port)))
+    b.syscall(None, "listen", "lfd", imm(4))
+    b.syscall("conn", "accept", "lfd")
+    b.op("cfd", lambda c: c[0], "conn")
+    b.syscall("first", "recv", "cfd", imm(16), imm(0))
+    b.syscall(None, "sleep", imm(2.0))  # checkpoint lands here
+    b.syscall("urgent", "recv", "cfd", imm(16), imm(MSG_OOB))
+    b.syscall("rest", "recv", "cfd", imm(16), imm(0))
+    b.halt(imm(0))
+
+
+@program("testapp.oob-sender")
+def _oob_sender(b, *, peer, port):
+    b.syscall("fd", "socket", imm("tcp"))
+    b.syscall("rc", "connect", "fd", imm((peer, port)))
+    b.syscall(None, "send", "fd", imm(b"normal-one"), imm(0))
+    b.syscall(None, "send", "fd", imm(b"!"), imm(MSG_OOB))
+    b.syscall(None, "send", "fd", imm(b"normal-two"), imm(0))
+    b.syscall(None, "sleep", imm(60.0))  # stay alive across the migration
+    b.halt(imm(0))
+
+
+def test_urgent_data_survives_migration(world):
+    """OOB data queued at checkpoint must be delivered after restart —
+    the data peek-based approaches lose."""
+    cluster, manager = world
+    p_rx = cluster.create_pod(cluster.node(0), "orx")
+    cluster.create_pod(cluster.node(1), "otx")
+    rx = cluster.node(0).kernel.spawn(
+        build_program("testapp.oob-receiver", port=9300), pod_id="orx")
+    cluster.node(1).kernel.spawn(
+        build_program("testapp.oob-sender", peer=p_rx.vip, port=9300), pod_id="otx")
+    holder = {}
+
+    def kick():
+        holder["mig"] = migrate(manager, [
+            ("blade0", "orx", "blade2"),
+            ("blade1", "otx", "blade3"),
+        ])
+
+    cluster.engine.schedule(1.0, kick)  # during the receiver's sleep
+    cluster.engine.run(until=300.0)
+    assert holder["mig"].finished.result.ok
+    receiver = _find(cluster, "testapp.oob-receiver")
+    assert receiver is not None
+    # the normal-data stream is coalescing, so check the concatenation
+    assert receiver.regs["first"] + receiver.regs["rest"] == b"normal-onenormal-two"
+    assert receiver.regs["urgent"] == b"!"
+
+
+@program("testapp.udp-echo")
+def _udp_echo(b, *, port, count):
+    """Sequenced echo server that re-acks duplicates (loss-tolerant, as
+    any real UDP application must be — "packet loss is an expected
+    behavior and should be accounted for by the application")."""
+    b.syscall("fd", "socket", imm("udp"))
+    b.syscall(None, "bind", "fd", imm(("default", port)))
+    b.mov("n", imm(0))
+    b.op("more", lambda n, c=count: n < c, "n")
+    with b.while_("more"):
+        b.syscall("dg", "recvfrom", "fd", imm(256), imm(0))
+        b.op("idx", lambda dg: int.from_bytes(dg[0], "big"), "dg")
+        b.op("peer", lambda dg: dg[1], "dg")
+        b.op("fresh", lambda idx, n: idx == n, "idx", "n")
+        with b.if_("fresh"):
+            b.op("n", lambda n: n + 1, "n")
+        b.op("reply", lambda idx: idx.to_bytes(8, "big"), "idx")
+        b.syscall(None, "sendto", "fd", "reply", "peer")
+        b.op("more", lambda n, c=count: n < c, "n")
+    b.halt(imm(0))
+
+
+@program("testapp.udp-client")
+def _udp_client(b, *, peer, port, count):
+    """Stop-and-wait client with a retransmission timeout."""
+    b.syscall("fd", "socket", imm("udp"))
+    b.syscall(None, "bind", "fd", imm(("default", 9401)))
+    b.mov("acks", imm(0))
+    with b.for_range("i", imm(0), imm(count)):
+        b.op("msg", lambda i: i.to_bytes(8, "big"), "i")
+        b.mov("pending", imm(True))
+        with b.while_("pending"):
+            b.syscall(None, "sendto", "fd", "msg", imm((peer, port)))
+            b.op("pollspec", lambda fd: [(fd, "r")], "fd")
+            b.syscall("ready", "poll", "pollspec", imm(0.3))
+            with b.if_("ready"):
+                b.syscall("r", "recvfrom", "fd", imm(256), imm(0))
+                b.op("ok", lambda r, i: int.from_bytes(r[0], "big") == i, "r", "i")
+                with b.if_("ok"):
+                    b.op("acks", lambda a: a + 1, "acks")
+                    b.mov("pending", imm(False))
+        b.compute(imm(500_000))
+    b.halt(imm(0))
+
+
+def test_udp_application_survives_migration(world):
+    """Connectionless sockets: no re-establishment, queues restored
+    directly; the request/reply loop continues correctly."""
+    cluster, manager = world
+    count = 100
+    p_srv = cluster.create_pod(cluster.node(0), "usrv")
+    cluster.create_pod(cluster.node(1), "ucli")
+    cluster.node(0).kernel.spawn(
+        build_program("testapp.udp-echo", port=9400, count=count), pod_id="usrv")
+    cluster.node(1).kernel.spawn(
+        build_program("testapp.udp-client", peer=p_srv.vip, port=9400, count=count),
+        pod_id="ucli")
+    holder = {}
+
+    def kick():
+        holder["mig"] = migrate(manager, [
+            ("blade0", "usrv", "blade2"),
+            ("blade1", "ucli", "blade3"),
+        ])
+
+    cluster.engine.schedule(0.01, kick)
+    cluster.engine.run(until=300.0)
+    assert holder["mig"].finished.result.ok
+    server = _find(cluster, "testapp.udp-echo")
+    client = _find(cluster, "testapp.udp-client")
+    assert server is not None and client is not None
+    assert server.regs["n"] == count
+    assert client.regs["acks"] == count

@@ -1,0 +1,142 @@
+"""Codec tests, including property-based round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import decode, encode, encoded_size
+from repro.errors import CodecError
+
+
+def test_scalars_round_trip():
+    for obj in (None, True, False, 0, -1, 2**40, -(2**70), 3.5, "héllo", b"\x00\xff"):
+        assert decode(encode(obj)) == obj
+
+
+def test_containers_round_trip():
+    obj = {"a": [1, 2, (3, "x")], "b": {"nested": b"bytes"}, "c": None}
+    assert decode(encode(obj)) == obj
+
+
+def test_ndarray_round_trip():
+    arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+    back = decode(encode(arr))
+    assert isinstance(back, np.ndarray)
+    assert back.dtype == arr.dtype
+    assert np.array_equal(back, arr)
+
+
+def test_numpy_scalars_become_python_scalars():
+    assert decode(encode(np.int64(7))) == 7
+    assert decode(encode(np.float64(2.5))) == 2.5
+
+
+def test_non_string_dict_keys_round_trip():
+    obj = {1: "a", (2, "b"): [3], b"k": None}
+    assert decode(encode(obj)) == obj
+
+
+def test_unrepresentable_type_rejected():
+    with pytest.raises(CodecError):
+        encode(object())
+
+
+def test_truncated_buffer_rejected():
+    data = encode({"k": b"0123456789"})
+    with pytest.raises(CodecError):
+        decode(data[:-3])
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(CodecError):
+        decode(encode(1) + b"junk")
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(CodecError):
+        decode(b"Z")
+
+
+def test_encoded_size_matches():
+    obj = {"x": list(range(100))}
+    assert encoded_size(obj) == len(encode(obj))
+
+
+# ---------------------------------------------------------------------------
+# property-based round-trips
+# ---------------------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_values)
+def test_round_trip_property(obj):
+    assert decode(encode(obj)) == obj
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sampled_from(["u1", "i4", "i8", "f4", "f8"]),
+    st.integers(min_value=0, max_value=50),
+)
+def test_ndarray_round_trip_property(dtype, n):
+    arr = (np.arange(n) * 3).astype(dtype)
+    back = decode(encode(arr))
+    assert back.dtype == arr.dtype and np.array_equal(back, arr)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_values)
+def test_encoding_is_deterministic(obj):
+    assert encode(obj) == encode(obj)
+
+
+def test_errno_round_trip():
+    from repro.vos.syscalls import Errno
+
+    obj = {"rc": Errno("ECONNREFUSED", "10.77.0.1:9600")}
+    back = decode(encode(obj))
+    assert isinstance(back["rc"], Errno)
+    assert back["rc"].name == "ECONNREFUSED"
+    assert back["rc"].detail == "10.77.0.1:9600"
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=120))
+def test_decode_of_arbitrary_bytes_never_crashes_uncontrolled(data):
+    """Fuzz: decoding garbage either yields a value (if it happens to be
+    well-formed) or raises CodecError — never an uncontrolled exception.
+    Checkpoint images may arrive corrupted; the decoder must fail safe."""
+    try:
+        decode(data)
+    except CodecError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(_values, st.integers(min_value=0, max_value=10_000))
+def test_truncation_always_detected(obj, cut):
+    """Any strict prefix of a valid encoding is rejected."""
+    data = encode(obj)
+    if len(data) < 2:
+        return
+    cut = cut % (len(data) - 1)
+    with pytest.raises(CodecError):
+        decode(data[:cut + 1]) if data[:cut + 1] != data else None

@@ -1,0 +1,147 @@
+"""Failure semantics: aborted checkpoints, dead agents, crashed managers.
+
+Section 4: "an Agent failure will be readily detected by the Manager as
+soon as the connection becomes broken.  Similarly a failure of the
+Manager itself will be noted by the Agents.  In both cases, the
+operation will be gracefully aborted, and the application will resume
+its execution."
+"""
+
+import pytest
+
+from repro.cluster import Cluster, crash_node, isolate_node
+from repro.core import Manager
+from repro.vos import DEAD
+
+from .testapps import expected_sums, final_sums, launch_pingpong
+
+ROUNDS = 600
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(4, seed=99)
+    manager = Manager.deploy(cluster)
+    return cluster, manager
+
+
+def test_checkpoint_aborts_when_one_agent_unreachable(world):
+    """One participating node is partitioned mid-checkpoint: the Manager
+    times out, aborts, and the application keeps running correctly."""
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    holder = {}
+
+    def kick():
+        # isolate the client's node just before the checkpoint so the
+        # manager can never reach its agent
+        isolate_node(cluster, cluster.node(1))
+        holder["ckpt"] = manager.checkpoint(
+            [("blade0", "pp-srv", "mem"), ("blade1", "pp-cli", "mem")],
+            deadline=3.0)
+
+    def heal():
+        from repro.cluster import heal_node
+        heal_node(cluster, cluster.node(1))
+
+    cluster.engine.schedule(0.1, kick)
+    cluster.engine.schedule(5.0, heal)
+    cluster.engine.run(until=300.0)
+    result = holder["ckpt"].finished.result
+    assert not result.ok
+    assert result.status in ("timeout", "failed")
+    # the application recovered (TCP retransmission) and finished right
+    assert srv.state == DEAD and cli.state == DEAD
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_agent_aborts_when_manager_connection_breaks(world):
+    """The Agent notices the dead Manager (EOF on the control channel)
+    and resumes the suspended pod."""
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    agent = manager.agents["blade0"]
+
+    # speak the protocol directly, then vanish without sending continue
+    kernel = manager.home.kernel
+
+    def rogue_manager():
+        from repro.core.wire import recv_msg, send_msg
+        from repro.core.agent import AGENT_PORT
+        chan = kernel.host_channel("rogue")
+        fd = yield kernel.host_call(chan, "socket", "tcp")
+        yield kernel.host_call(chan, "connect", fd, (cluster.node(0).ip, AGENT_PORT))
+        yield from send_msg(kernel, chan, fd, {
+            "cmd": "checkpoint", "pod": "pp-srv", "uri": "mem", "context": "snapshot"})
+        msg = yield from recv_msg(kernel, chan, fd)
+        assert msg["type"] == "meta"
+        # die before sending 'continue'
+        yield kernel.host_call(chan, "close", fd)
+
+    def kick():
+        cluster.engine.spawn(rogue_manager(), name="rogue")
+
+    cluster.engine.schedule(0.1, kick)
+    cluster.engine.run(until=300.0)
+    # the pod resumed and the run finished correctly
+    assert srv.state == DEAD and cli.state == DEAD
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_restart_recovers_application_after_node_crash(world):
+    """The headline use case: checkpoint periodically, crash a node,
+    restart the lost pods elsewhere from shared storage."""
+    cluster, manager = world
+    # keep the application off blade0: the Manager lives there
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS, server_node=1, client_node=2)
+    holder = {}
+
+    def kick():
+        holder["ckpt"] = manager.checkpoint([
+            ("blade1", "pp-srv", "file:/san/ft-srv.img"),
+            ("blade2", "pp-cli", "file:/san/ft-cli.img"),
+        ])
+
+    def crash():
+        crash_node(cluster, cluster.node(1))   # takes pp-srv down
+        # the surviving peer pod must be stopped too: a restart rolls the
+        # *whole* application back to the consistent checkpoint
+        cluster.find_pod("pp-cli").destroy()
+        holder["restart"] = manager.restart([
+            ("blade3", "pp-srv", "file:/san/ft-srv.img"),
+            ("blade0", "pp-cli", "file:/san/ft-cli.img"),
+        ])
+
+    cluster.engine.schedule(0.1, kick)
+    cluster.engine.schedule(1.0, crash)
+    cluster.engine.run(until=300.0)
+    assert holder["ckpt"].finished.result.ok
+    assert holder["restart"].finished.result.ok, holder["restart"].finished.result.errors
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_checkpoint_of_unknown_pod_fails_cleanly(world):
+    cluster, manager = world
+    holder = {}
+
+    def kick():
+        holder["ckpt"] = manager.checkpoint([("blade0", "ghost", "mem")])
+
+    cluster.engine.schedule(0.1, kick)
+    cluster.engine.run(until=30.0)
+    result = holder["ckpt"].finished.result
+    assert not result.ok
+    assert any("ghost" in e for e in result.errors)
+
+
+def test_restart_with_missing_image_fails_cleanly(world):
+    cluster, manager = world
+    holder = {}
+
+    def kick():
+        holder["restart"] = manager.restart([("blade0", "never-saved", "mem")])
+
+    cluster.engine.schedule(0.1, kick)
+    cluster.engine.run(until=30.0)
+    result = holder["restart"].finished.result
+    assert not result.ok

@@ -1,0 +1,98 @@
+"""Checkpoint-restart of kernel-bypass (GM) applications — the §5 extension."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Manager, migrate
+from repro.net.gm import GmDevice
+from repro.vos import DEAD, build_program
+
+# the GM test programs live with the device tests
+from ..net import test_gm  # noqa: F401  (registers testapp.gm-* programs)
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(4, seed=47)
+    # GM hardware on blades 0–2 only; blade 3 is ethernet-only
+    devices = {i: GmDevice(cluster.node(i).kernel) for i in range(3)}
+    manager = Manager.deploy(cluster)
+    return cluster, manager, devices
+
+
+def _launch(cluster, count=40):
+    p_srv = cluster.create_pod(cluster.node(0), "gm-srv")
+    cluster.create_pod(cluster.node(1), "gm-cli")
+    srv = cluster.node(0).kernel.spawn(
+        build_program("testapp.gm-echo", port=2, count=count), pod_id="gm-srv")
+    cli = cluster.node(1).kernel.spawn(
+        build_program("testapp.gm-client", peer_vip=p_srv.vip, peer_port=2,
+                      port=2, count=count), pod_id="gm-cli")
+    return srv, cli
+
+
+def _final(cluster, prog):
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == prog and proc.state == DEAD and proc.exit_code == 0:
+                return proc
+    return None
+
+
+def test_gm_app_snapshot_midrun(world):
+    cluster, manager, _devices = world
+    srv, cli = _launch(cluster, count=40)
+    holder = {}
+    cluster.engine.schedule(0.002, lambda: holder.update(c=manager.checkpoint(
+        [("blade0", "gm-srv", "mem"), ("blade1", "gm-cli", "mem")])))
+    cluster.engine.run(until=120.0)
+    assert holder["c"].finished.result.ok
+    client = _final(cluster, "testapp.gm-client")
+    assert client is not None and client.regs["acks"] == 40
+
+
+def test_gm_app_migrates_between_gm_nodes(world):
+    """Migrate the server pod onto another GM-equipped blade: the driver
+    state (tokens, queues, uncredited sends) moves with it."""
+    cluster, manager, _devices = world
+    srv, cli = _launch(cluster, count=40)
+    holder = {}
+
+    def kick():
+        holder["m"] = migrate(manager, [
+            ("blade0", "gm-srv", "blade2"),
+            ("blade1", "gm-cli", "blade1"),  # client stays put
+        ])
+
+    cluster.engine.schedule(0.002, kick)
+    cluster.engine.run(until=300.0)
+    mig = holder["m"].finished.result
+    assert mig.ok, (mig.checkpoint.errors, mig.restart.errors)
+    assert "gm-srv" in cluster.node(2).kernel.pods
+    client = _final(cluster, "testapp.gm-client")
+    assert client is not None and client.regs["acks"] == 40
+    # credits fully recovered after the move
+    assert client.regs["tokens"] == 16
+
+
+def test_gm_restore_requires_gm_hardware(world):
+    """Restoring onto a node without the device fails cleanly — the
+    paper's 'another such device driver' requirement."""
+    cluster, manager, _devices = world
+    srv, cli = _launch(cluster, count=400)
+    holder = {}
+
+    def kick():
+        holder["m"] = migrate(manager, [
+            ("blade0", "gm-srv", "blade3"),  # blade3 has no GM device
+            ("blade1", "gm-cli", "blade2"),
+        ], deadline=10.0)
+
+    cluster.engine.schedule(0.002, kick)
+    cluster.engine.run(until=120.0)
+    mig = holder["m"].finished.result
+    assert mig.checkpoint.ok
+    assert not mig.restart.ok
+    # the failure is reported (with the reason), not timed out
+    assert mig.restart.status == "failed"
+    assert any("GM device" in e for e in mig.restart.errors)

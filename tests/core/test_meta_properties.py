@@ -1,0 +1,120 @@
+"""Property-based tests on restart-plan derivation.
+
+For any random application topology, the derived plan must pair every
+connection exactly once with complementary connect/accept roles, honor
+port inheritance (the accepted side accepts), and compute non-negative
+overlap discards consistent with the PCB invariant.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.meta import build_pod_meta, connection_key, derive_restart_plan
+
+
+@st.composite
+def topologies(draw):
+    """Random pod set with random consistent connections between them."""
+    n_pods = draw(st.integers(min_value=2, max_value=6))
+    pods = [f"pod{i}" for i in range(n_pods)]
+    vips = {p: f"10.77.0.{i + 1}" for i, p in enumerate(pods)}
+    n_conns = draw(st.integers(min_value=0, max_value=8))
+    records = {p: [] for p in pods}
+    sock_id = {p: 10 for p in pods}
+    listeners = set()
+    for c in range(n_conns):
+        a, b = draw(st.lists(st.sampled_from(pods), min_size=2, max_size=2,
+                             unique=True))
+        # a accepted the connection on a listener port; b initiated
+        accept_port = 9000 + draw(st.integers(min_value=0, max_value=3))
+        init_port = 32768 + c
+        if (a, accept_port) not in listeners:
+            listeners.add((a, accept_port))
+            records[a].append(_rec(sock_id[a], (vips[a], accept_port), listening=True))
+            sock_id[a] += 1
+        # consistent PCBs honoring recv_peer >= acked_self on both sides
+        sent_b = draw(st.integers(min_value=1001, max_value=5000))
+        acked_b = draw(st.integers(min_value=1001, max_value=sent_b))
+        recv_a = draw(st.integers(min_value=acked_b, max_value=sent_b))
+        sent_a = draw(st.integers(min_value=1001, max_value=5000))
+        acked_a = draw(st.integers(min_value=1001, max_value=sent_a))
+        recv_b = draw(st.integers(min_value=acked_a, max_value=sent_a))
+        records[a].append(_rec(
+            sock_id[a], (vips[a], accept_port), remote=(vips[b], init_port),
+            origin="accepted",
+            pcb={"sent": sent_a, "acked": acked_a, "recv": recv_a}))
+        sock_id[a] += 1
+        records[b].append(_rec(
+            sock_id[b], (vips[b], init_port), remote=(vips[a], accept_port),
+            origin="initiated",
+            pcb={"sent": sent_b, "acked": acked_b, "recv": recv_b}))
+        sock_id[b] += 1
+    return {p: build_pod_meta(p, recs) for p, recs in records.items()}
+
+
+def _rec(sock_id, local, remote=None, listening=False, origin="initiated",
+         state="full-duplex", pcb=None):
+    return {
+        "sock_id": sock_id, "proto": "tcp", "local": local, "remote": remote,
+        "listening": listening, "origin": origin, "meta_state": state,
+        "pcb": pcb or {"sent": 1001, "acked": 1001, "recv": 1001},
+    }
+
+
+@settings(max_examples=150, deadline=None)
+@given(metas=topologies())
+def test_plan_pairs_every_connection_once(metas):
+    plan = derive_restart_plan(metas)
+    roles = {}
+    for pod, pod_plan in plan.items():
+        for entry in pod_plan["schedule"]:
+            key = connection_key(tuple(entry["src"]), tuple(entry["dst"]))
+            roles.setdefault(key, []).append(entry["role"])
+    for key, rs in roles.items():
+        assert sorted(rs) == ["accept", "connect"], f"{key}: {rs}"
+
+
+@settings(max_examples=150, deadline=None)
+@given(metas=topologies())
+def test_plan_accepted_side_accepts(metas):
+    """Port inheritance: the endpoint created by accept must accept."""
+    origin_by = {}
+    for pod, table in metas.items():
+        for entry in table:
+            if entry["dst"] is not None:
+                origin_by[(pod, entry["sock_id"])] = entry["origin"]
+    plan = derive_restart_plan(metas)
+    for pod, pod_plan in plan.items():
+        for entry in pod_plan["schedule"]:
+            origin = origin_by[(pod, entry["sock_id"])]
+            if origin == "accepted":
+                assert entry["role"] == "accept"
+            else:
+                assert entry["role"] == "connect"
+
+
+@settings(max_examples=150, deadline=None)
+@given(metas=topologies())
+def test_plan_discards_are_consistent(metas):
+    """Discards are non-negative and never exceed the unacked window."""
+    pcb_by = {}
+    for pod, table in metas.items():
+        for entry in table:
+            if entry["pcb"] is not None:
+                pcb_by[(pod, entry["sock_id"])] = entry["pcb"]
+    plan = derive_restart_plan(metas)
+    for pod, pod_plan in plan.items():
+        for entry in pod_plan["schedule"]:
+            pcb = pcb_by[(pod, entry["sock_id"])]
+            discard = entry["send_discard"]
+            assert discard >= 0
+            # cannot discard more than the send queue can hold
+            assert discard <= pcb["sent"] - pcb["acked"]
+
+
+@settings(max_examples=100, deadline=None)
+@given(metas=topologies())
+def test_plan_listeners_survive(metas):
+    listener_count = sum(
+        1 for table in metas.values() for e in table if e["state"] == "listening")
+    plan = derive_restart_plan(metas)
+    assert sum(len(p["listeners"]) for p in plan.values()) == listener_count

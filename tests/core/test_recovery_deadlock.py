@@ -1,0 +1,136 @@
+"""The ring-topology deadlock claim of Section 4.
+
+"Consider for instance an application connected in a ring topology ...
+a deadlock occurs if every node first attempts to accept a connection
+from the next node.  To prevent such deadlocks ... we simply divide the
+work between two threads of execution."
+
+A K-pod token ring is migrated; two-thread connectivity recovery must
+succeed, while the sequential (accept-then-connect) ablation must hang
+until the Manager's deadline.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Manager, migrate
+from repro.vos import DEAD, build_program, imm, program
+
+K = 4
+LAPS = 40
+
+
+@program("testapp.ring-node")
+def _ring_node(b, *, my_port, next_vip, next_port, laps, starter, compute=2_000_000):
+    """Accept from the previous node, connect to the next, pass a token."""
+    b.syscall("lfd", "socket", imm("tcp"))
+    b.syscall(None, "bind", "lfd", imm(("default", my_port)))
+    b.syscall(None, "listen", "lfd", imm(4))
+    # connect forward while accepting backward: applications themselves
+    # avoid the bootstrap deadlock by connecting before accepting
+    b.syscall("ofd", "socket", imm("tcp"))
+    b.syscall("rc", "connect", "ofd", imm((next_vip, next_port)))
+    b.syscall("conn", "accept", "lfd")
+    b.op("ifd", lambda c: c[0], "conn")
+    if starter:
+        b.syscall(None, "send", "ofd", imm((0).to_bytes(8, "big")), imm(0))
+    # each node performs exactly `laps` receptions; every reception is
+    # forwarded except the starter's last, which retires the token —
+    # so the ring drains cleanly with no EOF cascade
+    with b.for_range("t", imm(0), imm(laps)):
+        b.syscall("tok", "recv", "ifd", imm(8), imm(0))
+        b.compute(imm(compute))
+        b.op("out", lambda tok: (int.from_bytes(tok, "big") + 1).to_bytes(8, "big"), "tok")
+        if starter:
+            b.op("fwd", lambda t, n=laps: t < n - 1, "t")
+            with b.if_("fwd"):
+                b.syscall(None, "send", "ofd", "out", imm(0))
+        else:
+            b.syscall(None, "send", "ofd", "out", imm(0))
+    b.mov("tokens", imm(laps))
+    if starter:
+        b.op("final", lambda tok: int.from_bytes(tok, "big"), "tok")
+    b.halt(imm(0))
+
+
+def _launch_ring(cluster):
+    pods = []
+    for i in range(K):
+        pods.append(cluster.create_pod(cluster.node(i), f"ring{i}"))
+    procs = []
+    for i in range(K):
+        nxt = pods[(i + 1) % K]
+        prog = build_program(
+            "testapp.ring-node",
+            my_port=9500 + i,
+            next_vip=nxt.vip,
+            next_port=9500 + (i + 1) % K,
+            laps=LAPS,
+            starter=(i == 0),
+        )
+        procs.append(cluster.node(i).kernel.spawn(prog, pod_id=f"ring{i}"))
+    return pods, procs
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(2 * K, seed=5)
+    manager = Manager.deploy(cluster)
+    return cluster, manager
+
+
+def test_ring_runs_correctly_without_checkpoint(world):
+    cluster, _ = world
+    _pods, procs = _launch_ring(cluster)
+    cluster.engine.run(until=120.0)
+    assert all(p.state == DEAD and p.exit_code == 0 for p in procs)
+    # the token visited K*LAPS hops; the starter saw it last
+    assert procs[0].regs["final"] == K * LAPS - 1
+
+
+def test_two_thread_recovery_restores_ring(world):
+    cluster, manager = world
+    _pods, _procs = _launch_ring(cluster)
+    holder = {}
+
+    def kick():
+        holder["mig"] = migrate(manager, [
+            (f"blade{i}", f"ring{i}", f"blade{K + i}") for i in range(K)
+        ])
+
+    cluster.engine.schedule(0.05, kick)
+    cluster.engine.run(until=300.0)
+    mig = holder["mig"].finished.result
+    assert mig.ok, (mig.checkpoint.errors, mig.restart.errors)
+    assert mig.checkpoint.max_stat("sockets") >= 3  # listener + in + out
+    finals = []
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == "testapp.ring-node" and proc.exit_code == 0 \
+                    and "final" in proc.regs:
+                finals.append(proc.regs["final"])
+    assert finals == [K * LAPS - 1]
+
+
+def test_sequential_recovery_deadlocks_on_ring(world):
+    """The ablation: accept-before-connect in one thread hangs on a ring
+    until the Manager's deadline aborts the restart."""
+    cluster, manager = world
+    _pods, _procs = _launch_ring(cluster)
+    holder = {}
+
+    def kick():
+        holder["mig"] = migrate(
+            manager,
+            [(f"blade{i}", f"ring{i}", f"blade{K + i}") for i in range(K)],
+            recovery_mode="sequential",
+            deadline=10.0,
+        )
+
+    cluster.engine.schedule(0.05, kick)
+    cluster.engine.run(until=300.0)
+    mig = holder["mig"].finished.result
+    assert mig.checkpoint.ok
+    assert mig.checkpoint.max_stat("sockets") >= 3
+    assert not mig.restart.ok
+    assert mig.restart.status == "timeout"

@@ -1,0 +1,75 @@
+"""Scope boundaries the paper declares: connections leaving the
+checkpointed set "are beyond the scope of this paper" — we pin down what
+actually happens so the boundary is explicit, not accidental."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Manager, migrate
+from repro.vos import DEAD, build_program, imm, program
+from repro.vos.syscalls import Errno
+
+
+@program("scope.outside-client")
+def _outside_client(b, *, server_ip, port):
+    """A pod process talking to a *host* service outside any pod."""
+    b.syscall("fd", "socket", imm("tcp"))
+    b.syscall("rc", "connect", "fd", imm((server_ip, port)))
+    b.syscall(None, "send", "fd", imm(b"hello-from-pod"), imm(0))
+    b.syscall("reply", "recv", "fd", imm(64), imm(0))
+    b.syscall(None, "sleep", imm(5.0))  # checkpoint lands here
+    b.syscall("after", "recv", "fd", imm(64), imm(0))
+    b.halt(imm(0))
+
+
+def test_connection_to_external_service_becomes_orphan():
+    """Migrating a pod with a connection to an uncheckpointed host
+    service: the protocol completes, the connection is restored as a
+    dead-peer orphan (unread data + EOF), and the application observes
+    a closed connection — not a hang, not a crash."""
+    cluster = Cluster.build(3, seed=111)
+    manager = Manager.deploy(cluster)
+
+    # a host-level echo service on blade2, outside any pod
+    kernel2 = cluster.node(2).kernel
+
+    def host_service():
+        chan = kernel2.host_channel("svc")
+        lfd = yield kernel2.host_call(chan, "socket", "tcp")
+        yield kernel2.host_call(chan, "bind", lfd, (cluster.node(2).ip, 8800))
+        yield kernel2.host_call(chan, "listen", lfd, 4)
+        fd, _peer = yield kernel2.host_call(chan, "accept", lfd)
+        data = yield kernel2.host_call(chan, "recv", fd, 64, 0)
+        yield kernel2.host_call(chan, "send", fd, b"ack:" + data, 0)
+        # the service never learns about the migration; it keeps the
+        # connection open and eventually gives up on its own
+
+    cluster.engine.spawn(host_service(), name="svc")
+    cluster.create_pod(cluster.node(0), "outp")
+    cluster.node(0).kernel.spawn(
+        build_program("scope.outside-client", server_ip=cluster.node(2).ip,
+                      port=8800), pod_id="outp")
+    holder = {}
+    cluster.engine.schedule(1.0, lambda: holder.update(
+        m=migrate(manager, [("blade0", "outp", "blade1")])))
+    cluster.engine.run(until=120.0)
+    mig = holder["m"].finished.result
+    assert mig.ok  # the operation itself succeeds
+    proc = next(p for n in cluster.nodes for p in n.kernel.procs.values()
+                if p.program.name == "scope.outside-client" and p.exit_code == 0)
+    assert proc.regs["reply"] == b"ack:hello-from-pod"  # pre-checkpoint data
+    # post-restart the external connection is a dead-peer orphan: EOF
+    assert proc.regs["after"] == b""
+
+
+def test_checkpoint_rejects_topologies_with_triple_endpoints():
+    from repro.core.meta import build_pod_meta, derive_restart_plan
+    from repro.errors import CheckpointError
+
+    rec = {"sock_id": 1, "proto": "tcp", "local": ("a", 1), "remote": ("b", 2),
+           "listening": False, "origin": "initiated", "meta_state": "full-duplex",
+           "pcb": {"sent": 1, "acked": 1, "recv": 1}}
+    metas = {f"p{i}": build_pod_meta(f"p{i}", [dict(rec, sock_id=i)])
+             for i in range(3)}
+    with pytest.raises(CheckpointError):
+        derive_restart_plan(metas)

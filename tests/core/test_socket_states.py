@@ -1,0 +1,340 @@
+"""Checkpoint-restart across every socket state of Section 5's table:
+connecting, pending-accept, half-duplex, closed-with-unread-data — plus
+peeked datagrams and the full option set."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Manager, migrate
+from repro.net import MSG_PEEK
+from repro.vos import DEAD, build_program, imm, program
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(4, seed=83)
+    manager = Manager.deploy(cluster)
+    return cluster, manager
+
+
+def _mig(cluster, manager, holder, pods, at):
+    def kick():
+        moves = [(cluster.node_of_pod(p).name, p, f"blade{2 + i}")
+                 for i, p in enumerate(pods)]
+        holder["m"] = migrate(manager, moves)
+
+    cluster.engine.schedule(at, kick)
+
+
+def _done(cluster, prog):
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == prog and proc.state == DEAD and proc.exit_code == 0:
+                return proc
+    return None
+
+
+# ---------------------------------------------------------------------------
+# connecting: blocked-in-connect at checkpoint time
+# ---------------------------------------------------------------------------
+
+
+@program("sockstate.late-listener")
+def _late_listener(b, *, port, delay):
+    """Start listening only after a delay: the peer's connect must wait."""
+    b.syscall(None, "sleep", imm(delay))
+    b.syscall("lfd", "socket", imm("tcp"))
+    b.syscall(None, "bind", "lfd", imm(("default", port)))
+    b.syscall(None, "listen", "lfd", imm(4))
+    b.syscall("conn", "accept", "lfd")
+    b.op("cfd", lambda c: c[0], "conn")
+    b.syscall("data", "recv", "cfd", imm(64), imm(0))
+    b.halt(imm(0))
+
+
+@program("sockstate.eager-connector")
+def _eager_connector(b, *, peer, port):
+    """Connect (retrying) to a listener that does not exist yet."""
+    b.mov("pending", imm(True))
+    with b.while_("pending"):
+        b.syscall("fd", "socket", imm("tcp"))
+        b.syscall("rc", "connect", "fd", imm((peer, port)))
+        b.op("pending", lambda rc: hasattr(rc, "name"), "rc")
+        with b.if_("pending"):
+            b.syscall(None, "close", "fd")
+            b.syscall(None, "sleep", imm(0.3))
+    b.syscall(None, "send", "fd", imm(b"made-it"), imm(0))
+    b.halt(imm(0))
+
+
+def test_connect_in_progress_survives_migration(world):
+    """The 'connecting' transient state: the application is mid-connect
+    (or between retries) at checkpoint; the re-issued syscall drives the
+    handshake after restart."""
+    cluster, manager = world
+    p_lsn = cluster.create_pod(cluster.node(0), "ss-lsn")
+    cluster.create_pod(cluster.node(1), "ss-con")
+    cluster.node(0).kernel.spawn(
+        build_program("sockstate.late-listener", port=9600, delay=3.0),
+        pod_id="ss-lsn")
+    cluster.node(1).kernel.spawn(
+        build_program("sockstate.eager-connector", peer=p_lsn.vip, port=9600),
+        pod_id="ss-con")
+    holder = {}
+    _mig(cluster, manager, holder, ["ss-lsn", "ss-con"], at=1.0)
+    cluster.engine.run(until=120.0)
+    assert holder["m"].finished.result.ok
+    listener = _done(cluster, "sockstate.late-listener")
+    assert listener is not None
+    assert listener.regs["data"] == b"made-it"
+
+
+# ---------------------------------------------------------------------------
+# pending accept: connection established but not yet accepted by the app
+# ---------------------------------------------------------------------------
+
+
+@program("sockstate.slow-acceptor")
+def _slow_acceptor(b, *, port, nap):
+    b.syscall("lfd", "socket", imm("tcp"))
+    b.syscall(None, "bind", "lfd", imm(("default", port)))
+    b.syscall(None, "listen", "lfd", imm(8))
+    b.syscall(None, "sleep", imm(nap))  # connections pile up meanwhile
+    b.syscall("conn", "accept", "lfd")
+    b.op("cfd", lambda c: c[0], "conn")
+    b.syscall("data", "recv", "cfd", imm(64), imm(0))
+    b.halt(imm(0))
+
+
+@program("sockstate.early-client")
+def _early_client(b, *, peer, port):
+    b.syscall("fd", "socket", imm("tcp"))
+    b.syscall("rc", "connect", "fd", imm((peer, port)))
+    b.syscall(None, "send", "fd", imm(b"queued-early"), imm(0))
+    b.syscall(None, "sleep", imm(30.0))
+    b.halt(imm(0))
+
+
+def test_pending_accept_connection_survives_migration(world):
+    """A connection sitting in the kernel accept queue (with data!) at
+    checkpoint time is re-established and re-queued, so the restored
+    application's accept still yields it."""
+    cluster, manager = world
+    p_acc = cluster.create_pod(cluster.node(0), "ss-acc")
+    cluster.create_pod(cluster.node(1), "ss-cli")
+    cluster.node(0).kernel.spawn(
+        build_program("sockstate.slow-acceptor", port=9601, nap=3.0),
+        pod_id="ss-acc")
+    cluster.node(1).kernel.spawn(
+        build_program("sockstate.early-client", peer=p_acc.vip, port=9601),
+        pod_id="ss-cli")
+    holder = {}
+    _mig(cluster, manager, holder, ["ss-acc", "ss-cli"], at=1.0)
+    cluster.engine.run(until=120.0)
+    assert holder["m"].finished.result.ok
+    acceptor = _done(cluster, "sockstate.slow-acceptor")
+    assert acceptor is not None
+    assert acceptor.regs["data"] == b"queued-early"
+
+
+# ---------------------------------------------------------------------------
+# half-duplex and closed-with-unread-data
+# ---------------------------------------------------------------------------
+
+
+@program("sockstate.half-closer")
+def _half_closer(b, *, peer, port):
+    b.syscall("fd", "socket", imm("tcp"))
+    b.syscall("rc", "connect", "fd", imm((peer, port)))
+    b.syscall(None, "send", "fd", imm(b"parting-words"), imm(0))
+    b.syscall(None, "shutdown", "fd", imm("wr"))  # half-duplex now
+    b.syscall("reply", "recv", "fd", imm(64), imm(0))  # still readable
+    b.halt(imm(0))
+
+
+@program("sockstate.half-server")
+def _half_server(b, *, port, nap):
+    b.syscall("lfd", "socket", imm("tcp"))
+    b.syscall(None, "bind", "lfd", imm(("default", port)))
+    b.syscall(None, "listen", "lfd", imm(4))
+    b.syscall("conn", "accept", "lfd")
+    b.op("cfd", lambda c: c[0], "conn")
+    b.syscall(None, "sleep", imm(nap))  # checkpoint lands here
+    b.syscall("data", "recv", "cfd", imm(64), imm(0))
+    b.syscall("eof", "recv", "cfd", imm(64), imm(0))
+    b.syscall(None, "send", "cfd", imm(b"goodbye"), imm(0))
+    b.halt(imm(0))
+
+
+def test_half_duplex_connection_survives_migration(world):
+    """shutdown(WR) before the checkpoint: after restart the server reads
+    the unread data, then EOF, and the reverse direction still works."""
+    cluster, manager = world
+    p_srv = cluster.create_pod(cluster.node(0), "ss-hsrv")
+    cluster.create_pod(cluster.node(1), "ss-hcli")
+    cluster.node(0).kernel.spawn(
+        build_program("sockstate.half-server", port=9602, nap=3.0),
+        pod_id="ss-hsrv")
+    cluster.node(1).kernel.spawn(
+        build_program("sockstate.half-closer", peer=p_srv.vip, port=9602),
+        pod_id="ss-hcli")
+    holder = {}
+    _mig(cluster, manager, holder, ["ss-hsrv", "ss-hcli"], at=1.0)
+    cluster.engine.run(until=120.0)
+    assert holder["m"].finished.result.ok
+    server = _done(cluster, "sockstate.half-server")
+    assert server is not None
+    assert server.regs["data"] == b"parting-words"
+    assert server.regs["eof"] == b""
+    closer = _done(cluster, "sockstate.half-closer")
+    assert closer is not None
+    assert closer.regs["reply"] == b"goodbye"
+
+
+# ---------------------------------------------------------------------------
+# peeked datagrams (the paper's explicit UDP exception)
+# ---------------------------------------------------------------------------
+
+
+@program("sockstate.peeker")
+def _peeker(b, *, port, nap):
+    """Peek at a datagram, nap (checkpoint window), then consume it —
+    'to preserve the expected semantics, the data in the queue must be
+    restored upon restart, since its existence is already part of the
+    application's state'."""
+    b.syscall("fd", "socket", imm("udp"))
+    b.syscall(None, "bind", "fd", imm(("default", port)))
+    b.syscall("peeked", "recvfrom", "fd", imm(64), imm(MSG_PEEK))
+    b.syscall(None, "sleep", imm(nap))
+    b.syscall("real", "recvfrom", "fd", imm(64), imm(0))
+    b.halt(imm(0))
+
+
+@program("sockstate.one-shot")
+def _one_shot(b, *, peer, port):
+    b.syscall("fd", "socket", imm("udp"))
+    b.syscall(None, "sendto", "fd", imm(b"look-at-me"), imm((peer, port)))
+    b.syscall(None, "sleep", imm(30.0))
+    b.halt(imm(0))
+
+
+def test_peeked_datagram_survives_migration(world):
+    cluster, manager = world
+    p_rx = cluster.create_pod(cluster.node(0), "ss-peek")
+    cluster.create_pod(cluster.node(1), "ss-shot")
+    cluster.node(0).kernel.spawn(
+        build_program("sockstate.peeker", port=9603, nap=3.0), pod_id="ss-peek")
+    cluster.node(1).kernel.spawn(
+        build_program("sockstate.one-shot", peer=p_rx.vip, port=9603),
+        pod_id="ss-shot")
+    holder = {}
+    _mig(cluster, manager, holder, ["ss-peek", "ss-shot"], at=1.0)
+    cluster.engine.run(until=120.0)
+    assert holder["m"].finished.result.ok
+    peeker = _done(cluster, "sockstate.peeker")
+    assert peeker is not None
+    assert peeker.regs["peeked"][0] == b"look-at-me"
+    assert peeker.regs["real"][0] == b"look-at-me"  # restored, not lost
+
+
+# ---------------------------------------------------------------------------
+# the full option set
+# ---------------------------------------------------------------------------
+
+
+@program("sockstate.optioneer")
+def _optioneer(b, *, peer, port, nap):
+    b.syscall("fd", "socket", imm("tcp"))
+    b.syscall(None, "setsockopt", "fd", imm("SO_KEEPALIVE"), imm(1))
+    b.syscall(None, "setsockopt", "fd", imm("TCP_KEEPALIVE"), imm(120.0))
+    b.syscall(None, "setsockopt", "fd", imm("TCP_STDURG"), imm(1))
+    b.syscall(None, "setsockopt", "fd", imm("SO_LINGER"), imm((1, 5)))
+    b.syscall(None, "setsockopt", "fd", imm("IP_TOS"), imm(0x10))
+    b.syscall("rc", "connect", "fd", imm((peer, port)))
+    b.syscall(None, "sleep", imm(nap))  # checkpoint lands here
+    b.syscall("ka", "getsockopt", "fd", imm("SO_KEEPALIVE"))
+    b.syscall("tka", "getsockopt", "fd", imm("TCP_KEEPALIVE"))
+    b.syscall("urg", "getsockopt", "fd", imm("TCP_STDURG"))
+    b.syscall("lin", "getsockopt", "fd", imm("SO_LINGER"))
+    b.syscall("tos", "getsockopt", "fd", imm("IP_TOS"))
+    b.halt(imm(0))
+
+
+@program("sockstate.optioneer-peer")
+def _optioneer_peer(b, *, port):
+    b.syscall("lfd", "socket", imm("tcp"))
+    b.syscall(None, "bind", "lfd", imm(("default", port)))
+    b.syscall(None, "listen", "lfd", imm(4))
+    b.syscall("conn", "accept", "lfd")
+    b.syscall(None, "sleep", imm(30.0))
+    b.halt(imm(0))
+
+
+def test_entire_option_set_survives_migration(world):
+    """'For correctness, the entire set of the parameters is included in
+    the saved state' — including the paper's named examples
+    TCP_KEEPALIVE and TCP_STDURG."""
+    cluster, manager = world
+    p_peer = cluster.create_pod(cluster.node(0), "ss-opeer")
+    cluster.create_pod(cluster.node(1), "ss-opt")
+    cluster.node(0).kernel.spawn(
+        build_program("sockstate.optioneer-peer", port=9604), pod_id="ss-opeer")
+    cluster.node(1).kernel.spawn(
+        build_program("sockstate.optioneer", peer=p_peer.vip, port=9604, nap=3.0),
+        pod_id="ss-opt")
+    holder = {}
+    _mig(cluster, manager, holder, ["ss-opeer", "ss-opt"], at=1.0)
+    cluster.engine.run(until=120.0)
+    assert holder["m"].finished.result.ok
+    opt = _done(cluster, "sockstate.optioneer")
+    assert opt is not None
+    assert opt.regs["ka"] == 1
+    assert opt.regs["tka"] == 120.0
+    assert opt.regs["urg"] == 1
+    assert tuple(opt.regs["lin"]) == (1, 5)
+    assert opt.regs["tos"] == 0x10
+
+
+# ---------------------------------------------------------------------------
+# blocked poll across restart
+# ---------------------------------------------------------------------------
+
+
+@program("sockstate.poller")
+def _poller(b, *, port):
+    b.syscall("lfd", "socket", imm("tcp"))
+    b.syscall(None, "bind", "lfd", imm(("default", port)))
+    b.syscall(None, "listen", "lfd", imm(4))
+    b.syscall("conn", "accept", "lfd")
+    b.op("cfd", lambda c: c[0], "conn")
+    b.op("spec", lambda fd: [(fd, "r")], "cfd")
+    b.syscall("ready", "poll", "spec", imm(None))  # blocked here at ckpt
+    b.syscall("data", "recv", "cfd", imm(64), imm(0))
+    b.halt(imm(0))
+
+
+@program("sockstate.late-talker")
+def _late_talker(b, *, peer, port, delay):
+    b.syscall("fd", "socket", imm("tcp"))
+    b.syscall("rc", "connect", "fd", imm((peer, port)))
+    b.syscall(None, "sleep", imm(delay))
+    b.syscall(None, "send", "fd", imm(b"after-the-move"), imm(0))
+    b.halt(imm(0))
+
+
+def test_blocked_poll_survives_migration(world):
+    cluster, manager = world
+    p_srv = cluster.create_pod(cluster.node(0), "ss-poll")
+    cluster.create_pod(cluster.node(1), "ss-talk")
+    cluster.node(0).kernel.spawn(
+        build_program("sockstate.poller", port=9605), pod_id="ss-poll")
+    cluster.node(1).kernel.spawn(
+        build_program("sockstate.late-talker", peer=p_srv.vip, port=9605,
+                      delay=4.0), pod_id="ss-talk")
+    holder = {}
+    _mig(cluster, manager, holder, ["ss-poll", "ss-talk"], at=1.0)
+    cluster.engine.run(until=120.0)
+    assert holder["m"].finished.result.ok
+    poller = _done(cluster, "sockstate.poller")
+    assert poller is not None
+    assert poller.regs["ready"] and poller.regs["data"] == b"after-the-move"

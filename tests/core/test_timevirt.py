@@ -1,0 +1,126 @@
+"""Time-virtualization tests (Section 5's optional clock/timer rebasing)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Manager
+from repro.vos import DEAD, build_program, imm, program
+
+
+@program("testapp.heartbeat")
+def _heartbeat(b, *, threshold, work=3.0):
+    """An application-level timeout layer: stamp, work, check staleness —
+    the pattern the paper says breaks without time virtualization."""
+    b.syscall("stamp", "gettime")
+    b.syscall(None, "sleep", imm(work))  # checkpoint lands in here
+    b.syscall("now", "gettime")
+    b.op("elapsed", lambda now, stamp: now - stamp, "now", "stamp")
+    b.op("expired", lambda e, t=threshold: e > t, "elapsed")
+    b.halt(imm(0))
+
+
+@program("testapp.timer-user")
+def _timer_user(b, *, delay):
+    b.syscall("tid", "settimer", imm(delay))
+    b.syscall(None, "sleep", imm(1.0))  # checkpoint lands here
+    b.syscall("fired", "waittimer", "tid")
+    b.syscall("t", "gettime")
+    b.halt(imm(0))
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(2, seed=3)
+    manager = Manager.deploy(cluster)
+    return cluster, manager
+
+
+def _snapshot_then_delayed_restart(cluster, manager, pod_id, gap, **restart_kw):
+    """Checkpoint at 0.5s, destroy the pod, restart after ``gap`` seconds."""
+    holder = {}
+
+    def kick():
+        holder["ckpt"] = manager.checkpoint([("blade0", pod_id, "mem")])
+
+    def destroy():
+        # the pod dies right after the snapshot so only the restored
+        # instance ever completes (otherwise the resumed original would
+        # finish too and confound the assertions)
+        cluster.find_pod(pod_id).destroy()
+
+    def restart():
+        # in-memory images live on the checkpointing node's agent, so the
+        # restart happens there too (the pod is gone by then)
+        holder["restart"] = manager.restart([("blade0", pod_id, "mem")], **restart_kw)
+
+    cluster.engine.schedule(0.5, kick)
+    cluster.engine.schedule(0.8, destroy)
+    cluster.engine.schedule(0.5 + gap, restart)
+    cluster.engine.run(until=300.0)
+    assert holder["ckpt"].finished.result.ok
+    assert holder["restart"].finished.result.ok
+    return holder
+
+
+def _app_proc(cluster, name):
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == name and proc.state == DEAD and proc.exit_code == 0:
+                return proc
+    raise AssertionError(f"no completed {name}")
+
+
+def test_virtualized_clock_hides_the_gap(world):
+    cluster, manager = world
+    cluster.create_pod(cluster.node(0), "hb")
+    cluster.node(0).kernel.spawn(
+        build_program("testapp.heartbeat", threshold=5.0), pod_id="hb")
+    _snapshot_then_delayed_restart(cluster, manager, "hb", gap=10.0,
+                                   time_virtualization=True)
+    proc = _app_proc(cluster, "testapp.heartbeat")
+    # the app slept 3s; with the clock rebased it must observe ~3s even
+    # though >10s of real time passed
+    assert proc.regs["elapsed"] == pytest.approx(3.0, abs=0.3)
+    assert proc.regs["expired"] is False
+
+
+def test_unvirtualized_clock_exposes_the_gap(world):
+    cluster, manager = world
+    cluster.create_pod(cluster.node(0), "hb")
+    cluster.node(0).kernel.spawn(
+        build_program("testapp.heartbeat", threshold=5.0), pod_id="hb")
+    _snapshot_then_delayed_restart(cluster, manager, "hb", gap=10.0,
+                                   time_virtualization=False)
+    proc = _app_proc(cluster, "testapp.heartbeat")
+    # without virtualization the app sees the checkpoint→restart delay
+    # and its timeout layer trips — the paper's "undesired effect"
+    assert proc.regs["elapsed"] > 5.0
+    assert proc.regs["expired"] is True
+
+
+def test_timers_rearmed_with_remaining_time(world):
+    cluster, manager = world
+    cluster.create_pod(cluster.node(0), "tm")
+    cluster.node(0).kernel.spawn(
+        build_program("testapp.timer-user", delay=4.0), pod_id="tm")
+    _snapshot_then_delayed_restart(cluster, manager, "tm", gap=8.0,
+                                   time_virtualization=True)
+    proc = _app_proc(cluster, "testapp.timer-user")
+    assert proc.regs["fired"] is True
+    # virtual completion time ~= the timer's original 4s expiry
+    assert proc.regs["t"] == pytest.approx(4.0, abs=0.5)
+
+
+def test_timers_fire_immediately_without_virtualization(world):
+    cluster, manager = world
+    cluster.create_pod(cluster.node(0), "tm")
+    cluster.node(0).kernel.spawn(
+        build_program("testapp.timer-user", delay=4.0), pod_id="tm")
+    holder = _snapshot_then_delayed_restart(cluster, manager, "tm", gap=8.0,
+                                            time_virtualization=False)
+    proc = _app_proc(cluster, "testapp.timer-user")
+    assert proc.regs["fired"] is True
+    # real time at completion is shortly after the restart (~8.5s+),
+    # i.e. the timer expired "immediately" rather than waiting 4s more
+    restart_end = holder["restart"].finished.result.t_end
+    assert proc.regs["t"] < restart_end + 1.0

@@ -1,0 +1,99 @@
+"""Wire framing tests: Manager↔Agent control-channel messages."""
+
+import pytest
+
+from repro.core.wire import recv_msg, send_msg
+from repro.net import Fabric, NetStack
+from repro.sim import all_of
+from repro.vos import Kernel
+
+
+def _pair(engine):
+    fabric = Fabric(engine)
+    ka = Kernel(engine, "a")
+    sa = NetStack(ka, fabric, "10.0.0.1")
+    kb = Kernel(engine, "b")
+    sb = NetStack(kb, fabric, "10.0.0.2")
+    return ka, kb
+
+
+def _exchange(engine, ka, kb, messages):
+    """Server echoes each framed message; returns (received, echoed)."""
+    received, echoed = [], []
+
+    def server():
+        chan = kb.host_channel("srv")
+        lfd = yield kb.host_call(chan, "socket", "tcp")
+        yield kb.host_call(chan, "bind", lfd, ("10.0.0.2", 7000))
+        yield kb.host_call(chan, "listen", lfd, 4)
+        fd, _ = yield kb.host_call(chan, "accept", lfd)
+        while True:
+            msg = yield from recv_msg(kb, chan, fd)
+            if msg is None:
+                return
+            received.append(msg)
+            yield from send_msg(kb, chan, fd, {"echo": msg})
+
+    def client():
+        chan = ka.host_channel("cli")
+        fd = yield ka.host_call(chan, "socket", "tcp")
+        yield ka.host_call(chan, "connect", fd, ("10.0.0.2", 7000))
+        for msg in messages:
+            ok = yield from send_msg(ka, chan, fd, msg)
+            assert ok
+            reply = yield from recv_msg(ka, chan, fd)
+            echoed.append(reply["echo"])
+        yield ka.host_call(chan, "close", fd)
+
+    s = engine.spawn(server(), "srv")
+    c = engine.spawn(client(), "cli")
+    done = all_of([s.finished, c.finished])
+    done.add_done_callback(lambda _f: engine.stop())
+    engine.run(until=60.0)
+    return received, echoed
+
+
+def test_framed_round_trip(engine):
+    ka, kb = _pair(engine)
+    messages = [
+        {"cmd": "checkpoint", "pod": "p0", "uri": "mem"},
+        {"data": b"\x00" * 1000, "n": 42},
+        {"nested": {"list": [1, (2, 3)], "f": 2.5}},
+    ]
+    received, echoed = _exchange(engine, ka, kb, messages)
+    assert received == messages
+    assert echoed == messages  # client unwraps the {"echo": ...} envelope
+
+
+def test_large_message_spans_many_segments(engine):
+    ka, kb = _pair(engine)
+    big = {"blob": b"x" * 300_000}  # > SNDBUF, > MSS
+    received, _ = _exchange(engine, ka, kb, [big])
+    assert received == [big]
+
+
+def test_eof_returns_none(engine):
+    ka, kb = _pair(engine)
+
+    def server(out):
+        chan = kb.host_channel("srv")
+        lfd = yield kb.host_call(chan, "socket", "tcp")
+        yield kb.host_call(chan, "bind", lfd, ("10.0.0.2", 7001))
+        yield kb.host_call(chan, "listen", lfd, 4)
+        fd, _ = yield kb.host_call(chan, "accept", lfd)
+        msg = yield from recv_msg(kb, chan, fd)
+        out.append(msg)
+
+    def client():
+        chan = ka.host_channel("cli")
+        fd = yield ka.host_call(chan, "socket", "tcp")
+        yield ka.host_call(chan, "connect", fd, ("10.0.0.2", 7001))
+        # send half a header, then vanish
+        yield ka.host_call(chan, "send", fd, b"\x00\x00", 0)
+        yield ka.host_call(chan, "close", fd)
+
+    out = []
+    engine.spawn(server(out), "srv")
+    engine.spawn(client(), "cli")
+    engine.run(until=60.0)
+    assert out == [None]

@@ -1,0 +1,86 @@
+"""Zombie preservation: exit statuses survive checkpoint-restart.
+
+A child that exits before its parent waits becomes namespace state; the
+restored parent's waitpid (re-issued on a different node with different
+host pids) must still collect the status.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Manager, migrate
+from repro.vos import DEAD, build_program, imm, program
+
+
+@program("testapp.zombie-parent")
+def _parent(b, *, child_code, nap):
+    b.syscall("c1", "spawn", imm("testapp.zombie-child"), imm({"code": child_code}), imm({}))
+    b.syscall(None, "sleep", imm(nap))  # the child dies; checkpoint lands here
+    b.syscall("status", "waitpid", "c1")
+    b.halt(imm(0))
+
+
+@program("testapp.zombie-child")
+def _child(b, *, code):
+    b.compute(imm(1_000_000))
+    b.halt(imm(code))
+
+
+def test_waitpid_after_restart_collects_zombie_status():
+    cluster = Cluster.build(2, seed=101)
+    manager = Manager.deploy(cluster)
+    cluster.create_pod(cluster.node(0), "zp")
+    cluster.node(0).kernel.spawn(
+        build_program("testapp.zombie-parent", child_code=42, nap=5.0),
+        pod_id="zp")
+    holder = {}
+
+    def kick():
+        holder["m"] = migrate(manager, [("blade0", "zp", "blade1")])
+
+    cluster.engine.schedule(1.0, kick)  # the child is long dead, unreaped
+    cluster.engine.run(until=120.0)
+    assert holder["m"].finished.result.ok
+    parent = next(p for n in cluster.nodes for p in n.kernel.procs.values()
+                  if p.program.name == "testapp.zombie-parent" and p.exit_code == 0)
+    assert parent.regs["status"] == 42  # preserved across the migration
+
+
+def test_waitpid_without_checkpoint_still_works():
+    cluster = Cluster.build(1, seed=102)
+    cluster.create_pod(cluster.node(0), "zp")
+    parent = cluster.node(0).kernel.spawn(
+        build_program("testapp.zombie-parent", child_code=7, nap=2.0),
+        pod_id="zp")
+    cluster.engine.run(until=30.0)
+    assert parent.state == DEAD and parent.regs["status"] == 7
+
+
+def test_new_spawns_after_restore_do_not_reuse_zombie_vpids():
+    cluster = Cluster.build(2, seed=103)
+    manager = Manager.deploy(cluster)
+    pod = cluster.create_pod(cluster.node(0), "zp")
+    cluster.node(0).kernel.spawn(
+        build_program("testapp.zombie-parent", child_code=3, nap=5.0),
+        pod_id="zp")
+    holder = {}
+    cluster.engine.schedule(1.0, lambda: holder.update(
+        m=migrate(manager, [("blade0", "zp", "blade1")])))
+    cluster.engine.run(until=120.0)
+    assert holder["m"].finished.result.ok
+    new_pod = cluster.find_pod("zp")
+    assert new_pod.zombies  # the corpse travelled (until reaped... table kept)
+    # a fresh allocation must not collide with the zombie's vpid (2)
+    assert new_pod.namespace._next_vpid > max(new_pod.zombies)
+
+
+def test_killed_processes_are_not_zombies():
+    """SIGKILL (-9) corpses come from pod teardown, not application
+    exits: they must not shadow future statuses."""
+    cluster = Cluster.build(1, seed=104)
+    pod = cluster.create_pod(cluster.node(0), "zp")
+    proc = cluster.node(0).kernel.spawn(
+        build_program("testapp.zombie-child", code=0), pod_id="zp")
+    from repro.vos import SIGKILL
+    cluster.node(0).kernel.send_signal(proc.pid, SIGKILL)
+    assert proc.vpid not in pod.zombies

@@ -1,0 +1,110 @@
+"""Distributed test applications for checkpoint-restart integration tests.
+
+The ping-pong pair exchanges strictly alternating 8-byte sequenced
+messages with rolling checksums on both sides, so the *combined final
+state is a deterministic function of the round count* — regardless of
+timing, checkpoints, restarts or migrations in between.  Any divergence
+(lost, duplicated, reordered or corrupted bytes) shows up as a checksum
+mismatch.
+"""
+
+from __future__ import annotations
+
+from repro.vos import imm, program
+
+MOD = (1 << 61) - 1
+
+
+def roll(acc: int, msg: bytes) -> int:
+    """Rolling checksum step (module-level so programs can reference it)."""
+    return (acc * 31 + int.from_bytes(msg, "big")) % MOD
+
+
+def _reply_of(msg: bytes) -> bytes:
+    return (int.from_bytes(msg, "big") + 1).to_bytes(8, "big")
+
+
+def _i2msg(i: int) -> bytes:
+    return i.to_bytes(8, "big")
+
+
+def expected_sums(rounds: int) -> tuple:
+    """(client checksum, server checksum) for a correct run."""
+    csum = ssum = 0
+    for i in range(rounds):
+        msg = _i2msg(i)
+        ssum = roll(ssum, msg)
+        reply = _reply_of(msg)
+        csum = roll(csum, reply)
+    return csum, ssum
+
+
+@program("testapp.pp-server")
+def _pp_server(b, *, port, rounds, compute=200_000, ballast=0):
+    if ballast:
+        b.alloc(imm(ballast), "heap")
+    b.syscall("lfd", "socket", imm("tcp"))
+    b.syscall(None, "bind", "lfd", imm(("default", port)))
+    b.syscall(None, "listen", "lfd", imm(8))
+    b.syscall("conn", "accept", "lfd")
+    b.op("cfd", lambda c: c[0], "conn")
+    b.mov("sum", imm(0))
+    with b.for_range("i", imm(0), imm(rounds)):
+        b.syscall("m", "recv", "cfd", imm(8), imm(0))
+        b.op("sum", roll, "sum", "m")
+        b.compute(imm(compute))
+        b.op("reply", _reply_of, "m")
+        b.syscall(None, "send", "cfd", "reply", imm(0))
+    b.syscall(None, "close", "cfd")
+    b.halt(imm(0))
+
+
+@program("testapp.pp-client")
+def _pp_client(b, *, server, port, rounds, compute=200_000, ballast=0):
+    if ballast:
+        b.alloc(imm(ballast), "heap")
+    b.syscall("fd", "socket", imm("tcp"))
+    b.syscall("rc", "connect", "fd", imm((server, port)))
+    b.mov("sum", imm(0))
+    with b.for_range("i", imm(0), imm(rounds)):
+        b.op("msg", _i2msg, "i")
+        b.syscall(None, "send", "fd", "msg", imm(0))
+        b.syscall("r", "recv", "fd", imm(8), imm(0))
+        b.op("sum", roll, "sum", "r")
+        b.compute(imm(compute))
+    b.syscall(None, "close", "fd")
+    b.halt(imm(0))
+
+
+def launch_pingpong(cluster, *, rounds=1500, port=9100, compute=200_000,
+                    ballast=0, server_node=0, client_node=1,
+                    server_pod="pp-srv", client_pod="pp-cli"):
+    """Start the pair in two pods; returns (server proc, client proc)."""
+    from repro.vos import build_program
+
+    n_srv = cluster.node(server_node)
+    n_cli = cluster.node(client_node)
+    pod_srv = cluster.create_pod(n_srv, server_pod)
+    pod_cli = cluster.create_pod(n_cli, client_pod)
+    srv = n_srv.kernel.spawn(
+        build_program("testapp.pp-server", port=port, rounds=rounds,
+                      compute=compute, ballast=ballast),
+        pod_id=server_pod)
+    cli = n_cli.kernel.spawn(
+        build_program("testapp.pp-client", server=pod_srv.vip, port=port,
+                      rounds=rounds, compute=compute, ballast=ballast),
+        pod_id=client_pod)
+    return srv, cli
+
+
+def final_sums(cluster, server_prog="testapp.pp-server", client_prog="testapp.pp-client"):
+    """Collect (client sum, server sum) from wherever the processes ended
+    up (post-migration they live on different nodes with new pids)."""
+    csum = ssum = None
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == client_prog and proc.exit_code == 0:
+                csum = proc.regs["sum"]
+            elif proc.program.name == server_prog and proc.exit_code == 0:
+                ssum = proc.regs["sum"]
+    return csum, ssum

@@ -1,0 +1,151 @@
+"""The paper's headline capability, end to end: transparent coordinated
+checkpoint-restart of unmodified MPI and PVM applications, with answers
+verified against sequential references."""
+
+import math
+
+import pytest
+
+from repro.apps import btnas, cpi, petsc_bratu, povray
+from repro.cluster import Cluster
+from repro.core import Manager, migrate
+from repro.middleware import checkpoint_targets, launch_master_worker, launch_spmd
+
+
+def _value(handle, cluster, reg):
+    vals = [v for v in handle.results(cluster, reg) if v is not None]
+    assert len(vals) == 1, f"expected one {reg}, got {vals}"
+    return vals[0]
+
+
+def test_cpi_snapshot_midrun():
+    nprocs = 4
+    cluster = Cluster.build(4, seed=33)
+    manager = Manager.deploy(cluster)
+    handle = launch_spmd(
+        cluster, "apps.cpi", nprocs,
+        lambda rank, vips: cpi.params_of(rank, vips, nprocs=nprocs,
+                                         intervals=200_000, cycles_per_interval=40_000),
+        name="cpi")
+    holder = {}
+
+    def kick():
+        holder["t"] = manager.checkpoint(checkpoint_targets(handle, cluster))
+
+    cluster.engine.schedule(0.3, kick)
+    cluster.engine.run(until=600.0)
+    assert holder["t"].finished.result.ok, holder["t"].finished.result.errors
+    assert handle.ok(cluster)
+    assert _value(handle, cluster, "pi") == pytest.approx(math.pi, abs=1e-9)
+
+
+def test_btnas_migrates_midrun():
+    nprocs = 4
+    cluster = Cluster.build(8, seed=33)
+    manager = Manager.deploy(cluster)
+    kw = dict(grid=24, iters=20, cycles_per_point=60_000, face_pad=8192)
+    handle = launch_spmd(
+        cluster, "apps.btnas", nprocs,
+        lambda rank, vips: btnas.params_of(rank, vips, nprocs=nprocs, **kw),
+        name="bt")
+    holder = {}
+
+    def kick():
+        moves = [(cluster.node_of_pod(pid).name, pid, f"blade{4 + i}")
+                 for i, pid in enumerate(handle.pod_ids)]
+        holder["t"] = migrate(manager, moves)
+
+    cluster.engine.schedule(0.5, kick)
+    cluster.engine.run(until=600.0)
+    mig = holder["t"].finished.result
+    assert mig.ok, (mig.checkpoint.errors, mig.restart.errors)
+    assert handle.ok(cluster)
+    ref_sum, ref_res = btnas.reference_btnas(G=kw["grid"], iters=kw["iters"])
+    assert _value(handle, cluster, "checksum") == pytest.approx(ref_sum, rel=1e-12)
+    assert handle.results(cluster, "residuals")[0] == pytest.approx(ref_res, rel=1e-9)
+
+
+def test_bratu_survives_two_checkpoints_and_migration():
+    nprocs = 4
+    cluster = Cluster.build(8, seed=33)
+    manager = Manager.deploy(cluster)
+    kw = dict(grid=24, outer=6, sweeps=8, cycles_per_point=40_000)
+    handle = launch_spmd(
+        cluster, "apps.petsc_bratu", nprocs,
+        lambda rank, vips: petsc_bratu.params_of(rank, vips, nprocs=nprocs, **kw),
+        name="bratu")
+    holder = {}
+
+    def snap():
+        holder["snap"] = manager.checkpoint(checkpoint_targets(handle, cluster))
+
+    def move():
+        moves = [(cluster.node_of_pod(pid).name, pid, f"blade{4 + i}")
+                 for i, pid in enumerate(handle.pod_ids)]
+        holder["mig"] = migrate(manager, moves)
+
+    cluster.engine.schedule(0.2, snap)
+    cluster.engine.schedule(1.0, move)
+    cluster.engine.run(until=600.0)
+    assert holder["snap"].finished.result.ok
+    assert holder["mig"].finished.result.ok
+    assert handle.ok(cluster)
+    ref_sum, ref_norms = petsc_bratu.reference_bratu(
+        G=kw["grid"], outer=kw["outer"], sweeps=kw["sweeps"])
+    assert _value(handle, cluster, "checksum") == pytest.approx(ref_sum, rel=1e-12)
+    assert handle.results(cluster, "norms")[0] == pytest.approx(ref_norms, rel=1e-9)
+
+
+def test_povray_migrates_midrun():
+    nworkers = 3
+    cluster = Cluster.build(8, seed=33)
+    manager = Manager.deploy(cluster)
+    kw = dict(width=96, height=64, tile=32)
+    handle = launch_master_worker(
+        cluster, "apps.povray_master", "apps.povray_worker", nworkers,
+        povray.master_params(nworkers=nworkers, **kw),
+        lambda task_id, master_vip: povray.worker_params(
+            task_id, master_vip, width=kw["width"], height=kw["height"],
+            cycles_per_pixel=600_000),
+        name="pov")
+    holder = {}
+
+    def kick():
+        moves = [(cluster.node_of_pod(pid).name, pid, f"blade{4 + i}")
+                 for i, pid in enumerate(handle.pod_ids)]
+        holder["t"] = migrate(manager, moves)
+
+    cluster.engine.schedule(0.4, kick)
+    cluster.engine.run(until=600.0)
+    mig = holder["t"].finished.result
+    assert mig.ok, (mig.checkpoint.errors, mig.restart.errors)
+    assert handle.ok(cluster)
+    image = None
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == "apps.povray_master" and proc.exit_code == 0:
+                image = proc.regs["image"]
+    assert image == povray.reference_image(**kw)
+
+
+def test_cpi_on_dual_cpu_nodes_two_pods_each():
+    """The 16-node configuration idea at test scale: 4 endpoints on 2
+    dual-CPU blades (one pod per CPU), checkpointed mid-run."""
+    nprocs = 4
+    cluster = Cluster.build(2, ncpus=2, seed=33)
+    manager = Manager.deploy(cluster)
+    handle = launch_spmd(
+        cluster, "apps.cpi", nprocs,
+        lambda rank, vips: cpi.params_of(rank, vips, nprocs=nprocs,
+                                         intervals=200_000, cycles_per_interval=40_000),
+        name="cpi2", nodes=[0, 0, 1, 1])
+    holder = {}
+
+    def kick():
+        holder["t"] = manager.checkpoint(checkpoint_targets(handle, cluster))
+
+    cluster.engine.schedule(0.2, kick)
+    cluster.engine.run(until=600.0)
+    assert holder["t"].finished.result.ok
+    assert handle.ok(cluster)
+    assert _value(handle, cluster, "pi") == pytest.approx(math.pi, abs=1e-9)

@@ -1,0 +1,97 @@
+"""Property-based tests for collective algorithms.
+
+The tree/rank arithmetic must be correct for *every* world size, not
+just the paper's; these run real collectives over randomized sizes and
+payloads and compare against the obvious sequential reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.middleware import launch_spmd
+from repro.middleware.collectives import _tree_children
+from repro.vos import imm, program
+
+
+@program("mwprop.allops")
+def _allops(b, *, rank, nprocs, vips, payload):
+    from repro.middleware import (
+        emit_allreduce, emit_bcast, emit_gather, emit_init, emit_finalize,
+        emit_scatter,
+    )
+
+    emit_init(b, rank=rank, nprocs=nprocs, vips=vips)
+    if rank == 0:
+        b.mov("data", imm(payload))
+    else:
+        b.mov("data", imm(None))
+    emit_bcast(b, "data", rank=rank, size=nprocs)
+    b.op("mine", lambda d, r=rank: d + r, "data")
+    emit_allreduce(b, "mine", "total", op="sum", rank=rank, size=nprocs)
+    emit_gather(b, "mine", "all", rank=rank, size=nprocs)
+    if rank == 0:
+        b.op("tolist", lambda n=nprocs: [i * 3 + 1 for i in range(n)])
+    else:
+        b.mov("tolist", imm(None))
+    emit_scatter(b, "tolist", "share", rank=rank, size=nprocs)
+    emit_finalize(b)
+    b.halt(imm(0))
+
+
+# full engine runs are not cheap: bound the examples
+@settings(max_examples=10, deadline=None)
+@given(nprocs=st.integers(min_value=1, max_value=7),
+       payload=st.integers(min_value=-1000, max_value=1000))
+def test_collectives_for_any_world_size(nprocs, payload):
+    cluster = Cluster.build(max(nprocs, 2), seed=61)
+    handle = launch_spmd(
+        cluster, "mwprop.allops", nprocs,
+        lambda rank, vips: {"rank": rank, "nprocs": nprocs, "vips": vips,
+                            "payload": payload},
+        name="cp")
+    cluster.engine.run(until=300.0)
+    assert handle.ok(cluster)
+    expect_total = sum(payload + r for r in range(nprocs))
+    assert handle.results(cluster, "total") == [expect_total] * nprocs
+    assert handle.results(cluster, "all")[0] == [payload + r for r in range(nprocs)]
+    assert handle.results(cluster, "share") == [i * 3 + 1 for i in range(nprocs)]
+
+
+@settings(max_examples=300, deadline=None)
+@given(size=st.integers(min_value=1, max_value=64),
+       root=st.integers(min_value=0, max_value=63),
+       rank=st.integers(min_value=0, max_value=63))
+def test_binomial_tree_is_a_tree(size, root, rank):
+    """Every rank except the root has exactly one parent, children are
+    consistent with parents, and the tree reaches everyone."""
+    root %= size
+    rank %= size
+    parent, children = _tree_children(rank, size, root)
+    if rank == root:
+        assert parent is None
+    else:
+        assert parent is not None and 0 <= parent < size
+        # the parent lists this rank among its children
+        _pp, pchildren = _tree_children(parent, size, root)
+        assert rank in pchildren
+    for child in children:
+        cp, _cc = _tree_children(child, size, root)
+        assert cp == rank
+
+
+@settings(max_examples=100, deadline=None)
+@given(size=st.integers(min_value=1, max_value=64),
+       root=st.integers(min_value=0, max_value=63))
+def test_binomial_tree_spans_all_ranks(size, root):
+    root %= size
+    seen = set()
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        assert node not in seen  # acyclic
+        seen.add(node)
+        _p, children = _tree_children(node, size, root)
+        frontier.extend(children)
+    assert seen == set(range(size))

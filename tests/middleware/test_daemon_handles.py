@@ -1,0 +1,63 @@
+"""AppHandle / launcher unit tests."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import PodError
+from repro.middleware import checkpoint_targets, launch_spmd
+from repro.vos import DEAD, imm, program
+
+
+@program("mwdaemon.trivial")
+def _trivial(b, *, rank, nprocs, vips, result=0):
+    b.mov("answer", imm(result + rank))
+    b.halt(imm(0))
+
+
+@program("mwdaemon.failing")
+def _failing(b, *, rank, nprocs, vips):
+    b.halt(imm(1))  # nonzero exit propagates through the daemon
+
+
+def test_handle_tracks_pods_and_results():
+    cluster = Cluster.build(2, seed=121)
+    handle = launch_spmd(
+        cluster, "mwdaemon.trivial", 2,
+        lambda rank, vips: {"rank": rank, "nprocs": 2, "vips": vips, "result": 10},
+        name="h")
+    assert handle.pod_ids == ["h-0", "h-1"]
+    cluster.engine.run(until=30.0)
+    assert handle.ok(cluster)
+    assert handle.results(cluster, "answer") == [10, 11]
+    assert [p.id for p in handle.pods(cluster)] == ["h-0", "h-1"]
+
+
+def test_daemon_propagates_app_failure():
+    cluster = Cluster.build(1, seed=122)
+    handle = launch_spmd(
+        cluster, "mwdaemon.failing", 1,
+        lambda rank, vips: {"rank": rank, "nprocs": 1, "vips": vips},
+        name="f")
+    cluster.engine.run(until=30.0)
+    assert not handle.ok(cluster)  # exit code 1 propagated
+
+
+def test_checkpoint_targets_follow_pods():
+    cluster = Cluster.build(2, seed=123)
+    handle = launch_spmd(
+        cluster, "mwdaemon.trivial", 2,
+        lambda rank, vips: {"rank": rank, "nprocs": 2, "vips": vips},
+        name="t", nodes=[0, 1])
+    targets = checkpoint_targets(handle, cluster, uri="mem")
+    assert targets == [("blade0", "t-0", "mem"), ("blade1", "t-1", "mem")]
+
+
+def test_handle_pods_raise_when_pod_gone():
+    cluster = Cluster.build(1, seed=124)
+    handle = launch_spmd(
+        cluster, "mwdaemon.trivial", 1,
+        lambda rank, vips: {"rank": rank, "nprocs": 1, "vips": vips},
+        name="g")
+    cluster.find_pod("g-0").destroy()
+    with pytest.raises(PodError):
+        handle.pods(cluster)

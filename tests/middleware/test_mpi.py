@@ -1,0 +1,133 @@
+"""Mini-MPI middleware tests: bootstrap, p2p, collectives, daemons."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.middleware import (
+    emit_allreduce,
+    emit_barrier,
+    emit_bcast,
+    emit_finalize,
+    emit_gather,
+    emit_init,
+    emit_recv,
+    emit_recv_any,
+    emit_reduce,
+    emit_scatter,
+    emit_send,
+    launch_spmd,
+)
+from repro.vos import imm, program
+
+
+@program("mw.p2p")
+def _p2p(b, *, rank, nprocs, vips):
+    emit_init(b, rank=rank, nprocs=nprocs, vips=vips)
+    if rank == 0:
+        b.mov("payload", imm({"x": 42, "arr": b"abc"}))
+        emit_send(b, 1, "payload")
+        emit_recv(b, 1, "reply")
+    elif rank == 1:
+        emit_recv(b, 0, "got")
+        b.op("reply_val", lambda g: g["x"] * 2, "got")
+        emit_send(b, 0, "reply_val")
+        b.mov("reply", imm(None))
+    emit_finalize(b)
+    b.halt(imm(0))
+
+
+@program("mw.collectives")
+def _collectives(b, *, rank, nprocs, vips):
+    emit_init(b, rank=rank, nprocs=nprocs, vips=vips)
+    # bcast an array from root
+    if rank == 0:
+        b.op("data", lambda: np.arange(8, dtype=np.float64))
+    else:
+        b.mov("data", imm(None))
+    emit_bcast(b, "data", rank=rank, size=nprocs)
+    # allreduce of rank
+    b.mov("mine", imm(rank))
+    emit_allreduce(b, "mine", "total", op="sum", rank=rank, size=nprocs)
+    # reduce max to root
+    b.op("sq", lambda r: r * r, "mine")
+    emit_reduce(b, "sq", "maxsq", op="max", rank=rank, size=nprocs)
+    # gather ranks at root
+    emit_gather(b, "mine", "everyone", rank=rank, size=nprocs)
+    # scatter a list from root
+    if rank == 0:
+        b.op("tolist", lambda n=nprocs: [i * 10 for i in range(n)])
+    else:
+        b.mov("tolist", imm(None))
+    emit_scatter(b, "tolist", "myshare", rank=rank, size=nprocs)
+    emit_barrier(b, rank=rank, size=nprocs)
+    b.op("datasum", lambda d: float(d.sum()), "data")
+    emit_finalize(b)
+    b.halt(imm(0))
+
+
+@program("mw.anysource")
+def _anysource(b, *, rank, nprocs, vips):
+    emit_init(b, rank=rank, nprocs=nprocs, vips=vips)
+    if rank == 0:
+        b.mov("seen", imm([]))
+        for _ in range(nprocs - 1):
+            emit_recv_any(b, "val", "src")
+            b.op("seen", lambda s, v, who: sorted(s + [(who, v)]), "seen", "val", "src")
+    else:
+        b.syscall(None, "sleep", imm(0.01 * rank))
+        b.mov("msg", imm(rank * 100))
+        emit_send(b, 0, "msg")
+    emit_finalize(b)
+    b.halt(imm(0))
+
+
+def _run_spmd(nprocs, prog, nodes=None, until=120.0):
+    cluster = Cluster.build(max(nprocs, 2), seed=21)
+    handle = launch_spmd(
+        cluster, prog, nprocs,
+        lambda rank, vips: {"rank": rank, "nprocs": nprocs, "vips": vips},
+        name="t", nodes=nodes)
+    cluster.engine.run(until=until)
+    assert handle.ok(cluster), "application did not complete cleanly"
+    return cluster, handle
+
+
+def test_p2p_round_trip():
+    cluster, handle = _run_spmd(2, "mw.p2p")
+    (reply0, _none) = handle.results(cluster, "reply")
+    assert reply0 == 84
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 4, 8])
+def test_collectives(nprocs):
+    cluster, handle = _run_spmd(nprocs, "mw.collectives")
+    totals = handle.results(cluster, "total")
+    assert totals == [sum(range(nprocs))] * nprocs  # allreduce everywhere
+    datasums = handle.results(cluster, "datasum")
+    assert datasums == [float(np.arange(8).sum())] * nprocs  # bcast worked
+    maxsq = handle.results(cluster, "maxsq")
+    assert maxsq[0] == (nprocs - 1) ** 2  # reduce at root
+    everyone = handle.results(cluster, "everyone")
+    assert everyone[0] == list(range(nprocs))  # gather at root
+    myshare = handle.results(cluster, "myshare")
+    assert myshare == [i * 10 for i in range(nprocs)]  # scatter
+
+
+def test_any_source_collects_all_workers():
+    cluster, handle = _run_spmd(4, "mw.anysource")
+    seen = handle.results(cluster, "seen")[0]
+    assert seen == [(1, 100), (2, 200), (3, 300)]
+
+
+def test_multiple_ranks_per_node():
+    """Two pods per dual-CPU blade — the paper's 16-node configuration."""
+    nprocs = 4
+    cluster = Cluster.build(2, ncpus=2, seed=21)
+    handle = launch_spmd(
+        cluster, "mw.collectives", nprocs,
+        lambda rank, vips: {"rank": rank, "nprocs": nprocs, "vips": vips},
+        name="t2", nodes=[0, 0, 1, 1])
+    cluster.engine.run(until=120.0)
+    assert handle.ok(cluster)
+    assert handle.results(cluster, "total") == [6, 6, 6, 6]

@@ -1,0 +1,123 @@
+"""Nonblocking mini-MPI tests: matching, unexpected queues, checkpoints."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Manager, migrate
+from repro.middleware import (
+    checkpoint_targets,
+    emit_finalize,
+    emit_init,
+    emit_irecv,
+    emit_isend,
+    emit_recv,
+    emit_req_list,
+    emit_req_value,
+    emit_send,
+    emit_waitall,
+    launch_spmd,
+)
+from repro.vos import imm, program
+
+
+@program("nb.exchange")
+def _exchange(b, *, rank, nprocs, vips, rounds):
+    """All-pairs nonblocking exchange: every rank irecvs from everyone,
+    isends to everyone,每 round with round-stamped payloads."""
+    emit_init(b, rank=rank, nprocs=nprocs, vips=vips)
+    peers = [p for p in range(nprocs) if p != rank]
+    b.mov("collected", imm([]))
+    with b.for_range("r", imm(0), imm(rounds)):
+        emit_req_list(b, "reqs")
+        for p in peers:
+            emit_irecv(b, "reqs", src=p, tag="x")
+        b.op("payload", lambda r, me=rank: (me, r), "r")
+        for p in peers:
+            emit_isend(b, p, "payload", tag="x")
+        emit_waitall(b, "reqs")
+        for i, p in enumerate(peers):
+            emit_req_value(b, "reqs", i, f"v{i}")
+        b.op("collected", lambda c, *vs: c + [sorted(vs)], "collected",
+             *[f"v{i}" for i in range(len(peers))])
+    emit_finalize(b)
+    b.halt(imm(0))
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 5])
+def test_all_pairs_exchange(nprocs):
+    rounds = 4
+    cluster = Cluster.build(max(nprocs, 2), seed=131)
+    handle = launch_spmd(
+        cluster, "nb.exchange", nprocs,
+        lambda rank, vips: {"rank": rank, "nprocs": nprocs, "vips": vips,
+                            "rounds": rounds},
+        name="nb")
+    cluster.engine.run(until=300.0)
+    assert handle.ok(cluster)
+    for rank, collected in enumerate(handle.results(cluster, "collected")):
+        peers = sorted(p for p in range(nprocs) if p != rank)
+        for r, got in enumerate(collected):
+            assert got == [(p, r) for p in peers]
+
+
+@program("nb.mixed")
+def _mixed(b, *, rank, nprocs, vips):
+    """Blocking and nonblocking receives interleave on one connection:
+    the unexpected queue must route frames to the right consumer."""
+    emit_init(b, rank=rank, nprocs=nprocs, vips=vips)
+    peer = 1 - rank
+    if rank == 0:
+        # send B first, then A: the receiver wants A first
+        b.mov("mb", imm("bee"))
+        emit_send(b, peer, "mb", tag="B")
+        b.mov("ma", imm("aye"))
+        emit_send(b, peer, "ma", tag="A")
+        b.mov("got_a", imm(None))
+        b.mov("got_b", imm(None))
+    else:
+        emit_recv(b, peer, "got_a", tag="A")   # parks the B frame
+        emit_req_list(b, "reqs")
+        emit_irecv(b, "reqs", src=peer, tag="B")
+        emit_waitall(b, "reqs")                # resolved from the parked frame
+        emit_req_value(b, "reqs", 0, "got_b")
+    emit_finalize(b)
+    b.halt(imm(0))
+
+
+def test_blocking_and_nonblocking_share_the_unexpected_queue():
+    cluster = Cluster.build(2, seed=132)
+    handle = launch_spmd(
+        cluster, "nb.mixed", 2,
+        lambda rank, vips: {"rank": rank, "nprocs": 2, "vips": vips},
+        name="mx")
+    cluster.engine.run(until=60.0)
+    assert handle.ok(cluster)
+    assert handle.results(cluster, "got_a") == [None, "aye"]
+    assert handle.results(cluster, "got_b") == [None, "bee"]
+
+
+def test_exchange_survives_migration():
+    """The engine's state (request lists, unexpected queues) lives in
+    registers: it checkpoints and migrates like everything else."""
+    nprocs, rounds = 3, 30
+    cluster = Cluster.build(6, seed=133)
+    manager = Manager.deploy(cluster)
+    handle = launch_spmd(
+        cluster, "nb.exchange", nprocs,
+        lambda rank, vips: {"rank": rank, "nprocs": nprocs, "vips": vips,
+                            "rounds": rounds},
+        name="nbm")
+    holder = {}
+
+    def kick():
+        moves = [(cluster.node_of_pod(p).name, p, f"blade{3 + i}")
+                 for i, p in enumerate(handle.pod_ids)]
+        holder["m"] = migrate(manager, moves)
+
+    cluster.engine.schedule(0.02, kick)
+    cluster.engine.run(until=300.0)
+    assert holder["m"].finished.result.ok
+    assert handle.ok(cluster)
+    for rank, collected in enumerate(handle.results(cluster, "collected")):
+        peers = sorted(p for p in range(nprocs) if p != rank)
+        assert collected == [[(p, r) for p in peers] for r in range(rounds)]

@@ -1,0 +1,74 @@
+"""Port binding and allocation semantics."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.net import Fabric, NetStack
+from repro.vos import Kernel
+
+
+@pytest.fixture
+def stack(engine):
+    kernel = Kernel(engine, "n")
+    return NetStack(kernel, Fabric(engine), "10.0.0.1")
+
+
+def test_bind_conflict_is_eaddrinuse(stack):
+    a = stack.create_socket("tcp")
+    stack.bind_socket(a, "10.0.0.1", 5000)
+    b = stack.create_socket("tcp")
+    with pytest.raises(SyscallError) as ei:
+        stack.bind_socket(b, "10.0.0.1", 5000)
+    assert ei.value.errno == "EADDRINUSE"
+
+
+def test_reuseaddr_permits_rebinding(stack):
+    a = stack.create_socket("tcp")
+    stack.bind_socket(a, "10.0.0.1", 5001)
+    b = stack.create_socket("tcp")
+    b.options["SO_REUSEADDR"] = 1
+    ep = stack.bind_socket(b, "10.0.0.1", 5001)
+    assert ep.port == 5001
+
+
+def test_double_bind_same_socket_rejected(stack):
+    a = stack.create_socket("tcp")
+    stack.bind_socket(a, "10.0.0.1", 5002)
+    with pytest.raises(SyscallError) as ei:
+        stack.bind_socket(a, "10.0.0.1", 5003)
+    assert ei.value.errno == "EINVAL"
+
+
+def test_ephemeral_ports_are_distinct(stack):
+    ports = set()
+    for _ in range(100):
+        s = stack.create_socket("udp")
+        ep = stack.bind_socket(s, "10.0.0.1", 0)
+        ports.add(ep.port)
+    assert len(ports) == 100
+    assert all(32768 <= p < 61000 for p in ports)
+
+
+def test_udp_and_tcp_share_port_numbers(stack):
+    """Different protocols have independent port spaces."""
+    t = stack.create_socket("tcp")
+    stack.bind_socket(t, "10.0.0.1", 5004)
+    u = stack.create_socket("udp")
+    ep = stack.bind_socket(u, "10.0.0.1", 5004)
+    assert ep.port == 5004
+
+
+def test_unbind_releases_the_port(stack):
+    a = stack.create_socket("udp")
+    stack.bind_socket(a, "10.0.0.1", 5005)
+    stack.unbind(a)
+    b = stack.create_socket("udp")
+    b2 = stack.create_socket("udp")
+    ep = stack.bind_socket(b, "10.0.0.1", 5005)
+    assert ep.port == 5005
+
+
+def test_unknown_protocol_rejected(stack):
+    with pytest.raises(SyscallError) as ei:
+        stack.create_socket("sctp")
+    assert ei.value.errno == "EPROTONOSUPPORT"

@@ -1,0 +1,354 @@
+"""Socket-layer tests: options, poll, backlog, dispatch vector, fabric."""
+
+import pytest
+
+from repro.errors import NetError
+from repro.net import Fabric, Segment, default_options
+from repro.net.sockopt import validate_option
+from repro.errors import SyscallError
+from repro.vos.syscalls import Errno
+
+from .conftest import Host, run_tasks
+
+
+# ---------------------------------------------------------------------------
+# socket options
+# ---------------------------------------------------------------------------
+
+
+def test_default_options_cover_protocols():
+    tcp = default_options("tcp")
+    udp = default_options("udp")
+    assert "TCP_NODELAY" in tcp and "TCP_NODELAY" not in udp
+    assert tcp["SO_RCVBUF"] > 0 and udp["SO_RCVBUF"] > 0
+    assert "TCP_STDURG" in tcp  # the paper's example option
+
+
+def test_validate_rejects_unknown_option():
+    with pytest.raises(SyscallError) as ei:
+        validate_option("tcp", "SO_MADE_UP", 1)
+    assert ei.value.errno == "ENOPROTOOPT"
+
+
+def test_validate_rejects_tcp_option_on_udp():
+    with pytest.raises(SyscallError):
+        validate_option("udp", "TCP_NODELAY", 1)
+
+
+def test_validate_rejects_bad_buffer_size():
+    with pytest.raises(SyscallError) as ei:
+        validate_option("tcp", "SO_RCVBUF", 0)
+    assert ei.value.errno == "EINVAL"
+
+
+def test_get_set_sockopt_syscalls(engine, hosts):
+    a, _ = hosts
+
+    def task(call):
+        fd = yield call("socket", "tcp")
+        before = yield call("getsockopt", fd, "SO_KEEPALIVE")
+        yield call("setsockopt", fd, "SO_KEEPALIVE", 1)
+        after = yield call("getsockopt", fd, "SO_KEEPALIVE")
+        bad = yield call("getsockopt", fd, "SO_NOPE")
+        return before, after, bad
+
+    t = a.task(task)
+    ((before, after, bad),) = run_tasks(engine, t)
+    assert before == 0 and after == 1
+    assert isinstance(bad, Errno) and bad.name == "ENOPROTOOPT"
+
+
+# ---------------------------------------------------------------------------
+# poll
+# ---------------------------------------------------------------------------
+
+
+def test_poll_times_out_empty(engine, hosts):
+    a, _ = hosts
+
+    def task(call):
+        fd = yield call("socket", "tcp")
+        t0 = yield call("gettime")
+        ready = yield call("poll", [fd], 1.0)
+        t1 = yield call("gettime")
+        return ready, t1 - t0
+
+    t = a.task(task)
+    ((ready, elapsed),) = run_tasks(engine, t)
+    assert ready == []
+    assert elapsed == pytest.approx(1.0, abs=0.01)
+
+
+def test_poll_wakes_on_data(engine, hosts):
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "tcp")
+        yield call("bind", fd, (b.ip, 6000))
+        yield call("listen", fd, 8)
+        newfd, _ = yield call("accept", fd)
+        ready = yield call("poll", [(newfd, "r")], 30.0)
+        data = yield call("recv", newfd, 100, 0)
+        return ready, data
+
+    def client(call):
+        fd = yield call("socket", "tcp")
+        yield call("connect", fd, (b.ip, 6000))
+        yield call("sleep", 0.5)
+        yield call("send", fd, b"wake", 0)
+        return 0
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    (ready, data), _ = run_tasks(engine, srv, cli)
+    assert len(ready) == 1 and "r" in ready[0][1]
+    assert data == b"wake"
+
+
+def test_poll_listener_readable_on_pending_accept(engine, hosts):
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "tcp")
+        yield call("bind", fd, (b.ip, 6001))
+        yield call("listen", fd, 8)
+        ready = yield call("poll", [fd], 30.0)
+        return ready
+
+    def client(call):
+        fd = yield call("socket", "tcp")
+        yield call("connect", fd, (b.ip, 6001))
+        return 0
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    ready, _ = run_tasks(engine, srv, cli)
+    assert ready and "r" in ready[0][1]
+
+
+def test_poll_writable_immediately(engine, hosts):
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "tcp")
+        yield call("bind", fd, (b.ip, 6002))
+        yield call("listen", fd, 8)
+        yield call("accept", fd)
+        yield call("sleep", 10.0)
+        return 0
+
+    def client(call):
+        fd = yield call("socket", "tcp")
+        yield call("connect", fd, (b.ip, 6002))
+        ready = yield call("poll", [fd], 5.0)
+        return ready
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    _, ready = run_tasks(engine, srv, cli, until=30.0)
+    assert ready and "w" in ready[0][1]
+
+
+# ---------------------------------------------------------------------------
+# backlog queue semantics
+# ---------------------------------------------------------------------------
+
+
+def _established_pair(engine, hosts, port):
+    """Create a connection and return (client socket, server socket)."""
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "tcp")
+        yield call("bind", fd, (b.ip, port))
+        yield call("listen", fd, 8)
+        newfd, _ = yield call("accept", fd)
+        return newfd
+
+    def client(call):
+        fd = yield call("socket", "tcp")
+        yield call("connect", fd, (b.ip, port))
+        return fd
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    run_tasks(engine, srv, cli)
+    ((proto, lep, rep), ssock), = [
+        (k, s) for k, s in b.stack.established.items() if k[1].port == port
+    ]
+    csock = a.stack.established[(proto, rep, lep)]
+    return csock, ssock
+
+
+def test_backlog_defers_processing_then_bottom_half_drains(engine, hosts):
+    _c, ssock = _established_pair(engine, hosts, 6100)
+    seg = Segment(seq=ssock.conn.pcb.rcv_nxt, ack=ssock.conn.pcb.snd_nxt,
+                  flags=frozenset({"ACK"}), data=b"backlogged")
+    ssock.conn.deliver(seg)
+    assert len(ssock.conn.backlog) == 1
+    assert bytes(ssock.conn.recv_q) == b""
+    engine.run(until=engine.now + 0.001)  # let the bottom half run
+    assert ssock.conn.backlog == []
+    assert bytes(ssock.conn.recv_q) == b"backlogged"
+
+
+def test_process_backlog_is_taking_the_socket_lock(engine, hosts):
+    _c, ssock = _established_pair(engine, hosts, 6101)
+    seg = Segment(seq=ssock.conn.pcb.rcv_nxt, ack=ssock.conn.pcb.snd_nxt,
+                  flags=frozenset({"ACK"}), data=b"eager")
+    ssock.conn.deliver(seg)
+    ssock.conn.process_backlog()  # eager drain, no simulated delay
+    assert bytes(ssock.conn.recv_q) == b"eager"
+
+
+def test_out_of_order_segments_reassemble(engine, hosts):
+    _c, ssock = _established_pair(engine, hosts, 6102)
+    base = ssock.conn.pcb.rcv_nxt
+    ssock.conn.deliver(Segment(seq=base + 3, flags=frozenset({"ACK"}), data=b"DEF"))
+    ssock.conn.deliver(Segment(seq=base, flags=frozenset({"ACK"}), data=b"ABC"))
+    ssock.conn.process_backlog()
+    assert bytes(ssock.conn.recv_q) == b"ABCDEF"
+    assert ssock.conn.pcb.rcv_nxt == base + 6
+
+
+def test_duplicate_segment_is_ignored(engine, hosts):
+    _c, ssock = _established_pair(engine, hosts, 6103)
+    base = ssock.conn.pcb.rcv_nxt
+    ssock.conn.deliver(Segment(seq=base, flags=frozenset({"ACK"}), data=b"XY"))
+    ssock.conn.process_backlog()
+    ssock.conn.deliver(Segment(seq=base, flags=frozenset({"ACK"}), data=b"XY"))
+    ssock.conn.process_backlog()
+    assert bytes(ssock.conn.recv_q) == b"XY"
+
+
+def test_partial_overlap_trimmed(engine, hosts):
+    _c, ssock = _established_pair(engine, hosts, 6104)
+    base = ssock.conn.pcb.rcv_nxt
+    ssock.conn.deliver(Segment(seq=base, flags=frozenset({"ACK"}), data=b"ABCD"))
+    ssock.conn.process_backlog()
+    # retransmission covering old + new bytes
+    ssock.conn.deliver(Segment(seq=base + 2, flags=frozenset({"ACK"}), data=b"CDEF"))
+    ssock.conn.process_backlog()
+    assert bytes(ssock.conn.recv_q) == b"ABCDEF"
+
+
+# ---------------------------------------------------------------------------
+# dispatch vector
+# ---------------------------------------------------------------------------
+
+
+def test_dispatch_vector_interposition(engine, hosts):
+    """Swapping recvmsg changes what recv returns — the ZapC mechanism."""
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "tcp")
+        yield call("bind", fd, (b.ip, 6200))
+        yield call("listen", fd, 8)
+        newfd, _ = yield call("accept", fd)
+        yield call("sleep", 0.5)  # let data arrive
+        data = yield call("recv", newfd, 100, 0)
+        return data
+
+    def client(call):
+        fd = yield call("socket", "tcp")
+        yield call("connect", fd, (b.ip, 6200))
+        yield call("send", fd, b"original", 0)
+        return 0
+
+    def interpose():
+        for sock in b.stack.established.values():
+            original = sock.dispatch["recvmsg"]
+
+            def wrapped(stack, s, n, flags, _orig=original):
+                value = _orig(stack, s, n, flags)
+                return b"[interposed]" + value if isinstance(value, bytes) else value
+
+            sock.dispatch["recvmsg"] = wrapped
+
+    engine.schedule(0.3, interpose)
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    data, _ = run_tasks(engine, srv, cli)
+    assert data == b"[interposed]original"
+
+
+# ---------------------------------------------------------------------------
+# fabric
+# ---------------------------------------------------------------------------
+
+
+def test_fabric_rejects_duplicate_address(engine):
+    fabric = Fabric(engine)
+    fabric.attach("10.0.0.1")
+    with pytest.raises(NetError):
+        fabric.attach("10.0.0.1")
+
+
+def test_nic_alias_and_migration_routing(engine, fabric, hosts):
+    a, b = hosts
+    a.stack.nic.add_address("10.77.0.9")
+    assert fabric.nic_for("10.77.0.9") is a.stack.nic
+    a.stack.nic.drop_address("10.77.0.9")
+    b.stack.nic.add_address("10.77.0.9")
+    assert fabric.nic_for("10.77.0.9") is b.stack.nic
+
+
+def test_nic_cannot_drop_primary(engine, hosts):
+    a, _ = hosts
+    with pytest.raises(NetError):
+        a.stack.nic.drop_address(a.ip)
+
+
+def test_partition_blocks_and_heals(engine, fabric, hosts):
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "udp")
+        yield call("bind", fd, (b.ip, 6300))
+        data, _ = yield call("recvfrom", fd, 100, 0)
+        return data
+
+    def client(call):
+        fd = yield call("socket", "udp")
+        yield call("sendto", fd, b"one", (b.ip, 6300))  # dropped
+        yield call("sleep", 1.0)
+        yield call("sendto", fd, b"two", (b.ip, 6300))  # delivered
+        return 0
+
+    fabric.partition(a.ip, b.ip)
+    engine.schedule(0.5, fabric.heal, a.ip, b.ip)
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    data, _ = run_tasks(engine, srv, cli)
+    assert data == b"two"
+    assert fabric.dropped_packets == 1
+
+
+def test_egress_serialization_at_line_rate(engine, fabric, hosts):
+    """Back-to-back packets queue behind each other on the egress link."""
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "udp")
+        yield call("bind", fd, (b.ip, 6301))
+        times = []
+        for _ in range(3):
+            yield call("recvfrom", fd, 70000, 0)
+            t = yield call("gettime")
+            times.append(t)
+        return times
+
+    def client(call):
+        fd = yield call("socket", "udp")
+        for _ in range(3):
+            yield call("sendto", fd, b"p" * 60000, (b.ip, 6301))
+        return 0
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    times, _ = run_tasks(engine, srv, cli)
+    # 60 KB at 125 MB/s is ~0.5 ms per datagram: arrivals must be spaced
+    gaps = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+    for gap in gaps:
+        assert gap == pytest.approx(60066 / 125e6, rel=0.2)

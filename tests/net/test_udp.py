@@ -1,0 +1,175 @@
+"""Datagram (UDP / raw IP) behaviour tests."""
+
+from repro.net import MSG_PEEK
+from repro.vos.syscalls import Errno
+
+from .conftest import run_tasks
+
+
+def test_sendto_recvfrom(engine, hosts):
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "udp")
+        yield call("bind", fd, (b.ip, 7000))
+        data, src = yield call("recvfrom", fd, 1024, 0)
+        yield call("sendto", fd, b"pong:" + data, src)
+        return data
+
+    def client(call):
+        fd = yield call("socket", "udp")
+        yield call("bind", fd, (a.ip, 7001))
+        yield call("sendto", fd, b"ping", (b.ip, 7000))
+        data, src = yield call("recvfrom", fd, 1024, 0)
+        return data, src
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    got, (data, src) = run_tasks(engine, srv, cli)
+    assert got == b"ping"
+    assert data == b"pong:ping"
+    assert src == (b.ip, 7000)
+
+
+def test_connected_udp_send_recv(engine, hosts):
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "udp")
+        yield call("bind", fd, (b.ip, 7002))
+        data, src = yield call("recvfrom", fd, 1024, 0)
+        yield call("sendto", fd, b"back", src)
+        return data
+
+    def client(call):
+        fd = yield call("socket", "udp")
+        yield call("connect", fd, (b.ip, 7002))
+        yield call("send", fd, b"via-connected", 0)
+        data = yield call("recv", fd, 1024, 0)
+        return data
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    got, data = run_tasks(engine, srv, cli)
+    assert got == b"via-connected"
+    assert data == b"back"
+
+
+def test_datagram_truncation(engine, hosts):
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "udp")
+        yield call("bind", fd, (b.ip, 7003))
+        data, _ = yield call("recvfrom", fd, 4, 0)
+        return data
+
+    def client(call):
+        fd = yield call("socket", "udp")
+        yield call("sendto", fd, b"0123456789", (b.ip, 7003))
+        return 0
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    data, _ = run_tasks(engine, srv, cli)
+    assert data == b"0123"  # rest of the datagram discarded
+
+
+def test_udp_peek_preserves_datagram(engine, hosts):
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "udp")
+        yield call("bind", fd, (b.ip, 7004))
+        peeked, _ = yield call("recvfrom", fd, 1024, MSG_PEEK)
+        real, _ = yield call("recvfrom", fd, 1024, 0)
+        return peeked, real
+
+    def client(call):
+        fd = yield call("socket", "udp")
+        yield call("sendto", fd, b"lookahead", (b.ip, 7004))
+        return 0
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    (peeked, real), _ = run_tasks(engine, srv, cli)
+    assert peeked == b"lookahead" and real == b"lookahead"
+    # the peeked flag matters to checkpoint semantics
+    sock = b.stack.bound[("udp", b.ip, 7004)]
+    assert sock.conn.peeked is False  # cleared once the queue drained
+
+
+def test_udp_unreliable_no_retransmit(engine, fabric, hosts):
+    a, b = hosts
+    fabric.loss_rate = 1.0  # everything dropped
+
+    def server(call):
+        fd = yield call("socket", "udp")
+        yield call("bind", fd, (b.ip, 7005))
+        yield call("setsockopt", fd, "O_NONBLOCK", 1)
+        yield call("sleep", 2.0)
+        r = yield call("recv", fd, 1024, 0)
+        return r
+
+    def client(call):
+        fd = yield call("socket", "udp")
+        yield call("sendto", fd, b"lost", (b.ip, 7005))
+        return 0
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    r, _ = run_tasks(engine, srv, cli)
+    assert isinstance(r, Errno) and r.name == "EWOULDBLOCK"
+    assert fabric.dropped_packets == 1  # and nothing retried
+
+
+def test_raw_ip_sockets(engine, hosts):
+    a, b = hosts
+    PROTO_ICMPISH = 42
+
+    def server(call):
+        fd = yield call("socket", "raw")
+        yield call("bind", fd, (b.ip, PROTO_ICMPISH))
+        data, src = yield call("recvfrom", fd, 1024, 0)
+        return data, src
+
+    def client(call):
+        fd = yield call("socket", "raw")
+        yield call("bind", fd, (a.ip, PROTO_ICMPISH))
+        yield call("sendto", fd, b"raw-payload", (b.ip, PROTO_ICMPISH))
+        return 0
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    (data, src), _ = run_tasks(engine, srv, cli)
+    assert data == b"raw-payload"
+    assert src[0] == a.ip
+
+
+def test_udp_buffer_overflow_drops(engine, hosts):
+    a, b = hosts
+
+    def server(call):
+        fd = yield call("socket", "udp")
+        yield call("bind", fd, (b.ip, 7006))
+        yield call("setsockopt", fd, "SO_RCVBUF", 1000)
+        yield call("sleep", 2.0)  # let datagrams pile up
+        got = []
+        yield call("setsockopt", fd, "O_NONBLOCK", 1)
+        while True:
+            r = yield call("recv", fd, 2048, 0)
+            if isinstance(r, Errno):
+                break
+            got.append(r)
+        return got
+
+    def client(call):
+        fd = yield call("socket", "udp")
+        for i in range(10):
+            yield call("sendto", fd, bytes([i]) * 400, (b.ip, 7006))
+        return 0
+
+    srv = b.task(server, name="srv")
+    cli = a.task(client, name="cli")
+    got, _ = run_tasks(engine, srv, cli)
+    assert 0 < len(got) < 10  # some delivered, overflow dropped

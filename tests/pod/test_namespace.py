@@ -1,0 +1,79 @@
+"""Unit tests for PID namespaces and the virtual address plane."""
+
+import pytest
+
+from repro.errors import NoSuchProcessError, PodError
+from repro.pod import PidNamespace, VNet
+
+
+class TestPidNamespace:
+    def test_assign_sequential_vpids(self):
+        ns = PidNamespace()
+        assert ns.assign(500) == 1
+        assert ns.assign(501) == 2
+        assert ns.to_real(1) == 500
+        assert ns.to_virtual(501) == 2
+
+    def test_vpids_survive_rebind_to_new_host_pids(self):
+        ns = PidNamespace()
+        ns.assign(500)  # vpid 1
+        # after migration the process gets host pid 900 but keeps vpid 1
+        ns2 = PidNamespace()
+        ns2.rebind(1, 900)
+        assert ns2.to_real(1) == 900
+        # new allocations stay above restored vpids
+        assert ns2.assign(901) == 2
+
+    def test_drop_host_removes_mapping(self):
+        ns = PidNamespace()
+        ns.assign(500)
+        ns.drop_host(500)
+        with pytest.raises(NoSuchProcessError):
+            ns.to_real(1)
+        assert len(ns) == 0
+
+    def test_duplicate_binds_rejected(self):
+        ns = PidNamespace()
+        ns.assign(500)
+        with pytest.raises(PodError):
+            ns.rebind(1, 700)
+        with pytest.raises(PodError):
+            ns.rebind(5, 500)
+
+    def test_unknown_lookups_raise(self):
+        ns = PidNamespace()
+        with pytest.raises(NoSuchProcessError):
+            ns.to_real(9)
+        with pytest.raises(NoSuchProcessError):
+            ns.to_virtual(9)
+
+
+class TestVNet:
+    def test_place_resolve_remove(self):
+        vnet = VNet()
+        vnet.place("10.77.0.1", "10.0.0.3")
+        assert vnet.resolve("10.77.0.1") == "10.0.0.3"
+        assert vnet.where("10.77.0.1") == "10.0.0.3"
+        vnet.remove("10.77.0.1")
+        assert vnet.where("10.77.0.1") is None
+
+    def test_real_addresses_resolve_to_themselves(self):
+        vnet = VNet()
+        assert vnet.resolve("10.0.0.9") == "10.0.0.9"
+
+    def test_move_rehomes_virtual_address(self):
+        vnet = VNet()
+        vnet.place("10.77.0.1", "10.0.0.3")
+        vnet.move("10.77.0.1", "10.0.0.7")
+        assert vnet.resolve("10.77.0.1") == "10.0.0.7"
+
+    def test_move_unplaced_rejected(self):
+        with pytest.raises(PodError):
+            VNet().move("10.77.0.1", "10.0.0.7")
+
+    def test_snapshot_is_a_copy(self):
+        vnet = VNet()
+        vnet.place("10.77.0.1", "10.0.0.3")
+        snap = vnet.snapshot()
+        snap["10.77.0.1"] = "tampered"
+        assert vnet.resolve("10.77.0.1") == "10.0.0.3"

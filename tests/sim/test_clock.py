@@ -1,0 +1,30 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import Clock, MICROSECONDS, MILLISECONDS, SECONDS
+
+
+def test_clock_starts_at_zero():
+    assert Clock().now == 0.0
+
+
+def test_clock_advances_forward():
+    c = Clock()
+    c.advance_to(1.5)
+    assert c.now == 1.5
+    c.advance_to(1.5)  # equal time allowed
+    assert c.now == 1.5
+
+
+def test_clock_rejects_backwards_motion():
+    c = Clock()
+    c.advance_to(2.0)
+    with pytest.raises(ValueError):
+        c.advance_to(1.0)
+
+
+def test_time_unit_constants():
+    assert SECONDS == 1.0
+    assert MILLISECONDS == pytest.approx(1e-3)
+    assert MICROSECONDS == pytest.approx(1e-6)

@@ -1,0 +1,54 @@
+"""Metrics and formatting tests."""
+
+import pytest
+
+from repro.metrics import Fig5Cell, Fig6Cell, fmt_bytes, fmt_seconds, print_table
+
+
+def test_fig5_overhead_percent():
+    cell = Fig5Cell("CPI", 4, base_time=10.0, zapc_time=10.5)
+    assert cell.overhead_pct == pytest.approx(5.0)
+    assert Fig5Cell("CPI", 4, 0.0, 1.0).overhead_pct == 0.0
+
+
+def test_fig6_means_and_max():
+    cell = Fig6Cell("BT", 4)
+    cell.checkpoint_times = [0.1, 0.3]
+    cell.network_ckpt_times = [0.001, 0.003]
+    cell.image_sizes = [100, 200]
+    cell.netstate_sizes = [10, 50, 20]
+    assert cell.mean_checkpoint == pytest.approx(0.2)
+    assert cell.mean_network_ckpt == pytest.approx(0.002)
+    assert cell.mean_image_size == 150
+    assert cell.max_netstate == 50
+
+
+def test_fig6_empty_defaults():
+    cell = Fig6Cell("X", 1)
+    assert cell.mean_checkpoint == 0.0
+    assert cell.mean_image_size == 0
+    assert cell.max_netstate == 0
+
+
+def test_fmt_seconds():
+    assert "ms" in fmt_seconds(0.05)
+    assert "s" in fmt_seconds(2.0)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(500).strip().endswith("B")
+    assert "KB" in fmt_bytes(5_000)
+    assert "MB" in fmt_bytes(5_000_000)
+
+
+def test_print_table_renders_all_rows(capsys):
+    text = print_table("T", ("a", "bee"), [(1, "x"), (22, "yyyy")])
+    out = capsys.readouterr().out
+    assert "== T ==" in out
+    assert "22" in out and "yyyy" in out
+    assert text in out
+
+
+def test_print_table_empty_rows():
+    text = print_table("Empty", ("col",), [])
+    assert "Empty" in text

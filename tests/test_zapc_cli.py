@@ -1,0 +1,33 @@
+"""CLI front-end tests."""
+
+import pytest
+
+from repro.zapc import main, run_demo
+
+
+def test_snapshot_demo(capsys):
+    assert run_demo("snapshot", "CPI", 2, scale=0.1) is True
+    out = capsys.readouterr().out
+    assert "checkpoint: ok" in out
+    assert "answer verified: True" in out
+
+
+def test_migrate_demo(capsys):
+    assert run_demo("migrate", "CPI", 2, scale=0.1) is True
+    out = capsys.readouterr().out
+    assert "restart: ok" in out
+
+
+def test_recover_demo(capsys):
+    assert run_demo("recover", "CPI", 2, scale=0.1) is True
+    out = capsys.readouterr().out
+    assert "checkpoint: ok" in out and "restart: ok" in out
+
+
+def test_main_exit_codes(capsys):
+    assert main(["snapshot", "--app", "CPI", "--nodes", "2", "--scale", "0.1"]) == 0
+
+
+def test_unsupported_node_count_rejected():
+    with pytest.raises(SystemExit):
+        run_demo("snapshot", "BT/NAS", 2)

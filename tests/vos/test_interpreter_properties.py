@@ -1,0 +1,104 @@
+"""Property-based tests on the interpreter and process images.
+
+The checkpoint correctness story reduces to: (1) a process image
+round-trips exactly at *any* interruption point, and (2) execution is
+deterministic — the same program reaches the same state regardless of
+how it is sliced into quanta.  Both are checked over randomized
+programs and slice schedules.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.vos.process import Process, REASON_HALT
+from repro.vos.program import ProgramBuilder, build_program, imm, program
+
+
+def _mix(acc, x):
+    return (acc * 1103515245 + x + 12345) % (2**31)
+
+
+@program("prop.random-walk")
+def _random_walk(b, *, ops, seed):
+    """A deterministic arithmetic walk parameterized by (ops, seed)."""
+    b.mov("acc", imm(seed))
+    b.mov("mem", imm(0))
+    for i, op in enumerate(ops):
+        kind, arg = op
+        if kind == 0:
+            b.op("acc", _mix, "acc", imm(arg))
+        elif kind == 1:
+            b.compute(imm(arg * 100))
+        elif kind == 2:
+            b.alloc(imm(arg), "heap")
+            b.op("mem", lambda m, a=arg: m + a, "mem")
+        elif kind == 3:
+            with b.for_range(f"i{i}", imm(0), imm(arg % 5)):
+                b.op("acc", _mix, "acc", f"i{i}")
+    b.halt(imm(0))
+
+
+_ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.integers(min_value=0, max_value=1000)),
+    min_size=1, max_size=12)
+
+
+def _run_sliced(proc, slices):
+    """Step a process with the given quantum schedule until halt."""
+    idx = 0
+    while True:
+        budget = slices[idx % len(slices)]
+        idx += 1
+        _used, reason, payload = proc.step(budget)
+        if reason == REASON_HALT:
+            return payload
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_ops, seed=st.integers(min_value=0, max_value=2**30),
+       slices=st.lists(st.integers(min_value=50, max_value=5000), min_size=1, max_size=4))
+def test_execution_is_slice_invariant(ops, seed, slices):
+    """Final state is identical whether run in one slice or many."""
+    big = Process(1, build_program("prop.random-walk", ops=ops, seed=seed))
+    _run_sliced(big, [10**9])
+    small = Process(2, build_program("prop.random-walk", ops=ops, seed=seed))
+    _run_sliced(small, slices)
+    assert small.regs["acc"] == big.regs["acc"]
+    assert small.regs["mem"] == big.regs["mem"]
+    assert small.memory.rss == big.memory.rss
+    assert small.cpu_cycles == big.cpu_cycles
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_ops, seed=st.integers(min_value=0, max_value=2**30),
+       cut=st.integers(min_value=1, max_value=50_000))
+def test_image_round_trip_at_any_interruption_point(ops, seed, cut):
+    """Freeze after an arbitrary number of cycles; the restored clone
+    must finish with exactly the original's final state."""
+    reference = Process(1, build_program("prop.random-walk", ops=ops, seed=seed))
+    _run_sliced(reference, [10**9])
+
+    victim = Process(2, build_program("prop.random-walk", ops=ops, seed=seed))
+    _used, reason, _payload = victim.step(cut)
+    if reason == REASON_HALT:
+        clone = victim  # finished before the cut: nothing to restore
+    else:
+        clone = Process(3, victim.to_image())  # type: ignore[arg-type]
+        clone = Process.from_image(3, victim.to_image())
+        _run_sliced(clone, [10**9])
+    assert clone.regs["acc"] == reference.regs["acc"]
+    assert clone.regs["mem"] == reference.regs["mem"]
+    assert clone.memory.rss == reference.memory.rss
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=_ops, seed=st.integers(min_value=0, max_value=2**30))
+def test_program_rebuild_is_stable(ops, seed):
+    """Registry rebuilds produce instruction-identical programs (the
+    property that lets images store only name+params)."""
+    p1 = build_program("prop.random-walk", ops=ops, seed=seed)
+    p2 = build_program("prop.random-walk", ops=ops, seed=seed)
+    assert len(p1.instrs) == len(p2.instrs)
+    for a, b in zip(p1.instrs, p2.instrs):
+        assert (a.kind, a.dst, a.name, a.target, a.sense) == \
+            (b.kind, b.dst, b.name, b.target, b.sense)

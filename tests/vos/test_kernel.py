@@ -1,0 +1,384 @@
+"""Unit tests for the kernel: scheduling, syscalls, signals, timers, fs."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.vos import (
+    DEAD,
+    Errno,
+    Kernel,
+    SIGCONT,
+    SIGKILL,
+    SIGSTOP,
+    build_program,
+    imm,
+    program,
+)
+from repro.vos.program import ProgramBuilder
+
+
+@pytest.fixture
+def kernel(engine):
+    return Kernel(engine, "node0", ncpus=1)
+
+
+def _prog(builder_fn, name="anon"):
+    b = ProgramBuilder(name)
+    builder_fn(b)
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# basic execution / exit
+# ---------------------------------------------------------------------------
+
+
+def test_spawn_run_exit(engine, kernel):
+    def body(b):
+        b.mov("x", imm(5))
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert proc.state == DEAD and proc.exit_code == 0
+    assert proc.regs["x"] == 5
+
+
+def test_compute_advances_simulated_time(engine, kernel):
+    def body(b):
+        b.compute(imm(int(kernel.hz)))  # one second of CPU
+        b.halt(imm(0))
+
+    kernel.spawn(_prog(body))
+    engine.run()
+    assert engine.now == pytest.approx(1.0, rel=0.01)
+
+
+def test_two_processes_share_one_cpu(engine, kernel):
+    def body(b):
+        b.compute(imm(int(kernel.hz * 0.5)))
+        b.halt(imm(0))
+
+    kernel.spawn(_prog(body, "a"))
+    kernel.spawn(_prog(body, "b"))
+    engine.run()
+    # serialized on one CPU: total ~1s
+    assert engine.now == pytest.approx(1.0, rel=0.02)
+
+
+def test_two_processes_on_two_cpus_run_in_parallel(engine):
+    kernel = Kernel(engine, "smp", ncpus=2)
+
+    def body(b):
+        b.compute(imm(int(kernel.hz * 0.5)))
+        b.halt(imm(0))
+
+    kernel.spawn(_prog(body, "a"))
+    kernel.spawn(_prog(body, "b"))
+    engine.run()
+    assert engine.now == pytest.approx(0.5, rel=0.02)
+
+
+# ---------------------------------------------------------------------------
+# syscalls
+# ---------------------------------------------------------------------------
+
+
+def test_getpid_and_gettime(engine, kernel):
+    def body(b):
+        b.syscall("pid", "getpid")
+        b.syscall("t", "gettime")
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert proc.regs["pid"] == proc.pid
+    assert proc.regs["t"] > 0
+
+
+def test_unknown_syscall_returns_enosys(engine, kernel):
+    def body(b):
+        b.syscall("r", "frobnicate")
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert isinstance(proc.regs["r"], Errno)
+    assert proc.regs["r"].name == "ENOSYS"
+
+
+def test_sleep_blocks_for_duration(engine, kernel):
+    def body(b):
+        b.syscall(None, "sleep", imm(2.5))
+        b.syscall("t", "gettime")
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert proc.regs["t"] == pytest.approx(2.5, abs=0.01)
+
+
+def test_spawn_and_waitpid(engine, kernel):
+    @program("test.kernel-child")
+    def _child(b, *, code):
+        b.compute(imm(100_000))
+        b.halt(imm(code))
+
+    def parent(b):
+        b.syscall("cpid", "spawn", imm("test.kernel-child"), imm({"code": 7}), imm({}))
+        b.syscall("status", "waitpid", "cpid")
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(parent))
+    engine.run()
+    assert proc.regs["status"] == 7
+
+
+def test_waitpid_on_already_dead_child(engine, kernel):
+    @program("test.kernel-child2")
+    def _child(b):
+        b.halt(imm(3))
+
+    def parent(b):
+        b.syscall("cpid", "spawn", imm("test.kernel-child2"), imm({}), imm({}))
+        b.syscall(None, "sleep", imm(1.0))  # let the child die first
+        b.syscall("status", "waitpid", "cpid")
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(parent))
+    engine.run()
+    assert proc.regs["status"] == 3
+
+
+def test_kill_unknown_pid_is_esrch(engine, kernel):
+    def body(b):
+        b.syscall("r", "kill", imm(31337), imm(SIGKILL))
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert isinstance(proc.regs["r"], Errno) and proc.regs["r"].name == "ESRCH"
+
+
+# ---------------------------------------------------------------------------
+# signals
+# ---------------------------------------------------------------------------
+
+
+def test_sigstop_freezes_and_sigcont_resumes(engine, kernel):
+    def body(b):
+        b.compute(imm(int(kernel.hz)))  # 1s of work
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.schedule(0.1, kernel.send_signal, proc.pid, SIGSTOP)
+    engine.schedule(2.1, kernel.send_signal, proc.pid, SIGCONT)
+    engine.run()
+    assert proc.state == DEAD
+    # 1s of work + 2s frozen (allow a quantum of slack)
+    assert engine.now == pytest.approx(3.0, abs=0.05)
+
+
+def test_stopped_process_parks_syscall_result(engine, kernel):
+    def body(b):
+        b.syscall("r", "sleep", imm(1.0))
+        b.mov("woke", imm(True))
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.schedule(0.5, kernel.send_signal, proc.pid, SIGSTOP)
+    engine.run(until=2.0)
+    # sleep finished at t=1 but the process is stopped: result parked
+    assert proc.stopped and proc.pending_result is not None
+    assert "woke" not in proc.regs
+    kernel.send_signal(proc.pid, SIGCONT)
+    engine.run()
+    assert proc.state == DEAD and proc.regs["woke"] is True
+
+
+def test_sigkill_terminates_blocked_process(engine, kernel):
+    def body(b):
+        b.syscall(None, "sleep", imm(100.0))
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.schedule(0.5, kernel.send_signal, proc.pid, SIGKILL)
+    engine.run(until=5.0)
+    assert proc.state == DEAD and proc.exit_code == -9
+
+
+def test_sigstop_of_runnable_process_keeps_it_off_queue(engine, kernel):
+    def body(b):
+        b.compute(imm(int(kernel.hz * 0.1)))
+        b.halt(imm(0))
+
+    # two procs on one cpu; stop the queued one before it runs
+    a = kernel.spawn(_prog(body, "a"))
+    b2 = kernel.spawn(_prog(body, "b"))
+    kernel.send_signal(b2.pid, SIGSTOP)
+    engine.run(until=1.0)
+    assert a.state == DEAD
+    assert b2.state != DEAD and b2.stopped
+
+
+# ---------------------------------------------------------------------------
+# timers
+# ---------------------------------------------------------------------------
+
+
+def test_settimer_waittimer(engine, kernel):
+    def body(b):
+        b.syscall("tid", "settimer", imm(2.0))
+        b.syscall("fired", "waittimer", "tid")
+        b.syscall("t", "gettime")
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert proc.regs["fired"] is True
+    assert proc.regs["t"] == pytest.approx(2.0, abs=0.01)
+
+
+def test_waittimer_after_fire_completes_immediately(engine, kernel):
+    def body(b):
+        b.syscall("tid", "settimer", imm(0.5))
+        b.syscall(None, "sleep", imm(1.0))
+        b.syscall("fired", "waittimer", "tid")
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert proc.regs["fired"] is True
+    assert engine.now == pytest.approx(1.0, abs=0.05)
+
+
+def test_canceltimer_wakes_waiter_with_false(engine, kernel):
+    def waiter(b):
+        b.syscall("tid", "settimer", imm(50.0))
+        b.syscall("fired", "waittimer", "tid")
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(waiter))
+
+    def cancel():
+        # find the timer and cancel it from the outside
+        tids = list(kernel.timers._timers)
+        assert tids
+        kernel.engine.schedule(0.0, lambda: None)
+        from repro.vos.kernel import _sys_canceltimer
+        _sys_canceltimer(kernel, proc, (tids[0],), False)
+
+    engine.schedule(1.0, cancel)
+    engine.run(until=10.0)
+    assert proc.regs.get("fired") is False
+
+
+# ---------------------------------------------------------------------------
+# filesystem syscalls
+# ---------------------------------------------------------------------------
+
+
+def test_file_write_then_read(engine, kernel):
+    def body(b):
+        b.syscall("fd", "open", imm("/tmp.txt"), imm("w"))
+        b.syscall("n", "write", "fd", imm(b"hello world"))
+        b.syscall(None, "close", "fd")
+        b.syscall("fd2", "open", imm("/tmp.txt"), imm("r"))
+        b.syscall("data", "read", "fd2", imm(1024))
+        b.syscall(None, "close", "fd2")
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert proc.regs["n"] == 11
+    assert proc.regs["data"] == b"hello world"
+
+
+def test_open_missing_file_is_enoent(engine, kernel):
+    def body(b):
+        b.syscall("r", "open", imm("/missing"), imm("r"))
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert isinstance(proc.regs["r"], Errno) and proc.regs["r"].name == "ENOENT"
+
+
+def test_mkdir_listdir_unlink(engine, kernel):
+    def body(b):
+        b.syscall(None, "mkdir", imm("/data"))
+        b.syscall("fd", "open", imm("/data/a.bin"), imm("w"))
+        b.syscall(None, "write", "fd", imm(b"x"))
+        b.syscall(None, "close", "fd")
+        b.syscall("entries", "listdir", imm("/data"))
+        b.syscall(None, "unlink", imm("/data/a.bin"))
+        b.syscall("after", "listdir", imm("/data"))
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert proc.regs["entries"] == ["a.bin"]
+    assert proc.regs["after"] == []
+
+
+def test_exit_closes_fds(engine, kernel):
+    def body(b):
+        b.syscall("fd", "open", imm("/f"), imm("w"))
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert proc.fds == {}
+
+
+# ---------------------------------------------------------------------------
+# host channels
+# ---------------------------------------------------------------------------
+
+
+def test_host_channel_syscall(engine, kernel):
+    chan = kernel.host_channel("agent")
+
+    def task():
+        fut = kernel.host_call(chan, "gettime")
+        t = yield fut
+        return t
+
+    result = engine.run_task(task())
+    assert result >= 0
+
+
+def test_host_channel_rejects_concurrent_calls(engine, kernel):
+    from repro.errors import VosError
+
+    chan = kernel.host_channel("agent")
+    kernel.host_call(chan, "sleep", 10.0)
+    with pytest.raises(VosError):
+        kernel.host_call(chan, "gettime")
+
+
+def test_blocked_probe_reports_stuck_process(engine, kernel):
+    @program("test.kernel-stuck")
+    def _build(b):
+        b.syscall("r", "waitpid", imm(12345))
+        b.halt(imm(0))
+
+    # waitpid on a nonexistent pid raises ESRCH -> completes; use a timer wait
+    def body(b):
+        b.syscall("tid", "settimer", imm(1.0))
+        b.syscall(None, "waittimer", imm(999))  # EINVAL -> completes
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert proc.state == DEAD
+
+
+def test_spawn_of_unknown_program_is_enoent(engine, kernel):
+    def body(b):
+        b.syscall("r", "spawn", imm("no.such.program"), imm({}), imm({}))
+        b.halt(imm(0))
+
+    proc = kernel.spawn(_prog(body))
+    engine.run()
+    assert isinstance(proc.regs["r"], Errno) and proc.regs["r"].name == "ENOENT"

@@ -1,0 +1,49 @@
+"""Unit tests for accounted memory."""
+
+import pytest
+
+from repro.errors import VosError
+from repro.vos.memory import Memory
+
+
+def test_default_segments_zero():
+    m = Memory()
+    assert m.rss == 0
+    assert m.segment("heap") == 0
+
+
+def test_alloc_and_free():
+    m = Memory()
+    m.alloc(1024)
+    m.alloc(512, "grid")
+    assert m.rss == 1536
+    m.free(512, "grid")
+    assert m.rss == 1024
+    assert m.segment("grid") == 0
+
+
+def test_free_more_than_allocated_rejected():
+    m = Memory()
+    m.alloc(100)
+    with pytest.raises(VosError):
+        m.free(200)
+
+
+def test_negative_alloc_rejected():
+    with pytest.raises(VosError):
+        Memory().alloc(-1)
+
+
+def test_resize_sets_exact_size():
+    m = Memory()
+    m.alloc(100, "heap")
+    m.resize(5000, "heap")
+    assert m.segment("heap") == 5000
+
+
+def test_image_round_trip():
+    m = Memory(text=10, data=20, stack=30, heap=40)
+    m.alloc(99, "grid")
+    clone = Memory.from_image(m.to_image())
+    assert clone.rss == m.rss
+    assert clone.segment("grid") == 99

@@ -1,0 +1,203 @@
+"""Unit tests for the process interpreter and image round-trips."""
+
+import pytest
+
+from repro.errors import VosError
+from repro.vos.process import Process, REASON_HALT, REASON_QUANTUM, REASON_SYSCALL
+from repro.vos.program import ProgramBuilder, build_program, imm, program
+
+
+def _mul(a, b):
+    return a * b
+
+
+def _make(builder_fn, name="anon", **regs):
+    b = ProgramBuilder(name)
+    builder_fn(b)
+    return Process(1, b.build(), regs=regs)
+
+
+def test_straight_line_arithmetic():
+    def body(b):
+        b.mov("x", imm(6))
+        b.op("y", _mul, "x", imm(7))
+        b.halt(imm(0))
+
+    p = _make(body)
+    used, reason, code = p.step(10_000)
+    assert reason == REASON_HALT and code == 0
+    assert p.regs["y"] == 42
+    assert used > 0 and p.cpu_cycles == used
+
+
+def test_falling_off_end_is_clean_exit():
+    def body(b):
+        b.mov("x", imm(1))
+
+    p = _make(body)
+    _, reason, code = p.step(10_000)
+    assert reason == REASON_HALT and code == 0
+
+
+def test_compute_splits_across_quanta():
+    def body(b):
+        b.compute(imm(10_000))
+        b.halt(imm(3))
+
+    p = _make(body)
+    used1, reason1, _ = p.step(4_000)
+    assert reason1 == REASON_QUANTUM and used1 == 4_000
+    assert p.compute_remaining > 0
+    used2, reason2, _ = p.step(4_000)
+    assert reason2 == REASON_QUANTUM
+    _, reason3, code = p.step(4_000)
+    assert reason3 == REASON_HALT and code == 3
+
+
+def test_syscall_traps_with_resolved_args():
+    def body(b):
+        b.mov("n", imm(128))
+        b.syscall("out", "recv", imm(5), "n", imm(0))
+        b.halt(imm(0))
+
+    p = _make(body)
+    _, reason, req = p.step(10_000)
+    assert reason == REASON_SYSCALL
+    assert req.name == "recv" and req.args == (5, 128, 0) and req.dst == "out"
+    # deliver the result and continue
+    p.regs["out"] = b"data"
+    _, reason2, _ = p.step(10_000)
+    assert reason2 == REASON_HALT
+
+
+def test_loop_with_while():
+    def body(b):
+        b.mov("i", imm(0))
+        b.op("cc", lambda i: i < 5, "i")
+        with b.while_("cc"):
+            b.op("i", lambda i: i + 1, "i")
+            b.op("cc", lambda i: i < 5, "i")
+        b.halt(imm(0))
+
+    p = _make(body)
+    _, reason, _ = p.step(1_000_000)
+    assert reason == REASON_HALT and p.regs["i"] == 5
+
+
+def test_for_range_loop():
+    def body(b):
+        b.mov("acc", imm(0))
+        with b.for_range("i", imm(0), imm(10)):
+            b.op("acc", lambda acc, i: acc + i, "acc", "i")
+        b.halt(imm(0))
+
+    p = _make(body)
+    p.step(1_000_000)
+    assert p.regs["acc"] == sum(range(10))
+
+
+def test_if_blocks():
+    def body(b):
+        b.mov("flag", imm(True))
+        b.mov("x", imm(0))
+        with b.if_("flag"):
+            b.mov("x", imm(1))
+        with b.if_("flag", negate=True):
+            b.mov("x", imm(2))
+        b.halt(imm(0))
+
+    p = _make(body)
+    p.step(1_000_000)
+    assert p.regs["x"] == 1
+
+
+def test_call_and_ret():
+    def body(b):
+        b.mov("x", imm(1))
+        b.call("double")
+        b.call("double")
+        b.halt(imm(0))
+        b.label("double")
+        b.op("x", _mul, "x", imm(2))
+        b.ret()
+
+    p = _make(body)
+    _, reason, _ = p.step(1_000_000)
+    assert reason == REASON_HALT and p.regs["x"] == 4
+
+
+def test_ret_with_empty_stack_faults():
+    def body(b):
+        b.ret()
+
+    p = _make(body)
+    with pytest.raises(VosError, match="empty call stack"):
+        p.step(1_000)
+
+
+def test_unset_register_faults_with_context():
+    def body(b):
+        b.op("y", _mul, "nope", imm(2))
+
+    p = _make(body, name="faulty")
+    with pytest.raises(VosError, match="faulty"):
+        p.step(1_000)
+
+
+def test_memory_instructions():
+    def body(b):
+        b.alloc(imm(4096), "heap")
+        b.alloc(imm(100), "grid")
+        b.free(imm(96), "heap")
+        b.halt(imm(0))
+
+    p = _make(body)
+    base = p.memory.rss
+    p.step(1_000_000)
+    assert p.memory.segment("grid") == 100
+    assert p.memory.rss == base + 4096 + 100 - 96
+
+
+def test_image_round_trip_mid_computation():
+    @program("test.proc-image")
+    def _build(b, *, n):
+        b.mov("acc", imm(0))
+        with b.for_range("i", imm(0), imm(n)):
+            b.compute(imm(1000))
+            b.op("acc", lambda acc, i: acc + i, "acc", "i")
+        b.syscall("r", "recv", imm(3), imm(64), imm(0))
+        b.halt(imm(0))
+
+    original = Process(42, build_program("test.proc-image", n=50))
+    # run partway through the loop
+    original.step(7_000)
+    assert original.pc != 0
+    image = original.to_image()
+    clone = Process.from_image(99, image)
+    assert clone.pc == original.pc
+    assert clone.regs == original.regs
+    assert clone.compute_remaining == original.compute_remaining
+    assert clone.memory.rss == original.memory.rss
+    # both finish with identical results
+    for p in (original, clone):
+        _, reason, req = p.step(10**9)
+        assert reason == REASON_SYSCALL and req.name == "recv"
+    assert clone.regs["acc"] == original.regs["acc"]
+
+
+def test_image_of_blocked_process_keeps_syscall_record():
+    @program("test.proc-image-blocked")
+    def _build(b):
+        b.syscall("r", "recv", imm(3), imm(64), imm(0))
+        b.halt(imm(0))
+
+    p = Process(7, build_program("test.proc-image-blocked"))
+    _, reason, req = p.step(10_000)
+    assert reason == REASON_SYSCALL
+    p.state = "blocked"
+    p.blocked_on = req
+    clone = Process.from_image(8, p.to_image())
+    assert clone.state == "blocked"
+    assert clone.blocked_on.name == "recv"
+    assert clone.blocked_on.args == (3, 64, 0)
+    assert clone.blocked_on.dst == "r"

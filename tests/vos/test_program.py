@@ -1,0 +1,92 @@
+"""Unit tests for the mini-ISA builder and program registry."""
+
+import pytest
+
+from repro.errors import VosError
+from repro.vos.program import (
+    Imm,
+    ProgramBuilder,
+    build_program,
+    imm,
+    program,
+    registered_programs,
+)
+
+
+def _add(a, b):
+    return a + b
+
+
+def test_builder_emits_and_resolves_labels():
+    b = ProgramBuilder("t")
+    b.mov("x", imm(0))
+    b.label("top")
+    b.op("x", _add, "x", imm(1))
+    b.op("cc", lambda x: x < 3, "x")
+    b.branch_if("cc", "top")
+    b.halt(imm(0))
+    prog = b.build()
+    assert prog.labels["top"] == 1
+    branch = prog.instrs[3]
+    assert branch.kind == "branch" and branch.target == 1
+
+
+def test_undefined_label_rejected():
+    b = ProgramBuilder("t")
+    b.jump("nowhere")
+    with pytest.raises(VosError, match="nowhere"):
+        b.build()
+
+
+def test_duplicate_label_rejected():
+    b = ProgramBuilder("t")
+    b.label("a")
+    with pytest.raises(VosError):
+        b.label("a")
+
+
+def test_registry_build_and_params():
+    @program("test.registry-demo")
+    def _build(b, *, n):
+        b.mov("n", imm(n))
+        b.halt()
+
+    prog = build_program("test.registry-demo", n=7)
+    assert prog.name == "test.registry-demo"
+    assert prog.params == {"n": 7}
+    assert "test.registry-demo" in registered_programs()
+
+
+def test_registry_rejects_duplicates():
+    @program("test.registry-dup")
+    def _build(b):
+        b.halt()
+
+    with pytest.raises(VosError):
+        @program("test.registry-dup")
+        def _build2(b):
+            b.halt()
+
+
+def test_registry_unknown_program():
+    with pytest.raises(VosError):
+        build_program("test.does-not-exist")
+
+
+def test_registry_rebuild_is_deterministic():
+    @program("test.registry-det")
+    def _build(b, *, loops):
+        with b.for_range("i", 0, imm(loops)):
+            b.compute(imm(10))
+        b.halt()
+
+    p1 = build_program("test.registry-det", loops=4)
+    p2 = build_program("test.registry-det", loops=4)
+    assert len(p1.instrs) == len(p2.instrs)
+    assert [i.kind for i in p1.instrs] == [i.kind for i in p2.instrs]
+    assert [i.target for i in p1.instrs] == [i.target for i in p2.instrs]
+
+
+def test_imm_wrapper():
+    assert imm(5) == Imm(5)
+    assert imm("literal").value == "literal"

@@ -1,0 +1,63 @@
+"""Timer-table unit tests."""
+
+import pytest
+
+from repro.errors import VosError
+from repro.vos.timers import Timer, TimerTable
+
+
+def test_create_assigns_sequential_tids():
+    table = TimerTable()
+    t1 = table.create(100, 5.0)
+    t2 = table.create(100, 6.0)
+    assert (t1.tid, t2.tid) == (1, 2)
+    assert table.get(1) is t1
+
+
+def test_adopt_keeps_allocation_ahead():
+    table = TimerTable()
+    restored = Timer(7, 100, 9.0)
+    table.adopt(restored)
+    fresh = table.create(100, 1.0)
+    assert fresh.tid == 8
+
+
+def test_adopt_rejects_duplicates():
+    table = TimerTable()
+    table.adopt(Timer(3, 1, 1.0))
+    with pytest.raises(VosError):
+        table.adopt(Timer(3, 2, 2.0))
+
+
+def test_get_missing_raises_maybe_get_does_not():
+    table = TimerTable()
+    with pytest.raises(VosError):
+        table.get(9)
+    assert table.maybe_get(9) is None
+
+
+def test_owned_by_filters_by_pid():
+    table = TimerTable()
+    table.create(100, 1.0)
+    table.create(200, 2.0)
+    table.create(100, 3.0)
+    owned = table.owned_by({100})
+    assert sorted(t.tid for t in owned) == [1, 3]
+
+
+def test_to_image_records_remaining_virtual_time():
+    timer = Timer(5, 100, vexpiry=10.0)
+    image = timer.to_image(vnow=7.5)
+    assert image["remaining"] == pytest.approx(2.5)
+    assert image["vexpiry"] == 10.0
+    assert image["fired"] is False
+    # past-due timers report zero remaining, never negative
+    assert Timer(6, 100, 1.0).to_image(vnow=5.0)["remaining"] == 0.0
+
+
+def test_remove_is_idempotent():
+    table = TimerTable()
+    t = table.create(100, 1.0)
+    table.remove(t.tid)
+    table.remove(t.tid)
+    assert table.maybe_get(t.tid) is None
