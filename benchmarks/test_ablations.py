@@ -13,14 +13,12 @@
   application-level timeout layers from tripping across the gap.
 """
 
-import pytest
 
 from repro.baselines import deploy_peek_manager
 from repro.cluster import Cluster
 from repro.core import Manager, migrate
 from repro.scenarios import launch_oob_probe, launch_queue_pair, launch_ring
 from repro.vos import DEAD, build_program
-from repro.vos.syscalls import Errno
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,53 @@
+"""Incremental checkpointing on the Figure 6(c) configurations.
+
+Acceptance criterion of the pipeline refactor: with ``--incremental``
+(the delta filter), the mean steady-state image size over epochs 1–9 of
+the 10-checkpoint protocol drops by at least 40% versus the epoch-0 full
+image on the PETSc and BT/NAS configurations, and a restart from the
+delta chain still produces checksum-identical application results (the
+harness verifies the answer and raises otherwise).
+"""
+
+import pytest
+
+from repro.harness import run_fig6_cell, run_fig6b_cell
+
+from .conftest import SCALE
+
+DELTA = [{"name": "delta"}]
+
+
+@pytest.mark.parametrize("app,nodes", [("PETSc", 1), ("PETSc", 4),
+                                       ("BT/NAS", 1), ("BT/NAS", 4)],
+                         ids=["PETSc-1", "PETSc-4", "BT-1", "BT-4"])
+def test_incremental_steady_state_drop(benchmark, report, app, nodes):
+    cell = benchmark.pedantic(run_fig6_cell, args=(app, nodes),
+                              kwargs={"scale": SCALE, "n_checkpoints": 10,
+                                      "filters": DELTA},
+                              rounds=1, iterations=1)
+    assert len(cell.image_sizes) == 10
+    full = cell.epoch0_image_size
+    steady = cell.steady_state_image_size
+    drop = 100.0 * (1.0 - steady / full)
+    benchmark.extra_info.update(epoch0_mb=full / 1e6, steady_mb=steady / 1e6,
+                                drop_pct=drop)
+    report("ablations", ("incremental", f"{app} n={nodes}",
+                         "steady-state drop", f"{drop:.0f}%"))
+    assert drop >= 40.0, (full, steady)
+    # the raw (restored) size never shrinks — deltas are a write-path win
+    assert min(cell.raw_image_sizes) > 0.9 * full
+
+
+@pytest.mark.parametrize("app", ["PETSc", "BT/NAS"])
+def test_restart_from_delta_chain_is_checksum_identical(benchmark, report, app):
+    """Three delta epochs, kill, reassemble the chain, verify the answer
+    (run_fig6b_cell raises unless the application's checksum matches)."""
+    cell = benchmark.pedantic(run_fig6b_cell, args=(app, 4),
+                              kwargs={"scale": SCALE, "filters": DELTA,
+                                      "n_checkpoints": 3},
+                              rounds=1, iterations=1)
+    assert cell.restart_time is not None
+    assert len(cell.image_sizes) == 3
+    assert cell.image_sizes[-1] < cell.image_sizes[0]
+    report("ablations", ("incremental", f"{app} chain restart", "restart [ms]",
+                         f"{cell.restart_time * 1000:.0f}"))

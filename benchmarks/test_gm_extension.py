@@ -5,12 +5,11 @@ Measures the coordinated checkpoint of a GM (Myrinet-style) application
 with the image — and a migration between GM-equipped blades.
 """
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import Manager, migrate
 from repro.net.gm import GmDevice
-from repro.vos import DEAD, build_program
+from repro.vos import build_program
 
 import tests.net.test_gm  # noqa: F401  (registers testapp.gm-* programs)
 

@@ -7,7 +7,6 @@ They guard against performance regressions that would make the figure
 sweeps painful.
 """
 
-import pytest
 
 from repro.core import codec
 from repro.sim import Engine

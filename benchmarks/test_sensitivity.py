@@ -14,7 +14,6 @@ this module shows *which conclusions depend on which knobs*:
   "negligible" verdict survives a 10× costlier interposition.
 """
 
-import pytest
 
 from repro.cluster import Cluster, NodeSpec
 from repro.core import Manager

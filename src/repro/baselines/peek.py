@@ -26,7 +26,7 @@ from ..cluster.builder import Cluster
 from ..core.agent import Agent
 from ..core.manager import Manager
 from ..core.netckpt import capture_socket
-from ..net.sockets import MSG_PEEK, NetStack, Socket
+from ..net.sockets import NetStack, Socket
 from ..pod.pod import Pod
 
 

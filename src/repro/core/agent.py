@@ -29,13 +29,20 @@ from ..cluster.node import Node
 from ..errors import RestartError
 from ..pod.pod import Pod
 from ..sim.tasks import all_of
-from ..storage.san import SAN_MOUNT
 from ..vos.syscalls import Errno
-from . import codec
 from .devckpt import capture_pod_devices, restore_pod_devices
-from .image import PodImage, pack_pod_image
+from .image import PodImage
 from .meta import build_pod_meta
 from .netckpt import capture_pod_network, netstate_nbytes, restore_socket_state
+from .pipeline import (
+    FileSink,
+    ImagePipeline,
+    MemorySink,
+    PipelineState,
+    ReassembledImage,
+    StreamSink,
+    negotiate_filters,
+)
 from .standalone import activate_pod, capture_pod_standalone, restore_pod_standalone
 from .wire import recv_msg, send_msg
 
@@ -53,6 +60,25 @@ QUIESCE_POLL = 0.2e-3
 CONNECT_RETRY = 2e-3
 
 
+def _stage_seconds(image: PodImage, kind: Optional[str] = None) -> float:
+    """Sum the pack-side stage costs recorded on an image.
+
+    ``kind=None`` sums everything; ``"serialize"`` only the codec stage;
+    ``"filter"`` every non-serialize, non-write stage.
+    """
+    total = 0.0
+    for cost in image.stage_costs:
+        stage = cost.get("stage", "")
+        if kind is None:
+            pass
+        elif kind == "serialize" and stage != "serialize":
+            continue
+        elif kind == "filter" and (stage == "serialize" or stage.startswith("write")):
+            continue
+        total += float(cost.get("seconds", 0.0))
+    return total
+
+
 class Agent:
     """One node's checkpoint-restart agent."""
 
@@ -63,7 +89,12 @@ class Agent:
         self.engine = node.kernel.engine
         #: in-memory checkpoint store: pod_id -> PodImage (the paper's
         #: write-to-memory semantics; flushing to the SAN is separate).
+        #: Holds the *latest* image; delta chains live in the pipeline
+        #: state behind :attr:`mem_sink`.
         self.images: Dict[str, PodImage] = {}
+        #: per-pod pipeline memory: delta bases, epochs, stored chains.
+        self.pipeline_state = PipelineState()
+        self.mem_sink = MemorySink(self.images, self.pipeline_state)
         #: redirected send-queue data awaiting a restart here:
         #: (pod_id, sock_id) -> bytes, pushed by migrating peers'
         #: agents ("merge it with the peer's stream of checkpoint data").
@@ -157,6 +188,14 @@ class Agent:
         if pod is None:
             yield from send_msg(kernel, chan, fd, {"type": "error", "error": f"no pod {pod_id!r}"})
             return
+        # filter negotiation: the Manager requests a chain, the Agent
+        # accepts the stages it supports and reports the applied chain
+        # back in the meta-data exchange
+        filters, accepted_specs, rejected_specs = negotiate_filters(msg.get("filters"))
+        pipeline = ImagePipeline(filters)
+        # a delta against a base the destination Agent does not hold is
+        # useless: images that leave this node must be self-contained
+        chain_local = not uri.startswith("agent://")
         stack = kernel.netstack
         t0 = engine.now
 
@@ -193,11 +232,16 @@ class Agent:
 
         if order == "standalone-first":
             # serialize the image *before* reporting: nothing overlaps
-            image = pack_pod_image(standalone, sock_records, sock_fd_rows, devices)
-            yield engine.sleep(self.node.serialize_delay(image.total_bytes))
+            image = pipeline.pack(standalone, sock_records, sock_fd_rows, devices,
+                                  state=self.pipeline_state,
+                                  serialize_bandwidth=self.node.spec.memcpy_bandwidth,
+                                  chain_local=chain_local)
+            yield engine.sleep(_stage_seconds(image))
 
         # 2a. report meta-data
-        report: Dict[str, Any] = {"type": "meta", "pod": pod_id, "meta": meta}
+        report: Dict[str, Any] = {"type": "meta", "pod": pod_id, "meta": meta,
+                                  "filters": accepted_specs,
+                                  "filters_rejected": rejected_specs}
         ok = yield from send_msg(kernel, chan, fd, report)
         if not ok:
             self._abort_checkpoint(pod)
@@ -206,9 +250,11 @@ class Agent:
         # 3. standalone checkpoint (overlaps the Manager's meta sync)
         if order != "standalone-first":
             standalone = standalone_pass()
-            image = pack_pod_image(standalone, sock_records, sock_fd_rows, devices)
-            yield engine.sleep(self.node.spec.ckpt_fixed_s
-                               + self.node.serialize_delay(image.total_bytes))
+            image = pipeline.pack(standalone, sock_records, sock_fd_rows, devices,
+                                  state=self.pipeline_state,
+                                  serialize_bandwidth=self.node.spec.memcpy_bandwidth,
+                                  chain_local=chain_local)
+            yield engine.sleep(self.node.spec.ckpt_fixed_s + _stage_seconds(image))
         t_standalone_done = engine.now
 
         # 3a/4a. finish only after 'continue' arrives
@@ -245,9 +291,16 @@ class Agent:
                     yield from self._push_redirect(
                         entry["dst_node"], entry["peer_pod"],
                         int(entry["peer_sock_id"]), trimmed)
-            # the image must reflect the stripped queues
-            image = pack_pod_image(standalone, sock_records, sock_fd_rows, devices)
-        self.images[pod_id] = image
+            # the image must reflect the stripped queues (re-pack, not
+            # re-charged: the bytes were already serialized once; the
+            # pipeline diffs against the *previous* epoch because the
+            # first pack's base is only staged, not committed)
+            repacked = pipeline.pack(standalone, sock_records, sock_fd_rows, devices,
+                                     state=self.pipeline_state, chain_local=chain_local)
+            repacked.stage_costs = image.stage_costs
+            image = repacked
+        self.pipeline_state.commit(pod_id)
+        self.mem_sink.store(image)
 
         # optional file-system snapshot, "taken immediately prior to
         # reactivating the pod" — point-in-time capture of the shared
@@ -258,7 +311,11 @@ class Agent:
             snap = self.cluster.snapshots.take(self.cluster.san, now=engine.now)
             snapshot_id = len(self.cluster.snapshots) - 1
 
-        # 4. report done
+        # 4. report done (with the per-stage pipeline breakdown: the
+        # serialize / filter split happened above; the write to the sink
+        # happens after resume, so its cost is reported as modeled)
+        sink = self._sink_for(uri)
+        stage_stats = list(image.stage_costs) + [sink.write_cost(image).as_stats()]
         yield from send_msg(kernel, chan, fd, {
             "type": "done",
             "pod": pod_id,
@@ -268,11 +325,18 @@ class Agent:
                 "t_network": t_net_done - t_suspended,
                 "t_standalone": t_standalone_done - t_net_done,
                 "t_local": engine.now - t0,
+                "t_serialize": _stage_seconds(image, "serialize"),
+                "t_filter": _stage_seconds(image, "filter"),
+                "t_write": sink.write_delay(image),
                 "image_bytes": image.total_bytes,
+                "raw_image_bytes": image.raw_total_bytes,
                 "encoded_bytes": image.encoded_bytes,
                 "netstate_bytes": image.netstate_bytes,
                 "sockets": len(sock_records),
                 "fs_snapshot": snapshot_id,
+                "filters": accepted_specs,
+                "epoch": image.epoch,
+                "stages": stage_stats,
             },
         })
 
@@ -280,11 +344,11 @@ class Agent:
         if context == "snapshot":
             pod.resume()
         if uri.startswith("agent://"):
-            yield from self._stream_image(chan, fd, image, uri)
+            yield from self._stream_image(chan, fd, image, uri, sink)
         elif uri.startswith("file:"):
             # flush to shared storage after the application resumed —
             # deliberately outside the checkpoint latency, per the paper
-            yield from self._flush_to_file(image, uri)
+            yield from self._flush_to_file(image, sink)
             yield from send_msg(kernel, chan, fd, {"type": "flushed", "pod": pod_id})
 
     def _abort_checkpoint(self, pod: Pod) -> None:
@@ -292,12 +356,21 @@ class Agent:
         stack.netfilter.unblock_ip(pod.vip)
         pod.resume()
 
-    def _stream_image(self, chan, fd, image: PodImage, uri: str):
+    def _sink_for(self, uri: str):
+        """The pipeline sink an URI lands in (memory, SAN file, stream)."""
+        if uri.startswith("agent://"):
+            return StreamSink(self.cluster.fabric.bandwidth)
+        if uri.startswith("file:"):
+            return FileSink(self.cluster.san, self.kernel.vfs, uri[len("file:"):])
+        return self.mem_sink
+
+    def _stream_image(self, chan, fd, image: PodImage, uri: str, sink: StreamSink):
         """Direct migration: push the image to the destination Agent.
 
         The encoded payload travels over the simulated network for real;
         the accounted (ballast) memory is charged as streaming time at
-        fabric bandwidth without materializing the bytes.
+        fabric bandwidth without materializing the bytes — so a compress
+        stage directly shortens the stream.
         """
         kernel = self.kernel
         target = self.cluster.node_by_name(uri[len("agent://"):])
@@ -307,13 +380,17 @@ class Agent:
         if isinstance(rc, Errno):
             yield from send_msg(kernel, chan, fd, {"type": "error", "error": f"push connect: {rc.name}"})
             return
-        yield self.engine.sleep(image.accounted_bytes / self.cluster.fabric.bandwidth)
+        yield self.engine.sleep(sink.write_delay(image))
         yield from send_msg(kernel, tchan, tfd, {
             "cmd": "push_image",
             "pod": image.pod_id,
             "data": image.data,
             "accounted": image.accounted_bytes,
             "netstate": image.netstate_bytes,
+            "filters": image.filters,
+            "epoch": image.epoch,
+            "raw_bytes": image.raw_encoded_bytes,
+            "raw_accounted": image.raw_accounted_bytes,
         })
         ack = yield from recv_msg(kernel, tchan, tfd)
         yield kernel.host_call(tchan, "close", tfd)
@@ -339,80 +416,74 @@ class Agent:
         yield kernel.host_call(tchan, "close", tfd)
 
     def _store_pushed(self, msg) -> None:
-        self.images[msg["pod"]] = PodImage(
+        self.mem_sink.store(PodImage(
             pod_id=msg["pod"],
             data=bytes(msg["data"]),
             encoded_bytes=len(msg["data"]),
             accounted_bytes=int(msg["accounted"]),
             netstate_bytes=int(msg["netstate"]),
-        )
+            filters=list(msg.get("filters") or []),
+            epoch=int(msg.get("epoch", 0)),
+            raw_encoded_bytes=msg.get("raw_bytes"),
+            raw_accounted_bytes=msg.get("raw_accounted"),
+        ))
 
-    def _flush_to_file(self, image: PodImage, uri: str):
-        path = uri[len("file:"):]
-        container = codec.encode({
-            "data": image.data,
-            "accounted": image.accounted_bytes,
-            "netstate": image.netstate_bytes,
-        })
-        yield self.engine.sleep(self.cluster.san.flush_delay(image.total_bytes))
-        handle = self.kernel.vfs.open(path, "w")
-        handle.write(container)
+    def _flush_to_file(self, image: PodImage, sink: FileSink):
+        yield self.engine.sleep(sink.write_delay(image))
+        sink.store(image)
 
-    def _load_image(self, pod_id: str, uri: str):
-        """Load a checkpoint image; yields (image, load_delay_charged)."""
+    def _load_chain(self, pod_id: str, uri: str) -> List[PodImage]:
+        """Load a checkpoint image chain (epoch order; length 1 unless
+        incremental checkpoints extended it)."""
         if uri in ("mem", "") or uri.startswith("agent://"):
-            image = self.images.get(pod_id)
-            if image is None:
+            chain = self.mem_sink.load(pod_id)
+            if not chain:
                 raise RestartError(f"no in-memory image for pod {pod_id!r} on {self.node.name}")
-            return image
+            return chain
         if uri.startswith("file:"):
-            path = uri[len("file:"):]
-            handle = self.kernel.vfs.open(path, "r")
-            container = codec.decode(bytes(handle.file.data))
-            return PodImage(
-                pod_id=pod_id,
-                data=bytes(container["data"]),
-                encoded_bytes=len(container["data"]),
-                accounted_bytes=int(container["accounted"]),
-                netstate_bytes=int(container["netstate"]),
-            )
+            return self._sink_for(uri).load(pod_id)
         raise RestartError(f"unsupported URI {uri!r}")
 
     # ------------------------------------------------------------------
     # restart (Figure 3, Agent side)
     # ------------------------------------------------------------------
     def _do_load_meta(self, chan, fd, msg):
-        """Phase 0 of restart: load the image, report its meta-data."""
+        """Phase 0 of restart: load the image chain, report its meta-data."""
         kernel = self.kernel
         try:
-            image = self._load_image(msg["pod"], msg["uri"])
+            chain = self._load_chain(msg["pod"], msg["uri"])
         except RestartError as err:
             yield from send_msg(kernel, chan, fd, {"type": "error", "error": str(err)})
             return
         if msg["uri"].startswith("file:") and not msg.get("preloaded", True):
-            yield self.engine.sleep(self.cluster.san.transfer_delay(image.total_bytes))
-        payload = image.unpack()
-        meta = build_pod_meta(msg["pod"], payload["sockets"])
+            yield self.engine.sleep(self.cluster.san.transfer_delay(
+                sum(img.total_bytes for img in chain)))
+        reassembled = ImagePipeline.reassemble(chain, state=self.pipeline_state)
+        meta = build_pod_meta(msg["pod"], reassembled.payload["sockets"])
         yield from send_msg(kernel, chan, fd, {
             "type": "meta",
             "pod": msg["pod"],
             "meta": meta,
-            "vip": payload["standalone"]["vip"],
+            "vip": reassembled.payload["standalone"]["vip"],
+            "filters": chain[-1].filters,
         })
         # keep the session open: the restart command follows on this conn
         msg2 = yield from recv_msg(kernel, chan, fd)
         if msg2 is None or msg2.get("cmd") != "restart":
             return
-        yield from self._do_restart(chan, fd, msg2, image=image)
+        yield from self._do_restart(chan, fd, msg2, chain=chain, reassembled=reassembled)
 
-    def _do_restart(self, chan, fd, msg, image: Optional[PodImage] = None):
+    def _do_restart(self, chan, fd, msg, chain: Optional[List[PodImage]] = None,
+                    reassembled: Optional[ReassembledImage] = None):
         kernel = self.kernel
         engine = self.engine
         pod_id = msg["pod"]
         t0 = engine.now
-        if image is None:
-            image = self._load_image(pod_id, msg.get("uri", "mem"))
-        payload = image.unpack()
+        if chain is None:
+            chain = self._load_chain(pod_id, msg.get("uri", "mem"))
+        if reassembled is None:
+            reassembled = ImagePipeline.reassemble(chain, state=self.pipeline_state)
+        payload = reassembled.payload
         standalone = payload["standalone"]
         records: List[Dict[str, Any]] = payload["sockets"]
         rec_by_id = {int(r["sock_id"]): r for r in records}
@@ -501,9 +572,11 @@ class Agent:
                            + inject_bytes / self.node.spec.memcpy_bandwidth)
         t_net_done = engine.now
 
-        # 4. standalone restart
+        # 4. standalone restart: undo the filter chain (decompress /
+        # delta reassembly), then rebuild the full pre-filter state
         yield engine.sleep(self.node.spec.restart_fixed_s
-                           + image.total_bytes / self.node.spec.restore_bandwidth)
+                           + reassembled.decode_seconds
+                           + reassembled.full_total_bytes / self.node.spec.restore_bandwidth)
         restore_pod_standalone(pod, standalone, socket_map, payload["socket_fds"],
                                time_virtualization=timevirt_on)
         devices = payload.get("devices", {"states": [], "fd_rows": []})
@@ -521,8 +594,10 @@ class Agent:
                 "t_network": t_net_done - t0,
                 "t_standalone": t_done - t_net_done,
                 "t_local": t_done - t0,
-                "image_bytes": image.total_bytes,
-                "netstate_bytes": image.netstate_bytes,
+                "t_unfilter": reassembled.decode_seconds,
+                "image_bytes": reassembled.full_total_bytes,
+                "netstate_bytes": chain[-1].netstate_bytes,
+                "chain_epochs": len(chain),
                 "sockets": len(records),
             },
         })

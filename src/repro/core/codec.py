@@ -190,6 +190,27 @@ def _dec(data: bytes, pos: int) -> Tuple[Any, int]:
     raise CodecError(f"unknown tag {tag!r} at offset {pos - 1}")
 
 
+class _CountingWriter:
+    """A write target that accumulates only lengths.
+
+    Duck-types the single operation :func:`_enc` performs on its output
+    (``out += bytes_like``), so sizes are computed without materializing
+    the encoded buffer — at MB-scale accounted memory that buffer is a
+    real allocation on every Figure 6(c) sample.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def __iadd__(self, data) -> "_CountingWriter":
+        self.n += len(data)
+        return self
+
+
 def encoded_size(obj: Any) -> int:
-    """Byte size of ``obj`` in the intermediate format."""
-    return len(encode(obj))
+    """Byte size of ``obj`` in the intermediate format (no buffer built)."""
+    out = _CountingWriter()
+    _enc(obj, out)
+    return out.n

@@ -9,43 +9,113 @@ metadata — what this process actually serialized) from the *accounted*
 resident-set bytes (application memory the simulation tracks by count);
 their sum is the image size the paper's Figure 6(c) plots, and the
 network-state share is tracked separately (the "few kilobytes" claim).
+
+Images come in two shapes:
+
+* **v1** (:data:`FORMAT_VERSION`) — the raw codec payload, written when
+  no pipeline filters are configured; byte-identical to the historic
+  monolithic write path.
+* **v2** (:data:`PIPELINE_FORMAT_VERSION`) — a self-describing envelope
+  produced by :mod:`repro.core.pipeline` wrapping the filtered payload
+  plus the filter chain needed to reverse it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from ..errors import CheckpointError
 from . import codec
 from .netckpt import netstate_nbytes
 from .standalone import accounted_memory_bytes
 
-#: image format version stamp.
+#: unfiltered (raw payload) image format version stamp.
 FORMAT_VERSION = 1
+#: filtered (pipeline envelope) image format version stamp.
+PIPELINE_FORMAT_VERSION = 2
 
 
 @dataclass
 class PodImage:
-    """One pod's checkpoint: payload bytes plus size breakdown."""
+    """One pod's checkpoint: payload bytes plus size breakdown.
+
+    ``encoded_bytes``/``accounted_bytes`` are *post-filter* sizes (what a
+    write to storage costs); for an unfiltered image they equal the raw
+    sizes.  ``filters`` is the applied chain (empty for v1 images),
+    ``epoch`` the position in a delta chain, and ``stage_costs`` the
+    per-stage cost breakdown recorded at pack time.
+    """
 
     pod_id: str
     data: bytes
     encoded_bytes: int
     accounted_bytes: int
     netstate_bytes: int
+    filters: List[Dict[str, Any]] = field(default_factory=list)
+    epoch: int = 0
+    raw_encoded_bytes: Optional[int] = None
+    raw_accounted_bytes: Optional[int] = None
+    stage_costs: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def total_bytes(self) -> int:
         """Full image size: what a write to storage would cost."""
         return self.encoded_bytes + self.accounted_bytes
 
+    @property
+    def raw_total_bytes(self) -> int:
+        """Pre-filter image size — what restore rebuilds in memory."""
+        encoded = self.raw_encoded_bytes if self.raw_encoded_bytes is not None \
+            else self.encoded_bytes
+        accounted = self.raw_accounted_bytes if self.raw_accounted_bytes is not None \
+            else self.accounted_bytes
+        return encoded + accounted
+
     def unpack(self) -> Dict[str, Any]:
-        """Decode the payload back into its sections."""
+        """Decode the payload back into its sections.
+
+        Works directly on v1 (unfiltered) images and on self-contained
+        v2 images; a delta image that depends on an earlier epoch must go
+        through :meth:`repro.core.pipeline.ImagePipeline.reassemble` with
+        the rest of its chain.
+        """
         payload = codec.decode(self.data)
-        if payload.get("format") != FORMAT_VERSION:
-            raise CheckpointError(f"unsupported image format {payload.get('format')!r}")
-        return payload
+        version = payload.get("format") if isinstance(payload, dict) else None
+        if version == FORMAT_VERSION:
+            return payload
+        if version == PIPELINE_FORMAT_VERSION:
+            from .pipeline import ImagePipeline, image_extends_chain
+
+            if image_extends_chain(self):
+                raise CheckpointError(
+                    f"pod {self.pod_id!r} epoch {self.epoch} is a delta image; "
+                    "reassemble its chain via ImagePipeline.reassemble")
+            return ImagePipeline.reassemble([self]).payload
+        raise CheckpointError(f"unsupported image format {version!r}")
+
+
+def build_payload(
+    standalone: Dict[str, Any],
+    socket_records: List[Dict[str, Any]],
+    socket_fd_rows: List[Dict[str, Any]],
+    devices: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The codec-ready payload of one pod checkpoint.
+
+    ``devices`` optionally carries kernel-bypass device state (the GM
+    extension): ``{"states": [...], "fd_rows": [...]}``.
+    """
+    # codec requires plain containers: datagram endpoint tuples are fine,
+    # but socket records may carry Endpoint NamedTuples — normalize.
+    devices = devices or {"states": [], "fd_rows": []}
+    return {
+        "format": FORMAT_VERSION,
+        "standalone": standalone,
+        "sockets": _plain(socket_records),
+        "socket_fds": socket_fd_rows,
+        "devices": _plain(devices),
+    }
 
 
 def pack_pod_image(
@@ -54,21 +124,9 @@ def pack_pod_image(
     socket_fd_rows: List[Dict[str, Any]],
     devices: Dict[str, Any] = None,
 ) -> PodImage:
-    """Assemble and encode a pod checkpoint image.
-
-    ``devices`` optionally carries kernel-bypass device state (the GM
-    extension): ``{"states": [...], "fd_rows": [...]}``.
-    """
-    # codec requires plain containers: datagram endpoint tuples are fine,
-    # but socket records may carry Endpoint NamedTuples — normalize.
+    """Assemble and encode an *unfiltered* (v1) pod checkpoint image."""
     devices = devices or {"states": [], "fd_rows": []}
-    payload = {
-        "format": FORMAT_VERSION,
-        "standalone": standalone,
-        "sockets": _plain(socket_records),
-        "socket_fds": socket_fd_rows,
-        "devices": _plain(devices),
-    }
+    payload = build_payload(standalone, socket_records, socket_fd_rows, devices)
     data = codec.encode(payload)
     from .devckpt import device_state_nbytes
 

@@ -51,6 +51,12 @@ class OpResult:
     pods: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     metas: Dict[str, List[dict]] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
+    #: per-pod filter chain the Agents actually applied (negotiation
+    #: outcome — may be shorter than the requested chain).
+    filters: Dict[str, List[dict]] = field(default_factory=dict)
+    #: per-pod filter specs the Agents rejected during negotiation;
+    #: informational, not an operation failure.
+    filters_rejected: Dict[str, List[dict]] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -114,13 +120,20 @@ class Manager:
     def checkpoint_task(self, targets: List[Target], context: str = "snapshot",
                         deadline: float = 60.0, order: str = "net-first",
                         redirect_moves: Optional[Dict[str, str]] = None,
-                        fs_snapshot: bool = False):
+                        fs_snapshot: bool = False,
+                        filters: Optional[List[Dict[str, Any]]] = None):
         """The Manager side of Figure 1 (generator; run as a host task).
 
         ``redirect_moves`` (pod → destination node) activates the §5
         send-queue redirect during a migration: the Manager, which alone
         knows where every pod is headed, attaches per-connection redirect
         destinations to each Agent's ``continue`` message.
+
+        ``filters`` requests an image-pipeline chain (e.g.
+        ``[{"name": "delta"}, {"name": "compress", "level": 6}]``); each
+        Agent negotiates it down to the stages it supports and reports
+        the applied chain back with its meta-data (recorded per pod in
+        ``OpResult.filters`` / ``filters_rejected``).
         """
         engine = self.cluster.engine
         kernel = self.home.kernel
@@ -161,8 +174,9 @@ class Manager:
                 "cmd": "checkpoint", "pod": pod_id, "uri": uri,
                 "context": context, "order": order,
                 "fs_snapshot": fs_snapshot,
+                "filters": list(filters or []),
             })
-            # 2. receive meta-data
+            # 2. receive meta-data (plus the negotiated filter chain)
             msg = yield from recv_msg(kernel, chan, fd)
             if msg is None or msg.get("type") != "meta":
                 result.errors.append(f"{pod_id}: {msg.get('error') if msg else 'agent connection lost'}")
@@ -170,6 +184,9 @@ class Manager:
                     all_meta.set_exception(RuntimeError(f"meta failed for {pod_id}"))
                 return
             result.metas[pod_id] = msg["meta"]
+            result.filters[pod_id] = list(msg.get("filters") or [])
+            if msg.get("filters_rejected"):
+                result.filters_rejected[pod_id] = list(msg["filters_rejected"])
             meta_count[0] += 1
             if meta_count[0] == len(targets) and not all_meta.done:
                 all_meta.set_result(True)
@@ -257,6 +274,7 @@ class Manager:
                 return
             metas[pod_id] = msg["meta"]
             vips[pod_id] = msg["vip"]
+            result.filters[pod_id] = list(msg.get("filters") or [])
             meta_count[0] += 1
             if meta_count[0] == len(targets) and not all_meta.done:
                 all_meta.set_result(True)

@@ -17,7 +17,7 @@ source-port-inheritance constraint for connections sharing a port.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..errors import CheckpointError
 

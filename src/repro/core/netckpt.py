@@ -23,17 +23,21 @@ half-duplex/closed shutdown state.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..errors import CheckpointError
 from ..net.sockets import MSG_OOB, NetStack, Socket
+from . import codec
 from ..net.sockopt import validate_option
 from ..net.tcp import ESTABLISHED, TcpConn
 from ..pod.pod import Pod
-from .altqueue import AltQueue, active_altqueue, install
+from .altqueue import AltQueue, install
 
 #: chunk size for the capture read loop.
 _READ_CHUNK = 65536
+#: per-record fixed share of the netstate accounting: endpoints, flags
+#: and shutdown state (small scalars the record always carries).
+_ENDPOINT_OVERHEAD = 48
 
 
 # ---------------------------------------------------------------------------
@@ -164,7 +168,11 @@ def netstate_nbytes(records: List[Dict[str, Any]]) -> int:
     for rec in records:
         total += len(rec["recv_data"]) + len(rec["oob_data"]) + len(rec["send_data"])
         total += sum(len(d) for d, _ in rec["datagrams"])
-        total += 64 + 16 * len(rec["options"])  # params + pcb, coarsely
+        # socket parameters and protocol control block, measured exactly
+        # in the intermediate format (the counting writer never builds
+        # the buffer, so this stays cheap per sample)
+        total += codec.encoded_size(rec["options"]) + codec.encoded_size(rec["pcb"])
+        total += _ENDPOINT_OVERHEAD
     return total
 
 

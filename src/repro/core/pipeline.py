@@ -1,0 +1,734 @@
+"""The staged checkpoint-image pipeline.
+
+The write path used to be a monolith: :func:`repro.core.codec.encode`
+produced one opaque buffer that the Agent handed to the SAN or a stream.
+This module turns it into a *pipeline*: the codec's payload bytes flow
+through an ordered chain of :class:`ImageFilter` stages before reaching a
+:class:`Sink`, with every stage charging its own simulated cost (CPU for
+filter work through the node cost model, bandwidth for I/O through the
+SAN/fabric models).  The pipeline is the seam later checkpoint systems
+ship by default — DMTCP gzips images in flight; incremental checkpoints
+write only dirty state — without giving up the intermediate format's
+portability: a filtered image is a self-describing v2 envelope recording
+the exact chain needed to reverse it.
+
+Two production filters prove the seam:
+
+* :class:`CompressFilter` — zlib compression of the materialized payload
+  (real ``zlib``, so round-trips are bit-exact) plus a modeled
+  compression ratio for the accounted (non-materialized) resident-set
+  bytes, charged at a level-dependent CPU bandwidth;
+* :class:`DeltaFilter` — incremental checkpointing: a block-level diff of
+  the payload against the previous epoch's payload, plus a per-process
+  dirty-page model for accounted memory, so periodic checkpoints after
+  epoch 0 write only dirty state.  Restart reassembles the chain
+  (epoch-0 full image + the deltas) in order.
+
+An empty filter chain is the default everywhere and is byte-identical to
+the pre-pipeline write path: no envelope, no extra cost terms.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import CheckpointError, RestartError
+from . import codec
+from .image import (
+    FORMAT_VERSION,
+    PIPELINE_FORMAT_VERSION,
+    PodImage,
+    build_payload,
+    pack_pod_image,
+)
+from .standalone import accounted_memory_bytes, proc_memory_tables
+
+# ---------------------------------------------------------------------------
+# cost-model constants (simulated seconds; see DESIGN.md "cost model")
+# ---------------------------------------------------------------------------
+
+#: zlib compression throughput at level 1, bytes/second (CPU-bound).
+COMPRESS_BW_BASE = 160e6
+#: throughput lost per compression level above 1, bytes/second.
+COMPRESS_BW_SLOPE = 11e6
+#: zlib decompression throughput, bytes/second (much cheaper than compress).
+DECOMPRESS_BW = 400e6
+#: block-compare scan rate for the delta filter, bytes/second (memory-bound:
+#: the incremental pass reads both the new and the previous image once).
+DELTA_SCAN_BW = 3e9
+#: modeled compression ratio of accounted application memory: the fraction
+#: of the resident set remaining after zlib at level 1; each level above
+#: shaves a little more, floored — numeric/scientific working sets do not
+#: compress like text.
+ACCOUNTED_RATIO_BASE = 0.57
+ACCOUNTED_RATIO_SLOPE = 0.02
+ACCOUNTED_RATIO_FLOOR = 0.35
+
+#: delta-filter defaults.
+DELTA_BLOCK = 4096
+#: fraction of an (otherwise unchanged) process resident set assumed dirty
+#: between consecutive epochs — page-granularity conservatism plus the
+#: application's steady-state write traffic.
+DELTA_DIRTY_FRACTION = 0.25
+
+_DELTA_MAGIC = b"ZDLT"
+
+
+# ---------------------------------------------------------------------------
+# stage cost accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StageCost:
+    """One pipeline stage's contribution to the checkpoint (or restart).
+
+    ``seconds`` is simulated time the Agent charges for the stage;
+    ``in_bytes``/``out_bytes`` are the stage's size transfer (both include
+    the accounted resident-set bytes, which are modeled, not moved).
+    """
+
+    stage: str
+    seconds: float
+    in_bytes: int
+    out_bytes: int
+
+    def as_stats(self) -> Dict[str, Any]:
+        """Plain-dict form for wire messages and metrics rows."""
+        return {"stage": self.stage, "seconds": self.seconds,
+                "in_bytes": self.in_bytes, "out_bytes": self.out_bytes}
+
+
+@dataclass
+class FilterContext:
+    """Everything a filter may consult while encoding one image."""
+
+    pod_id: str
+    epoch: int
+    state: Optional["PipelineState"] = None
+    #: False when the image leaves this Agent (direct migration): a delta
+    #: against a base the destination does not hold would be useless, so
+    #: chain-dependent filters must emit self-contained output.
+    chain_local: bool = True
+    #: previous-epoch full payload (chain filters only; reads and restores).
+    base: Optional[bytes] = None
+    #: per-process memory segment tables of the pod being packed,
+    #: ``{vpid: {segment: bytes}}`` — drives the accounted dirty model.
+    proc_memory: Optional[Dict[int, Dict[str, int]]] = None
+
+
+class PipelineState:
+    """Per-Agent pipeline memory: delta bases and stored chains.
+
+    The delta filter diffs each epoch against the previous epoch's full
+    payload; the state holds that base per pod, the per-process memory
+    tables behind the accounted dirty model, and (for in-memory URIs) the
+    chain of images a restart must reassemble.  Base updates are staged
+    through :meth:`stage_base` and applied by :meth:`commit` so an Agent
+    that re-packs an image mid-protocol (the send-queue redirect path)
+    diffs against the *previous* epoch, not its own first attempt.
+    """
+
+    def __init__(self) -> None:
+        self.bases: Dict[str, bytes] = {}
+        self.proc_memory: Dict[str, Dict[int, Dict[str, int]]] = {}
+        self.epochs: Dict[str, int] = {}
+        self.chains: Dict[str, List[PodImage]] = {}
+        self._pending: Dict[str, Tuple[bytes, Dict[int, Dict[str, int]]]] = {}
+
+    def epoch(self, pod_id: str) -> int:
+        return self.epochs.get(pod_id, 0)
+
+    def stage_base(self, pod_id: str, raw: bytes,
+                   proc_memory: Dict[int, Dict[str, int]]) -> None:
+        self._pending[pod_id] = (raw, proc_memory)
+
+    def commit(self, pod_id: str) -> None:
+        """Adopt the staged base and advance the pod's epoch."""
+        pending = self._pending.pop(pod_id, None)
+        if pending is not None:
+            self.bases[pod_id], self.proc_memory[pod_id] = pending
+            self.epochs[pod_id] = self.epochs.get(pod_id, 0) + 1
+
+    def note_full(self, pod_id: str, raw: bytes, standalone: Dict[str, Any],
+                  epoch: int) -> None:
+        """Record a reassembled full payload (restart side), so the next
+        incremental checkpoint of the restored pod has its base."""
+        self.bases[pod_id] = raw
+        self.proc_memory[pod_id] = proc_memory_tables(standalone)
+        self.epochs[pod_id] = epoch + 1
+
+    def forget(self, pod_id: str) -> None:
+        for store in (self.bases, self.proc_memory, self.epochs,
+                      self.chains, self._pending):
+            store.pop(pod_id, None)
+
+
+# ---------------------------------------------------------------------------
+# filters
+# ---------------------------------------------------------------------------
+
+
+class ImageFilter:
+    """One stage of the image pipeline.
+
+    A filter transforms the materialized payload bytes (for real — the
+    round-trip must be bit-exact) and *models* its effect on the
+    accounted resident-set bytes, which the simulation tracks by count.
+    ``encode`` returns the transformed bytes plus per-image parameters
+    that ``decode`` needs; both are recorded in the image envelope, so a
+    filtered image is self-describing.
+    """
+
+    name = "?"
+
+    def describe(self) -> Dict[str, Any]:
+        """Static chain descriptor (negotiation + envelope)."""
+        return {"name": self.name}
+
+    def encode(self, data: bytes, ctx: FilterContext) -> Tuple[bytes, Dict[str, Any]]:
+        raise NotImplementedError
+
+    def decode(self, data: bytes, params: Dict[str, Any], ctx: FilterContext) -> bytes:
+        raise NotImplementedError
+
+    def model_accounted(self, accounted: int, ctx: FilterContext) -> int:
+        """Post-stage size of the accounted (non-materialized) bytes."""
+        return accounted
+
+    def encode_seconds(self, in_bytes: int, out_bytes: int) -> float:
+        """Simulated CPU cost of encoding ``in_bytes`` through this stage."""
+        return 0.0
+
+    def decode_seconds(self, in_bytes: int, out_bytes: int) -> float:
+        """Simulated CPU cost of reversing the stage on restart."""
+        return 0.0
+
+
+class CompressFilter(ImageFilter):
+    """zlib-style compression, configurable level.
+
+    Materialized payload bytes are compressed with real ``zlib`` (exact
+    round-trip); accounted bytes shrink by a modeled level-dependent
+    ratio.  CPU cost is charged per input byte at a bandwidth that falls
+    with the level — higher levels trade checkpoint CPU for image size.
+    """
+
+    name = "compress"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 1 <= int(level) <= 9:
+            raise CheckpointError(f"compress level {level!r} outside 1..9")
+        self.level = int(level)
+
+    def describe(self) -> Dict[str, Any]:
+        return {"name": self.name, "level": self.level}
+
+    def encode(self, data: bytes, ctx: FilterContext) -> Tuple[bytes, Dict[str, Any]]:
+        return zlib.compress(data, self.level), {}
+
+    def decode(self, data: bytes, params: Dict[str, Any], ctx: FilterContext) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as err:
+            raise RestartError(f"corrupt compressed image: {err}") from None
+
+    def model_accounted(self, accounted: int, ctx: FilterContext) -> int:
+        ratio = max(ACCOUNTED_RATIO_FLOOR,
+                    ACCOUNTED_RATIO_BASE - ACCOUNTED_RATIO_SLOPE * self.level)
+        return int(accounted * ratio)
+
+    def encode_seconds(self, in_bytes: int, out_bytes: int) -> float:
+        return in_bytes / (COMPRESS_BW_BASE - COMPRESS_BW_SLOPE * (self.level - 1))
+
+    def decode_seconds(self, in_bytes: int, out_bytes: int) -> float:
+        return out_bytes / DECOMPRESS_BW
+
+
+class DeltaFilter(ImageFilter):
+    """Incremental checkpointing: block-level diff against the previous
+    epoch's payload.
+
+    Epoch 0 (or any image leaving the node) passes through as a ``full``
+    record and becomes the base; later epochs emit only the blocks that
+    changed, so the 10 periodic checkpoints of Figure 6(a) write dirty
+    state only after the first.  Accounted memory uses a per-process
+    model: a process whose segment table changed since the last epoch is
+    charged in full, an unchanged one is charged ``dirty_fraction`` of
+    its resident set (the pages the application wrote between epochs).
+    Restart reassembles the chain: the epoch-0 full payload patched by
+    each delta in order.
+    """
+
+    name = "delta"
+
+    def __init__(self, block: int = DELTA_BLOCK,
+                 dirty_fraction: float = DELTA_DIRTY_FRACTION) -> None:
+        if int(block) <= 0:
+            raise CheckpointError(f"delta block size {block!r} must be positive")
+        if not 0.0 <= float(dirty_fraction) <= 1.0:
+            raise CheckpointError(f"dirty fraction {dirty_fraction!r} outside [0, 1]")
+        self.block = int(block)
+        self.dirty_fraction = float(dirty_fraction)
+
+    def describe(self) -> Dict[str, Any]:
+        return {"name": self.name, "block": self.block,
+                "dirty_fraction": self.dirty_fraction}
+
+    # -- payload bytes --------------------------------------------------
+    def encode(self, data: bytes, ctx: FilterContext) -> Tuple[bytes, Dict[str, Any]]:
+        base = ctx.base if ctx.chain_local else None
+        if base is None:
+            return data, {"kind": "full"}
+        blocks: List[Tuple[int, bytes]] = []
+        nblocks = (len(data) + self.block - 1) // self.block
+        for i in range(nblocks):
+            lo = i * self.block
+            chunk = data[lo:lo + self.block]
+            if chunk != base[lo:lo + self.block]:
+                blocks.append((i, chunk))
+        out = bytearray()
+        out += _DELTA_MAGIC
+        out += struct.pack(">IQI", self.block, len(data), len(blocks))
+        for idx, chunk in blocks:
+            out += struct.pack(">II", idx, len(chunk))
+            out += chunk
+        return bytes(out), {"kind": "delta"}
+
+    def decode(self, data: bytes, params: Dict[str, Any], ctx: FilterContext) -> bytes:
+        if params.get("kind") == "full":
+            return data
+        if ctx.base is None:
+            raise RestartError(
+                f"delta image for pod {ctx.pod_id!r} (epoch {ctx.epoch}) "
+                "has no base payload to patch")
+        if data[:4] != _DELTA_MAGIC:
+            raise RestartError("corrupt delta image (bad magic)")
+        block, length, count = struct.unpack(">IQI", data[4:20])
+        out = bytearray(length)
+        out[:min(length, len(ctx.base))] = ctx.base[:length]
+        pos = 20
+        for _ in range(count):
+            idx, n = struct.unpack(">II", data[pos:pos + 8])
+            pos += 8
+            out[idx * block:idx * block + n] = data[pos:pos + n]
+            pos += n
+        if pos != len(data):
+            raise RestartError(f"{len(data) - pos} trailing bytes in delta image")
+        return bytes(out)
+
+    # -- accounted memory ----------------------------------------------
+    def model_accounted(self, accounted: int, ctx: FilterContext) -> int:
+        if ctx.base is None or not ctx.chain_local or ctx.proc_memory is None:
+            return accounted
+        prev = (ctx.state.proc_memory.get(ctx.pod_id, {})
+                if ctx.state is not None else {})
+        raw_total = sum(sum(t.values()) for t in ctx.proc_memory.values())
+        dirty = 0
+        for vpid, table in ctx.proc_memory.items():
+            rss = sum(table.values())
+            if prev.get(vpid) == table:
+                dirty += int(self.dirty_fraction * rss)
+            else:
+                dirty += rss  # resized/new process: conservatively all dirty
+        if raw_total <= 0:
+            return 0
+        # compose with whatever earlier stages did to the accounted bytes
+        return int(accounted * (dirty / raw_total))
+
+    def encode_seconds(self, in_bytes: int, out_bytes: int) -> float:
+        return in_bytes / DELTA_SCAN_BW
+
+    def decode_seconds(self, in_bytes: int, out_bytes: int) -> float:
+        return out_bytes / DELTA_SCAN_BW
+
+
+#: registry of filter constructors, keyed by spec name.
+FILTERS = {
+    CompressFilter.name: CompressFilter,
+    DeltaFilter.name: DeltaFilter,
+}
+
+
+def build_filter(spec: Dict[str, Any]) -> ImageFilter:
+    """Instantiate one filter from a ``{"name": ..., **params}`` spec."""
+    params = {k: v for k, v in spec.items() if k != "name"}
+    try:
+        ctor = FILTERS[spec["name"]]
+    except KeyError:
+        raise CheckpointError(f"unknown image filter {spec.get('name')!r}") from None
+    return ctor(**params)
+
+
+def negotiate_filters(
+    requested: Optional[List[Dict[str, Any]]],
+) -> Tuple[List[ImageFilter], List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Agent-side filter negotiation.
+
+    The Manager's checkpoint command *requests* a chain; the Agent
+    accepts the stages it supports and drops the rest (reported back in
+    the meta-data exchange, so the Manager — and through it the user —
+    sees the chain actually applied).  Returns
+    ``(filters, accepted_specs, rejected_specs)``.
+    """
+    filters: List[ImageFilter] = []
+    accepted: List[Dict[str, Any]] = []
+    rejected: List[Dict[str, Any]] = []
+    for spec in requested or []:
+        try:
+            filters.append(build_filter(spec))
+            accepted.append(dict(spec))
+        except (CheckpointError, TypeError):
+            rejected.append(dict(spec))
+    return filters, accepted, rejected
+
+
+def parse_filter_args(compress: Optional[int] = None,
+                      incremental: bool = False) -> List[Dict[str, Any]]:
+    """CLI flags → filter chain specs (delta before compress: compressing
+    the delta is strictly smaller than delta-ing the compressed)."""
+    specs: List[Dict[str, Any]] = []
+    if incremental:
+        specs.append({"name": "delta"})
+    if compress is not None:
+        specs.append({"name": "compress", "level": int(compress)})
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# the pipeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReassembledImage:
+    """Result of reversing a filter chain on restart."""
+
+    payload: Dict[str, Any]
+    raw: bytes
+    #: full (unfiltered) image size — what the restore-bandwidth charge
+    #: rebuilds in memory.
+    full_total_bytes: int
+    #: simulated CPU seconds of filter reversal across the whole chain.
+    decode_seconds: float
+    stage_costs: List[StageCost] = field(default_factory=list)
+
+
+class ImagePipeline:
+    """An ordered filter chain between the codec and a sink.
+
+    With no filters this is exactly the historic write path — the image
+    bytes are byte-identical to :func:`repro.core.image.pack_pod_image`
+    output and no extra cost stages appear.
+    """
+
+    def __init__(self, filters: Optional[List[ImageFilter]] = None) -> None:
+        self.filters = list(filters or [])
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return [f.describe() for f in self.filters]
+
+    # -- checkpoint side ------------------------------------------------
+    def pack(
+        self,
+        standalone: Dict[str, Any],
+        socket_records: List[Dict[str, Any]],
+        socket_fd_rows: List[Dict[str, Any]],
+        devices: Optional[Dict[str, Any]] = None,
+        *,
+        state: Optional[PipelineState] = None,
+        serialize_bandwidth: Optional[float] = None,
+        chain_local: bool = True,
+    ) -> PodImage:
+        """Assemble, filter and cost-account one pod checkpoint image.
+
+        When a chain filter (delta) is present, the new base is *staged*
+        in ``state`` — call ``state.commit(pod_id)`` once the image is
+        final (Agents re-pack after the send-queue redirect).
+        """
+        pod_id = standalone["pod_id"]
+        if not self.filters:
+            image = pack_pod_image(standalone, socket_records, socket_fd_rows, devices)
+            if state is not None:
+                state.stage_base(pod_id, image.data, proc_memory_tables(standalone))
+            self._attach_serialize_cost(image, serialize_bandwidth)
+            return image
+
+        payload = build_payload(standalone, socket_records, socket_fd_rows, devices)
+        raw = codec.encode(payload)
+        raw_accounted = accounted_memory_bytes(standalone)
+        epoch = state.epoch(pod_id) if state is not None else 0
+        ctx = FilterContext(
+            pod_id=pod_id,
+            epoch=epoch,
+            state=state,
+            chain_local=chain_local,
+            base=state.bases.get(pod_id) if state is not None else None,
+            proc_memory=proc_memory_tables(standalone),
+        )
+
+        body = raw
+        accounted = raw_accounted
+        applied: List[Dict[str, Any]] = []
+        costs: List[StageCost] = []
+        if serialize_bandwidth:
+            costs.append(StageCost("serialize", (len(raw) + raw_accounted) / serialize_bandwidth,
+                                   len(raw) + raw_accounted, len(raw) + raw_accounted))
+        for filt in self.filters:
+            in_total = len(body) + accounted
+            body, params = filt.encode(body, ctx)
+            accounted = filt.model_accounted(accounted, ctx)
+            out_total = len(body) + accounted
+            costs.append(StageCost(filt.name, filt.encode_seconds(in_total, out_total),
+                                   in_total, out_total))
+            applied.append({**filt.describe(), **params})
+
+        envelope = codec.encode({
+            "format": PIPELINE_FORMAT_VERSION,
+            "pod_id": pod_id,
+            "epoch": epoch,
+            "filters": applied,
+            "body": body,
+            "raw_bytes": len(raw),
+            "raw_accounted": raw_accounted,
+        })
+        image = PodImage(
+            pod_id=pod_id,
+            data=envelope,
+            encoded_bytes=len(envelope),
+            accounted_bytes=accounted,
+            netstate_bytes=_netstate_bytes(socket_records, devices),
+            filters=applied,
+            epoch=epoch,
+            raw_encoded_bytes=len(raw),
+            raw_accounted_bytes=raw_accounted,
+            stage_costs=[c.as_stats() for c in costs],
+        )
+        if state is not None:
+            state.stage_base(pod_id, raw, ctx.proc_memory)
+        return image
+
+    def _attach_serialize_cost(self, image: PodImage,
+                               serialize_bandwidth: Optional[float]) -> None:
+        if serialize_bandwidth:
+            image.stage_costs = [StageCost(
+                "serialize", image.total_bytes / serialize_bandwidth,
+                image.total_bytes, image.total_bytes).as_stats()]
+
+    # -- restart side ---------------------------------------------------
+    @staticmethod
+    def reassemble(chain: List[PodImage],
+                   state: Optional[PipelineState] = None) -> ReassembledImage:
+        """Reverse the filter chain of a stored image (or delta chain).
+
+        ``chain`` is epoch-ordered: a single self-contained image, or the
+        epoch-0 full image followed by each delta.  Returns the decoded
+        payload plus the simulated reversal cost.
+        """
+        if not chain:
+            raise RestartError("empty image chain")
+        raw: Optional[bytes] = None
+        decode_seconds = 0.0
+        costs: List[StageCost] = []
+        for image in chain:
+            if not image.filters:
+                raw = image.data
+                continue
+            envelope = codec.decode(image.data)
+            if envelope.get("format") != PIPELINE_FORMAT_VERSION:
+                raise RestartError(
+                    f"unsupported filtered-image format {envelope.get('format')!r}")
+            body = envelope["body"]
+            ctx = FilterContext(pod_id=image.pod_id, epoch=int(envelope["epoch"]),
+                                state=state, base=raw)
+            for entry in reversed(envelope["filters"]):
+                filt = build_filter({k: v for k, v in entry.items() if k != "kind"})
+                in_bytes = len(body)
+                body = filt.decode(body, entry, ctx)
+                seconds = filt.decode_seconds(in_bytes, len(body))
+                decode_seconds += seconds
+                costs.append(StageCost(f"un{filt.name}", seconds, in_bytes, len(body)))
+            raw = body
+        payload = codec.decode(raw)
+        if payload.get("format") != FORMAT_VERSION:
+            raise CheckpointError(f"unsupported image format {payload.get('format')!r}")
+        last = chain[-1]
+        full_total = (last.raw_total_bytes if last.filters else last.total_bytes)
+        if state is not None:
+            state.note_full(last.pod_id, raw, payload["standalone"], last.epoch)
+        return ReassembledImage(payload=payload, raw=raw,
+                                full_total_bytes=full_total,
+                                decode_seconds=decode_seconds, stage_costs=costs)
+
+
+def _netstate_bytes(socket_records: List[Dict[str, Any]],
+                    devices: Optional[Dict[str, Any]]) -> int:
+    from .devckpt import device_state_nbytes
+    from .netckpt import netstate_nbytes
+
+    devices = devices or {"states": [], "fd_rows": []}
+    return netstate_nbytes(socket_records) + device_state_nbytes(devices["states"])
+
+
+def image_extends_chain(image: PodImage) -> bool:
+    """True when ``image`` is a delta depending on the previous epoch."""
+    return any(entry.get("name") == "delta" and entry.get("kind") == "delta"
+               for entry in image.filters)
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+
+
+class Sink:
+    """Where a checkpoint image lands, and what the write costs.
+
+    A sink owns the *storage semantics* (chain bookkeeping) and the
+    *write cost model*; the Agent drives the protocol (the paper's
+    write-to-memory-first discipline, the post-resume flush, the
+    node-to-node push) and charges ``write_delay`` where its protocol
+    step happens.
+    """
+
+    kind = "?"
+
+    def write_delay(self, image: PodImage) -> float:
+        return 0.0
+
+    def write_cost(self, image: PodImage) -> StageCost:
+        n = image.total_bytes
+        return StageCost(f"write:{self.kind}", self.write_delay(image), n, n)
+
+
+class MemorySink(Sink):
+    """The Agent's in-memory store (the paper's default target), chain-aware."""
+
+    kind = "mem"
+
+    def __init__(self, images: Dict[str, PodImage], state: PipelineState) -> None:
+        self.images = images
+        self.state = state
+
+    def write_delay(self, image: PodImage) -> float:
+        return 0.0  # covered by the serialize stage: the image is built in RAM
+
+    def store(self, image: PodImage) -> None:
+        pod_id = image.pod_id
+        if image_extends_chain(image) and self.state.chains.get(pod_id):
+            self.state.chains[pod_id].append(image)
+        else:
+            self.state.chains[pod_id] = [image]
+        self.images[pod_id] = image
+
+    def load(self, pod_id: str) -> List[PodImage]:
+        chain = self.state.chains.get(pod_id)
+        if chain:
+            return list(chain)
+        image = self.images.get(pod_id)
+        return [image] if image is not None else []
+
+
+class FileSink(Sink):
+    """Flush to shared storage (the SAN every blade mounts).
+
+    Unfiltered images keep the historic single-image container format
+    byte-for-byte; filtered images write a chain container that a delta
+    epoch extends (charged only for the appended bytes — the SAN write
+    is an append, not a rewrite).
+    """
+
+    kind = "file"
+
+    def __init__(self, san, vfs, path: str) -> None:
+        self.san = san
+        self.vfs = vfs
+        self.path = path
+
+    def write_delay(self, image: PodImage) -> float:
+        if image_extends_chain(image):
+            # delta epoch: the chain container grows by one record; only
+            # the appended bytes cross the FC link
+            return self.san.append_delay(image.total_bytes)
+        return self.san.flush_delay(image.total_bytes)
+
+    def store(self, image: PodImage) -> None:
+        if not image.filters:
+            container = codec.encode({
+                "data": image.data,
+                "accounted": image.accounted_bytes,
+                "netstate": image.netstate_bytes,
+            })
+        else:
+            entries: List[Dict[str, Any]] = []
+            if image_extends_chain(image):
+                try:
+                    handle = self.vfs.open(self.path, "r")
+                    existing = codec.decode(bytes(handle.file.data))
+                    entries = list(existing.get("chain", []))
+                except Exception:
+                    entries = []
+            entries.append(_chain_entry(image))
+            container = codec.encode({"chain": entries})
+        handle = self.vfs.open(self.path, "w")
+        handle.write(container)
+
+    def load(self, pod_id: str) -> List[PodImage]:
+        handle = self.vfs.open(self.path, "r")
+        container = codec.decode(bytes(handle.file.data))
+        if "chain" in container:
+            return [_image_from_entry(pod_id, entry) for entry in container["chain"]]
+        return [PodImage(
+            pod_id=pod_id,
+            data=bytes(container["data"]),
+            encoded_bytes=len(container["data"]),
+            accounted_bytes=int(container["accounted"]),
+            netstate_bytes=int(container["netstate"]),
+        )]
+
+
+class StreamSink(Sink):
+    """Direct migration: the image crosses the fabric to a peer Agent.
+
+    The encoded payload travels over the simulated network for real; the
+    accounted (ballast) bytes are charged as streaming time at fabric
+    bandwidth without materializing them — which is why compression's
+    accounted-ratio model directly buys migration time.
+    """
+
+    kind = "stream"
+
+    def __init__(self, fabric_bandwidth: float) -> None:
+        self.fabric_bandwidth = fabric_bandwidth
+
+    def write_delay(self, image: PodImage) -> float:
+        return image.accounted_bytes / self.fabric_bandwidth
+
+
+def _chain_entry(image: PodImage) -> Dict[str, Any]:
+    return {
+        "data": image.data,
+        "accounted": image.accounted_bytes,
+        "netstate": image.netstate_bytes,
+        "filters": image.filters,
+        "epoch": image.epoch,
+        "raw_bytes": image.raw_encoded_bytes,
+        "raw_accounted": image.raw_accounted_bytes,
+    }
+
+
+def _image_from_entry(pod_id: str, entry: Dict[str, Any]) -> PodImage:
+    return PodImage(
+        pod_id=pod_id,
+        data=bytes(entry["data"]),
+        encoded_bytes=len(entry["data"]),
+        accounted_bytes=int(entry["accounted"]),
+        netstate_bytes=int(entry["netstate"]),
+        filters=list(entry.get("filters") or []),
+        epoch=int(entry.get("epoch", 0)),
+        raw_encoded_bytes=entry.get("raw_bytes"),
+        raw_accounted_bytes=entry.get("raw_accounted"),
+    )

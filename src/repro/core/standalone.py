@@ -64,6 +64,16 @@ def accounted_memory_bytes(standalone: Dict[str, Any]) -> int:
     return sum(sum(p["memory"].values()) for p in standalone["procs"])
 
 
+def proc_memory_tables(standalone: Dict[str, Any]) -> Dict[int, Dict[str, int]]:
+    """Per-process memory segment tables, ``{vpid: {segment: bytes}}``.
+
+    The image pipeline's delta filter uses these as its dirty-state
+    model: a process whose table is unchanged since the previous epoch
+    contributes only its assumed-dirty fraction to the incremental image.
+    """
+    return {int(p["vpid"]): dict(p["memory"]) for p in standalone["procs"]}
+
+
 def _find_fs(kernel: Kernel, name: str):
     if kernel.vfs.root.name == name:
         return kernel.vfs.root

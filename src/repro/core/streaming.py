@@ -40,7 +40,7 @@ class MigrationResult:
 
 def migrate_task(manager: Manager, moves: List[Move], redirect: bool = False,
                  time_virtualization: bool = True, deadline: float = 120.0,
-                 recovery_mode: str = "two-thread"):
+                 recovery_mode: str = "two-thread", filters=None):
     """Generator orchestrating a live migration (run as a host task).
 
     ``redirect`` turns on the send-queue redirect optimization: instead
@@ -48,12 +48,18 @@ def migrate_task(manager: Manager, moves: List[Move], redirect: bool = False,
     connection after restart, the data is merged into the peer's
     checkpoint stream and appended to the peer's alternate receive queue
     — "merging both into a single transfer".
+
+    ``filters`` requests an image-pipeline chain for the checkpoint half;
+    a compress stage directly shortens the node-to-node stream.  A delta
+    stage degrades to self-contained output here: the destination Agent
+    holds no base to patch, so the source emits full records (the
+    pipeline's ``chain_local`` rule).
     """
     ckpt_targets = [(src, pod, f"agent://{dst}") for src, pod, dst in moves]
     redirect_moves = {pod: dst for _src, pod, dst in moves} if redirect else None
     ckpt = yield from manager.checkpoint_task(
         ckpt_targets, context="migrate", deadline=deadline,
-        redirect_moves=redirect_moves)
+        redirect_moves=redirect_moves, filters=filters)
     if not ckpt.ok:
         return MigrationResult(ckpt, OpResult("restart", "skipped",
                                               manager.cluster.engine.now,

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from ..pod.pod import Pod
-from ..vos.kernel import Kernel, _fire_timer
+from ..vos.kernel import _fire_timer
 
 
 def apply_clock(pod: Pod, vtime_at_checkpoint: float, enabled: bool) -> float:

@@ -12,13 +12,16 @@ the network-state size claim) from fresh simulation runs.  Options::
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
+from .core.pipeline import parse_filter_args
 from .harness import APPS, run_fig5_row, run_fig6_cell, run_fig6b_cell
 from .metrics import print_table
 
+Filters = Optional[List[Dict[str, Any]]]
 
-def fig5(apps: List[str], scale: float) -> None:
+
+def fig5(apps: List[str], scale: float, filters: Filters = None) -> None:
     rows = []
     for app in apps:
         for nodes in APPS[app].node_counts:
@@ -29,40 +32,51 @@ def fig5(apps: List[str], scale: float) -> None:
                 ("app", "nodes", "base", "zapc", "overhead %"), rows)
 
 
-def fig6a(apps: List[str], scale: float) -> None:
+def fig6a(apps: List[str], scale: float, filters: Filters = None) -> None:
     rows = []
     for app in apps:
         for nodes in APPS[app].node_counts:
-            cell = run_fig6_cell(app, nodes, scale=scale)
+            cell = run_fig6_cell(app, nodes, scale=scale, filters=filters)
             share = 100 * cell.mean_network_ckpt / cell.mean_checkpoint
             rows.append((app, nodes, len(cell.checkpoint_times),
                          f"{cell.mean_checkpoint * 1000:.0f}",
-                         f"{cell.mean_network_ckpt * 1000:.2f}", f"{share:.1f}"))
-    print_table("Figure 6(a) — checkpoint time",
-                ("app", "nodes", "ckpts", "mean [ms]", "network [ms]", "net share %"),
+                         f"{cell.mean_network_ckpt * 1000:.2f}", f"{share:.1f}",
+                         f"{cell.mean_stage('serialize') * 1000:.2f}",
+                         f"{cell.mean_stage('filter') * 1000:.2f}",
+                         f"{cell.mean_stage('write') * 1000:.2f}"))
+    print_table("Figure 6(a) — checkpoint time (with pipeline stage split)",
+                ("app", "nodes", "ckpts", "mean [ms]", "network [ms]", "net share %",
+                 "serialize [ms]", "filter [ms]", "write [ms]"),
                 rows)
 
 
-def fig6b(apps: List[str], scale: float) -> None:
+def fig6b(apps: List[str], scale: float, filters: Filters = None) -> None:
     rows = []
     for app in apps:
         for nodes in APPS[app].node_counts:
-            cell = run_fig6b_cell(app, nodes, scale=scale)
+            cell = run_fig6b_cell(app, nodes, scale=scale, filters=filters)
             rows.append((app, nodes, f"{cell.restart_time * 1000:.0f}",
                          f"{cell.network_restart_time * 1000:.1f}"))
     print_table("Figure 6(b) — restart time from a mid-execution image",
                 ("app", "nodes", "restart [ms]", "network restore [ms]"), rows)
 
 
-def fig6c(apps: List[str], scale: float) -> None:
+def fig6c(apps: List[str], scale: float, filters: Filters = None) -> None:
     rows = []
     for app in apps:
         for nodes in APPS[app].node_counts:
-            cell = run_fig6_cell(app, nodes, scale=scale, n_checkpoints=5)
+            cell = run_fig6_cell(app, nodes, scale=scale, n_checkpoints=5,
+                                 filters=filters)
             rows.append((app, nodes, f"{cell.mean_image_size / 1e6:.1f}",
+                         f"{statistics_mean_mb(cell.raw_image_sizes):.1f}",
                          f"{cell.max_netstate}"))
     print_table("Figure 6(c) — largest-pod checkpoint image size",
-                ("app", "nodes", "image [MB]", "network state [B]"), rows)
+                ("app", "nodes", "image [MB]", "raw [MB]", "network state [B]"),
+                rows)
+
+
+def statistics_mean_mb(sizes: List[int]) -> float:
+    return (sum(sizes) / len(sizes) / 1e6) if sizes else 0.0
 
 
 def main(argv: Optional[List[str]] = None) -> None:
@@ -71,12 +85,18 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--app", choices=list(APPS), default=None)
     parser.add_argument("--scale", type=float, default=1.0,
                         help="duration scale (image sizes unaffected)")
+    parser.add_argument("--compress", type=int, default=None, metavar="LEVEL",
+                        choices=range(1, 10),
+                        help="compress images through the pipeline (zlib level 1-9)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="delta-checkpoint against the previous epoch")
     args = parser.parse_args(argv)
     apps = [args.app] if args.app else list(APPS)
+    filters = parse_filter_args(args.compress, args.incremental) or None
     runners = {"5": fig5, "6a": fig6a, "6b": fig6b, "6c": fig6c}
     for name, fn in runners.items():
         if args.fig in (name, "all"):
-            fn(apps, args.scale)
+            fn(apps, args.scale, filters)
 
 
 if __name__ == "__main__":

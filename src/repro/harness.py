@@ -260,8 +260,15 @@ def run_fig5_row(app: str, nodes: int, scale: float = 1.0, seed: int = 0) -> Fig
 
 
 def run_fig6_cell(app: str, nodes: int, scale: float = 1.0, seed: int = 0,
-                  n_checkpoints: int = 10, until: float = 3600.0) -> Fig6Cell:
-    """Evenly spaced snapshots during one run: Figure 6(a)/(c) metrics."""
+                  n_checkpoints: int = 10, until: float = 3600.0,
+                  filters: Optional[List[Dict[str, Any]]] = None) -> Fig6Cell:
+    """Evenly spaced snapshots during one run: Figure 6(a)/(c) metrics.
+
+    ``filters`` requests an image-pipeline chain for every checkpoint
+    (e.g. ``[{"name": "delta"}]`` makes epochs 1+ incremental); the cell
+    records both post-filter and raw image sizes plus the per-stage
+    serialize / filter / write timing split.
+    """
     spec = APPS[app]
     cluster = build_cluster(nodes, seed=seed)
     manager = Manager.deploy(cluster)
@@ -279,12 +286,16 @@ def run_fig6_cell(app: str, nodes: int, scale: float = 1.0, seed: int = 0,
                 targets = checkpoint_targets(handle, cluster)
             except Exception:
                 break
-            result: OpResult = yield from manager.checkpoint_task(targets)
+            result: OpResult = yield from manager.checkpoint_task(targets,
+                                                                  filters=filters)
             if result.ok:
                 cell.checkpoint_times.append(result.duration)
                 cell.network_ckpt_times.append(result.max_stat("t_network"))
                 cell.image_sizes.append(result.max_image_bytes())
+                cell.raw_image_sizes.append(int(result.max_stat("raw_image_bytes")))
                 cell.netstate_sizes.append(int(result.max_stat("netstate_bytes")))
+                for stage in ("serialize", "filter", "write"):
+                    cell.add_stage_time(stage, result.max_stat(f"t_{stage}"))
 
     cluster.engine.spawn(ticker(), name="fig6-ticker")
     cluster.engine.run(until=until)
@@ -294,13 +305,19 @@ def run_fig6_cell(app: str, nodes: int, scale: float = 1.0, seed: int = 0,
 
 
 def run_fig6b_cell(app: str, nodes: int, scale: float = 1.0, seed: int = 0,
-                   at_frac: float = 0.5, until: float = 3600.0) -> Fig6Cell:
+                   at_frac: float = 0.5, until: float = 3600.0,
+                   filters: Optional[List[Dict[str, Any]]] = None,
+                   n_checkpoints: int = 1) -> Fig6Cell:
     """Restart from a mid-execution image: Figure 6(b) metrics.
 
     Snapshot at ``at_frac`` of the expected run, kill the pods, restart
     from the in-memory images on the same blades, and let the run finish
     (with the answer verified) — "restarts were done using the same set
     of blades on which the checkpoints were performed".
+
+    ``n_checkpoints`` > 1 takes that many closely spaced snapshots before
+    the kill; with a delta filter this restarts from a multi-epoch chain,
+    exercising chain reassembly end to end.
     """
     spec = APPS[app]
     cluster = build_cluster(nodes, seed=seed)
@@ -314,11 +331,15 @@ def run_fig6b_cell(app: str, nodes: int, scale: float = 1.0, seed: int = 0,
         if handle.ok(cluster):
             return
         targets = checkpoint_targets(handle, cluster)
-        ckpt = yield from manager.checkpoint_task(targets)
-        if not ckpt.ok:
-            raise RuntimeError(f"fig6b checkpoint failed: {ckpt.errors}")
-        cell.checkpoint_times.append(ckpt.duration)
-        cell.image_sizes.append(ckpt.max_image_bytes())
+        interval = max(expected * (1.0 - at_frac) / (n_checkpoints + 1), 0.02)
+        for i in range(n_checkpoints):
+            if i:
+                yield cluster.engine.sleep(interval)
+            ckpt = yield from manager.checkpoint_task(targets, filters=filters)
+            if not ckpt.ok:
+                raise RuntimeError(f"fig6b checkpoint failed: {ckpt.errors}")
+            cell.checkpoint_times.append(ckpt.duration)
+            cell.image_sizes.append(ckpt.max_image_bytes())
         # the pods die; recovery restarts them from the images in place
         for _node_name, pod_id, _uri in targets:
             cluster.find_pod(pod_id).destroy()

@@ -35,6 +35,12 @@ class Fig6Cell:
     network_restart_time: Optional[float] = None
     image_sizes: List[int] = field(default_factory=list)
     netstate_sizes: List[int] = field(default_factory=list)
+    #: per-checkpoint image sizes *before* any pipeline filter ran —
+    #: equals ``image_sizes`` when no filters are configured.
+    raw_image_sizes: List[int] = field(default_factory=list)
+    #: per-stage pipeline timing, stage name -> one sample per checkpoint
+    #: (``serialize`` / ``filter`` / ``write``).
+    stage_times: Dict[str, List[float]] = field(default_factory=dict)
 
     @property
     def mean_checkpoint(self) -> float:
@@ -51,6 +57,26 @@ class Fig6Cell:
     @property
     def max_netstate(self) -> int:
         return max(self.netstate_sizes, default=0)
+
+    def add_stage_time(self, stage: str, seconds: float) -> None:
+        self.stage_times.setdefault(stage, []).append(seconds)
+
+    def mean_stage(self, stage: str) -> float:
+        """Mean seconds one pipeline stage contributed per checkpoint."""
+        samples = self.stage_times.get(stage)
+        return statistics.mean(samples) if samples else 0.0
+
+    @property
+    def epoch0_image_size(self) -> int:
+        """The first (full) checkpoint image — the delta filter's base."""
+        return self.image_sizes[0] if self.image_sizes else 0
+
+    @property
+    def steady_state_image_size(self) -> int:
+        """Mean image size once incremental checkpointing is warm
+        (every epoch after the first full image)."""
+        tail = self.image_sizes[1:]
+        return int(statistics.mean(tail)) if tail else 0
 
 
 def fmt_seconds(t: float) -> str:

@@ -10,15 +10,12 @@ played by worker ids carried in the hello message.
 
 from __future__ import annotations
 
-from typing import List
 
 from ..vos.program import ProgramBuilder, imm
 from .mpi import (
     DEFAULT_BASE_PORT,
     FDS,
     UNEXP_REG,
-    _check_tag,
-    _dict_set_reg,
     _emit_accept_one,
     _emit_connect_to,
     emit_recv,

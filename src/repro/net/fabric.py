@@ -12,7 +12,7 @@ latency through the switch.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from ..errors import NetError
 from ..sim.engine import Engine

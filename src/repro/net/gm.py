@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Tuple
 
 from ..errors import SyscallError
 from ..vos.kernel import Kernel

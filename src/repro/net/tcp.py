@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, TYPE_CHECKING
 
-from .packet import Packet, Segment
+from .packet import Segment
 
 if TYPE_CHECKING:  # pragma: no cover
     from .sockets import NetStack, Socket

@@ -18,7 +18,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..errors import NoSuchProcessError, PodError
 from ..vos.filesystem import ensure_dirs
 from ..vos.kernel import Kernel
-from ..vos.process import BLOCKED, DEAD, Process, RUNNABLE, RUNNING, SyscallRequest
+from ..vos.process import BLOCKED, Process, RUNNABLE, RUNNING, SyscallRequest
 from ..vos.signals import SIGCONT, SIGKILL, SIGSTOP
 from .namespace import PidNamespace
 

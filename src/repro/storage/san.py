@@ -37,3 +37,14 @@ class SharedStorage(FileSystem):
         reports it separately.
         """
         return self.transfer_delay(nbytes)
+
+    def append_delay(self, nbytes: int) -> float:
+        """Seconds to append ``nbytes`` to an existing image container.
+
+        A delta epoch extends the checkpoint file in place, so only the
+        new record crosses the FC link — earlier epochs are not
+        rewritten.  GFS appends go straight to newly allocated blocks,
+        skipping the read-modify-write a partial overwrite would pay, so
+        an append costs pure transfer time with no service round-trip.
+        """
+        return nbytes / self.bandwidth

@@ -17,14 +17,14 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..errors import NoSuchProcessError, SyscallError, VosError
 from ..sim.engine import Engine
 from ..sim.tasks import Future
-from .filesystem import OpenFile, VFS
+from .filesystem import VFS
 from .memory import Memory
 from .process import BLOCKED, DEAD, Process, RUNNABLE, SyscallRequest
 from .program import Program, build_program
 from .scheduler import Scheduler
 from .signals import SIGCONT, SIGKILL, SIGSTOP
 from .syscalls import BLOCK, Block, Complete, CompleteAfter, Errno, HostChannel
-from .timers import Timer, TimerTable
+from .timers import TimerTable
 
 #: Default CPU frequency — the paper's 3.06 GHz Xeon blades.
 DEFAULT_HZ = 3.06e9

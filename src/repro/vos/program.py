@@ -30,7 +30,7 @@ Operands are register names (``str``) or immediates (wrap literals in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import VosError
 

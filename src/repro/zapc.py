@@ -10,7 +10,8 @@ mid-run, and prints the Manager's timeline.
 Examples::
 
     python -m repro.zapc snapshot --app CPI --nodes 4
-    python -m repro.zapc migrate  --app BT/NAS --nodes 4
+    python -m repro.zapc snapshot --app BT/NAS --nodes 4 --incremental --checkpoints 3
+    python -m repro.zapc migrate  --app BT/NAS --nodes 4 --compress 6
     python -m repro.zapc recover  --app PETSc --nodes 2
 """
 
@@ -20,6 +21,7 @@ import argparse
 from typing import List, Optional
 
 from .core.manager import Manager
+from .core.pipeline import parse_filter_args
 from .core.streaming import migrate_task
 from .harness import APPS, build_cluster, layout
 from .middleware.daemon import checkpoint_targets
@@ -31,17 +33,30 @@ def _print_op(result, label: str) -> None:
         line = f"  «{pod_id}»"
         if "image_bytes" in stats:
             line += f"  image {stats['image_bytes'] / 1e6:6.1f} MB"
+        raw = stats.get("raw_image_bytes")
+        if raw is not None and raw != stats.get("image_bytes"):
+            line += f"  (raw {raw / 1e6:.1f} MB)"
         if "netstate_bytes" in stats:
             line += f"  netstate {stats['netstate_bytes']:6d} B"
         if "t_network" in stats:
             line += f"  network {stats['t_network'] * 1000:5.1f} ms"
+        if stats.get("epoch"):
+            line += f"  epoch {stats['epoch']}"
         print(line)
+        chain = result.filters.get(pod_id) if hasattr(result, "filters") else None
+        if chain:
+            print("    pipeline: " + " | ".join(e["name"] for e in chain))
+        rejected = getattr(result, "filters_rejected", {}).get(pod_id)
+        if rejected:
+            print("    rejected filters: "
+                  + " | ".join(e.get("name", "?") for e in rejected))
     for err in result.errors:
         print(f"  error: {err}")
 
 
 def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
-             seed: int = 0) -> bool:
+             seed: int = 0, filters: Optional[List[dict]] = None,
+             checkpoints: int = 1) -> bool:
     """Run one demo scenario; returns True when everything verified."""
     spec = APPS[app]
     if nodes not in spec.node_counts:
@@ -66,22 +81,34 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
         yield cluster.engine.sleep(max(0.05, expected * 0.4))
         targets = checkpoint_targets(handle, cluster)
         if action == "snapshot":
-            result = yield from manager.checkpoint_task(targets)
-            outcome["ops"] = [("checkpoint", result)]
+            ops = []
+            for i in range(max(1, checkpoints)):
+                if i:
+                    yield cluster.engine.sleep(max(0.02, expected * 0.05))
+                result = yield from manager.checkpoint_task(targets, filters=filters)
+                ops.append((f"checkpoint #{i}" if checkpoints > 1 else "checkpoint",
+                            result))
+            outcome["ops"] = ops
         elif action == "migrate":
             moves = [(node, pod, f"blade{blades + i}")
                      for i, (node, pod, _u) in enumerate(targets)]
             print("migrating:", ", ".join(f"{p}:{s}->{d}" for s, p, d in moves))
-            mig = yield from migrate_task(manager, moves)
+            mig = yield from migrate_task(manager, moves, filters=filters)
             outcome["ops"] = [("checkpoint", mig.checkpoint), ("restart", mig.restart)]
         elif action == "recover":
             file_targets = [(n, p, f"file:/san/{p}.img") for n, p, _u in targets]
-            ckpt = yield from manager.checkpoint_task(file_targets)
+            ops = []
+            for i in range(max(1, checkpoints)):
+                if i:
+                    yield cluster.engine.sleep(max(0.02, expected * 0.05))
+                ckpt = yield from manager.checkpoint_task(file_targets, filters=filters)
+                ops.append((f"checkpoint #{i}" if checkpoints > 1 else "checkpoint",
+                            ckpt))
             # simulated crash of every pod, then recovery from the SAN
             for _n, pod_id, _u in targets:
                 cluster.find_pod(pod_id).destroy()
             restart = yield from manager.restart_task(file_targets)
-            outcome["ops"] = [("checkpoint", ckpt), ("restart", restart)]
+            outcome["ops"] = ops + [("restart", restart)]
 
     cluster.engine.spawn(orchestrate(), name="zapc-cli")
     cluster.engine.run(until=3600.0)
@@ -101,9 +128,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--nodes", type=int, default=4)
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--compress", type=int, default=None, metavar="LEVEL",
+                        choices=range(1, 10),
+                        help="compress checkpoint images (zlib level 1-9)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="delta-checkpoint against the previous epoch "
+                             "(epoch 0 is full; later snapshots write dirty state)")
+    parser.add_argument("--checkpoints", type=int, default=1,
+                        help="snapshots to take (chains delta epochs)")
     args = parser.parse_args(argv)
     ok = run_demo(args.action, args.app, args.nodes, scale=args.scale,
-                  seed=args.seed)
+                  seed=args.seed,
+                  filters=parse_filter_args(args.compress, args.incremental) or None,
+                  checkpoints=args.checkpoints)
     return 0 if ok else 1
 
 

@@ -13,7 +13,7 @@ from repro.baselines import (
     launch_spmd_vanilla,
 )
 from repro.cluster import Cluster
-from repro.core import Manager, migrate
+from repro.core import migrate
 from repro.core.netckpt import capture_socket
 from repro.net import Fabric, NetStack, Segment
 from repro.vos import DEAD, Kernel, build_program, imm, program

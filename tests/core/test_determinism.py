@@ -6,7 +6,6 @@ middleware, checkpoints, migrations.  Any hidden nondeterminism (dict
 ordering, id()-keyed structures, wall-clock leakage) shows up here.
 """
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import Manager, migrate

@@ -9,11 +9,10 @@ restart from the *second* image must still deliver every byte exactly
 once, in order.
 """
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import Manager
-from repro.vos import DEAD, build_program, imm, program
+from repro.vos import build_program, imm, program
 
 
 @program("dblckpt.receiver")

@@ -6,7 +6,6 @@ from repro.cluster import Cluster
 from repro.core import Manager, migrate
 from repro.core.agent import AGENT_PORT
 from repro.core.wire import recv_msg, send_msg
-from repro.vos import DEAD
 
 from .testapps import expected_sums, final_sums, launch_pingpong
 

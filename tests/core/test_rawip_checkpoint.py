@@ -1,10 +1,9 @@
 """Checkpoint-restart of raw IP sockets (the third protocol of §5)."""
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import Manager, migrate
-from repro.vos import DEAD, build_program, imm, program
+from repro.vos import build_program, imm, program
 
 PROTO = 89  # an OSPF-ish protocol number in the port field
 

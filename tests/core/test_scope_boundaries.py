@@ -6,8 +6,7 @@ import pytest
 
 from repro.cluster import Cluster
 from repro.core import Manager, migrate
-from repro.vos import DEAD, build_program, imm, program
-from repro.vos.syscalls import Errno
+from repro.vos import build_program, imm, program
 
 
 @program("scope.outside-client")

@@ -1,6 +1,5 @@
 """Wire framing tests: Manager↔Agent control-channel messages."""
 
-import pytest
 
 from repro.core.wire import recv_msg, send_msg
 from repro.net import Fabric, NetStack

@@ -5,7 +5,6 @@ restored parent's waitpid (re-issued on a different node with different
 host pids) must still collect the status.
 """
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import Manager, migrate

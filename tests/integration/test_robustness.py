@@ -1,6 +1,5 @@
 """Robustness: checkpoint-restart under degraded conditions."""
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import Manager, migrate

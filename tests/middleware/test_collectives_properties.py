@@ -6,7 +6,6 @@ payloads and compare against the obvious sequential reference.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import Cluster

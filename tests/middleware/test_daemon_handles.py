@@ -5,7 +5,7 @@ import pytest
 from repro.cluster import Cluster
 from repro.errors import PodError
 from repro.middleware import checkpoint_targets, launch_spmd
-from repro.vos import DEAD, imm, program
+from repro.vos import imm, program
 
 
 @program("mwdaemon.trivial")

@@ -5,7 +5,6 @@ import pytest
 from repro.cluster import Cluster
 from repro.core import Manager, migrate
 from repro.middleware import (
-    checkpoint_targets,
     emit_finalize,
     emit_init,
     emit_irecv,

@@ -5,7 +5,6 @@ import pytest
 from repro.cluster import Cluster
 from repro.net.gm import DEFAULT_TOKENS, GmDevice
 from repro.vos import DEAD, build_program, imm, program
-from repro.vos.syscalls import Errno
 
 
 @pytest.fixture

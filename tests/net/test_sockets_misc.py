@@ -8,7 +8,7 @@ from repro.net.sockopt import validate_option
 from repro.errors import SyscallError
 from repro.vos.syscalls import Errno
 
-from .conftest import Host, run_tasks
+from .conftest import run_tasks
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,5 @@
 """TCP behaviour tests: handshake, data, EOF, OOB, retransmit, backlog."""
 
-import pytest
 
 from repro.net import MSG_OOB, MSG_PEEK
 from repro.vos.syscalls import Errno

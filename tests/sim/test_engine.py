@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DeadlockError, SimError
-from repro.sim import Engine, Future, all_of
+from repro.sim import Future, all_of
 
 
 def test_events_run_in_time_order(engine):

@@ -10,7 +10,7 @@ programs and slice schedules.
 from hypothesis import given, settings, strategies as st
 
 from repro.vos.process import Process, REASON_HALT
-from repro.vos.program import ProgramBuilder, build_program, imm, program
+from repro.vos.program import build_program, imm, program
 
 
 def _mix(acc, x):

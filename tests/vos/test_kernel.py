@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim import Engine
 from repro.vos import (
     DEAD,
     Errno,
@@ -10,7 +9,6 @@ from repro.vos import (
     SIGCONT,
     SIGKILL,
     SIGSTOP,
-    build_program,
     imm,
     program,
 )

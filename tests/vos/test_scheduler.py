@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim import Engine
 from repro.vos import Kernel, SIGCONT, SIGKILL, SIGSTOP, imm
 from repro.vos.process import DEAD
 from repro.vos.program import ProgramBuilder
