@@ -1,7 +1,32 @@
 """Cluster substrate: blades, construction, fault injection."""
 
 from .builder import Cluster
-from .faults import crash_node, heal_node, isolate_node
+from .faults import (
+    ALL_PHASES,
+    CHECKPOINT_PHASES,
+    FAULT_KINDS,
+    RESTART_PHASES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    crash_node,
+    heal_node,
+    isolate_node,
+)
 from .node import Node, NodeSpec
 
-__all__ = ["Cluster", "Node", "NodeSpec", "crash_node", "heal_node", "isolate_node"]
+__all__ = [
+    "ALL_PHASES",
+    "CHECKPOINT_PHASES",
+    "FAULT_KINDS",
+    "RESTART_PHASES",
+    "Cluster",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "Node",
+    "NodeSpec",
+    "crash_node",
+    "heal_node",
+    "isolate_node",
+]

@@ -32,6 +32,9 @@ class Cluster:
         self.nodes = nodes
         self.snapshots = SnapshotManager()
         self._next_vip = 0
+        #: optional fault injector (see :mod:`repro.cluster.faults`);
+        #: protocol code announces phase boundaries through :meth:`trace`.
+        self.injector = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -48,6 +51,22 @@ class Cluster:
             node_spec = spec if spec is not None else NodeSpec(ncpus=ncpus)
             nodes.append(Node(engine, i, f"blade{i}", real_ip(i), fabric, vnet, san, node_spec))
         return cls(engine, fabric, vnet, san, nodes)
+
+    # ------------------------------------------------------------------
+    def trace(self, phase: str, node: Optional[str] = None,
+              pod: Optional[str] = None):
+        """Announce a protocol phase boundary (generator; ``yield from``).
+
+        With no injector installed this is free: no event is recorded, no
+        simulated time passes, and the caller's timing is untouched — the
+        fig6 latency figures are identical with injection disabled.  With
+        an injector, the crossing is traced and any scheduled fault for
+        this boundary fires (possibly stalling the calling task).
+        Returns the injector's directives dict (empty without one).
+        """
+        if self.injector is None:
+            return {}
+        return (yield from self.injector.on_phase(phase, node=node, pod=pod))
 
     # ------------------------------------------------------------------
     def node(self, index: int) -> Node:

@@ -1,0 +1,274 @@
+"""Seeded chaos harness: randomized fault schedules against invariants.
+
+One :func:`run_chaos` call builds a cluster, runs a checksummed
+ping-pong application, drives a sequence of coordinated checkpoints (and
+a crash recovery when a blade dies) while a seeded
+:class:`~repro.cluster.faults.FaultPlan` fires faults at protocol phase
+boundaries — then audits the world against the protocol's safety
+invariants:
+
+I1  Every operation either succeeds or leaves all surviving pods
+    running (resumed, network unblocked) — "the operation will be
+    gracefully aborted, and the application will resume its execution".
+I2  No partial checkpoint image is ever visible as restartable: every
+    container on the SAN either loads completely or does not exist.
+I3  ``last_checkpoint`` is never corrupted: every image it points at
+    (on surviving hardware) remains loadable.
+I4  The single synchronization point is preserved: within each
+    successful checkpoint, every Agent's meta-data arrives before any
+    Agent is sent ``continue``.
+
+Everything is derived from the one ``seed`` — the cluster RNG, the
+fault plan, and the driver's choices — so a failing seed re-runs to the
+*identical* event trace (compare :attr:`ChaosReport.trace`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..vos import build_program, imm, program
+from .builder import Cluster
+from .faults import FaultInjector, FaultPlan
+
+MOD = (1 << 61) - 1
+
+SRV_POD = "chaos-srv"
+CLI_POD = "chaos-cli"
+
+
+def _roll(acc: int, msg: bytes) -> int:
+    return (acc * 31 + int.from_bytes(msg, "big")) % MOD
+
+
+def _reply_of(msg: bytes) -> bytes:
+    return (int.from_bytes(msg, "big") + 1).to_bytes(8, "big")
+
+
+def _i2msg(i: int) -> bytes:
+    return i.to_bytes(8, "big")
+
+
+def expected_sums(rounds: int) -> Tuple[int, int]:
+    """(client checksum, server checksum) of a correct run."""
+    csum = ssum = 0
+    for i in range(rounds):
+        msg = _i2msg(i)
+        ssum = _roll(ssum, msg)
+        csum = _roll(csum, _reply_of(msg))
+    return csum, ssum
+
+
+@program("chaos.pp-server")
+def _pp_server(b, *, port, rounds, compute=150_000):
+    b.syscall("lfd", "socket", imm("tcp"))
+    b.syscall(None, "bind", "lfd", imm(("default", port)))
+    b.syscall(None, "listen", "lfd", imm(8))
+    b.syscall("conn", "accept", "lfd")
+    b.op("cfd", lambda c: c[0], "conn")
+    b.mov("sum", imm(0))
+    with b.for_range("i", imm(0), imm(rounds)):
+        b.syscall("m", "recv", "cfd", imm(8), imm(0))
+        b.op("sum", _roll, "sum", "m")
+        b.compute(imm(compute))
+        b.op("reply", _reply_of, "m")
+        b.syscall(None, "send", "cfd", "reply", imm(0))
+    b.syscall(None, "close", "cfd")
+    b.halt(imm(0))
+
+
+@program("chaos.pp-client")
+def _pp_client(b, *, server, port, rounds, compute=150_000):
+    b.syscall("fd", "socket", imm("tcp"))
+    b.syscall("rc", "connect", "fd", imm((server, port)))
+    b.mov("sum", imm(0))
+    with b.for_range("i", imm(0), imm(rounds)):
+        b.op("msg", _i2msg, "i")
+        b.syscall(None, "send", "fd", "msg", imm(0))
+        b.syscall("r", "recv", "fd", imm(8), imm(0))
+        b.op("sum", _roll, "sum", "r")
+        b.compute(imm(compute))
+    b.syscall(None, "close", "fd")
+    b.halt(imm(0))
+
+
+@dataclass
+class ChaosReport:
+    """Everything a failing seed needs to be diagnosed and replayed."""
+
+    seed: int
+    plan: List[Dict[str, Any]]
+    #: injector event trace: (time, phase, node, pod, fired_kinds).
+    trace: List[Tuple[float, str, Optional[str], Optional[str], Tuple[str, ...]]]
+    #: faults that actually fired: (time, kind, phase, node, pod).
+    fired: List[Tuple[float, str, str, Optional[str], Optional[str]]]
+    #: (op kind, op_id, status) per driver operation, in order.
+    ops: List[Tuple[str, int, str]] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    crashed_nodes: List[str] = field(default_factory=list)
+    app_finished: bool = False
+
+
+def run_chaos(seed: int, n_nodes: int = 4, n_ops: int = 4, rounds: int = 300,
+              until: float = 300.0) -> ChaosReport:
+    """One chaos episode; returns the audited :class:`ChaosReport`."""
+    from ..core.manager import Manager, PhaseTimeouts
+    from ..core.pipeline import FileSink
+
+    cluster = Cluster.build(n_nodes, seed=seed)
+    manager = Manager.deploy(cluster)
+    injector = FaultInjector(
+        cluster, FaultPlan.random(seed, [n.name for n in cluster.nodes])).install()
+    engine = cluster.engine
+    drv_rng = random.Random(seed ^ 0x5DEECE66D)
+    # tight per-phase deadlines: faults inject multi-second stalls, and
+    # the episode has to detect and clean them up well inside `until`
+    timeouts = PhaseTimeouts(connect=2.0, meta=5.0, barrier=5.0, done=8.0,
+                             flush=20.0, load=5.0, restart_done=15.0, drain=3.0)
+    grace = timeouts.barrier + timeouts.done + 2.0  # agents' unilateral abort window
+
+    # the application under test (kept off blade0, where the Manager lives)
+    srv_node, cli_node = cluster.node(1), cluster.node(2 % n_nodes)
+    pod_srv = cluster.create_pod(srv_node, SRV_POD)
+    pod_cli = cluster.create_pod(cli_node, CLI_POD)
+    srv = srv_node.kernel.spawn(
+        build_program("chaos.pp-server", port=9300, rounds=rounds), pod_id=SRV_POD)
+    cli = cli_node.kernel.spawn(
+        build_program("chaos.pp-client", server=pod_srv.vip, port=9300, rounds=rounds),
+        pod_id=CLI_POD)
+
+    report = ChaosReport(seed=seed, plan=injector.plan.describe(),
+                         trace=injector.trace, fired=injector.fired)
+    san_paths: List[Tuple[str, str]] = []   # (path, pod) every op wrote to
+
+    def surviving_targets(pod_id: str):
+        for node in cluster.nodes:
+            if not node.crashed and pod_id in node.kernel.pods:
+                return node
+        return None
+
+    def check_resumed(label: str):
+        """I1: surviving pods are running — not suspended, not blocked."""
+        for pod_id in (SRV_POD, CLI_POD):
+            node = surviving_targets(pod_id)
+            if node is None:
+                continue
+            pod = node.kernel.pods[pod_id]
+            if pod.suspended:
+                report.violations.append(
+                    f"I1 {label}: {pod_id} left suspended on {node.name}")
+            if pod.vip in node.kernel.netstack.netfilter._blocked_ips:
+                report.violations.append(
+                    f"I1 {label}: {pod_id} vip still firewalled on {node.name}")
+
+    def driver():
+        for i in range(n_ops):
+            use_files = drv_rng.random() < 0.7
+            targets = []
+            for pod_id in (SRV_POD, CLI_POD):
+                node = surviving_targets(pod_id)
+                if node is None:
+                    continue
+                if use_files:
+                    uri = f"file:/san/chaos-{pod_id}-{i}.img"
+                    san_paths.append((f"/san/chaos-{pod_id}-{i}.img", pod_id))
+                else:
+                    uri = "mem"
+                targets.append((node.name, pod_id, uri))
+            if len(targets) < 2:
+                # a blade died and took a pod with it: recover from the
+                # last good checkpoint (the motivating use case)
+                if manager.last_checkpoint is not None and manager.last_checkpoint.ok:
+                    res = yield from manager.recover_task(timeouts=timeouts)
+                    report.ops.append(("recover", res.op_id, res.status))
+                    if not res.ok:
+                        return
+                    yield engine.sleep(1.0)
+                    continue
+                return
+            res = yield from manager.checkpoint_task(
+                targets, deadline=30.0, timeouts=timeouts)
+            report.ops.append(("checkpoint", res.op_id, res.status))
+            if not res.ok:
+                # give partitioned Agents their unilateral-abort window,
+                # then audit that the application is running again
+                yield engine.sleep(grace)
+                check_resumed(f"op{res.op_id}")
+            yield engine.sleep(drv_rng.uniform(0.5, 2.0))
+
+    engine.spawn(driver(), name="chaos-driver")
+    engine.run(until=until)
+
+    report.crashed_nodes = [n.name for n in cluster.nodes if n.crashed]
+
+    # ---- I2: nothing partial is visible as restartable on the SAN ----
+    home = cluster.node(0)
+    for path, pod_id in san_paths:
+        sink = FileSink(cluster.san, home.kernel.vfs, path)
+        if not sink.exists():
+            continue
+        try:
+            sink.load(pod_id)
+        except Exception as err:  # noqa: BLE001 - any load failure is the violation
+            report.violations.append(f"I2: partial image visible at {path}: {err}")
+
+    # ---- I3: the last good checkpoint stayed restorable ----
+    last = manager.last_checkpoint
+    if last is not None and last.ok:
+        for node_name, pod_id, uri in last.targets:
+            if uri.startswith("file:"):
+                sink = FileSink(cluster.san, home.kernel.vfs, uri[len("file:"):])
+                try:
+                    sink.load(pod_id)
+                except Exception as err:  # noqa: BLE001
+                    report.violations.append(
+                        f"I3: last_checkpoint {uri} unloadable: {err}")
+            else:
+                node = cluster.node_by_name(node_name)
+                if node.crashed:
+                    continue  # lost with the blade, not corrupted
+                if not manager.agents[node_name].mem_sink.load(pod_id):
+                    report.violations.append(
+                        f"I3: last_checkpoint mem image for {pod_id} missing on {node_name}")
+
+    # ---- I4: meta-all-received before any continue, per successful op ----
+    for kind, op_id, status in report.ops:
+        if kind != "checkpoint" or status != "ok":
+            continue
+        marker = f"op{op_id}"
+        idx = [i for i, ev in enumerate(report.trace)
+               if ev[1] in ("manager.op_start", "manager.op_end") and ev[3] == marker]
+        if len(idx) != 2:
+            continue
+        window = report.trace[idx[0]:idx[1] + 1]
+        meta_ts = [ev[0] for ev in window if ev[1] == "manager.meta_recv"]
+        cont_ts = [ev[0] for ev in window if ev[1] == "manager.continue_sent"]
+        if meta_ts and cont_ts and max(meta_ts) > min(cont_ts):
+            report.violations.append(
+                f"I4: op{op_id} sent continue before all meta-data arrived")
+
+    # ---- end-to-end correctness when the run could complete ----
+    if srv is not None and cli is not None:
+        sums = final_sums(cluster)
+        report.app_finished = None not in sums
+        if report.app_finished and sums != expected_sums(rounds):
+            report.violations.append(
+                f"checksum mismatch: {sums} != {expected_sums(rounds)}")
+        if not report.crashed_nodes and not report.app_finished:
+            report.violations.append(
+                "application did not finish despite no node crash")
+    return report
+
+
+def final_sums(cluster: Cluster) -> Tuple[Optional[int], Optional[int]]:
+    """(client sum, server sum) from wherever the processes ended up."""
+    csum = ssum = None
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == "chaos.pp-client" and proc.exit_code == 0:
+                csum = proc.regs["sum"]
+            elif proc.program.name == "chaos.pp-server" and proc.exit_code == 0:
+                ssum = proc.regs["sum"]
+    return csum, ssum

@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..cluster.builder import Cluster
 from ..cluster.node import Node
-from ..errors import RestartError
+from ..errors import CheckpointError, CodecError, RestartError
 from ..pod.pod import Pod
 from ..sim.tasks import all_of
 from ..vos.syscalls import Errno
@@ -99,6 +99,10 @@ class Agent:
         #: (pod_id, sock_id) -> bytes, pushed by migrating peers'
         #: agents ("merge it with the peer's stream of checkpoint data").
         self.redirect_store: Dict[Tuple[str, int], bytes] = {}
+        #: op-id tombstones: operations the Manager garbage-collected.
+        #: A session still working for a dead operation must not publish
+        #: its image (the late store would shadow the last good one).
+        self.gc_ops: set = set()
         self._task = None
 
     # ------------------------------------------------------------------
@@ -161,6 +165,22 @@ class Agent:
                 yield from send_msg(kernel, chan, fd, {"type": "stored"})
             elif cmd == "ping":
                 yield from send_msg(kernel, chan, fd, {"type": "pong", "node": self.node.name})
+            elif cmd == "gc":
+                # abort-path garbage collection: tombstone the op and
+                # roll the local stores back to the pre-op state
+                op = int(msg.get("op_id", 0))
+                if op:
+                    self.gc_ops.add(op)
+                for pid in msg.get("pods", []):
+                    self._gc_pod(pid)
+                yield from send_msg(kernel, chan, fd, {"type": "gcd", "node": self.node.name})
+            elif cmd == "query_pod":
+                pod = kernel.pods.get(msg.get("pod"))
+                yield from send_msg(kernel, chan, fd, {
+                    "type": "pod_status", "pod": msg.get("pod"),
+                    "exists": pod is not None,
+                    "running": pod is not None and not pod.suspended,
+                })
             else:
                 yield from send_msg(kernel, chan, fd, {"type": "error", "error": f"unknown cmd {cmd!r}"})
         finally:
@@ -184,6 +204,8 @@ class Agent:
         pod_id = msg["pod"]
         uri = msg["uri"]
         context = msg.get("context", "snapshot")
+        op_id = int(msg.get("op_id", 0))
+        wait_timeout = float(msg.get("wait_timeout", 0.0) or 0.0)
         pod: Optional[Pod] = kernel.pods.get(pod_id)
         if pod is None:
             yield from send_msg(kernel, chan, fd, {"type": "error", "error": f"no pod {pod_id!r}"})
@@ -205,6 +227,7 @@ class Agent:
             yield engine.sleep(QUIESCE_POLL)
         stack.netfilter.block_ip(pod.vip)
         t_suspended = engine.now
+        yield from self.cluster.trace("agent.suspend", node=self.node.name, pod=pod_id)
 
         # Ordering ablation: the default saves network state first so the
         # standalone capture overlaps the Manager's meta-data sync; the
@@ -228,6 +251,7 @@ class Agent:
         yield engine.sleep(CKPT_PER_SOCKET * max(1, len(sock_records))
                            + net_bytes / self.node.spec.memcpy_bandwidth)
         t_net_done = engine.now
+        yield from self.cluster.trace("agent.netstate", node=self.node.name, pod=pod_id)
         meta = build_pod_meta(pod_id, sock_records)
 
         if order == "standalone-first":
@@ -246,6 +270,7 @@ class Agent:
         if not ok:
             self._abort_checkpoint(pod)
             return
+        yield from self.cluster.trace("agent.meta_sent", node=self.node.name, pod=pod_id)
 
         # 3. standalone checkpoint (overlaps the Manager's meta sync)
         if order != "standalone-first":
@@ -256,11 +281,36 @@ class Agent:
                                   chain_local=chain_local)
             yield engine.sleep(self.node.spec.ckpt_fixed_s + _stage_seconds(image))
         t_standalone_done = engine.now
+        yield from self.cluster.trace("agent.standalone", node=self.node.name, pod=pod_id)
 
-        # 3a/4a. finish only after 'continue' arrives
-        reply = yield from recv_msg(kernel, chan, fd)
-        if reply is None or reply.get("cmd") == "abort":
-            # Manager died or aborted: resume the application gracefully
+        # 3a/4a. finish only after 'continue' arrives.  The wait carries
+        # its own deadline (sent by the Manager): if the Manager crashes
+        # or is partitioned away, neither 'continue' nor 'abort' can ever
+        # arrive, and the Agent must abort unilaterally rather than keep
+        # the pod suspended forever.
+        if wait_timeout > 0.0:
+            waiter = engine.spawn(recv_msg(kernel, chan, fd),
+                                  name=f"ckpt-wait@{self.node.name}")
+            try:
+                in_time, reply = yield engine.timeout(waiter.finished, wait_timeout)
+            except Exception:
+                in_time, reply = True, None
+            if not in_time:
+                waiter.cancel()
+                chan.waiting = None
+                chan.blocked_on = None
+                reply = None
+        else:
+            reply = yield from recv_msg(kernel, chan, fd)
+        if reply is None or reply.get("cmd") == "abort" or op_id in self.gc_ops:
+            # Manager died, aborted, or already garbage-collected this
+            # operation: resume the application gracefully
+            self._abort_checkpoint(pod)
+            yield from send_msg(kernel, chan, fd, {"type": "aborted", "pod": pod_id})
+            return
+        yield from self.cluster.trace("agent.continue_recv", node=self.node.name, pod=pod_id)
+        if op_id in self.gc_ops:
+            # the op died while a fault stalled us at the boundary above
             self._abort_checkpoint(pod)
             yield from send_msg(kernel, chan, fd, {"type": "aborted", "pod": pod_id})
             return
@@ -299,8 +349,9 @@ class Agent:
                                      state=self.pipeline_state, chain_local=chain_local)
             repacked.stage_costs = image.stage_costs
             image = repacked
-        self.pipeline_state.commit(pod_id)
-        self.mem_sink.store(image)
+        if op_id not in self.gc_ops:
+            self.pipeline_state.commit(pod_id)
+            self.mem_sink.store(image)
 
         # optional file-system snapshot, "taken immediately prior to
         # reactivating the pod" — point-in-time capture of the shared
@@ -348,8 +399,12 @@ class Agent:
         elif uri.startswith("file:"):
             # flush to shared storage after the application resumed —
             # deliberately outside the checkpoint latency, per the paper
-            yield from self._flush_to_file(image, sink)
-            yield from send_msg(kernel, chan, fd, {"type": "flushed", "pod": pod_id})
+            directives = yield from self.cluster.trace(
+                "agent.flush", node=self.node.name, pod=pod_id)
+            flushed = yield from self._flush_to_file(
+                image, sink, op_id=op_id, truncate=directives.get("truncate"))
+            yield from send_msg(kernel, chan, fd, {
+                "type": "flushed" if flushed else "flush-failed", "pod": pod_id})
 
     def _abort_checkpoint(self, pod: Pod) -> None:
         stack = self.kernel.netstack
@@ -428,9 +483,36 @@ class Agent:
             raw_accounted_bytes=msg.get("raw_accounted"),
         ))
 
-    def _flush_to_file(self, image: PodImage, sink: FileSink):
-        yield self.engine.sleep(sink.write_delay(image))
-        sink.store(image)
+    def _flush_to_file(self, image: PodImage, sink: FileSink,
+                       op_id: int = 0, truncate: Optional[float] = None):
+        """Write the image to shared storage; True iff the flush published
+        a complete, loadable container.
+
+        The write pays any injected SAN stall, honors a ``truncate``
+        fault directive (cut the container short), refuses to publish
+        for a garbage-collected operation, and *verifies by reading the
+        container back* — a partial write is unlinked and reported as
+        ``flush-failed`` rather than left visible as restartable.
+        """
+        stall = self.cluster.san.consume_stall()
+        yield self.engine.sleep(sink.write_delay(image) + stall)
+        if op_id and op_id in self.gc_ops:
+            # the Manager aborted and collected this op while we slept
+            return False
+        sink.store(image, truncate=truncate)
+        try:
+            sink.load(image.pod_id)
+        except RestartError:
+            sink.unlink()
+            return False
+        return True
+
+    def _gc_pod(self, pod_id: str) -> None:
+        """Roll local stores back past anything a failed op staged or
+        committed for ``pod_id``."""
+        self.mem_sink.rollback(pod_id)
+        if not self.pipeline_state.rollback(pod_id):
+            self.pipeline_state.abandon(pod_id)
 
     def _load_chain(self, pod_id: str, uri: str) -> List[PodImage]:
         """Load a checkpoint image chain (epoch order; length 1 unless
@@ -450,6 +532,8 @@ class Agent:
     def _do_load_meta(self, chan, fd, msg):
         """Phase 0 of restart: load the image chain, report its meta-data."""
         kernel = self.kernel
+        yield from self.cluster.trace("agent.load_meta", node=self.node.name,
+                                      pod=msg.get("pod"))
         try:
             chain = self._load_chain(msg["pod"], msg["uri"])
         except RestartError as err:
@@ -458,7 +542,16 @@ class Agent:
         if msg["uri"].startswith("file:") and not msg.get("preloaded", True):
             yield self.engine.sleep(self.cluster.san.transfer_delay(
                 sum(img.total_bytes for img in chain)))
-        reassembled = ImagePipeline.reassemble(chain, state=self.pipeline_state)
+        try:
+            reassembled = ImagePipeline.reassemble(chain, state=self.pipeline_state)
+        except (CodecError, CheckpointError, RestartError, KeyError) as err:
+            # a corrupt or partial chain must fail the restart loudly,
+            # not hang the session
+            yield from send_msg(kernel, chan, fd, {
+                "type": "error",
+                "error": f"image chain for {msg['pod']!r} is not restorable: {err}",
+            })
+            return
         meta = build_pod_meta(msg["pod"], reassembled.payload["sockets"])
         yield from send_msg(kernel, chan, fd, {
             "type": "meta",
@@ -496,6 +589,8 @@ class Agent:
         pod = Pod.create(kernel, pod_id, msg.get("vip", standalone["vip"]), self.cluster.vnet)
 
         # 2. recover network connectivity: two threads of execution
+        yield from self.cluster.trace("agent.connectivity", node=self.node.name,
+                                      pod=pod_id)
         socket_map: Dict[int, Any] = {}
         accept_entries = [e for e in schedule if e["role"] == "accept"]
         connect_entries = [e for e in schedule if e["role"] == "connect"]

@@ -15,8 +15,18 @@ has the merged connectivity plan; synchronization is induced only by
 connection establishment itself.
 
 Failure semantics: the Manager keeps reliable connections to all Agents
-for the duration of an operation; a broken connection or a deadline
-expiry aborts the operation gracefully (Agents resume their pods).
+for the duration of an operation.  Each protocol phase (connect, meta,
+continue-barrier, done, flush) carries its own timeout
+(:class:`PhaseTimeouts`), so a single stalled Agent is detected at the
+phase where it stalls rather than at a coarse global deadline;
+idempotent phases (connect, restart image load) are retried with
+exponential backoff.  A failed operation is aborted gracefully: every
+still-running protocol task is reaped, every reachable Agent is told to
+abort (resuming its pod), partial checkpoint images are garbage
+collected from the SAN and from destination Agents' stores, and the
+Manager verifies that the pods actually resumed.  :meth:`Manager.recover`
+closes the loop of the paper's motivating use case: detect a crashed
+node and restart its pods elsewhere from the last good checkpoint.
 """
 
 from __future__ import annotations
@@ -34,6 +44,37 @@ from .wire import recv_msg, send_msg
 
 #: «node, pod, URI» — the request tuple of Section 4.
 Target = Tuple[str, str, str]
+
+
+@dataclass
+class PhaseTimeouts:
+    """Per-phase failure-detection deadlines and the retry policy.
+
+    The global ``deadline`` argument of the operations remains a hard
+    cap; these bound each protocol phase individually so a hang is
+    detected at the phase where it happens.  ``connect`` and the restart
+    image ``load`` are idempotent and retried with exponential backoff
+    (``backoff_base * backoff_factor**attempt``); the checkpoint command
+    itself is not idempotent (it suspends the pod) and is never retried.
+    ``drain`` bounds how long a failed operation waits for its remaining
+    protocol tasks (and abort acknowledgements) before reaping them.
+    """
+
+    connect: float = 5.0
+    meta: float = 15.0
+    barrier: float = 15.0
+    done: float = 30.0
+    flush: float = 120.0
+    load: float = 20.0
+    restart_done: float = 60.0
+    drain: float = 10.0
+    connect_retries: int = 2
+    load_retries: int = 2
+    backoff_base: float = 0.2
+    backoff_factor: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        return self.backoff_base * (self.backoff_factor ** attempt)
 
 
 @dataclass
@@ -57,6 +98,16 @@ class OpResult:
     #: per-pod filter specs the Agents rejected during negotiation;
     #: informational, not an operation failure.
     filters_rejected: Dict[str, List[dict]] = field(default_factory=dict)
+    #: the request this operation served (recorded so recovery can
+    #: replay it from the last good checkpoint).
+    targets: List[Target] = field(default_factory=list)
+    #: operation sequence number (stamps Agent-side stores so a
+    #: garbage-collected op cannot publish a late image).
+    op_id: int = 0
+    #: abort-path bookkeeping: SAN paths garbage-collected, and the
+    #: per-pod "is it running again?" verification outcome.
+    gc_paths: List[str] = field(default_factory=list)
+    resumed: Dict[str, bool] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -88,6 +139,7 @@ class Manager:
         #: paper's evaluation does).
         self.home = home if home is not None else cluster.node(0)
         self.last_checkpoint: Optional[OpResult] = None
+        self._next_op_id = 1
 
     @classmethod
     def deploy(cls, cluster: Cluster) -> "Manager":
@@ -97,16 +149,82 @@ class Manager:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _open(self, node_name: str):
-        """Open a control connection to a node's Agent; yields (chan, fd)."""
+    def _reset_chan(self, chan) -> None:
+        """Abandon a channel's in-flight syscall so it can be reused.
+
+        A phase timeout leaves the channel mid-recv; the kernel's late
+        completion resolves into nothing (the abandoned future), and the
+        channel is free to carry the abort message.
+        """
+        chan.waiting = None
+        chan.blocked_on = None
+
+    def _open_attempt(self, node_name: str, connect_timeout: float):
+        """One connection attempt to a node's Agent; yields (chan, fd)
+        or None on refusal/timeout."""
         kernel = self.home.kernel
         node = self.cluster.node_by_name(node_name)
         chan = kernel.host_channel(f"mgr->{node_name}")
         fd = yield kernel.host_call(chan, "socket", "tcp")
-        rc = yield kernel.host_call(chan, "connect", fd, (node.ip, AGENT_PORT))
+        ok, rc = yield self.cluster.engine.timeout(
+            kernel.host_call(chan, "connect", fd, (node.ip, AGENT_PORT)),
+            connect_timeout)
+        if not ok:
+            # abandon the stuck connect; the socket (if it ever
+            # completes) is simply never used
+            self._reset_chan(chan)
+            return None
         if isinstance(rc, Errno):
             return None
         return chan, fd
+
+    def _open_retry(self, node_name: str, timeouts: PhaseTimeouts,
+                    attempts: Optional[int] = None):
+        """Connect with bounded retries + exponential backoff (connect
+        is idempotent)."""
+        n = attempts if attempts is not None else timeouts.connect_retries + 1
+        for attempt in range(n):
+            opened = yield from self._open_attempt(node_name, timeouts.connect)
+            if opened is not None:
+                return opened
+            if attempt + 1 < n:
+                yield self.cluster.engine.sleep(timeouts.backoff(attempt))
+        return None
+
+    def _recv_timed(self, chan, fd, timeout_s: float):
+        """recv_msg bounded by a phase timeout; None on timeout/EOF/error."""
+        engine = self.cluster.engine
+        kernel = self.home.kernel
+        task = engine.spawn(recv_msg(kernel, chan, fd), name="mgr-recv")
+        try:
+            ok, msg = yield engine.timeout(task.finished, timeout_s)
+        except Exception:
+            return None
+        if not ok:
+            task.cancel()
+            self._reset_chan(chan)
+            return None
+        return msg
+
+    def _close_conn(self, chan, fd):
+        kernel = self.home.kernel
+        self._reset_chan(chan)
+        try:
+            yield kernel.host_call(chan, "close", fd)
+        except Exception:
+            pass
+
+    def _probe_node(self, node_name: str, timeouts: PhaseTimeouts):
+        """Ping a node's Agent; yields True when it answers in time."""
+        kernel = self.home.kernel
+        opened = yield from self._open_retry(node_name, timeouts, attempts=1)
+        if opened is None:
+            return False
+        chan, fd = opened
+        yield from send_msg(kernel, chan, fd, {"cmd": "ping"})
+        reply = yield from self._recv_timed(chan, fd, timeouts.connect)
+        yield from self._close_conn(chan, fd)
+        return reply is not None and reply.get("type") == "pong"
 
     # ------------------------------------------------------------------
     # checkpoint
@@ -121,7 +239,10 @@ class Manager:
                         deadline: float = 60.0, order: str = "net-first",
                         redirect_moves: Optional[Dict[str, str]] = None,
                         fs_snapshot: bool = False,
-                        filters: Optional[List[Dict[str, Any]]] = None):
+                        filters: Optional[List[Dict[str, Any]]] = None,
+                        timeouts: Optional[PhaseTimeouts] = None,
+                        gc_on_failure: bool = True,
+                        verify_resume: bool = True):
         """The Manager side of Figure 1 (generator; run as a host task).
 
         ``redirect_moves`` (pod → destination node) activates the §5
@@ -134,15 +255,34 @@ class Manager:
         Agent negotiates it down to the stages it supports and reports
         the applied chain back with its meta-data (recorded per pod in
         ``OpResult.filters`` / ``filters_rejected``).
+
+        ``timeouts`` bounds each protocol phase; ``deadline`` stays the
+        global cap.  On failure the abort path garbage-collects partial
+        images (``gc_on_failure``) and verifies pods resumed
+        (``verify_resume``).
         """
         engine = self.cluster.engine
         kernel = self.home.kernel
-        result = OpResult("checkpoint", "ok", engine.now, engine.now)
+        timeouts = timeouts if timeouts is not None else PhaseTimeouts()
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        result = OpResult("checkpoint", "ok", engine.now, engine.now,
+                          targets=list(targets), op_id=op_id)
         conns: Dict[str, Tuple[Any, int]] = {}
         meta_count = [0]
         all_meta = Future("all-meta")
+        op_failed = Future(f"ckpt-{op_id}-failed")
         expect_stream = {pod for (_n, pod, uri) in targets if uri.startswith("agent://")}
         expect_flush = {pod for (_n, pod, uri) in targets if uri.startswith("file:")}
+
+        def fail(reason: str) -> None:
+            result.errors.append(reason)
+            if not all_meta.done:
+                # release barrier waiters immediately so their pods are
+                # resumed without waiting out the barrier timeout
+                all_meta.set_exception(RuntimeError(reason))
+            if not op_failed.done:
+                op_failed.set_result(reason)
 
         def redirect_out_for(pod_id: str) -> List[dict]:
             if not redirect_moves:
@@ -163,78 +303,201 @@ class Manager:
             return out
 
         def pod_task(node_name: str, pod_id: str, uri: str):
-            opened = yield from self._open(node_name)
+            yield from self.cluster.trace("manager.connect", node=node_name, pod=pod_id)
+            opened = yield from self._open_retry(node_name, timeouts)
             if opened is None:
-                result.errors.append(f"{pod_id}: cannot reach agent on {node_name}")
+                fail(f"{pod_id}: cannot reach agent on {node_name}")
                 return
             chan, fd = opened
             conns[pod_id] = (chan, fd)
             # 1. broadcast checkpoint command
-            yield from send_msg(kernel, chan, fd, {
+            sent = yield from send_msg(kernel, chan, fd, {
                 "cmd": "checkpoint", "pod": pod_id, "uri": uri,
                 "context": context, "order": order,
                 "fs_snapshot": fs_snapshot,
                 "filters": list(filters or []),
+                "op_id": op_id,
+                # the Agent's own unilateral-abort deadline while it
+                # waits for 'continue' (covers a dead/partitioned
+                # Manager that can never deliver abort either)
+                "wait_timeout": timeouts.barrier + timeouts.done,
             })
+            if not sent:
+                fail(f"{pod_id}: agent connection lost")
+                return
             # 2. receive meta-data (plus the negotiated filter chain)
-            msg = yield from recv_msg(kernel, chan, fd)
+            msg = yield from self._recv_timed(chan, fd, timeouts.meta)
             if msg is None or msg.get("type") != "meta":
-                result.errors.append(f"{pod_id}: {msg.get('error') if msg else 'agent connection lost'}")
-                if not all_meta.done:
-                    all_meta.set_exception(RuntimeError(f"meta failed for {pod_id}"))
+                detail = msg.get("error") if msg else "meta phase timed out or connection lost"
+                fail(f"{pod_id}: {detail}")
                 return
             result.metas[pod_id] = msg["meta"]
             result.filters[pod_id] = list(msg.get("filters") or [])
             if msg.get("filters_rejected"):
                 result.filters_rejected[pod_id] = list(msg["filters_rejected"])
+            yield from self.cluster.trace("manager.meta_recv", node=node_name, pod=pod_id)
             meta_count[0] += 1
             if meta_count[0] == len(targets) and not all_meta.done:
                 all_meta.set_result(True)
-            # 3. the single synchronization point
+            # 3. the single synchronization point (bounded per phase)
             try:
-                yield all_meta
+                barrier_ok, _ = yield engine.timeout(all_meta, timeouts.barrier)
             except RuntimeError:
+                barrier_ok = False   # a sibling failed; op already marked
+            else:
+                if not barrier_ok:
+                    fail(f"{pod_id}: continue-barrier timed out")
+            if not barrier_ok:
                 yield from send_msg(kernel, chan, fd, {"cmd": "abort"})
-                yield from recv_msg(kernel, chan, fd)
+                yield from self._recv_timed(chan, fd, timeouts.drain)
                 return
+            yield from self.cluster.trace("manager.continue_sent", node=node_name, pod=pod_id)
             yield from send_msg(kernel, chan, fd, {
                 "cmd": "continue",
                 "redirect_out": redirect_out_for(pod_id),
             })
             # 4. receive status
-            done = yield from recv_msg(kernel, chan, fd)
+            done = yield from self._recv_timed(chan, fd, timeouts.done)
             if done is None or done.get("status") != "ok":
-                result.errors.append(f"{pod_id}: checkpoint failed")
+                fail(f"{pod_id}: checkpoint failed")
                 return
             result.pods[pod_id] = done["stats"]
             # checkpoint time is measured to the last 'done' — the flush
             # to storage (below) happens after the application resumed
             result.t_end = max(result.t_end, engine.now)
+            yield from self.cluster.trace("manager.done_recv", node=node_name, pod=pod_id)
             # direct-migration streaming / file flush acknowledgements
             if pod_id in expect_stream:
-                ack = yield from recv_msg(kernel, chan, fd)
+                ack = yield from self._recv_timed(chan, fd, timeouts.flush)
                 if ack is None or ack.get("type") != "streamed":
-                    result.errors.append(f"{pod_id}: image streaming failed")
+                    fail(f"{pod_id}: image streaming failed")
             elif pod_id in expect_flush:
-                yield from recv_msg(kernel, chan, fd)  # "flushed"
+                ack = yield from self._recv_timed(chan, fd, timeouts.flush)
+                if ack is None or ack.get("type") != "flushed":
+                    fail(f"{pod_id}: image flush failed or timed out")
 
+        yield from self.cluster.trace("manager.op_start", pod=f"op{op_id}")
         tasks = [engine.spawn(pod_task(n, p, u), name=f"ckpt-{p}") for n, p, u in targets]
-        ok, _ = yield engine.timeout(all_of([t.finished for t in tasks]), deadline)
+        all_done = all_of([t.finished for t in tasks])
+        race = Future(f"ckpt-{op_id}-race")
+        all_done.add_done_callback(
+            lambda _f: race.set_result("done") if not race.done else None)
+        op_failed.add_done_callback(
+            lambda _f: race.set_result("failed") if not race.done else None)
+        ok, outcome = yield engine.timeout(race, deadline)
         if not ok:
             result.status = "timeout"
-            for pod_id, (chan, fd) in conns.items():
-                if pod_id not in result.pods:
-                    yield from send_msg(kernel, chan, fd, {"cmd": "abort"})
             result.errors.append("deadline expired; aborted")
+        elif outcome == "failed":
+            result.status = "failed"
+            # give in-flight pod tasks a bounded window to run their own
+            # graceful aborts before reaping them
+            yield engine.timeout(all_done, timeouts.drain)
         elif result.errors:
             result.status = "failed"
+        if result.status != "ok":
+            yield from self._cleanup_failed_checkpoint(
+                targets, result, conns, tasks, timeouts,
+                gc_on_failure=gc_on_failure, verify_resume=verify_resume)
         for chan, fd in conns.values():
-            yield kernel.host_call(chan, "close", fd)
+            yield from self._close_conn(chan, fd)
         if len(result.pods) != len(targets):
             result.t_end = engine.now  # failed/partial ops report full elapsed time
         if result.ok:
             self.last_checkpoint = result
+        yield from self.cluster.trace("manager.op_end", pod=f"op{op_id}")
         return result
+
+    # ------------------------------------------------------------------
+    # abort path: reap, abort, garbage-collect, verify
+    # ------------------------------------------------------------------
+    def _cleanup_failed_checkpoint(self, targets: List[Target], result: OpResult,
+                                   conns: Dict[str, Tuple[Any, int]],
+                                   tasks: List[Task], timeouts: PhaseTimeouts,
+                                   gc_on_failure: bool = True,
+                                   verify_resume: bool = True):
+        kernel = self.home.kernel
+        # 1. no orphaned protocol tasks: reap whatever is still in flight
+        for task in tasks:
+            if not task.done:
+                task.cancel()
+        # 2. tell every connected-but-incomplete Agent to abort (resume
+        #    its pod); completed pods already resumed on 'continue'
+        for pod_id, (chan, fd) in conns.items():
+            if pod_id in result.pods:
+                continue
+            self._reset_chan(chan)
+            sent = yield from send_msg(kernel, chan, fd, {"cmd": "abort"})
+            if sent:
+                yield from self._recv_timed(chan, fd, timeouts.drain)
+        # 3. garbage-collect partial images: a failed coordinated
+        #    checkpoint must leave nothing restartable behind
+        if gc_on_failure:
+            yield from self._gc_partial_images(targets, result, timeouts)
+        # 4. verify the pods the operation touched are running again
+        if verify_resume:
+            yield from self._verify_resumed(targets, result, timeouts)
+
+    def _gc_partial_images(self, targets: List[Target], result: OpResult,
+                           timeouts: PhaseTimeouts):
+        """Remove every image this failed operation may have written.
+
+        Even a *complete* per-pod image from a failed operation is one
+        half of an inconsistent cut and must not be restartable.  SAN
+        containers are unlinked (never the ones the last good checkpoint
+        points at); Agents are told to roll their stores back and to
+        suppress any late store by a still-hung session (the op-id
+        tombstone).
+        """
+        protected = set()
+        if self.last_checkpoint is not None:
+            protected = {uri for (_n, _p, uri) in self.last_checkpoint.targets
+                         if uri.startswith("file:")}
+        by_node: Dict[str, List[str]] = {}
+        for node_name, pod_id, uri in targets:
+            if uri.startswith("file:") and uri not in protected:
+                path = uri[len("file:"):]
+                fs, inner = self.home.kernel.vfs.resolve(path)
+                if inner in fs.files:
+                    fs.files.pop(inner, None)
+                    result.gc_paths.append(path)
+            if uri.startswith("agent://"):
+                by_node.setdefault(uri[len("agent://"):], []).append(pod_id)
+            else:
+                by_node.setdefault(node_name, []).append(pod_id)
+        for node_name, pods in by_node.items():
+            node = self.cluster.node_by_name(node_name)
+            if node.crashed:
+                continue
+            yield from self._send_simple(node_name, {
+                "cmd": "gc", "op_id": result.op_id, "pods": pods,
+            }, timeouts)
+
+    def _verify_resumed(self, targets: List[Target], result: OpResult,
+                        timeouts: PhaseTimeouts):
+        """Ask each surviving Agent whether the pod is running again."""
+        for node_name, pod_id, _uri in targets:
+            node = self.cluster.node_by_name(node_name)
+            if node.crashed:
+                continue
+            reply = yield from self._send_simple(node_name, {
+                "cmd": "query_pod", "pod": pod_id,
+            }, timeouts)
+            if reply is not None and reply.get("type") == "pod_status":
+                result.resumed[pod_id] = bool(reply.get("running"))
+
+    def _send_simple(self, node_name: str, msg: Dict[str, Any],
+                     timeouts: PhaseTimeouts):
+        """One-shot request/reply to a node's Agent (best effort)."""
+        kernel = self.home.kernel
+        opened = yield from self._open_retry(node_name, timeouts, attempts=1)
+        if opened is None:
+            return None
+        chan, fd = opened
+        yield from send_msg(kernel, chan, fd, msg)
+        reply = yield from self._recv_timed(chan, fd, timeouts.drain)
+        yield from self._close_conn(chan, fd)
+        return reply
 
     # ------------------------------------------------------------------
     # restart
@@ -245,32 +508,61 @@ class Manager:
                                          name="manager-restart")
 
     def restart_task(self, targets: List[Target], time_virtualization: bool = True,
-                     deadline: float = 60.0, recovery_mode: str = "two-thread"):
+                     deadline: float = 60.0, recovery_mode: str = "two-thread",
+                     timeouts: Optional[PhaseTimeouts] = None):
         """The Manager side of Figure 3 (generator; run as a host task)."""
         engine = self.cluster.engine
         kernel = self.home.kernel
-        result = OpResult("restart", "ok", engine.now, engine.now)
+        timeouts = timeouts if timeouts is not None else PhaseTimeouts()
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        result = OpResult("restart", "ok", engine.now, engine.now,
+                          targets=list(targets), op_id=op_id)
         metas: Dict[str, List[dict]] = {}
         vips: Dict[str, str] = {}
         meta_count = [0]
         all_meta = Future("all-restart-meta")
         plan_ready = Future("restart-plan")
+        op_failed = Future(f"restart-{op_id}-failed")
+
+        def fail(reason: str) -> None:
+            result.errors.append(reason)
+            if not all_meta.done:
+                all_meta.set_exception(RuntimeError(reason))
+            if not op_failed.done:
+                op_failed.set_result(reason)
+
+        def load_meta_phase(node_name: str, pod_id: str, uri: str):
+            """Connect + image load: idempotent, retried with backoff."""
+            for attempt in range(timeouts.load_retries + 1):
+                opened = yield from self._open_attempt(node_name, timeouts.connect)
+                if opened is None:
+                    if attempt < timeouts.load_retries:
+                        yield engine.sleep(timeouts.backoff(attempt))
+                    continue
+                chan, fd = opened
+                yield from send_msg(kernel, chan, fd,
+                                    {"cmd": "load_meta", "pod": pod_id, "uri": uri})
+                msg = yield from self._recv_timed(chan, fd, timeouts.load)
+                if msg is None:
+                    # transient (timeout / connection lost): retry
+                    yield from self._close_conn(chan, fd)
+                    if attempt < timeouts.load_retries:
+                        yield engine.sleep(timeouts.backoff(attempt))
+                    continue
+                return chan, fd, msg
+            return None
 
         def pod_task(node_name: str, pod_id: str, uri: str):
-            opened = yield from self._open(node_name)
-            if opened is None:
-                result.errors.append(f"{pod_id}: cannot reach agent on {node_name}")
-                if not all_meta.done:
-                    all_meta.set_exception(RuntimeError("agent unreachable"))
-                return
-            chan, fd = opened
             # phase 0: have the agent load the image and report meta-data
-            yield from send_msg(kernel, chan, fd, {"cmd": "load_meta", "pod": pod_id, "uri": uri})
-            msg = yield from recv_msg(kernel, chan, fd)
-            if msg is None or msg.get("type") != "meta":
-                result.errors.append(f"{pod_id}: {msg.get('error') if msg else 'agent connection lost'}")
-                if not all_meta.done:
-                    all_meta.set_exception(RuntimeError(f"load failed for {pod_id}"))
+            yield from self.cluster.trace("manager.load_meta", node=node_name, pod=pod_id)
+            loaded = yield from load_meta_phase(node_name, pod_id, uri)
+            if loaded is None:
+                fail(f"{pod_id}: cannot load image meta from {node_name}")
+                return
+            chan, fd, msg = loaded
+            if msg.get("type") != "meta":
+                fail(f"{pod_id}: {msg.get('error', 'image load failed')}")
                 return
             metas[pod_id] = msg["meta"]
             vips[pod_id] = msg["vip"]
@@ -278,9 +570,16 @@ class Manager:
             meta_count[0] += 1
             if meta_count[0] == len(targets) and not all_meta.done:
                 all_meta.set_result(True)
-            plan = yield plan_ready
+            try:
+                plan_ok, plan = yield engine.timeout(plan_ready, timeouts.barrier)
+            except RuntimeError:
+                return
+            if not plan_ok:
+                fail(f"{pod_id}: restart plan timed out")
+                return
             pod_plan = plan[pod_id]
             # 1. send restart command + (modified) meta-data
+            yield from self.cluster.trace("manager.restart_sent", node=node_name, pod=pod_id)
             yield from send_msg(kernel, chan, fd, {
                 "cmd": "restart",
                 "pod": pod_id,
@@ -292,30 +591,149 @@ class Manager:
                 "recovery_mode": recovery_mode,
             })
             # 2. receive status
-            done = yield from recv_msg(kernel, chan, fd)
+            done = yield from self._recv_timed(chan, fd, timeouts.restart_done)
             if done is None or done.get("status") != "ok":
-                detail = done.get("error", "restart failed") if done else "agent connection lost"
-                result.errors.append(f"{pod_id}: {detail}")
+                detail = done.get("error", "restart failed") if done else \
+                    "restart timed out or agent connection lost"
+                fail(f"{pod_id}: {detail}")
                 return
             result.pods[pod_id] = done["stats"]
-            yield kernel.host_call(chan, "close", fd)
+            yield from self._close_conn(chan, fd)
 
         def planner():
             try:
                 yield all_meta
             except RuntimeError as err:
-                plan_ready.set_exception(err)
+                if not plan_ready.done:
+                    plan_ready.set_exception(err)
                 return
-            plan_ready.set_result(derive_restart_plan(metas))
+            if not plan_ready.done:
+                plan_ready.set_result(derive_restart_plan(metas))
 
+        yield from self.cluster.trace("manager.op_start", pod=f"op{op_id}")
         engine.spawn(planner(), name="restart-planner")
         tasks = [engine.spawn(pod_task(n, p, u), name=f"restart-{p}") for n, p, u in targets]
-        ok, _ = yield engine.timeout(all_of([t.finished for t in tasks]), deadline)
+        all_done = all_of([t.finished for t in tasks])
+        race = Future(f"restart-{op_id}-race")
+        all_done.add_done_callback(
+            lambda _f: race.set_result("done") if not race.done else None)
+        op_failed.add_done_callback(
+            lambda _f: race.set_result("failed") if not race.done else None)
+        ok, outcome = yield engine.timeout(race, deadline)
         if not ok:
             result.status = "timeout"
             result.errors.append("deadline expired")
+        elif outcome == "failed":
+            result.status = "failed"
+            yield engine.timeout(all_done, timeouts.drain)
         elif result.errors:
             result.status = "failed"
+        for task in tasks:
+            if not task.done:
+                task.cancel()
         result.t_end = engine.now
         result.metas = metas
+        yield from self.cluster.trace("manager.op_end", pod=f"op{op_id}")
+        return result
+
+    # ------------------------------------------------------------------
+    # recovery: the paper's motivating use case
+    # ------------------------------------------------------------------
+    def recover(self, **kw) -> Task:
+        """Spawn a crash recovery; Task resolves to an OpResult."""
+        return self.cluster.engine.spawn(self.recover_task(**kw),
+                                         name="manager-recover")
+
+    def recover_task(self, deadline: float = 120.0,
+                     timeouts: Optional[PhaseTimeouts] = None,
+                     placement: Optional[Dict[str, str]] = None,
+                     time_virtualization: bool = True,
+                     recovery_mode: str = "two-thread"):
+        """Detect crashed nodes and restart the application from
+        ``last_checkpoint``, placing lost pods on surviving blades.
+
+        The whole application rolls back to the consistent checkpoint:
+        surviving instances of the checkpointed pods are destroyed, then
+        every pod is restarted — on its original node when that node
+        still answers, elsewhere (least-loaded surviving blade, or the
+        caller's ``placement`` overrides) when it does not.  In-memory
+        images died with their node and make the pod unrecoverable; the
+        operation then fails *before* touching any surviving pod.
+        """
+        engine = self.cluster.engine
+        timeouts = timeouts if timeouts is not None else PhaseTimeouts()
+        result = OpResult("recover", "ok", engine.now, engine.now)
+        last = self.last_checkpoint
+        if last is None or not last.ok or not last.targets:
+            result.status = "failed"
+            result.errors.append("no usable checkpoint to recover from")
+            result.t_end = engine.now
+            return result
+
+        # 1. failure detection: fail-stop flags plus a liveness probe of
+        #    every node the checkpoint involves
+        crashed = {node.name for node in self.cluster.nodes if node.crashed}
+        involved = {n for (n, _p, _u) in last.targets}
+        for name in sorted(involved - crashed):
+            alive = yield from self._probe_node(name, timeouts)
+            if not alive:
+                crashed.add(name)
+        yield from self.cluster.trace("manager.recover_detect",
+                                      pod=",".join(sorted(crashed)) or None)
+        survivors = [n for n in self.cluster.nodes if n.name not in crashed]
+        if not survivors:
+            result.status = "failed"
+            result.errors.append("no surviving nodes to recover onto")
+            result.t_end = engine.now
+            return result
+
+        # 2. placement — checked for feasibility before any destruction
+        load = {n.name: len(n.kernel.pods) for n in survivors}
+        new_targets: List[Target] = []
+        for node_name, pod_id, uri in last.targets:
+            if uri.startswith("agent://"):
+                # migration image: it lives in the destination Agent's
+                # memory store
+                node_name, uri = uri[len("agent://"):], "mem"
+            if uri.startswith("file:"):
+                if placement and pod_id in placement:
+                    dest = placement[pod_id]
+                elif node_name not in crashed:
+                    dest = node_name
+                else:
+                    dest = min(survivors, key=lambda n: (load[n.name], n.index)).name
+            else:
+                # an in-memory image is only loadable on the node that
+                # holds it
+                if node_name in crashed:
+                    result.errors.append(
+                        f"{pod_id}: in-memory image lost with {node_name}")
+                    continue
+                dest = node_name
+            load[dest] = load.get(dest, 0) + 1
+            new_targets.append((dest, pod_id, uri))
+        if result.errors:
+            result.status = "failed"
+            result.t_end = engine.now
+            return result
+
+        # 3. roll the survivors back: the restart restores the whole
+        #    application to the consistent cut
+        for _node_name, pod_id, _uri in last.targets:
+            for node in survivors:
+                pod = node.kernel.pods.get(pod_id)
+                if pod is not None:
+                    pod.destroy()
+
+        # 4. restart everywhere
+        restart = yield from self.restart_task(
+            new_targets, time_virtualization=time_virtualization,
+            deadline=deadline, recovery_mode=recovery_mode, timeouts=timeouts)
+        result.status = restart.status
+        result.errors.extend(restart.errors)
+        result.pods = restart.pods
+        result.metas = restart.metas
+        result.filters = restart.filters
+        result.targets = new_targets
+        result.t_end = engine.now
         return result

@@ -35,7 +35,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..errors import CheckpointError, RestartError
+from ..errors import CheckpointError, CodecError, RestartError
 from . import codec
 from .image import (
     FORMAT_VERSION,
@@ -138,6 +138,11 @@ class PipelineState:
         self.epochs: Dict[str, int] = {}
         self.chains: Dict[str, List[PodImage]] = {}
         self._pending: Dict[str, Tuple[bytes, Dict[int, Dict[str, int]]]] = {}
+        #: one-deep undo written by :meth:`commit`, consumed by
+        #: :meth:`rollback` when a failed coordinated operation is
+        #: garbage-collected.
+        self._undo: Dict[str, Tuple[Optional[bytes],
+                                    Optional[Dict[int, Dict[str, int]]], int]] = {}
 
     def epoch(self, pod_id: str) -> int:
         return self.epochs.get(pod_id, 0)
@@ -150,8 +155,38 @@ class PipelineState:
         """Adopt the staged base and advance the pod's epoch."""
         pending = self._pending.pop(pod_id, None)
         if pending is not None:
+            self._undo[pod_id] = (self.bases.get(pod_id),
+                                  self.proc_memory.get(pod_id),
+                                  self.epochs.get(pod_id, 0))
             self.bases[pod_id], self.proc_memory[pod_id] = pending
             self.epochs[pod_id] = self.epochs.get(pod_id, 0) + 1
+
+    def abandon(self, pod_id: str) -> None:
+        """Drop a staged (uncommitted) base — the abort path."""
+        self._pending.pop(pod_id, None)
+
+    def rollback(self, pod_id: str) -> bool:
+        """Undo the most recent :meth:`commit` for ``pod_id``.
+
+        Returns True if there was a commit to undo.  Used by the abort
+        garbage collector so a failed operation cannot advance (and
+        thereby corrupt) the delta-chain state behind the last good
+        checkpoint.
+        """
+        undo = self._undo.pop(pod_id, None)
+        if undo is None:
+            return False
+        base, proc_memory, epoch = undo
+        if base is None:
+            self.bases.pop(pod_id, None)
+        else:
+            self.bases[pod_id] = base
+        if proc_memory is None:
+            self.proc_memory.pop(pod_id, None)
+        else:
+            self.proc_memory[pod_id] = proc_memory
+        self.epochs[pod_id] = epoch
+        return True
 
     def note_full(self, pod_id: str, raw: bytes, standalone: Dict[str, Any],
                   epoch: int) -> None:
@@ -612,17 +647,44 @@ class MemorySink(Sink):
     def __init__(self, images: Dict[str, PodImage], state: PipelineState) -> None:
         self.images = images
         self.state = state
+        #: one-deep undo per pod: (previous image, previous chain).
+        self._undo: Dict[str, Tuple[Optional[PodImage],
+                                    Optional[List[PodImage]]]] = {}
 
     def write_delay(self, image: PodImage) -> float:
         return 0.0  # covered by the serialize stage: the image is built in RAM
 
     def store(self, image: PodImage) -> None:
         pod_id = image.pod_id
-        if image_extends_chain(image) and self.state.chains.get(pod_id):
+        prev_chain = self.state.chains.get(pod_id)
+        self._undo[pod_id] = (self.images.get(pod_id),
+                              list(prev_chain) if prev_chain is not None else None)
+        if image_extends_chain(image) and prev_chain:
             self.state.chains[pod_id].append(image)
         else:
             self.state.chains[pod_id] = [image]
         self.images[pod_id] = image
+
+    def rollback(self, pod_id: str) -> bool:
+        """Restore the pre-:meth:`store` image and chain for ``pod_id``.
+
+        The abort garbage collector uses this so a failed coordinated
+        operation cannot replace the last good in-memory checkpoint with
+        one half of an inconsistent cut.
+        """
+        undo = self._undo.pop(pod_id, None)
+        if undo is None:
+            return False
+        image, chain = undo
+        if image is None:
+            self.images.pop(pod_id, None)
+        else:
+            self.images[pod_id] = image
+        if chain is None:
+            self.state.chains.pop(pod_id, None)
+        else:
+            self.state.chains[pod_id] = chain
+        return True
 
     def load(self, pod_id: str) -> List[PodImage]:
         chain = self.state.chains.get(pod_id)
@@ -655,7 +717,11 @@ class FileSink(Sink):
             return self.san.append_delay(image.total_bytes)
         return self.san.flush_delay(image.total_bytes)
 
-    def store(self, image: PodImage) -> None:
+    def store(self, image: PodImage, truncate: Optional[float] = None) -> None:
+        """Write the image container; ``truncate`` (a fraction in (0, 1))
+        simulates a write cut short by a fault — only that prefix of the
+        container reaches the SAN, which the read-back validation in
+        :meth:`load` must then reject."""
         if not image.filters:
             container = codec.encode({
                 "data": image.data,
@@ -673,21 +739,49 @@ class FileSink(Sink):
                     entries = []
             entries.append(_chain_entry(image))
             container = codec.encode({"chain": entries})
+        if truncate is not None:
+            container = container[:max(1, int(len(container) * float(truncate)))]
         handle = self.vfs.open(self.path, "w")
         handle.write(container)
 
+    def exists(self) -> bool:
+        fs, inner = self.vfs.resolve(self.path)
+        return inner in fs.files
+
+    def unlink(self) -> None:
+        """Remove the container — abort-path garbage collection."""
+        fs, inner = self.vfs.resolve(self.path)
+        fs.files.pop(inner, None)
+
     def load(self, pod_id: str) -> List[PodImage]:
-        handle = self.vfs.open(self.path, "r")
-        container = codec.decode(bytes(handle.file.data))
-        if "chain" in container:
-            return [_image_from_entry(pod_id, entry) for entry in container["chain"]]
-        return [PodImage(
-            pod_id=pod_id,
-            data=bytes(container["data"]),
-            encoded_bytes=len(container["data"]),
-            accounted_bytes=int(container["accounted"]),
-            netstate_bytes=int(container["netstate"]),
-        )]
+        """Load and validate the image chain at this path.
+
+        A truncated or otherwise corrupt container must never be visible
+        as restartable: every decode error is converted into a clean
+        :class:`RestartError` here, before any pod state is touched.
+        """
+        try:
+            handle = self.vfs.open(self.path, "r")
+        except Exception:
+            raise RestartError(f"no image at {self.path!r}") from None
+        try:
+            container = codec.decode(bytes(handle.file.data))
+            if "chain" in container:
+                chain = [_image_from_entry(pod_id, entry)
+                         for entry in container["chain"]]
+                if not chain:
+                    raise CodecError("empty image chain")
+                return chain
+            return [PodImage(
+                pod_id=pod_id,
+                data=bytes(container["data"]),
+                encoded_bytes=len(container["data"]),
+                accounted_bytes=int(container["accounted"]),
+                netstate_bytes=int(container["netstate"]),
+            )]
+        except (CodecError, KeyError, TypeError, ValueError) as err:
+            raise RestartError(
+                f"partial or corrupt image at {self.path!r}: {err}") from None
 
 
 class StreamSink(Sink):

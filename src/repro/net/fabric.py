@@ -80,6 +80,10 @@ class Fabric:
         self.loss_rate = float(loss_rate)
         self._nics: Dict[str, Nic] = {}
         self._partitions: Set[Tuple[str, str]] = set()
+        #: per-direction extra propagation delay (fault injection).
+        self._extra_latency: Dict[Tuple[str, str], float] = {}
+        #: extra propagation delay applied to every link (fault injection).
+        self.global_extra_latency = 0.0
         self._rng = engine.rng.stream("fabric.loss")
         self.dropped_packets = 0
 
@@ -113,6 +117,21 @@ class Fabric:
         self._partitions.discard((ip_a, ip_b))
         self._partitions.discard((ip_b, ip_a))
 
+    def is_partitioned(self, ip_a: str, ip_b: str) -> bool:
+        """Whether traffic from ``ip_a`` to ``ip_b`` is currently blocked."""
+        return (ip_a, ip_b) in self._partitions
+
+    def delay_link(self, ip_a: str, ip_b: str, extra: float) -> None:
+        """Add ``extra`` seconds of one-way latency between two addresses
+        (both directions) — the message-delay fault."""
+        self._extra_latency[(ip_a, ip_b)] = float(extra)
+        self._extra_latency[(ip_b, ip_a)] = float(extra)
+
+    def clear_link_delay(self, ip_a: str, ip_b: str) -> None:
+        """Undo :meth:`delay_link`."""
+        self._extra_latency.pop((ip_a, ip_b), None)
+        self._extra_latency.pop((ip_b, ip_a), None)
+
     # ------------------------------------------------------------------
     def transmit(self, src_nic: Nic, packet: Packet) -> None:
         """Serialize a packet onto the sender's egress link."""
@@ -124,7 +143,9 @@ class Fabric:
         src_nic._egress_free_at = start + tx_time
         src_nic.tx_packets += 1
         src_nic.tx_bytes += packet.size
-        arrival = start + tx_time + self.latency
+        extra = (self.global_extra_latency
+                 + self._extra_latency.get((packet.real_src, packet.real_dst), 0.0))
+        arrival = start + tx_time + self.latency + extra
         self.engine.schedule_at(arrival, self._arrive, src_nic, packet)
 
     def _arrive(self, src_nic: Nic, packet: Packet) -> None:

@@ -57,6 +57,9 @@ class Engine:
         self._seq = itertools.count()
         self._stopped = False
         self._events_executed = 0
+        #: every spawned host task, pruned of finished ones lazily; lets
+        #: failure tooling assert that no protocol task was orphaned.
+        self._tasks: List[Task] = []
         #: Registered "is anything still blocked?" probes used for
         #: deadlock detection when the queue drains (kernels register one).
         self.blocked_probes: List[Callable[[], List[str]]] = []
@@ -124,8 +127,20 @@ class Engine:
     def spawn(self, gen: TaskGen, name: str = "task") -> Task:
         """Start a host task driving generator ``gen``; returns its Task."""
         task = Task(self, gen, name)
+        if len(self._tasks) > 512:
+            self._tasks = [t for t in self._tasks if not t.done]
+        self._tasks.append(task)
         self.schedule(0.0, task._step, None)
         return task
+
+    def live_tasks(self) -> List[Task]:
+        """Host tasks spawned on this engine that have not finished.
+
+        The Manager's abort path must leave no protocol task behind;
+        tests assert that through this registry.
+        """
+        self._tasks = [t for t in self._tasks if not t.done]
+        return list(self._tasks)
 
     # ------------------------------------------------------------------
     # running

@@ -27,6 +27,20 @@ class SharedStorage(FileSystem):
     def __init__(self, name: str = "san", bandwidth: float = FC_BANDWIDTH,
                  latency: float = FC_LATENCY) -> None:
         super().__init__(name, bandwidth=bandwidth, latency=latency)
+        #: pending write-stall seconds (fault injection); consumed by the
+        #: next flush that goes through :meth:`consume_stall`.
+        self._stall_s = 0.0
+
+    def inject_stall(self, seconds: float) -> None:
+        """Queue ``seconds`` of write stall — models a SAN path hiccup
+        (FC link reset, controller failover) delaying the next flush."""
+        self._stall_s += float(seconds)
+
+    def consume_stall(self) -> float:
+        """Claim (and clear) the pending stall; the flushing Agent adds
+        it to its write sleep so exactly one writer pays the penalty."""
+        stall, self._stall_s = self._stall_s, 0.0
+        return stall
 
     def flush_delay(self, nbytes: int) -> float:
         """Seconds to flush ``nbytes`` of checkpoint image to the SAN.

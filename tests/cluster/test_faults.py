@@ -1,0 +1,80 @@
+"""The primitive fault injectors: isolate, heal, crash.
+
+The isolate → abort → heal → succeed cycle is the fault-resilience
+story in miniature: a partitioned blade makes the coordinated
+checkpoint abort cleanly (application untouched), and once the link
+heals the very next checkpoint goes through.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, crash_node, heal_node, isolate_node
+from repro.core import Manager
+from repro.vos import DEAD
+
+from ..core.testapps import expected_sums, final_sums, launch_pingpong
+
+ROUNDS = 800
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(4, seed=21)
+    manager = Manager.deploy(cluster)
+    return cluster, manager
+
+
+def test_isolate_abort_heal_then_checkpoint_succeeds(world):
+    """Checkpoint during a partition aborts cleanly; after heal_node the
+    same request succeeds, and the application never notices."""
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    targets = [("blade0", "pp-srv", "mem"), ("blade1", "pp-cli", "mem")]
+    holder = {}
+
+    def part_and_ckpt():
+        isolate_node(cluster, cluster.node(1))
+        holder["first"] = manager.checkpoint(targets, deadline=3.0)
+
+    def heal_and_retry():
+        heal_node(cluster, cluster.node(1))
+        holder["second"] = manager.checkpoint(targets, deadline=30.0)
+
+    cluster.engine.schedule(0.1, part_and_ckpt)
+    cluster.engine.schedule(30.0, heal_and_retry)
+    cluster.engine.run(until=400.0)
+
+    first = holder["first"].finished.result
+    assert not first.ok
+    assert first.status in ("timeout", "failed")
+    second = holder["second"].finished.result
+    assert second.ok, second.errors
+    assert manager.last_checkpoint is second
+    # the application survived both the partition and the retry
+    assert srv.state == DEAD and cli.state == DEAD
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_isolate_is_symmetric_and_heal_restores(world):
+    cluster, _ = world
+    a, b = cluster.node(0), cluster.node(2)
+    isolate_node(cluster, a)
+    assert cluster.fabric.is_partitioned(a.ip, b.ip)
+    assert cluster.fabric.is_partitioned(b.ip, a.ip)
+    heal_node(cluster, a)
+    assert not cluster.fabric.is_partitioned(a.ip, b.ip)
+    assert not cluster.fabric.is_partitioned(b.ip, a.ip)
+
+
+def test_crash_node_reaps_its_host_tasks(world):
+    """Fail-stop means the node's Agent daemon and sessions die with it —
+    nothing named ``...@<node>`` survives in the task registry."""
+    cluster, _ = world
+    victim = cluster.node(3)
+    cluster.engine.run(until=1.0)  # let the agents boot
+    assert any(t.name.endswith("@blade3") for t in cluster.engine.live_tasks())
+    crash_node(cluster, victim)
+    cluster.engine.run(until=2.0)
+    assert victim.crashed
+    assert not any(t.name.endswith("@blade3") for t in cluster.engine.live_tasks())
+    assert victim.kernel.pods == {}

@@ -145,3 +145,93 @@ def test_restart_with_missing_image_fails_cleanly(world):
     cluster.engine.run(until=30.0)
     result = holder["restart"].finished.result
     assert not result.ok
+
+
+def test_deadline_abort_resumes_all_pods_and_reaps_protocol_tasks(world):
+    """When the deadline expires mid-checkpoint, every Agent's pod must
+    be resumed (verified by the Manager itself) and no ``ckpt-*``
+    protocol task may be left orphaned in the engine."""
+    from repro.core.manager import PhaseTimeouts
+
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS)
+    holder = {}
+
+    def kick():
+        isolate_node(cluster, cluster.node(1))
+        # generous per-phase timeouts: only the global deadline can fire,
+        # exercising the cancel-then-cleanup path
+        holder["ckpt"] = manager.checkpoint(
+            [("blade0", "pp-srv", "mem"), ("blade1", "pp-cli", "mem")],
+            deadline=2.0, timeouts=PhaseTimeouts(connect=60.0, barrier=60.0))
+
+    def heal():
+        from repro.cluster import heal_node
+        heal_node(cluster, cluster.node(1))
+
+    cluster.engine.schedule(0.1, kick)
+    cluster.engine.schedule(6.0, heal)
+    cluster.engine.run(until=400.0)
+
+    result = holder["ckpt"].finished.result
+    assert result.status == "timeout"
+    # the abort path verified the reachable pod resumed
+    assert result.resumed.get("pp-srv") is True
+    # no orphaned protocol tasks: every ckpt-* task was reaped
+    leftovers = [t.name for t in cluster.engine.live_tasks()
+                 if t.name.startswith("ckpt-") or t.name.startswith("manager-")]
+    assert leftovers == [], leftovers
+    # neither pod is suspended and the application completed correctly
+    for pod in cluster.pods().values():
+        assert not pod.suspended
+    assert srv.state == DEAD and cli.state == DEAD
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_recover_restarts_lost_pods_on_surviving_nodes(world):
+    """Manager.recover: detect the crashed blade and restart its pods
+    elsewhere from last_checkpoint — no manual targets needed."""
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS, server_node=1, client_node=2)
+    holder = {}
+
+    def kick():
+        holder["ckpt"] = manager.checkpoint([
+            ("blade1", "pp-srv", "file:/san/rec-srv.img"),
+            ("blade2", "pp-cli", "file:/san/rec-cli.img"),
+        ])
+
+    def crash():
+        crash_node(cluster, cluster.node(1))   # takes pp-srv down
+        holder["recover"] = manager.recover()
+
+    cluster.engine.schedule(0.1, kick)
+    cluster.engine.schedule(1.0, crash)
+    cluster.engine.run(until=400.0)
+
+    assert holder["ckpt"].finished.result.ok
+    rec = holder["recover"].finished.result
+    assert rec.ok, rec.errors
+    # pp-srv moved off the dead blade; pp-cli stayed put
+    assert cluster.node_of_pod("pp-srv").name != "blade1"
+    assert cluster.node_of_pod("pp-cli").name == "blade2"
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_recover_without_checkpoint_fails_without_side_effects(world):
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS, server_node=1, client_node=2)
+    holder = {}
+
+    def kick():
+        crash_node(cluster, cluster.node(3))   # empty blade dies
+        holder["recover"] = manager.recover()
+
+    cluster.engine.schedule(0.5, kick)
+    cluster.engine.run(until=300.0)
+    rec = holder["recover"].finished.result
+    assert not rec.ok
+    assert any("no usable checkpoint" in e for e in rec.errors)
+    # the running application was never touched
+    assert srv.state == DEAD and cli.state == DEAD
+    assert final_sums(cluster) == expected_sums(ROUNDS)

@@ -10,8 +10,10 @@ incremental size-drop acceptance criterion.
 
 import pytest
 
-from repro.cluster import Cluster
+from repro.cluster import Cluster, FaultInjector, FaultPlan, FaultSpec
 from repro.core import Manager, codec, migrate
+from repro.core.pipeline import FileSink
+from repro.errors import RestartError
 
 from .testapps import expected_sums, final_sums, launch_pingpong
 
@@ -126,6 +128,67 @@ def test_golden_v1_file_image_still_restarts(world):
     cluster.engine.run(until=300.0)
     assert holder["ckpt"].finished.result.ok
     assert holder["restart"].finished.result.ok, holder["restart"].finished.result.errors
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_partial_container_is_never_accepted_by_the_reader(world):
+    """Golden-format pin, negative direction: a container cut short at
+    *any* point must be rejected by the v1 reader — a partial flush can
+    never masquerade as a restartable image."""
+    cluster, manager = world
+    launch_pingpong(cluster, rounds=ROUNDS, ballast=BALLAST)
+    holder = {}
+
+    def kick():
+        holder["ckpt"] = manager.checkpoint(
+            [("blade0", "pp-srv", "file:/san/pin-srv.img"),
+             ("blade1", "pp-cli", "file:/san/pin-cli.img")])
+
+    cluster.engine.schedule(0.15, kick)
+    cluster.engine.run(until=300.0)
+    assert holder["ckpt"].finished.result.ok
+    image = manager.agents["blade0"].images["pp-srv"]
+    vfs = cluster.node(0).kernel.vfs
+    for fraction in (0.05, 0.25, 0.5, 0.9, 0.999):
+        sink = FileSink(cluster.san, vfs, "/san/pin-part.img")
+        sink.store(image, truncate=fraction)
+        with pytest.raises(RestartError):
+            sink.load("pp-srv")
+        sink.unlink()
+    # the intact container still loads (the truncation is what breaks it)
+    FileSink(cluster.san, vfs, "/san/pin-srv.img").load("pp-srv")
+
+
+def test_truncate_fault_leaves_no_restartable_file(world):
+    """End-to-end: an injected partial write makes the flush fail, the
+    Agent unlinks the junk, and the operation reports the failure —
+    nothing half-written stays visible on the SAN."""
+    cluster, manager = world
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS, ballast=BALLAST)
+    FaultInjector(cluster, FaultPlan(seed=0, faults=[
+        FaultSpec(kind="truncate_image", phase="agent.flush",
+                  node="blade0", fraction=0.4),
+    ])).install()
+    holder = {}
+
+    def kick():
+        holder["ckpt"] = manager.checkpoint(
+            [("blade0", "pp-srv", "file:/san/trunc-srv.img"),
+             ("blade1", "pp-cli", "file:/san/trunc-cli.img")])
+
+    cluster.engine.schedule(0.15, kick)
+    cluster.engine.run(until=300.0)
+    result = holder["ckpt"].finished.result
+    assert not result.ok
+    assert any("flush" in e for e in result.errors)
+    vfs = cluster.node(0).kernel.vfs
+    # neither file survived: the partial one was unlinked by the Agent,
+    # the complete sibling was garbage-collected (inconsistent cut)
+    assert not FileSink(cluster.san, vfs, "/san/trunc-srv.img").exists()
+    assert not FileSink(cluster.san, vfs, "/san/trunc-cli.img").exists()
+    assert manager.last_checkpoint is None
+    # the application kept running
+    cluster.engine.run(until=500.0)
     assert final_sums(cluster) == expected_sums(ROUNDS)
 
 

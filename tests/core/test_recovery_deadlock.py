@@ -12,7 +12,7 @@ until the Manager's deadline.
 
 import pytest
 
-from repro.cluster import Cluster
+from repro.cluster import Cluster, FaultInjector, FaultPlan, FaultSpec
 from repro.core import Manager, migrate
 from repro.vos import DEAD, build_program, imm, program
 
@@ -110,6 +110,67 @@ def test_two_thread_recovery_restores_ring(world):
                     and "final" in proc.regs:
                 finals.append(proc.regs["final"])
     assert finals == [K * LAPS - 1]
+
+
+def _delay_plan():
+    """50 ms of extra one-way latency on every link, installed the
+    moment connectivity recovery begins — it skews every connect/accept
+    arrival order without breaking any connection."""
+    return FaultPlan(seed=0, faults=[
+        FaultSpec(kind="link_delay", phase="agent.connectivity",
+                  seconds=0.05, duration=8.0),
+    ])
+
+
+def test_two_thread_recovery_survives_message_delays(world):
+    """Regression: the two-thread connect/accept recovery must stay
+    deadlock-free when injected message delays reorder the handshakes —
+    the schedule the sequential ablation is known to deadlock on."""
+    cluster, manager = world
+    _pods, _procs = _launch_ring(cluster)
+    FaultInjector(cluster, _delay_plan()).install()
+    holder = {}
+
+    def kick():
+        holder["mig"] = migrate(manager, [
+            (f"blade{i}", f"ring{i}", f"blade{K + i}") for i in range(K)
+        ])
+
+    cluster.engine.schedule(0.05, kick)
+    cluster.engine.run(until=300.0)
+    mig = holder["mig"].finished.result
+    assert mig.ok, (mig.checkpoint.errors, mig.restart.errors)
+    finals = []
+    for node in cluster.nodes:
+        for proc in node.kernel.procs.values():
+            if proc.program.name == "testapp.ring-node" and proc.exit_code == 0 \
+                    and "final" in proc.regs:
+                finals.append(proc.regs["final"])
+    assert finals == [K * LAPS - 1]
+
+
+def test_sequential_recovery_still_deadlocks_under_delays(world):
+    """The same delayed-message schedule does not rescue the sequential
+    ablation: it hangs at the ring's circular accept wait regardless."""
+    cluster, manager = world
+    _pods, _procs = _launch_ring(cluster)
+    FaultInjector(cluster, _delay_plan()).install()
+    holder = {}
+
+    def kick():
+        holder["mig"] = migrate(
+            manager,
+            [(f"blade{i}", f"ring{i}", f"blade{K + i}") for i in range(K)],
+            recovery_mode="sequential",
+            deadline=10.0,
+        )
+
+    cluster.engine.schedule(0.05, kick)
+    cluster.engine.run(until=300.0)
+    mig = holder["mig"].finished.result
+    assert mig.checkpoint.ok
+    assert not mig.restart.ok
+    assert mig.restart.status == "timeout"
 
 
 def test_sequential_recovery_deadlocks_on_ring(world):
