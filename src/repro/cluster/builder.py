@@ -7,9 +7,10 @@ so virtual addresses are allocated consistently.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..errors import PodError
+from ..obs.tracer import NULL_SPAN
 from ..net.addr import real_ip, virtual_ip
 from ..net.fabric import Fabric
 from ..pod.pod import Pod
@@ -35,6 +36,12 @@ class Cluster:
         #: optional fault injector (see :mod:`repro.cluster.faults`);
         #: protocol code announces phase boundaries through :meth:`trace`.
         self.injector = None
+        #: optional span tracer (see :mod:`repro.obs.tracer`); protocol
+        #: code opens spans through :meth:`span` / :meth:`span_at`.
+        self.tracer = None
+        #: optional metrics registry (see :mod:`repro.obs.metrics`);
+        #: protocol code records through :meth:`count` / :meth:`observe`.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -57,16 +64,58 @@ class Cluster:
               pod: Optional[str] = None):
         """Announce a protocol phase boundary (generator; ``yield from``).
 
-        With no injector installed this is free: no event is recorded, no
-        simulated time passes, and the caller's timing is untouched — the
-        fig6 latency figures are identical with injection disabled.  With
-        an injector, the crossing is traced and any scheduled fault for
-        this boundary fires (possibly stalling the calling task).
-        Returns the injector's directives dict (empty without one).
+        With no injector and no tracer installed this is free: no event
+        is recorded, no simulated time passes, and the caller's timing is
+        untouched — the fig6 latency figures are identical with both
+        disabled.  With an injector, the crossing is traced and any
+        scheduled fault for this boundary fires (possibly stalling the
+        calling task); with a span tracer, the crossing lands in the
+        trace as a zero-length mark (the injector records it itself so
+        fired faults are attached).  Returns the injector's directives
+        dict (empty without one).
         """
         if self.injector is None:
+            if self.tracer is not None:
+                self.tracer.instant(phase, node=node, pod=pod)
             return {}
         return (yield from self.injector.on_phase(phase, node=node, pod=pod))
+
+    # ------------------------------------------------------------------
+    # observability (see repro.obs): every helper no-ops when nothing is
+    # installed, so instrumented call sites stay branch-free and free.
+    # ------------------------------------------------------------------
+    def span(self, name: str, node: Optional[str] = None,
+             pod: Optional[str] = None, parent: Any = None,
+             category: str = "phase", key: Any = None, **attrs: Any):
+        """Open a span at the current simulated time (or a no-op)."""
+        if self.tracer is None:
+            return NULL_SPAN
+        return self.tracer.begin(name, node=node, pod=pod, parent=parent,
+                                 category=category, key=key, **attrs)
+
+    def span_at(self, name: str, t_start: float, t_end: float,
+                node: Optional[str] = None, pod: Optional[str] = None,
+                parent: Any = None, category: str = "stage", **attrs: Any):
+        """Record a span with explicit times (modeled pipeline stages)."""
+        if self.tracer is None:
+            return NULL_SPAN
+        return self.tracer.add(name, t_start, t_end, node=node, pod=pod,
+                               parent=parent, category=category, **attrs)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump a counter on the installed metrics registry, if any."""
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a histogram sample on the metrics registry, if any."""
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set a gauge on the metrics registry, if any."""
+        if self.metrics is not None:
+            self.metrics.gauge(name).set(value)
 
     # ------------------------------------------------------------------
     def node(self, index: int) -> Node:

@@ -109,15 +109,24 @@ class ChaosReport:
     violations: List[str] = field(default_factory=list)
     crashed_nodes: List[str] = field(default_factory=list)
     app_finished: bool = False
+    #: deterministic JSONL span dump when ``run_chaos(trace_spans=True)``
+    #: — byte-identical across runs of the same seed (the determinism
+    #: oracle the chaos tests diff).
+    span_dump: Optional[str] = None
 
 
 def run_chaos(seed: int, n_nodes: int = 4, n_ops: int = 4, rounds: int = 300,
-              until: float = 300.0) -> ChaosReport:
+              until: float = 300.0, trace_spans: bool = False) -> ChaosReport:
     """One chaos episode; returns the audited :class:`ChaosReport`."""
     from ..core.manager import Manager, PhaseTimeouts
     from ..core.pipeline import FileSink
 
     cluster = Cluster.build(n_nodes, seed=seed)
+    tracer = None
+    if trace_spans:
+        from ..obs import SpanTracer
+
+        tracer = SpanTracer(cluster.engine).install(cluster)
     manager = Manager.deploy(cluster)
     injector = FaultInjector(
         cluster, FaultPlan.random(seed, [n.name for n in cluster.nodes])).install()
@@ -259,6 +268,10 @@ def run_chaos(seed: int, n_nodes: int = 4, n_ops: int = 4, rounds: int = 300,
         if not report.crashed_nodes and not report.app_finished:
             report.violations.append(
                 "application did not finish despite no node crash")
+    if tracer is not None:
+        from ..obs import to_jsonl
+
+        report.span_dump = to_jsonl(tracer)
     return report
 
 

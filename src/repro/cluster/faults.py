@@ -261,6 +261,16 @@ class FaultInjector:
                 self.fired.append((engine.now, spec.kind, phase, node, pod))
                 sleep_s += self._apply(spec, node, directives)
         self.trace.append((round(engine.now, 9), phase, node, pod, tuple(fired)))
+        # with an injector installed, Cluster.trace leaves the crossing
+        # mark to us so each fired fault rides on its instant
+        if self.cluster.tracer is not None:
+            self.cluster.tracer.instant(phase, node=node, pod=pod)
+            for kind in fired:
+                self.cluster.tracer.instant(f"fault.{kind}", node=node,
+                                            pod=pod, category="fault",
+                                            at=phase)
+        if fired:
+            self.cluster.count("faults.activated", len(fired))
         if sleep_s > 0.0:
             yield engine.sleep(sleep_s)
         return directives

@@ -32,8 +32,15 @@ from ..sim.tasks import all_of
 from ..vos.syscalls import Errno
 from .devckpt import capture_pod_devices, restore_pod_devices
 from .image import PodImage
+from ..obs.tracer import NULL_SPAN
 from .meta import build_pod_meta
-from .netckpt import capture_pod_network, netstate_nbytes, restore_socket_state
+from .netckpt import (
+    block_pod_network,
+    capture_pod_network,
+    netstate_nbytes,
+    restore_socket_state,
+    unblock_pod_network,
+)
 from .pipeline import (
     FileSink,
     ImagePipeline,
@@ -42,6 +49,7 @@ from .pipeline import (
     ReassembledImage,
     StreamSink,
     negotiate_filters,
+    record_stage_metrics,
 )
 from .standalone import activate_pod, capture_pod_standalone, restore_pod_standalone
 from .wire import recv_msg, send_msg
@@ -220,14 +228,22 @@ class Agent:
         chain_local = not uri.startswith("agent://")
         stack = kernel.netstack
         t0 = engine.now
+        #: the Manager's operation span (if a tracer is installed the
+        #: Manager registered it under this key; resolves to no parent
+        #: otherwise) — all per-pod phase spans hang off it.
+        op_parent = ("op", op_id)
 
         # 1. suspend pod, block network
+        phase = self.cluster.span("agent.phase.suspend", node=self.node.name,
+                                  pod=pod_id, parent=op_parent)
         pod.suspend()
         while not pod.quiescent():
             yield engine.sleep(QUIESCE_POLL)
-        stack.netfilter.block_ip(pod.vip)
+        net_window = block_pod_network(self.cluster, stack, pod,
+                                       node=self.node.name, parent=op_parent)
         t_suspended = engine.now
         yield from self.cluster.trace("agent.suspend", node=self.node.name, pod=pod_id)
+        phase.end()
 
         # Ordering ablation: the default saves network state first so the
         # standalone capture overlaps the Manager's meta-data sync; the
@@ -240,10 +256,16 @@ class Agent:
             return standalone
 
         if order == "standalone-first":
+            phase = self.cluster.span("agent.phase.standalone",
+                                      node=self.node.name, pod=pod_id,
+                                      parent=op_parent, order=order)
             standalone = standalone_pass()
             yield engine.sleep(self.node.spec.ckpt_fixed_s)
+            phase.end()
 
         # 2. network-state checkpoint (plus bypass-device state, §5 ext.)
+        phase = self.cluster.span("agent.phase.netstate", node=self.node.name,
+                                  pod=pod_id, parent=op_parent)
         sock_records, sock_fd_rows = self._capture_network(pod)
         dev_states, dev_fd_rows = capture_pod_devices(pod)
         devices = {"states": dev_states, "fd_rows": dev_fd_rows}
@@ -252,42 +274,63 @@ class Agent:
                            + net_bytes / self.node.spec.memcpy_bandwidth)
         t_net_done = engine.now
         yield from self.cluster.trace("agent.netstate", node=self.node.name, pod=pod_id)
+        phase.end(nbytes=net_bytes, sockets=len(sock_records))
+        self.cluster.count("agent.netstate.bytes", net_bytes)
         meta = build_pod_meta(pod_id, sock_records)
 
         if order == "standalone-first":
             # serialize the image *before* reporting: nothing overlaps
+            phase = self.cluster.span("agent.phase.standalone",
+                                      node=self.node.name, pod=pod_id,
+                                      parent=op_parent, order=order)
             image = pipeline.pack(standalone, sock_records, sock_fd_rows, devices,
                                   state=self.pipeline_state,
                                   serialize_bandwidth=self.node.spec.memcpy_bandwidth,
                                   chain_local=chain_local)
+            t_enc = engine.now
             yield engine.sleep(_stage_seconds(image))
+            self._emit_stage_spans(image, t_enc, pod_id, phase)
+            phase.end()
 
         # 2a. report meta-data
+        phase = self.cluster.span("agent.phase.meta_report", node=self.node.name,
+                                  pod=pod_id, parent=op_parent)
         report: Dict[str, Any] = {"type": "meta", "pod": pod_id, "meta": meta,
                                   "filters": accepted_specs,
                                   "filters_rejected": rejected_specs}
         ok = yield from send_msg(kernel, chan, fd, report)
         if not ok:
-            self._abort_checkpoint(pod)
+            phase.end(status="failed")
+            self._abort_checkpoint(pod, net_window)
             return
         yield from self.cluster.trace("agent.meta_sent", node=self.node.name, pod=pod_id)
+        phase.end()
 
         # 3. standalone checkpoint (overlaps the Manager's meta sync)
+        phase = self.cluster.span("agent.phase.standalone", node=self.node.name,
+                                  pod=pod_id, parent=op_parent, order=order)
         if order != "standalone-first":
             standalone = standalone_pass()
             image = pipeline.pack(standalone, sock_records, sock_fd_rows, devices,
                                   state=self.pipeline_state,
                                   serialize_bandwidth=self.node.spec.memcpy_bandwidth,
                                   chain_local=chain_local)
+            t_enc = engine.now
             yield engine.sleep(self.node.spec.ckpt_fixed_s + _stage_seconds(image))
+            self._emit_stage_spans(image, t_enc + self.node.spec.ckpt_fixed_s,
+                                   pod_id, phase)
         t_standalone_done = engine.now
         yield from self.cluster.trace("agent.standalone", node=self.node.name, pod=pod_id)
+        phase.end()
 
         # 3a/4a. finish only after 'continue' arrives.  The wait carries
         # its own deadline (sent by the Manager): if the Manager crashes
         # or is partitioned away, neither 'continue' nor 'abort' can ever
         # arrive, and the Agent must abort unilaterally rather than keep
         # the pod suspended forever.
+        t_wait = engine.now
+        phase = self.cluster.span("agent.phase.barrier", node=self.node.name,
+                                  pod=pod_id, parent=op_parent)
         if wait_timeout > 0.0:
             waiter = engine.spawn(recv_msg(kernel, chan, fd),
                                   name=f"ckpt-wait@{self.node.name}")
@@ -305,23 +348,33 @@ class Agent:
         if reply is None or reply.get("cmd") == "abort" or op_id in self.gc_ops:
             # Manager died, aborted, or already garbage-collected this
             # operation: resume the application gracefully
-            self._abort_checkpoint(pod)
+            self.cluster.observe(f"agent.barrier_wait_s.{self.node.name}",
+                                 engine.now - t_wait)
+            phase.end(status="aborted")
+            self._abort_checkpoint(pod, net_window)
             yield from send_msg(kernel, chan, fd, {"type": "aborted", "pod": pod_id})
             return
         yield from self.cluster.trace("agent.continue_recv", node=self.node.name, pod=pod_id)
+        self.cluster.observe(f"agent.barrier_wait_s.{self.node.name}",
+                             engine.now - t_wait)
         if op_id in self.gc_ops:
             # the op died while a fault stalled us at the boundary above
-            self._abort_checkpoint(pod)
+            phase.end(status="aborted")
+            self._abort_checkpoint(pod, net_window)
             yield from send_msg(kernel, chan, fd, {"type": "aborted", "pod": pod_id})
             return
+        phase.end()
 
+        # 3b/4. continue received: lift the block and commit locally
+        phase = self.cluster.span("agent.phase.commit", node=self.node.name,
+                                  pod=pod_id, parent=op_parent)
         if context == "snapshot":
-            stack.netfilter.unblock_ip(pod.vip)
+            unblock_pod_network(stack, pod, net_window)
         else:
             # migration: silence and destroy the old pod before lifting
             # the filter so nothing stale can reach the restored peers
             pod.destroy()
-            stack.netfilter.unblock_ip(pod.vip)
+            unblock_pod_network(stack, pod, net_window)
 
         # §5 optimization: redirect send-queue contents into the peers'
         # checkpoint streams, eliminating the post-restart re-send.  The
@@ -367,6 +420,10 @@ class Agent:
         # happens after resume, so its cost is reported as modeled)
         sink = self._sink_for(uri)
         stage_stats = list(image.stage_costs) + [sink.write_cost(image).as_stats()]
+        record_stage_metrics(self.cluster, stage_stats)
+        # the commit phase ends exactly where ``t_local`` is measured, so
+        # the agent lane's phase durations sum to the reported latency
+        phase.end(image_bytes=image.total_bytes)
         yield from send_msg(kernel, chan, fd, {
             "type": "done",
             "pod": pod_id,
@@ -395,20 +452,54 @@ class Agent:
         if context == "snapshot":
             pod.resume()
         if uri.startswith("agent://"):
+            post = self.cluster.span("agent.post.stream", node=self.node.name,
+                                     pod=pod_id, parent=op_parent,
+                                     category="post")
             yield from self._stream_image(chan, fd, image, uri, sink)
+            post.end(nbytes=image.total_bytes)
         elif uri.startswith("file:"):
             # flush to shared storage after the application resumed —
             # deliberately outside the checkpoint latency, per the paper
+            # (a ``post`` span, excluded from phase reconciliation)
+            post = self.cluster.span("agent.post.flush", node=self.node.name,
+                                     pod=pod_id, parent=op_parent,
+                                     category="post")
             directives = yield from self.cluster.trace(
                 "agent.flush", node=self.node.name, pod=pod_id)
             flushed = yield from self._flush_to_file(
                 image, sink, op_id=op_id, truncate=directives.get("truncate"))
+            post.end(status="ok" if flushed else "failed",
+                     nbytes=image.total_bytes)
+            if flushed:
+                self.cluster.count("agent.flush.bytes", image.total_bytes)
             yield from send_msg(kernel, chan, fd, {
                 "type": "flushed" if flushed else "flush-failed", "pod": pod_id})
 
-    def _abort_checkpoint(self, pod: Pod) -> None:
-        stack = self.kernel.netstack
-        stack.netfilter.unblock_ip(pod.vip)
+    def _emit_stage_spans(self, image: PodImage, t_start: float, pod_id: str,
+                          parent) -> float:
+        """Subdivide a modeled pack sleep into per-stage ``stage`` spans.
+
+        The Agent sleeps once for the whole pipeline; the per-stage costs
+        recorded on the image say how that sleep decomposes, and this
+        replays them as explicit-time spans so exported traces show the
+        serialize / filter split.  Returns the time after the last stage.
+        """
+        t = t_start
+        for cost in image.stage_costs:
+            stage = cost.get("stage", "?")
+            if stage.startswith("write"):
+                continue  # the write happens later, at the sink
+            seconds = float(cost.get("seconds", 0.0))
+            self.cluster.span_at(f"stage.{stage}", t, t + seconds,
+                                 node=self.node.name, pod=pod_id,
+                                 parent=parent,
+                                 in_bytes=cost.get("in_bytes"),
+                                 out_bytes=cost.get("out_bytes"))
+            t += seconds
+        return t
+
+    def _abort_checkpoint(self, pod: Pod, window=NULL_SPAN) -> None:
+        unblock_pod_network(self.kernel.netstack, pod, window, status="aborted")
         pod.resume()
 
     def _sink_for(self, uri: str):
@@ -532,11 +623,15 @@ class Agent:
     def _do_load_meta(self, chan, fd, msg):
         """Phase 0 of restart: load the image chain, report its meta-data."""
         kernel = self.kernel
+        op_parent = ("op", int(msg.get("op_id", 0)))
+        phase = self.cluster.span("agent.phase.load_meta", node=self.node.name,
+                                  pod=msg.get("pod"), parent=op_parent)
         yield from self.cluster.trace("agent.load_meta", node=self.node.name,
                                       pod=msg.get("pod"))
         try:
             chain = self._load_chain(msg["pod"], msg["uri"])
         except RestartError as err:
+            phase.end(status="failed")
             yield from send_msg(kernel, chan, fd, {"type": "error", "error": str(err)})
             return
         if msg["uri"].startswith("file:") and not msg.get("preloaded", True):
@@ -547,12 +642,14 @@ class Agent:
         except (CodecError, CheckpointError, RestartError, KeyError) as err:
             # a corrupt or partial chain must fail the restart loudly,
             # not hang the session
+            phase.end(status="failed")
             yield from send_msg(kernel, chan, fd, {
                 "type": "error",
                 "error": f"image chain for {msg['pod']!r} is not restorable: {err}",
             })
             return
         meta = build_pod_meta(msg["pod"], reassembled.payload["sockets"])
+        phase.end(chain_epochs=len(chain))
         yield from send_msg(kernel, chan, fd, {
             "type": "meta",
             "pod": msg["pod"],
@@ -572,6 +669,7 @@ class Agent:
         engine = self.engine
         pod_id = msg["pod"]
         t0 = engine.now
+        op_parent = ("op", int(msg.get("op_id", 0)))
         if chain is None:
             chain = self._load_chain(pod_id, msg.get("uri", "mem"))
         if reassembled is None:
@@ -586,6 +684,8 @@ class Agent:
         timevirt_on = bool(msg.get("time_virtualization", True))
 
         # 1. create a new (empty) pod
+        phase = self.cluster.span("agent.phase.connectivity", node=self.node.name,
+                                  pod=pod_id, parent=op_parent)
         pod = Pod.create(kernel, pod_id, msg.get("vip", standalone["vip"]), self.cluster.vnet)
 
         # 2. recover network connectivity: two threads of execution
@@ -613,6 +713,11 @@ class Agent:
                 name=f"restart-connect@{pod_id}")
             yield all_of([acceptor.finished, connector.finished])
         t_conn_done = engine.now
+        phase.end(connections=len(schedule))
+
+        # 3'. restore network state on the recovered connections
+        phase = self.cluster.span("agent.phase.netrestore", node=self.node.name,
+                                  pod=pod_id, parent=op_parent)
 
         # non-connection sockets (datagram, unconnected TCP) are rebuilt
         # directly — no peer coordination needed
@@ -666,9 +771,13 @@ class Agent:
         yield engine.sleep(RESTORE_PER_SOCKET * max(1, len(records))
                            + inject_bytes / self.node.spec.memcpy_bandwidth)
         t_net_done = engine.now
+        phase.end(inject_bytes=inject_bytes, sockets=len(records))
 
         # 4. standalone restart: undo the filter chain (decompress /
         # delta reassembly), then rebuild the full pre-filter state
+        phase = self.cluster.span("agent.phase.standalone_restore",
+                                  node=self.node.name, pod=pod_id,
+                                  parent=op_parent)
         yield engine.sleep(self.node.spec.restart_fixed_s
                            + reassembled.decode_seconds
                            + reassembled.full_total_bytes / self.node.spec.restore_bandwidth)
@@ -678,6 +787,7 @@ class Agent:
         restore_pod_devices(pod, devices["states"], devices["fd_rows"])
         activate_pod(pod)
         t_done = engine.now
+        phase.end(image_bytes=reassembled.full_total_bytes)
 
         # 5. report done
         yield from send_msg(kernel, chan, fd, {

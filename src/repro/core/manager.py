@@ -188,6 +188,8 @@ class Manager:
             if opened is not None:
                 return opened
             if attempt + 1 < n:
+                self.cluster.count("manager.connect_retries")
+                self.cluster.observe("manager.backoff_s", timeouts.backoff(attempt))
                 yield self.cluster.engine.sleep(timeouts.backoff(attempt))
         return None
 
@@ -268,6 +270,11 @@ class Manager:
         self._next_op_id += 1
         result = OpResult("checkpoint", "ok", engine.now, engine.now,
                           targets=list(targets), op_id=op_id)
+        # operation span, registered under ("op", op_id) so Agent-side
+        # spans on other nodes can attach themselves as children
+        op_span = self.cluster.span("manager.checkpoint", category="op",
+                                    key=("op", op_id), op=op_id,
+                                    pods=len(targets), context=context)
         conns: Dict[str, Tuple[Any, int]] = {}
         meta_count = [0]
         all_meta = Future("all-meta")
@@ -303,9 +310,12 @@ class Manager:
             return out
 
         def pod_task(node_name: str, pod_id: str, uri: str):
+            phase = self.cluster.span("manager.phase.connect", node=node_name,
+                                      pod=pod_id, parent=op_span)
             yield from self.cluster.trace("manager.connect", node=node_name, pod=pod_id)
             opened = yield from self._open_retry(node_name, timeouts)
             if opened is None:
+                phase.end(status="failed")
                 fail(f"{pod_id}: cannot reach agent on {node_name}")
                 return
             chan, fd = opened
@@ -323,12 +333,17 @@ class Manager:
                 "wait_timeout": timeouts.barrier + timeouts.done,
             })
             if not sent:
+                phase.end(status="failed")
                 fail(f"{pod_id}: agent connection lost")
                 return
+            phase.end()
             # 2. receive meta-data (plus the negotiated filter chain)
+            phase = self.cluster.span("manager.phase.meta", node=node_name,
+                                      pod=pod_id, parent=op_span)
             msg = yield from self._recv_timed(chan, fd, timeouts.meta)
             if msg is None or msg.get("type") != "meta":
                 detail = msg.get("error") if msg else "meta phase timed out or connection lost"
+                phase.end(status="failed")
                 fail(f"{pod_id}: {detail}")
                 return
             result.metas[pod_id] = msg["meta"]
@@ -336,10 +351,14 @@ class Manager:
             if msg.get("filters_rejected"):
                 result.filters_rejected[pod_id] = list(msg["filters_rejected"])
             yield from self.cluster.trace("manager.meta_recv", node=node_name, pod=pod_id)
+            phase.end()
             meta_count[0] += 1
             if meta_count[0] == len(targets) and not all_meta.done:
                 all_meta.set_result(True)
             # 3. the single synchronization point (bounded per phase)
+            t_wait = engine.now
+            phase = self.cluster.span("manager.phase.barrier", node=node_name,
+                                      pod=pod_id, parent=op_span)
             try:
                 barrier_ok, _ = yield engine.timeout(all_meta, timeouts.barrier)
             except RuntimeError:
@@ -347,7 +366,9 @@ class Manager:
             else:
                 if not barrier_ok:
                     fail(f"{pod_id}: continue-barrier timed out")
+            self.cluster.observe("manager.barrier_wait_s", engine.now - t_wait)
             if not barrier_ok:
+                phase.end(status="aborted")
                 yield from send_msg(kernel, chan, fd, {"cmd": "abort"})
                 yield from self._recv_timed(chan, fd, timeouts.drain)
                 return
@@ -356,25 +377,42 @@ class Manager:
                 "cmd": "continue",
                 "redirect_out": redirect_out_for(pod_id),
             })
+            phase.end()
             # 4. receive status
+            phase = self.cluster.span("manager.phase.commit", node=node_name,
+                                      pod=pod_id, parent=op_span)
             done = yield from self._recv_timed(chan, fd, timeouts.done)
             if done is None or done.get("status") != "ok":
+                phase.end(status="failed")
                 fail(f"{pod_id}: checkpoint failed")
                 return
             result.pods[pod_id] = done["stats"]
             # checkpoint time is measured to the last 'done' — the flush
             # to storage (below) happens after the application resumed
             result.t_end = max(result.t_end, engine.now)
+            phase.end()
             yield from self.cluster.trace("manager.done_recv", node=node_name, pod=pod_id)
             # direct-migration streaming / file flush acknowledgements
             if pod_id in expect_stream:
+                post = self.cluster.span("manager.post.stream", node=node_name,
+                                         pod=pod_id, parent=op_span,
+                                         category="post")
                 ack = yield from self._recv_timed(chan, fd, timeouts.flush)
                 if ack is None or ack.get("type") != "streamed":
+                    post.end(status="failed")
                     fail(f"{pod_id}: image streaming failed")
+                else:
+                    post.end()
             elif pod_id in expect_flush:
+                post = self.cluster.span("manager.post.flush", node=node_name,
+                                         pod=pod_id, parent=op_span,
+                                         category="post")
                 ack = yield from self._recv_timed(chan, fd, timeouts.flush)
                 if ack is None or ack.get("type") != "flushed":
+                    post.end(status="failed")
                     fail(f"{pod_id}: image flush failed or timed out")
+                else:
+                    post.end()
 
         yield from self.cluster.trace("manager.op_start", pod=f"op{op_id}")
         tasks = [engine.spawn(pod_task(n, p, u), name=f"ckpt-{p}") for n, p, u in targets]
@@ -406,6 +444,9 @@ class Manager:
         if result.ok:
             self.last_checkpoint = result
         yield from self.cluster.trace("manager.op_end", pod=f"op{op_id}")
+        # the span closes after cleanup; the protocol latency the paper
+        # plots travels in ``duration_s`` (invocation → last pod done)
+        op_span.end(status=result.status, duration_s=result.duration)
         return result
 
     # ------------------------------------------------------------------
@@ -461,6 +502,7 @@ class Manager:
                 if inner in fs.files:
                     fs.files.pop(inner, None)
                     result.gc_paths.append(path)
+                    self.cluster.count("manager.gc_partial_images")
             if uri.startswith("agent://"):
                 by_node.setdefault(uri[len("agent://"):], []).append(pod_id)
             else:
@@ -518,6 +560,9 @@ class Manager:
         self._next_op_id += 1
         result = OpResult("restart", "ok", engine.now, engine.now,
                           targets=list(targets), op_id=op_id)
+        op_span = self.cluster.span("manager.restart", category="op",
+                                    key=("op", op_id), op=op_id,
+                                    pods=len(targets))
         metas: Dict[str, List[dict]] = {}
         vips: Dict[str, str] = {}
         meta_count = [0]
@@ -538,16 +583,23 @@ class Manager:
                 opened = yield from self._open_attempt(node_name, timeouts.connect)
                 if opened is None:
                     if attempt < timeouts.load_retries:
+                        self.cluster.count("manager.load_retries")
+                        self.cluster.observe("manager.backoff_s",
+                                             timeouts.backoff(attempt))
                         yield engine.sleep(timeouts.backoff(attempt))
                     continue
                 chan, fd = opened
                 yield from send_msg(kernel, chan, fd,
-                                    {"cmd": "load_meta", "pod": pod_id, "uri": uri})
+                                    {"cmd": "load_meta", "pod": pod_id,
+                                     "uri": uri, "op_id": op_id})
                 msg = yield from self._recv_timed(chan, fd, timeouts.load)
                 if msg is None:
                     # transient (timeout / connection lost): retry
                     yield from self._close_conn(chan, fd)
                     if attempt < timeouts.load_retries:
+                        self.cluster.count("manager.load_retries")
+                        self.cluster.observe("manager.backoff_s",
+                                             timeouts.backoff(attempt))
                         yield engine.sleep(timeouts.backoff(attempt))
                     continue
                 return chan, fd, msg
@@ -555,36 +607,49 @@ class Manager:
 
         def pod_task(node_name: str, pod_id: str, uri: str):
             # phase 0: have the agent load the image and report meta-data
+            phase = self.cluster.span("manager.phase.load_meta", node=node_name,
+                                      pod=pod_id, parent=op_span)
             yield from self.cluster.trace("manager.load_meta", node=node_name, pod=pod_id)
             loaded = yield from load_meta_phase(node_name, pod_id, uri)
             if loaded is None:
+                phase.end(status="failed")
                 fail(f"{pod_id}: cannot load image meta from {node_name}")
                 return
             chan, fd, msg = loaded
             if msg.get("type") != "meta":
+                phase.end(status="failed")
                 fail(f"{pod_id}: {msg.get('error', 'image load failed')}")
                 return
             metas[pod_id] = msg["meta"]
             vips[pod_id] = msg["vip"]
             result.filters[pod_id] = list(msg.get("filters") or [])
+            phase.end()
             meta_count[0] += 1
             if meta_count[0] == len(targets) and not all_meta.done:
                 all_meta.set_result(True)
+            phase = self.cluster.span("manager.phase.plan", node=node_name,
+                                      pod=pod_id, parent=op_span)
             try:
                 plan_ok, plan = yield engine.timeout(plan_ready, timeouts.barrier)
             except RuntimeError:
+                phase.end(status="aborted")
                 return
             if not plan_ok:
+                phase.end(status="failed")
                 fail(f"{pod_id}: restart plan timed out")
                 return
             pod_plan = plan[pod_id]
+            phase.end()
             # 1. send restart command + (modified) meta-data
+            phase = self.cluster.span("manager.phase.commit", node=node_name,
+                                      pod=pod_id, parent=op_span)
             yield from self.cluster.trace("manager.restart_sent", node=node_name, pod=pod_id)
             yield from send_msg(kernel, chan, fd, {
                 "cmd": "restart",
                 "pod": pod_id,
                 "vip": vips[pod_id],
                 "uri": uri,
+                "op_id": op_id,
                 "listeners": pod_plan["listeners"],
                 "schedule": pod_plan["schedule"],
                 "time_virtualization": time_virtualization,
@@ -595,9 +660,11 @@ class Manager:
             if done is None or done.get("status") != "ok":
                 detail = done.get("error", "restart failed") if done else \
                     "restart timed out or agent connection lost"
+                phase.end(status="failed")
                 fail(f"{pod_id}: {detail}")
                 return
             result.pods[pod_id] = done["stats"]
+            phase.end()
             yield from self._close_conn(chan, fd)
 
         def planner():
@@ -634,6 +701,7 @@ class Manager:
         result.t_end = engine.now
         result.metas = metas
         yield from self.cluster.trace("manager.op_end", pod=f"op{op_id}")
+        op_span.end(status=result.status, duration_s=result.duration)
         return result
 
     # ------------------------------------------------------------------
@@ -663,15 +731,18 @@ class Manager:
         engine = self.cluster.engine
         timeouts = timeouts if timeouts is not None else PhaseTimeouts()
         result = OpResult("recover", "ok", engine.now, engine.now)
+        op_span = self.cluster.span("manager.recover", category="op")
         last = self.last_checkpoint
         if last is None or not last.ok or not last.targets:
             result.status = "failed"
             result.errors.append("no usable checkpoint to recover from")
             result.t_end = engine.now
+            op_span.end(status=result.status, duration_s=result.duration)
             return result
 
         # 1. failure detection: fail-stop flags plus a liveness probe of
         #    every node the checkpoint involves
+        phase = self.cluster.span("manager.phase.detect", parent=op_span)
         crashed = {node.name for node in self.cluster.nodes if node.crashed}
         involved = {n for (n, _p, _u) in last.targets}
         for name in sorted(involved - crashed):
@@ -680,11 +751,13 @@ class Manager:
                 crashed.add(name)
         yield from self.cluster.trace("manager.recover_detect",
                                       pod=",".join(sorted(crashed)) or None)
+        phase.end(crashed=",".join(sorted(crashed)))
         survivors = [n for n in self.cluster.nodes if n.name not in crashed]
         if not survivors:
             result.status = "failed"
             result.errors.append("no surviving nodes to recover onto")
             result.t_end = engine.now
+            op_span.end(status=result.status, duration_s=result.duration)
             return result
 
         # 2. placement — checked for feasibility before any destruction
@@ -715,6 +788,7 @@ class Manager:
         if result.errors:
             result.status = "failed"
             result.t_end = engine.now
+            op_span.end(status=result.status, duration_s=result.duration)
             return result
 
         # 3. roll the survivors back: the restart restores the whole
@@ -736,4 +810,5 @@ class Manager:
         result.filters = restart.filters
         result.targets = new_targets
         result.t_end = engine.now
+        op_span.end(status=result.status, duration_s=result.duration)
         return result

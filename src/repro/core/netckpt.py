@@ -177,6 +177,34 @@ def netstate_nbytes(records: List[Dict[str, Any]]) -> int:
 
 
 # ---------------------------------------------------------------------------
+# network block window
+# ---------------------------------------------------------------------------
+
+
+def block_pod_network(cluster, stack: NetStack, pod: Pod, node: str = None,
+                      parent=None):
+    """Raise the netfilter around a pod and open its trace window.
+
+    The paper's protocol keeps the pod's network silent from suspend
+    until the Manager's ``continue`` — this helper pairs the filter rule
+    with an ``agent.net_block`` window span so an exported trace shows
+    exactly how long every pod was dark.  Returns the window span (a
+    no-op object when no tracer is installed); close it with
+    :func:`unblock_pod_network`.
+    """
+    stack.netfilter.block_ip(pod.vip)
+    return cluster.span("agent.net_block", node=node, pod=pod.id,
+                        parent=parent, category="window")
+
+
+def unblock_pod_network(stack: NetStack, pod: Pod, window,
+                        status: str = "ok") -> None:
+    """Drop the netfilter rule and close the block-window span."""
+    stack.netfilter.unblock_ip(pod.vip)
+    window.end(status=status)
+
+
+# ---------------------------------------------------------------------------
 # restore
 # ---------------------------------------------------------------------------
 

@@ -102,6 +102,21 @@ class StageCost:
                 "in_bytes": self.in_bytes, "out_bytes": self.out_bytes}
 
 
+def record_stage_metrics(cluster, stage_stats: List[Dict[str, Any]]) -> None:
+    """Account per-stage pipeline traffic into the cluster's metrics.
+
+    One counter pair per stage name (``pipeline.<stage>.bytes`` /
+    ``.invocations``) — the cumulative bytes each serialize / filter /
+    write stage pushed, across every pod and epoch of the run.
+    """
+    if cluster.metrics is None:
+        return
+    for cost in stage_stats:
+        stage = cost.get("stage", "?")
+        cluster.count(f"pipeline.{stage}.bytes", int(cost.get("out_bytes", 0)))
+        cluster.count(f"pipeline.{stage}.invocations")
+
+
 @dataclass
 class FilterContext:
     """Everything a filter may consult while encoding one image."""

@@ -34,6 +34,7 @@ def fig5(apps: List[str], scale: float, filters: Filters = None) -> None:
 
 def fig6a(apps: List[str], scale: float, filters: Filters = None) -> None:
     rows = []
+    phase_rows = []
     for app in apps:
         for nodes in APPS[app].node_counts:
             cell = run_fig6_cell(app, nodes, scale=scale, filters=filters)
@@ -44,10 +45,22 @@ def fig6a(apps: List[str], scale: float, filters: Filters = None) -> None:
                          f"{cell.mean_stage('serialize') * 1000:.2f}",
                          f"{cell.mean_stage('filter') * 1000:.2f}",
                          f"{cell.mean_stage('write') * 1000:.2f}"))
+            phase_rows.append((app, nodes,
+                               f"{cell.mean_phase('suspend') * 1000:.2f}",
+                               f"{cell.mean_phase('netstate') * 1000:.2f}",
+                               f"{cell.mean_phase('meta_report') * 1000:.2f}",
+                               f"{cell.mean_phase('standalone') * 1000:.2f}",
+                               f"{cell.mean_phase('barrier') * 1000:.2f}",
+                               f"{cell.mean_phase('commit') * 1000:.2f}"))
     print_table("Figure 6(a) — checkpoint time (with pipeline stage split)",
                 ("app", "nodes", "ckpts", "mean [ms]", "network [ms]", "net share %",
                  "serialize [ms]", "filter [ms]", "write [ms]"),
                 rows)
+    print_table("Figure 6(a) — protocol phase breakdown from spans [ms, "
+                "mean of per-checkpoint max across pods]",
+                ("app", "nodes", "suspend", "netstate", "meta", "standalone",
+                 "barrier", "commit"),
+                phase_rows)
 
 
 def fig6b(apps: List[str], scale: float, filters: Filters = None) -> None:

@@ -31,6 +31,7 @@ from .cluster.builder import Cluster
 from .core.manager import Manager, OpResult
 from .metrics import Fig5Cell, Fig6Cell
 from .middleware.daemon import checkpoint_targets, launch_master_worker, launch_spmd
+from .obs.tracer import PHASE, SpanTracer
 from .vos.kernel import DEFAULT_HZ
 from .vos.process import DEAD
 
@@ -267,15 +268,34 @@ def run_fig6_cell(app: str, nodes: int, scale: float = 1.0, seed: int = 0,
     ``filters`` requests an image-pipeline chain for every checkpoint
     (e.g. ``[{"name": "delta"}]`` makes epochs 1+ incremental); the cell
     records both post-filter and raw image sizes plus the per-stage
-    serialize / filter / write timing split.
+    serialize / filter / write timing split.  A span tracer rides along
+    so the cell also carries the span-derived protocol-phase breakdown
+    (``cell.phase_times``) the Figure 6(a) table prints.
     """
     spec = APPS[app]
     cluster = build_cluster(nodes, seed=seed)
+    tracer = SpanTracer(cluster.engine).install(cluster)
     manager = Manager.deploy(cluster)
     handle = spec.launch_pods(cluster, nodes, scale)
     cell = Fig6Cell(app, nodes)
     expected = spec.work_seconds(nodes, scale)
     interval = max(expected / (n_checkpoints + 1), 0.02)
+
+    def record_phases(result: OpResult) -> None:
+        """Per-phase breakdown of one checkpoint: max across pods of each
+        agent-side phase span under the operation (max, like the
+        end-to-end latency, since the pods proceed in parallel)."""
+        op_span = tracer.find(("op", result.op_id))
+        if op_span is None:
+            return
+        worst: Dict[str, float] = {}
+        for span in tracer.children_of(op_span):
+            if span.category != PHASE or not span.name.startswith("agent.phase."):
+                continue
+            phase = span.name[len("agent.phase."):]
+            worst[phase] = max(worst.get(phase, 0.0), span.duration)
+        for phase, seconds in worst.items():
+            cell.add_phase_time(phase, seconds)
 
     def ticker():
         for _ in range(n_checkpoints):
@@ -296,6 +316,7 @@ def run_fig6_cell(app: str, nodes: int, scale: float = 1.0, seed: int = 0,
                 cell.netstate_sizes.append(int(result.max_stat("netstate_bytes")))
                 for stage in ("serialize", "filter", "write"):
                     cell.add_stage_time(stage, result.max_stat(f"t_{stage}"))
+                record_phases(result)
 
     cluster.engine.spawn(ticker(), name="fig6-ticker")
     cluster.engine.run(until=until)

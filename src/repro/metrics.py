@@ -41,6 +41,9 @@ class Fig6Cell:
     #: per-stage pipeline timing, stage name -> one sample per checkpoint
     #: (``serialize`` / ``filter`` / ``write``).
     stage_times: Dict[str, List[float]] = field(default_factory=dict)
+    #: span-derived protocol-phase timing, phase name -> one sample per
+    #: checkpoint (max across pods, like the end-to-end latency).
+    phase_times: Dict[str, List[float]] = field(default_factory=dict)
 
     @property
     def mean_checkpoint(self) -> float:
@@ -66,6 +69,15 @@ class Fig6Cell:
         samples = self.stage_times.get(stage)
         return statistics.mean(samples) if samples else 0.0
 
+    def add_phase_time(self, phase: str, seconds: float) -> None:
+        self.phase_times.setdefault(phase, []).append(seconds)
+
+    def mean_phase(self, phase: str) -> float:
+        """Mean seconds one protocol phase contributed per checkpoint
+        (from the span tracer's per-operation breakdown)."""
+        samples = self.phase_times.get(phase)
+        return statistics.mean(samples) if samples else 0.0
+
     @property
     def epoch0_image_size(self) -> int:
         """The first (full) checkpoint image — the delta filter's base."""
@@ -88,6 +100,8 @@ def fmt_seconds(t: float) -> str:
 
 def fmt_bytes(n: int) -> str:
     """Human-scale byte count."""
+    if n >= 1_000_000_000:
+        return f"{n / 1e9:7.2f} GB"
     if n >= 1_000_000:
         return f"{n / 1e6:7.1f} MB"
     if n >= 1_000:
@@ -97,7 +111,7 @@ def fmt_bytes(n: int) -> str:
 
 def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
     """Render and print a fixed-width table; returns the text."""
-    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+    widths = [max([len(str(h))] + [len(str(r[i])) for r in rows])
               for i, h in enumerate(header)]
     lines = [f"== {title} =="]
     lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))

@@ -1,0 +1,48 @@
+"""Observability: simulated-time span tracing, metrics, exporters.
+
+The subsystem decomposes checkpoint/restart latency into the protocol
+phases of the paper's Figure 6 — suspend, network block, netstate save,
+meta-data report, the single continue barrier, parallel standalone save
+— and makes the decomposition exportable (JSONL, Chrome ``trace_event``,
+text tables) and assertable (determinism and reconciliation checks).
+
+Everything runs on the simulated clock: recording is a pure append, so
+an installed tracer perturbs nothing, and traces of the same seed are
+byte-identical — the tracer doubles as a determinism oracle.
+"""
+
+from .exporters import (
+    dumps_chrome,
+    export,
+    lane_of,
+    phase_summary,
+    phase_timeline,
+    to_chrome,
+    to_jsonl,
+)
+from .metrics import DEFAULT_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import (
+    FAULT,
+    MARK,
+    NULL_SPAN,
+    OP,
+    PHASE,
+    POST,
+    SIM_TICK_S,
+    STAGE,
+    WINDOW,
+    Span,
+    SpanTracer,
+    phase_sums,
+    reconcile_op,
+)
+from .validate import CHECKPOINT_SPAN_NAMES, validate_chrome, validate_file
+
+__all__ = [
+    "CHECKPOINT_SPAN_NAMES", "Counter", "DEFAULT_BOUNDS", "FAULT", "Gauge",
+    "Histogram", "MARK", "MetricsRegistry", "NULL_SPAN", "OP", "PHASE",
+    "POST", "SIM_TICK_S", "STAGE", "Span", "SpanTracer", "WINDOW",
+    "dumps_chrome", "export", "lane_of", "phase_summary", "phase_sums",
+    "phase_timeline", "reconcile_op", "to_chrome", "to_jsonl",
+    "validate_chrome", "validate_file",
+]

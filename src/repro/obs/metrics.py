@@ -1,0 +1,154 @@
+"""Deterministic metrics registry: counters, gauges, histograms.
+
+Instruments the protocol's operational behavior — retries, backoff
+sleeps, barrier-wait time per node, bytes per pipeline stage, GC'd
+partial images, fault activations — alongside the span tracer.  All
+instruments are created on first use and render through
+:func:`repro.metrics.print_table`, so the text form is stable across
+runs of the same seed.
+
+Histograms use *fixed* bucket bounds chosen at creation: no adaptive
+resizing, no quantile sketches — bucket counts are exactly reproducible,
+which keeps the registry usable inside determinism tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..metrics import print_table
+
+#: default histogram bounds: protocol waits span sub-millisecond socket
+#: operations to minute-scale deadline expiries.
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (queue depths, current epoch)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bound bucket histogram.
+
+    ``bounds`` are upper bucket edges (inclusive); one overflow bucket
+    catches everything above the last edge.  Bounds are frozen at
+    creation for determinism.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} needs sorted, non-empty bounds")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[str, int]]:
+        """(upper-edge label, count) pairs, overflow labelled ``+inf``."""
+        labels = [f"≤{b:g}" for b in self.bounds] + ["+inf"]
+        return list(zip(labels, self.bucket_counts))
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store, installable on a cluster."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def install(self, cluster) -> "MetricsRegistry":
+        cluster.metrics = self
+        return self
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None) -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(
+                name, bounds if bounds is not None else DEFAULT_BOUNDS)
+        return inst
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic plain-dict dump (sorted by instrument name)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: {"count": h.count, "total": round(h.total, 9),
+                    "buckets": h.buckets()}
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Print the registry as fixed-width tables; returns the text."""
+        parts: List[str] = []
+        scalar_rows = [(name, c.value) for name, c in sorted(self.counters.items())]
+        scalar_rows += [(name, f"{g.value:g}") for name, g in sorted(self.gauges.items())]
+        if scalar_rows:
+            parts.append(print_table("metrics — counters & gauges",
+                                     ("name", "value"), scalar_rows))
+        hist_rows = []
+        for name, h in sorted(self.histograms.items()):
+            occupied = " ".join(f"{label}:{count}" for label, count in h.buckets()
+                                if count)
+            hist_rows.append((name, h.count, f"{h.total:.6f}",
+                              f"{h.mean:.6f}", occupied or "-"))
+        if hist_rows:
+            parts.append(print_table(
+                "metrics — histograms [s]",
+                ("name", "count", "sum", "mean", "buckets"), hist_rows))
+        return "\n".join(parts)

@@ -1,0 +1,295 @@
+"""Span tracer driven by the simulated clock.
+
+A :class:`SpanTracer` records nested spans (operation → node → pod →
+phase) against the *simulated* time of the cluster's
+:class:`~repro.sim.engine.Engine`.  Opening or closing a span is a pure
+bookkeeping append — it schedules no events and advances no clock — so
+an installed tracer never perturbs the simulation: a traced run and an
+untraced run of the same seed produce identical latencies, and two
+traced runs of the same seed produce byte-identical exports.  That
+second property makes the tracer double as a determinism oracle for the
+chaos harness.
+
+Span categories:
+
+``op``
+    One coordinated operation as the Manager sees it (checkpoint,
+    restart, recover).  Keyed by ``("op", op_id)`` so Agent-side spans
+    on other nodes can attach themselves as children.
+``phase``
+    One protocol phase.  Phase spans of one actor (one manager→pod
+    lane, or one node/pod lane) are contiguous and disjoint, so their
+    durations sum to that actor's share of the operation latency — the
+    reconciliation the exporters and tests check.
+``stage``
+    A pipeline stage (serialize / filter / write) nested inside a phase.
+``window``
+    A state interval that overlaps phases (the netfilter block window).
+``mark`` / ``fault``
+    Zero-length instants: protocol trace-point crossings and fault
+    injector activations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: span categories (see module docstring).
+OP = "op"
+PHASE = "phase"
+STAGE = "stage"
+WINDOW = "window"
+MARK = "mark"
+FAULT = "fault"
+POST = "post"
+
+from ..sim.clock import TICK
+
+#: smallest distinguishable unit of exported simulated time: one
+#: microsecond (Chrome trace ``ts`` resolution).  Reconciliation checks
+#: allow a ±1 tick slack for float rounding.
+SIM_TICK_S = TICK
+
+#: decimal places kept on exported timestamps (sub-tick noise removed so
+#: exports are stable against float formatting).
+_TIME_DECIMALS = 9
+
+
+class Span:
+    """One recorded interval (or instant) of simulated time."""
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "t_start", "t_end",
+                 "node", "pod", "category", "status", "attrs")
+
+    def __init__(self, tracer: "SpanTracer", span_id: int, name: str,
+                 t_start: float, parent_id: Optional[int] = None,
+                 node: Optional[str] = None, pod: Optional[str] = None,
+                 category: str = PHASE,
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.t_start = t_start
+        self.t_end: Optional[float] = None
+        self.node = node
+        self.pod = pod
+        self.category = category
+        self.status = "ok"
+        self.attrs: Dict[str, Any] = attrs or {}
+
+    # ------------------------------------------------------------------
+    def end(self, status: Optional[str] = None, **attrs: Any) -> "Span":
+        """Close the span at the current simulated time (idempotent)."""
+        if self.t_end is None:
+            self.t_end = self.tracer.now
+        if status is not None:
+            self.status = status
+        if attrs:
+            self.attrs.update(attrs)
+        return self
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach attributes without closing the span."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def open(self) -> bool:
+        return self.t_end is None
+
+    @property
+    def duration(self) -> float:
+        return (self.t_end if self.t_end is not None else self.t_start) - self.t_start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-dict form (exporters serialize this)."""
+        return {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "t0": round(self.t_start, _TIME_DECIMALS),
+            "t1": None if self.t_end is None else round(self.t_end, _TIME_DECIMALS),
+            "node": self.node,
+            "pod": self.pod,
+            "cat": self.category,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Span({self.span_id}, {self.name!r}, {self.t_start:.6f}"
+                f"→{self.t_end if self.t_end is not None else '…'})")
+
+
+class _NullSpan:
+    """Inert stand-in returned when no tracer is installed.
+
+    Every call site writes ``sp = cluster.span(...); ...; sp.end()``
+    unconditionally; with no tracer the whole exchange is two attribute
+    lookups and costs nothing — the zero-overhead property the chaos
+    harness asserts.
+    """
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+    duration = 0.0
+    open = False
+
+    def end(self, status: Optional[str] = None, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+#: anything :meth:`SpanTracer.begin` accepts as a parent.
+ParentRef = Any
+
+
+class SpanTracer:
+    """Records spans against an engine's simulated clock.
+
+    Install on a cluster with :meth:`install`; protocol code reaches it
+    through :meth:`repro.cluster.builder.Cluster.span` (which degrades
+    to :data:`NULL_SPAN` when no tracer is present).
+    """
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.spans: List[Span] = []
+        self._next_id = 1
+        self._keys: Dict[Tuple[Any, ...], Span] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def install(self, cluster) -> "SpanTracer":
+        """Attach to ``cluster`` so instrumentation points reach us."""
+        cluster.tracer = self
+        return self
+
+    # ------------------------------------------------------------------
+    def _resolve_parent(self, parent: ParentRef) -> Optional[int]:
+        if parent is None or parent is NULL_SPAN:
+            return None
+        if isinstance(parent, Span):
+            return parent.span_id
+        if isinstance(parent, tuple):  # a key registered via begin(key=...)
+            found = self._keys.get(parent)
+            return found.span_id if found is not None else None
+        return None
+
+    def begin(self, name: str, node: Optional[str] = None,
+              pod: Optional[str] = None, parent: ParentRef = None,
+              category: str = PHASE, key: Optional[Tuple[Any, ...]] = None,
+              **attrs: Any) -> Span:
+        """Open a span at the current simulated time."""
+        span = Span(self, self._next_id, name, self.now,
+                    parent_id=self._resolve_parent(parent),
+                    node=node, pod=pod, category=category,
+                    attrs=dict(attrs) if attrs else None)
+        self._next_id += 1
+        self.spans.append(span)
+        if key is not None:
+            self._keys[key] = span
+        return span
+
+    def add(self, name: str, t_start: float, t_end: float,
+            node: Optional[str] = None, pod: Optional[str] = None,
+            parent: ParentRef = None, category: str = STAGE,
+            **attrs: Any) -> Span:
+        """Record a span with explicit start/end times (modeled stages:
+        the caller slept once for several stages and subdivides here)."""
+        span = Span(self, self._next_id, name, t_start,
+                    parent_id=self._resolve_parent(parent),
+                    node=node, pod=pod, category=category,
+                    attrs=dict(attrs) if attrs else None)
+        self._next_id += 1
+        span.t_end = t_end
+        self.spans.append(span)
+        return span
+
+    def instant(self, name: str, node: Optional[str] = None,
+                pod: Optional[str] = None, parent: ParentRef = None,
+                category: str = MARK, **attrs: Any) -> Span:
+        """Record a zero-length mark at the current simulated time."""
+        return self.add(name, self.now, self.now, node=node, pod=pod,
+                        parent=parent, category=category, **attrs)
+
+    # ------------------------------------------------------------------
+    def find(self, key: Tuple[Any, ...]) -> Optional[Span]:
+        """Span registered under ``key`` (e.g. ``("op", op_id)``)."""
+        return self._keys.get(key)
+
+    def close_open(self, status: str = "unclosed") -> int:
+        """Close every still-open span at the current time.
+
+        A cancelled protocol task never resumes to call ``end()``; the
+        exporters call this first so the dump has no dangling spans.
+        Returns how many spans were closed.
+        """
+        n = 0
+        for span in self.spans:
+            if span.t_end is None:
+                span.end(status=status)
+                n += 1
+        return n
+
+    def by_category(self, category: str) -> List[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+
+# ---------------------------------------------------------------------------
+# reconciliation: phase spans must account for the reported latency
+# ---------------------------------------------------------------------------
+
+
+def phase_sums(tracer: SpanTracer, op_span: Span) -> Dict[Tuple[str, Optional[str]], float]:
+    """Per-lane sum of ``phase`` durations under one operation span.
+
+    Lanes are ``(actor, pod)`` where actor is ``"manager"`` for
+    Manager-side phases and the node name for Agent-side phases.  Within
+    a lane, phase spans are contiguous by construction, so the sum is
+    that lane's wall-clock share of the operation.
+    """
+    sums: Dict[Tuple[str, Optional[str]], float] = {}
+    for span in tracer.children_of(op_span):
+        if span.category != PHASE:
+            continue
+        actor = "manager" if span.name.startswith("manager.") else (span.node or "?")
+        lane = (actor, span.pod)
+        sums[lane] = sums.get(lane, 0.0) + span.duration
+    return sums
+
+
+def reconcile_op(tracer: SpanTracer, op_span: Span,
+                 tolerance: float = SIM_TICK_S) -> List[str]:
+    """Check one operation's phase accounting; returns problem strings.
+
+    The Manager measures the operation as invocation → last pod done;
+    each manager lane covers invocation → that pod's done, so the *max*
+    manager-lane sum must equal the span's duration to within one sim
+    tick.  (Agent lanes start later — at command receipt — and are
+    reconciled against the Agent's own ``t_local`` by the caller, which
+    has the stats message.)
+    """
+    problems: List[str] = []
+    lanes = phase_sums(tracer, op_span)
+    mgr = [total for (actor, _pod), total in lanes.items() if actor == "manager"]
+    if not mgr:
+        return [f"op span {op_span.span_id} ({op_span.name}) has no manager phase spans"]
+    measured = op_span.attrs.get("duration_s", op_span.duration)
+    if abs(max(mgr) - measured) > tolerance:
+        problems.append(
+            f"{op_span.name} op {op_span.attrs.get('op')}: manager phase sum "
+            f"{max(mgr):.9f}s != reported latency {measured:.9f}s")
+    return problems

@@ -17,6 +17,16 @@ MICROSECONDS = 1e-6
 #: One nanosecond of simulated time.
 NANOSECONDS = 1e-9
 
+#: One *tick* — the smallest distinguishable unit of exported simulated
+#: time.  Trace timestamps (Chrome ``ts``) are expressed in ticks, and
+#: phase-accounting reconciliation allows ±1 tick of float slack.
+TICK = MICROSECONDS
+
+
+def to_ticks(t: float) -> float:
+    """Simulated seconds → ticks (µs), rounded for stable export."""
+    return round(t / TICK, 3)
+
 
 class Clock:
     """Monotonic simulated clock owned by an :class:`~repro.sim.engine.Engine`.

@@ -13,7 +13,7 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import DeadlockError, SimError
-from .clock import Clock
+from .clock import Clock, to_ticks
 from .rng import RngHub
 from .tasks import Future, Task, TaskGen
 
@@ -71,6 +71,12 @@ class Engine:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self.clock.now
+
+    @property
+    def now_ticks(self) -> float:
+        """Current simulated time in ticks (µs) — what the observability
+        layer stamps on exported trace events."""
+        return to_ticks(self.clock.now)
 
     @property
     def events_executed(self) -> int:

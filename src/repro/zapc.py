@@ -11,6 +11,7 @@ Examples::
 
     python -m repro.zapc snapshot --app CPI --nodes 4
     python -m repro.zapc snapshot --app BT/NAS --nodes 4 --incremental --checkpoints 3
+    python -m repro.zapc snapshot --trace out.json --trace-format chrome --metrics
     python -m repro.zapc migrate  --app BT/NAS --nodes 4 --compress 6
     python -m repro.zapc recover  --app PETSc --nodes 2
 """
@@ -25,6 +26,7 @@ from .core.pipeline import parse_filter_args
 from .core.streaming import migrate_task
 from .harness import APPS, build_cluster, layout
 from .middleware.daemon import checkpoint_targets
+from .obs import MetricsRegistry, SpanTracer, export, phase_timeline
 
 
 def _print_op(result, label: str) -> None:
@@ -56,13 +58,22 @@ def _print_op(result, label: str) -> None:
 
 def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
              seed: int = 0, filters: Optional[List[dict]] = None,
-             checkpoints: int = 1) -> bool:
-    """Run one demo scenario; returns True when everything verified."""
+             checkpoints: int = 1, trace: Optional[str] = None,
+             trace_format: str = "chrome", metrics: bool = False) -> bool:
+    """Run one demo scenario; returns True when everything verified.
+
+    ``trace`` writes a span trace of the whole run to a file
+    (``trace_format``: ``chrome`` for ``chrome://tracing`` / Perfetto,
+    ``jsonl`` for the deterministic line-delimited dump) and prints the
+    phase timeline; ``metrics`` prints the metrics registry tables.
+    """
     spec = APPS[app]
     if nodes not in spec.node_counts:
         raise SystemExit(f"{app} supports node counts {spec.node_counts}")
     blades, _ = layout(nodes)
     cluster = build_cluster(nodes, seed=seed)
+    tracer = SpanTracer(cluster.engine).install(cluster) if trace else None
+    registry = MetricsRegistry().install(cluster) if metrics else None
     # migrations need destination blades: extend the cluster with spares
     if action == "migrate":
         from .cluster.node import Node
@@ -118,6 +129,12 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
     finished = handle.ok(cluster)
     verified = finished and spec.verify(cluster, handle)
     print(f"application finished: {finished}; answer verified: {verified}")
+    if tracer is not None:
+        export(tracer, trace, fmt=trace_format)
+        print(f"trace: {len(tracer.spans)} spans -> {trace} ({trace_format})")
+        print(phase_timeline(tracer))
+    if registry is not None:
+        print(registry.render())
     return ok and verified
 
 
@@ -136,11 +153,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(epoch 0 is full; later snapshots write dirty state)")
     parser.add_argument("--checkpoints", type=int, default=1,
                         help="snapshots to take (chains delta epochs)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a span trace of the run to PATH")
+    parser.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                        default="chrome",
+                        help="trace file format (default: chrome trace_event)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics registry after the run")
     args = parser.parse_args(argv)
     ok = run_demo(args.action, args.app, args.nodes, scale=args.scale,
                   seed=args.seed,
                   filters=parse_filter_args(args.compress, args.incremental) or None,
-                  checkpoints=args.checkpoints)
+                  checkpoints=args.checkpoints, trace=args.trace,
+                  trace_format=args.trace_format, metrics=args.metrics)
     return 0 if ok else 1
 
 

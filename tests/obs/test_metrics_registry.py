@@ -1,0 +1,112 @@
+"""Metrics registry unit tests: instruments, bucketing, determinism."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_monotonic():
+    c = Counter("retries")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 5
+
+
+def test_gauge_last_write_wins():
+    g = Gauge("epoch")
+    g.set(3)
+    g.set(1.5)
+    assert g.value == 1.5
+
+
+def test_histogram_bucketing_against_default_bounds():
+    h = Histogram("wait", bounds=DEFAULT_BOUNDS)
+    # a value exactly on an edge lands in that edge's bucket (inclusive)
+    h.observe(0.0005)
+    # just above the edge spills into the next bucket
+    h.observe(0.00050001)
+    # interior value
+    h.observe(0.07)
+    # above the last edge → overflow bucket
+    h.observe(120.0)
+    by_label = dict(h.buckets())
+    assert by_label["≤0.0005"] == 1
+    assert by_label["≤0.001"] == 1
+    assert by_label["≤0.1"] == 1
+    assert by_label["+inf"] == 1
+    assert h.count == 4
+    assert h.total == pytest.approx(0.0005 + 0.00050001 + 0.07 + 120.0)
+    assert h.mean == pytest.approx(h.total / 4)
+    assert sum(count for _label, count in h.buckets()) == h.count
+
+
+def test_histogram_rejects_unsorted_or_empty_bounds():
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=())
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=(1.0, 0.5))
+
+
+def test_histogram_custom_bounds_frozen():
+    h = Histogram("sizes", bounds=[1.0, 2.0])
+    assert h.bounds == (1.0, 2.0)
+    h.observe(1.0)
+    h.observe(1.5)
+    h.observe(9.0)
+    assert h.bucket_counts == [1, 1, 1]
+
+
+def test_registry_get_or_create():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.histogram("h") is reg.histogram("h")
+    # existing histogram keeps its original bounds even if re-requested
+    assert reg.histogram("h", bounds=(1.0,)).bounds == DEFAULT_BOUNDS
+
+
+def test_registry_install_sets_cluster_hook():
+    class FakeCluster:
+        metrics = None
+
+    cluster = FakeCluster()
+    reg = MetricsRegistry().install(cluster)
+    assert cluster.metrics is reg
+
+
+def test_snapshot_is_deterministic_and_sorted():
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("z.late").inc(2)
+        reg.counter("a.early").inc(1)
+        reg.gauge("depth").set(7)
+        reg.histogram("wait").observe(0.01)
+        reg.histogram("wait").observe(3.0)
+        return reg
+
+    a, b = build().snapshot(), build().snapshot()
+    assert a == b
+    assert list(a["counters"]) == ["a.early", "z.late"]
+    assert a["histograms"]["wait"]["count"] == 2
+
+
+def test_render_produces_tables():
+    reg = MetricsRegistry()
+    reg.counter("manager.connect_retries").inc(3)
+    reg.histogram("manager.backoff_s").observe(0.2)
+    text = reg.render()
+    assert "counters & gauges" in text
+    assert "manager.connect_retries" in text
+    assert "histograms" in text
+    assert "≤0.5:1" in text
+    # empty registry renders to nothing rather than empty tables
+    assert MetricsRegistry().render() == ""

@@ -39,6 +39,8 @@ def test_fmt_bytes():
     assert fmt_bytes(500).strip().endswith("B")
     assert "KB" in fmt_bytes(5_000)
     assert "MB" in fmt_bytes(5_000_000)
+    assert "GB" in fmt_bytes(5_000_000_000)
+    assert "MB" not in fmt_bytes(5_000_000_000)
 
 
 def test_print_table_renders_all_rows(capsys):
@@ -52,3 +54,13 @@ def test_print_table_renders_all_rows(capsys):
 def test_print_table_empty_rows():
     text = print_table("Empty", ("col",), [])
     assert "Empty" in text
+
+
+def test_fig6_phase_times():
+    cell = Fig6Cell("CPI", 2)
+    cell.add_phase_time("suspend", 0.010)
+    cell.add_phase_time("suspend", 0.030)
+    cell.add_phase_time("barrier", 0.002)
+    assert cell.mean_phase("suspend") == pytest.approx(0.020)
+    assert cell.mean_phase("barrier") == pytest.approx(0.002)
+    assert cell.mean_phase("netstate") == 0.0  # never recorded

@@ -31,3 +31,38 @@ def test_main_exit_codes(capsys):
 def test_unsupported_node_count_rejected():
     with pytest.raises(SystemExit):
         run_demo("snapshot", "BT/NAS", 2)
+
+
+def test_snapshot_with_chrome_trace_and_metrics(tmp_path, capsys):
+    from repro.obs.validate import CHECKPOINT_SPAN_NAMES, validate_file
+
+    trace = tmp_path / "trace.json"
+    assert run_demo("snapshot", "CPI", 2, scale=0.1, trace=str(trace),
+                    trace_format="chrome", metrics=True) is True
+    out = capsys.readouterr().out
+    assert "trace:" in out
+    assert "phase timeline" in out
+    assert "metrics" in out
+    assert validate_file(str(trace), require=list(CHECKPOINT_SPAN_NAMES)) == []
+
+
+def test_snapshot_with_jsonl_trace(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.jsonl"
+    assert run_demo("snapshot", "CPI", 2, scale=0.1, trace=str(trace),
+                    trace_format="jsonl") is True
+    capsys.readouterr()
+    lines = trace.read_text().splitlines()
+    assert len(lines) > 10
+    names = {json.loads(line)["name"] for line in lines}
+    assert "manager.checkpoint" in names and "agent.phase.suspend" in names
+
+
+def test_main_trace_flags(tmp_path, capsys):
+    trace = tmp_path / "out.json"
+    assert main(["recover", "--app", "CPI", "--nodes", "2", "--scale", "0.1",
+                 "--trace", str(trace), "--trace-format", "chrome",
+                 "--metrics"]) == 0
+    capsys.readouterr()
+    assert trace.exists() and trace.stat().st_size > 0
