@@ -36,6 +36,8 @@ def pytest_sessionfinish(session, exitstatus):
         "fig6a": ("app", "nodes", "checkpoints", "mean ckpt [ms]", "net ckpt [ms]", "net share [%]"),
         "fig6b": ("app", "nodes", "restart [ms]", "net restore [ms]"),
         "fig6c": ("app", "nodes", "largest pod image [MB]", "network state [KB]"),
+        "livemig": ("round cap", "rounds run", "downtime [ms]", "total [ms]",
+                    "downtime [%]", "bailout"),
         "ablations": ("experiment", "variant", "metric", "value"),
     }
     titles = {
@@ -43,9 +45,11 @@ def pytest_sessionfinish(session, exitstatus):
         "fig6a": "Figure 6(a) — average checkpoint time (10 evenly spaced checkpoints)",
         "fig6b": "Figure 6(b) — restart time from a mid-execution image",
         "fig6c": "Figure 6(c) — average checkpoint image size (largest pod)",
+        "livemig": "Live migration — downtime vs pre-copy rounds "
+                   "(256 MB pod, 40 MB/s writes)",
         "ablations": "Design ablations",
     }
-    for name in ("fig5", "fig6a", "fig6b", "fig6c", "ablations"):
+    for name in ("fig5", "fig6a", "fig6b", "fig6c", "livemig", "ablations"):
         rows = _reports.get(name)
         if rows:
             print()

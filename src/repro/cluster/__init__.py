@@ -5,6 +5,7 @@ from .faults import (
     ALL_PHASES,
     CHECKPOINT_PHASES,
     FAULT_KINDS,
+    PRECOPY_PHASES,
     RESTART_PHASES,
     FaultInjector,
     FaultPlan,
@@ -19,6 +20,7 @@ __all__ = [
     "ALL_PHASES",
     "CHECKPOINT_PHASES",
     "FAULT_KINDS",
+    "PRECOPY_PHASES",
     "RESTART_PHASES",
     "Cluster",
     "FaultInjector",

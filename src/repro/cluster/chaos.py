@@ -31,7 +31,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..vos import build_program, imm, program
 from .builder import Cluster
-from .faults import FaultInjector, FaultPlan
+from .faults import PRECOPY_PHASES, FaultInjector, FaultPlan
 
 MOD = (1 << 61) - 1
 
@@ -62,7 +62,9 @@ def expected_sums(rounds: int) -> Tuple[int, int]:
 
 
 @program("chaos.pp-server")
-def _pp_server(b, *, port, rounds, compute=150_000):
+def _pp_server(b, *, port, rounds, compute=150_000, dirty_rate=0):
+    if dirty_rate:
+        b.set_dirty_rate(dirty_rate)
     b.syscall("lfd", "socket", imm("tcp"))
     b.syscall(None, "bind", "lfd", imm(("default", port)))
     b.syscall(None, "listen", "lfd", imm(8))
@@ -80,7 +82,9 @@ def _pp_server(b, *, port, rounds, compute=150_000):
 
 
 @program("chaos.pp-client")
-def _pp_client(b, *, server, port, rounds, compute=150_000):
+def _pp_client(b, *, server, port, rounds, compute=150_000, dirty_rate=0):
+    if dirty_rate:
+        b.set_dirty_rate(dirty_rate)
     b.syscall("fd", "socket", imm("tcp"))
     b.syscall("rc", "connect", "fd", imm((server, port)))
     b.mov("sum", imm(0))
@@ -285,3 +289,161 @@ def final_sums(cluster: Cluster) -> Tuple[Optional[int], Optional[int]]:
             elif proc.program.name == "chaos.pp-server" and proc.exit_code == 0:
                 ssum = proc.regs["sum"]
     return csum, ssum
+
+
+# ---------------------------------------------------------------------------
+# live-migration chaos
+# ---------------------------------------------------------------------------
+
+#: fault kinds that make sense inside pre-copy rounds (no SAN traffic
+#: happens there, so the storage faults are excluded).
+MIGRATION_FAULT_KINDS = ("crash_node", "link_drop", "link_delay", "hang")
+
+
+@dataclass
+class MigrationChaosReport:
+    """One audited live-migration chaos episode (see
+    :func:`run_migration_chaos`)."""
+
+    seed: int
+    plan: List[Dict[str, Any]]
+    trace: List[Tuple[float, str, Optional[str], Optional[str], Tuple[str, ...]]]
+    fired: List[Tuple[float, str, str, Optional[str], Optional[str]]]
+    #: (checkpoint status, restart status, bailout, pre-copy rounds run),
+    #: or None when the driver never got a result back.
+    migration: Optional[Tuple[str, str, Optional[str], int]] = None
+    migrated_ok: bool = False
+    violations: List[str] = field(default_factory=list)
+    crashed_nodes: List[str] = field(default_factory=list)
+    app_finished: bool = False
+    span_dump: Optional[str] = None
+
+
+def run_migration_chaos(seed: int, n_nodes: int = 5, rounds: int = 2500,
+                        until: float = 300.0,
+                        trace_spans: bool = False) -> MigrationChaosReport:
+    """One live-migration chaos episode; returns the audited report.
+
+    A checksummed ping-pong pair (with a nonzero dirty rate, so pre-copy
+    has a moving working set to chase) runs on two blades while a seeded
+    fault plan fires at the *pre-copy* phase boundaries.  The driver live-
+    migrates both pods onto spare blades mid-run, then the world is
+    audited against the migration's safety invariant:
+
+    M1  **Exactly one copy.**  At no surviving node pair does a pod end
+        up active twice: on success the destination runs it and the
+        source copy is destroyed; on abort the source resumes (unless
+        its blade crashed); never both.
+    M2  End-to-end checksums match whenever the application finished.
+
+    Determinism is the caller's oracle: two runs of the same seed must
+    produce identical ``trace``/``fired`` sequences (and ``span_dump``
+    when tracing).
+    """
+    from ..core.manager import Manager, PhaseTimeouts
+    from ..core.streaming import migrate_task
+
+    cluster = Cluster.build(n_nodes, seed=seed)
+    tracer = None
+    if trace_spans:
+        from ..obs import SpanTracer
+
+        tracer = SpanTracer(cluster.engine).install(cluster)
+    manager = Manager.deploy(cluster)
+    plan = FaultPlan.random(seed, [n.name for n in cluster.nodes],
+                            phases=PRECOPY_PHASES, kinds=MIGRATION_FAULT_KINDS)
+    injector = FaultInjector(cluster, plan).install()
+    engine = cluster.engine
+    drv_rng = random.Random(seed ^ 0x3C6EF372)
+    timeouts = PhaseTimeouts(connect=2.0, meta=5.0, barrier=5.0, done=8.0,
+                             flush=20.0, load=5.0, restart_done=15.0, drain=3.0)
+    grace = timeouts.barrier + timeouts.done + 2.0
+
+    src_srv, src_cli = cluster.node(1), cluster.node(2 % n_nodes)
+    dst_srv = cluster.node(3 % n_nodes).name
+    dst_cli = cluster.node(4 % n_nodes).name
+    pod_srv = cluster.create_pod(src_srv, SRV_POD)
+    cluster.create_pod(src_cli, CLI_POD)
+    srv = src_srv.kernel.spawn(
+        build_program("chaos.pp-server", port=9300, rounds=rounds,
+                      dirty_rate=64_000_000), pod_id=SRV_POD)
+    cli = src_cli.kernel.spawn(
+        build_program("chaos.pp-client", server=pod_srv.vip, port=9300,
+                      rounds=rounds, dirty_rate=64_000_000), pod_id=CLI_POD)
+
+    report = MigrationChaosReport(seed=seed, plan=injector.plan.describe(),
+                                  trace=injector.trace, fired=injector.fired)
+    moves = [(src_srv.name, SRV_POD, dst_srv), (src_cli.name, CLI_POD, dst_cli)]
+    state: Dict[str, Any] = {}
+
+    def driver():
+        yield engine.sleep(round(drv_rng.uniform(0.05, 0.35), 4))
+        mig = yield from migrate_task(manager, moves, live=True,
+                                      precopy_rounds=4, dirty_threshold=4096,
+                                      deadline=30.0, timeouts=timeouts)
+        state["mig"] = mig
+        if not mig.ok:
+            # partitioned agents get their unilateral-abort window before
+            # the end-state audit expects the source resumed
+            yield engine.sleep(grace)
+
+    engine.spawn(driver(), name="migration-chaos-driver")
+    engine.run(until=until)
+
+    report.crashed_nodes = [n.name for n in cluster.nodes if n.crashed]
+    mig = state.get("mig")
+    if mig is not None:
+        report.migration = (mig.checkpoint.status, mig.restart.status,
+                            mig.bailout, len(mig.rounds))
+        report.migrated_ok = mig.ok
+
+    # ---- M1: exactly one active copy of each pod ----
+    dst_of = {pod_id: dst for _src, pod_id, dst in moves}
+    src_of = {pod_id: src for src, pod_id, _dst in moves}
+    for pod_id in (SRV_POD, CLI_POD):
+        hosts = [n.name for n in cluster.nodes
+                 if not n.crashed and pod_id in n.kernel.pods]
+        if len(hosts) > 1:
+            report.violations.append(
+                f"M1: {pod_id} active on multiple nodes: {hosts}")
+            continue
+        if mig is None:
+            continue
+        if mig.ok:
+            if hosts != [dst_of[pod_id]]:
+                report.violations.append(
+                    f"M1: migration succeeded but {pod_id} lives on "
+                    f"{hosts or 'no node'}, not {dst_of[pod_id]}")
+        else:
+            src = src_of[pod_id]
+            if src in report.crashed_nodes:
+                continue  # lost with the blade, not a protocol violation
+            if hosts != [src]:
+                report.violations.append(
+                    f"M1: migration aborted but {pod_id} lives on "
+                    f"{hosts or 'no node'}, not back on {src}")
+                continue
+            node = cluster.node_by_name(src)
+            pod = node.kernel.pods[pod_id]
+            if pod.suspended:
+                report.violations.append(
+                    f"M1: {pod_id} left suspended on {src} after abort")
+            if pod.vip in node.kernel.netstack.netfilter._blocked_ips:
+                report.violations.append(
+                    f"M1: {pod_id} vip still firewalled on {src} after abort")
+
+    # ---- M2: checksums whenever the application could finish ----
+    if srv is not None and cli is not None:
+        sums = final_sums(cluster)
+        report.app_finished = None not in sums
+        if report.app_finished and sums != expected_sums(rounds):
+            report.violations.append(
+                f"M2: checksum mismatch: {sums} != {expected_sums(rounds)}")
+        if not report.crashed_nodes and not report.app_finished:
+            report.violations.append(
+                "M2: application did not finish despite no node crash")
+    if tracer is not None:
+        from ..obs import to_jsonl
+
+        report.span_dump = to_jsonl(tracer)
+    return report

@@ -128,7 +128,13 @@ RESTART_PHASES = (
     "agent.load_meta",
     "agent.connectivity",
 )
-ALL_PHASES = CHECKPOINT_PHASES + RESTART_PHASES
+#: live-migration pre-copy boundaries (kept separate from
+#: CHECKPOINT_PHASES so existing seeded plans draw identically).
+PRECOPY_PHASES = (
+    "manager.precopy_round",
+    "agent.precopy",
+)
+ALL_PHASES = CHECKPOINT_PHASES + RESTART_PHASES + PRECOPY_PHASES
 
 
 @dataclass

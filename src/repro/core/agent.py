@@ -107,6 +107,12 @@ class Agent:
         #: (pod_id, sock_id) -> bytes, pushed by migrating peers'
         #: agents ("merge it with the peer's stream of checkpoint data").
         self.redirect_store: Dict[Tuple[str, int], bytes] = {}
+        #: pre-copy accounting for live migration: pod_id -> accumulated
+        #: byte counts shipped here round by round while the source pod
+        #: keeps running.  Pure accounting (the accounted bytes are never
+        #: materialized); the restartable image still arrives through the
+        #: normal push_image path at the final stop-and-copy.
+        self.precopy_store: Dict[str, Dict[str, Any]] = {}
         #: op-id tombstones: operations the Manager garbage-collected.
         #: A session still working for a dead operation must not publish
         #: its image (the late store would shadow the last good one).
@@ -157,6 +163,9 @@ class Agent:
                 elif cmd == "restart":
                     yield from self._do_restart(chan, fd, msg)
                     return
+                elif cmd == "precopy":
+                    yield from self._do_precopy(chan, fd, msg)
+                    return
             except RestartError as err:
                 # a failed restart is reported, not hung: the Manager
                 # hears the reason instead of waiting out its deadline
@@ -167,6 +176,9 @@ class Agent:
                 return
             if cmd == "push_image":
                 self._store_pushed(msg)
+                yield from send_msg(kernel, chan, fd, {"type": "stored"})
+            elif cmd == "precopy_push":
+                self._store_precopy(msg)
                 yield from send_msg(kernel, chan, fd, {"type": "stored"})
             elif cmd == "push_redirect":
                 self.redirect_store[(msg["pod"], int(msg["sock_id"]))] = bytes(msg["data"])
@@ -213,6 +225,7 @@ class Agent:
         uri = msg["uri"]
         context = msg.get("context", "snapshot")
         op_id = int(msg.get("op_id", 0))
+        live = bool(msg.get("live", False))
         wait_timeout = float(msg.get("wait_timeout", 0.0) or 0.0)
         pod: Optional[Pod] = kernel.pods.get(pod_id)
         if pod is None:
@@ -242,6 +255,9 @@ class Agent:
         net_window = block_pod_network(self.cluster, stack, pod,
                                        node=self.node.name, parent=op_parent)
         t_suspended = engine.now
+        # live migration: once suspended, nothing dirties memory anymore —
+        # whatever the pre-copy rounds did not ship is the final residual
+        residual = sum(p.memory.dirty_bytes for p in pod.processes()) if live else None
         yield from self.cluster.trace("agent.suspend", node=self.node.name, pod=pod_id)
         phase.end()
 
@@ -421,6 +437,36 @@ class Agent:
         sink = self._sink_for(uri)
         stage_stats = list(image.stage_costs) + [sink.write_cost(image).as_stats()]
         record_stage_metrics(self.cluster, stage_stats)
+        # live migration: the final stream only moves what the pre-copy
+        # rounds left dirty; the encoded payload still travels whole
+        stream_charge = None
+        if live and uri.startswith("agent://"):
+            stream_charge = min(image.accounted_bytes, residual)
+        t_write = (stream_charge / sink.fabric_bandwidth
+                   if stream_charge is not None else sink.write_delay(image))
+        stats = {
+            "t_suspend": t_suspended - t0,
+            "t_network": t_net_done - t_suspended,
+            "t_standalone": t_standalone_done - t_net_done,
+            "t_local": engine.now - t0,
+            "t_serialize": _stage_seconds(image, "serialize"),
+            "t_filter": _stage_seconds(image, "filter"),
+            "t_write": t_write,
+            "image_bytes": image.total_bytes,
+            "raw_image_bytes": image.raw_total_bytes,
+            "encoded_bytes": image.encoded_bytes,
+            "netstate_bytes": image.netstate_bytes,
+            "sockets": len(sock_records),
+            "fs_snapshot": snapshot_id,
+            "filters": accepted_specs,
+            "epoch": image.epoch,
+            "stages": stage_stats,
+        }
+        if live:
+            # keys present only in live mode so non-live wire traffic
+            # (and thus every existing schedule) is unchanged
+            stats["t_suspend_at"] = t0
+            stats["residual_bytes"] = residual
         # the commit phase ends exactly where ``t_local`` is measured, so
         # the agent lane's phase durations sum to the reported latency
         phase.end(image_bytes=image.total_bytes)
@@ -428,24 +474,7 @@ class Agent:
             "type": "done",
             "pod": pod_id,
             "status": "ok",
-            "stats": {
-                "t_suspend": t_suspended - t0,
-                "t_network": t_net_done - t_suspended,
-                "t_standalone": t_standalone_done - t_net_done,
-                "t_local": engine.now - t0,
-                "t_serialize": _stage_seconds(image, "serialize"),
-                "t_filter": _stage_seconds(image, "filter"),
-                "t_write": sink.write_delay(image),
-                "image_bytes": image.total_bytes,
-                "raw_image_bytes": image.raw_total_bytes,
-                "encoded_bytes": image.encoded_bytes,
-                "netstate_bytes": image.netstate_bytes,
-                "sockets": len(sock_records),
-                "fs_snapshot": snapshot_id,
-                "filters": accepted_specs,
-                "epoch": image.epoch,
-                "stages": stage_stats,
-            },
+            "stats": stats,
         })
 
         # finalize
@@ -455,7 +484,10 @@ class Agent:
             post = self.cluster.span("agent.post.stream", node=self.node.name,
                                      pod=pod_id, parent=op_parent,
                                      category="post")
-            yield from self._stream_image(chan, fd, image, uri, sink)
+            yield from self._stream_image(chan, fd, image, uri, sink,
+                                          charge_bytes=stream_charge)
+            if stream_charge is not None:
+                post.annotate(residual_bytes=stream_charge)
             post.end(nbytes=image.total_bytes)
         elif uri.startswith("file:"):
             # flush to shared storage after the application resumed —
@@ -510,13 +542,16 @@ class Agent:
             return FileSink(self.cluster.san, self.kernel.vfs, uri[len("file:"):])
         return self.mem_sink
 
-    def _stream_image(self, chan, fd, image: PodImage, uri: str, sink: StreamSink):
+    def _stream_image(self, chan, fd, image: PodImage, uri: str, sink: StreamSink,
+                      charge_bytes: Optional[int] = None):
         """Direct migration: push the image to the destination Agent.
 
         The encoded payload travels over the simulated network for real;
         the accounted (ballast) memory is charged as streaming time at
         fabric bandwidth without materializing the bytes — so a compress
-        stage directly shortens the stream.
+        stage directly shortens the stream.  ``charge_bytes`` overrides
+        the accounted charge (live migration streams only the residual
+        the pre-copy rounds left dirty).
         """
         kernel = self.kernel
         target = self.cluster.node_by_name(uri[len("agent://"):])
@@ -526,8 +561,10 @@ class Agent:
         if isinstance(rc, Errno):
             yield from send_msg(kernel, chan, fd, {"type": "error", "error": f"push connect: {rc.name}"})
             return
-        yield self.engine.sleep(sink.write_delay(image))
-        yield from send_msg(kernel, tchan, tfd, {
+        delay = (charge_bytes / sink.fabric_bandwidth
+                 if charge_bytes is not None else sink.write_delay(image))
+        yield self.engine.sleep(delay)
+        push = {
             "cmd": "push_image",
             "pod": image.pod_id,
             "data": image.data,
@@ -537,11 +574,118 @@ class Agent:
             "epoch": image.epoch,
             "raw_bytes": image.raw_encoded_bytes,
             "raw_accounted": image.raw_accounted_bytes,
-        })
+        }
+        if charge_bytes is not None:
+            # live migration only (non-live wire traffic stays identical):
+            # tell the destination how much accounted memory this final
+            # stream actually moved, so its restore charges placement for
+            # the residual — the pre-copied pages are already in place
+            push["placed"] = int(charge_bytes)
+        yield from send_msg(kernel, tchan, tfd, push)
         ack = yield from recv_msg(kernel, tchan, tfd)
         yield kernel.host_call(tchan, "close", tfd)
         status = "streamed" if ack and ack.get("type") == "stored" else "stream-failed"
         yield from send_msg(kernel, chan, fd, {"type": status, "pod": image.pod_id})
+
+    # ------------------------------------------------------------------
+    # pre-copy live migration (source + destination sides)
+    # ------------------------------------------------------------------
+    def _do_precopy(self, chan, fd, msg):
+        """One pre-copy round: ship the pod's dirty working set to the
+        destination Agent while the pod keeps running.
+
+        Round 1 ships the full resident set; later rounds ship only the
+        bytes dirtied since the previous round.  Dirty counters are
+        cleared when the copy *starts* — writes landing while the copy
+        is in flight belong to the next round (or the final residual).
+        """
+        kernel = self.kernel
+        engine = self.engine
+        pod_id = msg["pod"]
+        dst = msg["dst"]
+        round_no = int(msg.get("round", 1))
+        op_id = int(msg.get("op_id", 0))
+        pod: Optional[Pod] = kernel.pods.get(pod_id)
+        if pod is None:
+            yield from send_msg(kernel, chan, fd, {
+                "type": "error", "error": f"no pod {pod_id!r}"})
+            return
+        t0 = engine.now
+        phase = self.cluster.span("agent.phase.precopy-round",
+                                  node=self.node.name, pod=pod_id,
+                                  parent=("op", op_id), round=round_no)
+        yield from self.cluster.trace("agent.precopy", node=self.node.name,
+                                      pod=pod_id)
+        procs = pod.processes()
+        if round_no <= 1:
+            shipped = sum(p.memory.rss for p in procs)
+        else:
+            shipped = sum(p.memory.dirty_bytes for p in procs)
+        for p in procs:
+            p.memory.clear_dirty()
+        ok = yield from self._push_precopy(dst, pod_id, shipped, round_no, op_id)
+        # the pod ran (and wrote) for the whole transfer; what it dirtied
+        # meanwhile is the working set the next round must move
+        pod = kernel.pods.get(pod_id)
+        dirty_after = (sum(p.memory.dirty_bytes for p in pod.processes())
+                       if pod is not None else 0)
+        if not ok or pod is None or op_id in self.gc_ops:
+            phase.end(status="failed", shipped_bytes=shipped)
+            yield from send_msg(kernel, chan, fd, {
+                "type": "precopy_done", "pod": pod_id, "status": "failed",
+                "round": round_no})
+            return
+        phase.end(shipped_bytes=shipped, dirty_bytes=dirty_after, rss=sum(
+            p.memory.rss for p in pod.processes()))
+        self.cluster.count("agent.precopy.bytes", shipped)
+        yield from send_msg(kernel, chan, fd, {
+            "type": "precopy_done", "pod": pod_id, "status": "ok",
+            "round": round_no,
+            "stats": {
+                "round": round_no,
+                "shipped_bytes": shipped,
+                "dirty_bytes": dirty_after,
+                "rss": sum(p.memory.rss for p in pod.processes()),
+                "seconds": engine.now - t0,
+            },
+        })
+
+    def _push_precopy(self, dst_node: str, pod_id: str, nbytes: int,
+                      round_no: int, op_id: int):
+        """Stream one round's bytes to the destination Agent; True iff
+        the destination acknowledged the round."""
+        kernel = self.kernel
+        try:
+            target = self.cluster.node_by_name(dst_node)
+        except Exception:
+            return False
+        tchan = kernel.host_channel("agent-precopy")
+        tfd = yield kernel.host_call(tchan, "socket", "tcp")
+        rc = yield kernel.host_call(tchan, "connect", tfd, (target.ip, AGENT_PORT))
+        if isinstance(rc, Errno):
+            return False
+        # accounted transfer at fabric bandwidth, like the image stream
+        yield self.engine.sleep(nbytes / self.cluster.fabric.bandwidth)
+        sent = yield from send_msg(kernel, tchan, tfd, {
+            "cmd": "precopy_push", "pod": pod_id, "bytes": int(nbytes),
+            "round": round_no, "op_id": op_id,
+        })
+        ack = (yield from recv_msg(kernel, tchan, tfd)) if sent else None
+        yield kernel.host_call(tchan, "close", tfd)
+        return bool(ack and ack.get("type") == "stored")
+
+    def _store_precopy(self, msg) -> None:
+        """Destination side: account one received pre-copy round."""
+        op_id = int(msg.get("op_id", 0))
+        if op_id and op_id in self.gc_ops:
+            return  # aborted migration: don't accumulate stale rounds
+        entry = self.precopy_store.setdefault(
+            msg["pod"], {"op_id": op_id, "bytes": 0, "rounds": 0})
+        if entry.get("op_id") != op_id:
+            # a new migration attempt supersedes any stale accounting
+            entry.update({"op_id": op_id, "bytes": 0, "rounds": 0})
+        entry["bytes"] += int(msg.get("bytes", 0))
+        entry["rounds"] += 1
 
     def _push_redirect(self, dst_node: str, peer_pod: str, peer_sock_id: int,
                        data: bytes):
@@ -562,6 +706,12 @@ class Agent:
         yield kernel.host_call(tchan, "close", tfd)
 
     def _store_pushed(self, msg) -> None:
+        if msg.get("placed") is not None:
+            # stop-and-copy residual of a live migration whose pre-copy
+            # rounds landed here; the restore charge uses it
+            entry = self.precopy_store.get(msg["pod"])
+            if entry is not None:
+                entry["placed"] = int(msg["placed"])
         self.mem_sink.store(PodImage(
             pod_id=msg["pod"],
             data=bytes(msg["data"]),
@@ -604,6 +754,8 @@ class Agent:
         self.mem_sink.rollback(pod_id)
         if not self.pipeline_state.rollback(pod_id):
             self.pipeline_state.abandon(pod_id)
+        # drop pre-copy accounting from an aborted live migration
+        self.precopy_store.pop(pod_id, None)
 
     def _load_chain(self, pod_id: str, uri: str) -> List[PodImage]:
         """Load a checkpoint image chain (epoch order; length 1 unless
@@ -778,33 +930,52 @@ class Agent:
         phase = self.cluster.span("agent.phase.standalone_restore",
                                   node=self.node.name, pod=pod_id,
                                   parent=op_parent)
+        restore_bytes = reassembled.full_total_bytes
+        pre = self.precopy_store.get(pod_id)
+        if pre is not None and pre.get("rounds") and pre.get("placed") is not None:
+            # live migration: the pre-copy rounds wrote the bulk of the
+            # memory into place while the pod still ran at the source, so
+            # the outage only re-places the stop-and-copy residual (plus
+            # the non-memory payload: registers, sockets, devices)
+            last = chain[-1]
+            mem_bytes = ((last.raw_accounted_bytes if last.filters
+                          else last.accounted_bytes) or 0)
+            placed = min(mem_bytes, int(pre["placed"]))
+            restore_bytes = restore_bytes - mem_bytes + placed
         yield engine.sleep(self.node.spec.restart_fixed_s
                            + reassembled.decode_seconds
-                           + reassembled.full_total_bytes / self.node.spec.restore_bandwidth)
+                           + restore_bytes / self.node.spec.restore_bandwidth)
         restore_pod_standalone(pod, standalone, socket_map, payload["socket_fds"],
                                time_virtualization=timevirt_on)
         devices = payload.get("devices", {"states": [], "fd_rows": []})
         restore_pod_devices(pod, devices["states"], devices["fd_rows"])
         activate_pod(pod)
+        # the pod runs here now: any live-migration pre-copy accounting
+        # served its purpose and must not leak into a later migration
+        self.precopy_store.pop(pod_id, None)
         t_done = engine.now
         phase.end(image_bytes=reassembled.full_total_bytes)
 
         # 5. report done
+        stats = {
+            "t_connectivity": t_conn_done - t0,
+            "t_network": t_net_done - t0,
+            "t_standalone": t_done - t_net_done,
+            "t_local": t_done - t0,
+            "t_unfilter": reassembled.decode_seconds,
+            "image_bytes": reassembled.full_total_bytes,
+            "netstate_bytes": chain[-1].netstate_bytes,
+            "chain_epochs": len(chain),
+            "sockets": len(records),
+        }
+        if restore_bytes != reassembled.full_total_bytes:
+            # live-only key: how much the outage actually re-placed
+            stats["restored_bytes"] = restore_bytes
         yield from send_msg(kernel, chan, fd, {
             "type": "done",
             "pod": pod_id,
             "status": "ok",
-            "stats": {
-                "t_connectivity": t_conn_done - t0,
-                "t_network": t_net_done - t0,
-                "t_standalone": t_done - t_net_done,
-                "t_local": t_done - t0,
-                "t_unfilter": reassembled.decode_seconds,
-                "image_bytes": reassembled.full_total_bytes,
-                "netstate_bytes": chain[-1].netstate_bytes,
-                "chain_epochs": len(chain),
-                "sockets": len(records),
-            },
+            "stats": stats,
         })
 
     def _acceptor_thread(self, pod: Pod, listeners, accept_entries, rec_by_id, socket_map):

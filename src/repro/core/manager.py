@@ -244,7 +244,8 @@ class Manager:
                         filters: Optional[List[Dict[str, Any]]] = None,
                         timeouts: Optional[PhaseTimeouts] = None,
                         gc_on_failure: bool = True,
-                        verify_resume: bool = True):
+                        verify_resume: bool = True,
+                        live: bool = False):
         """The Manager side of Figure 1 (generator; run as a host task).
 
         ``redirect_moves`` (pod → destination node) activates the §5
@@ -262,6 +263,11 @@ class Manager:
         global cap.  On failure the abort path garbage-collects partial
         images (``gc_on_failure``) and verifies pods resumed
         (``verify_resume``).
+
+        ``live`` marks the final stop-and-copy pass of a live migration:
+        Agents then charge the stream for the pre-copy *residual* only
+        and report suspend-instant / residual stats for downtime
+        accounting (see :mod:`repro.core.streaming`).
         """
         engine = self.cluster.engine
         kernel = self.home.kernel
@@ -321,7 +327,7 @@ class Manager:
             chan, fd = opened
             conns[pod_id] = (chan, fd)
             # 1. broadcast checkpoint command
-            sent = yield from send_msg(kernel, chan, fd, {
+            cmd_msg = {
                 "cmd": "checkpoint", "pod": pod_id, "uri": uri,
                 "context": context, "order": order,
                 "fs_snapshot": fs_snapshot,
@@ -331,7 +337,12 @@ class Manager:
                 # waits for 'continue' (covers a dead/partitioned
                 # Manager that can never deliver abort either)
                 "wait_timeout": timeouts.barrier + timeouts.done,
-            })
+            }
+            if live:
+                # key present only for live migration so the non-live
+                # wire traffic (and every existing schedule) is unchanged
+                cmd_msg["live"] = True
+            sent = yield from send_msg(kernel, chan, fd, cmd_msg)
             if not sent:
                 phase.end(status="failed")
                 fail(f"{pod_id}: agent connection lost")
@@ -540,6 +551,65 @@ class Manager:
         reply = yield from self._recv_timed(chan, fd, timeouts.drain)
         yield from self._close_conn(chan, fd)
         return reply
+
+    # ------------------------------------------------------------------
+    # pre-copy live migration
+    # ------------------------------------------------------------------
+    def precopy_round(self, moves: List[Target], round_no: int, op_id: int = 0,
+                      timeouts: Optional[PhaseTimeouts] = None,
+                      deadline: float = 120.0):
+        """Drive one pre-copy round across every migrating pod.
+
+        ``moves`` is ``(src_node, pod_id, dst_node)`` triples.  Each
+        source Agent ships the pod's current dirty working set to the
+        destination Agent while the pod keeps running; the reply wait
+        uses the flush-scale timeout because a round-1 transfer moves
+        the full resident set.  Returns ``(stats, errors)`` where
+        ``stats`` maps pod → per-round byte accounting.
+        """
+        engine = self.cluster.engine
+        kernel = self.home.kernel
+        timeouts = timeouts if timeouts is not None else PhaseTimeouts()
+        stats: Dict[str, Dict[str, Any]] = {}
+        errors: List[str] = []
+
+        def pod_round(src: str, pod_id: str, dst: str):
+            phase = self.cluster.span("manager.phase.precopy-round", node=src,
+                                      pod=pod_id, parent=("op", op_id),
+                                      round=round_no)
+            yield from self.cluster.trace("manager.precopy_round", node=src,
+                                          pod=pod_id)
+            opened = yield from self._open_retry(src, timeouts)
+            if opened is None:
+                phase.end(status="failed")
+                errors.append(f"{pod_id}: cannot reach agent on {src}")
+                return
+            chan, fd = opened
+            sent = yield from send_msg(kernel, chan, fd, {
+                "cmd": "precopy", "pod": pod_id, "dst": dst,
+                "round": round_no, "op_id": op_id,
+            })
+            reply = (yield from self._recv_timed(chan, fd, timeouts.flush)) \
+                if sent else None
+            yield from self._close_conn(chan, fd)
+            if reply is None or reply.get("status") != "ok":
+                phase.end(status="failed")
+                detail = (reply or {}).get("error", "no reply")
+                errors.append(f"{pod_id}: precopy round {round_no} failed ({detail})")
+                return
+            stats[pod_id] = reply["stats"]
+            phase.end(shipped_bytes=reply["stats"]["shipped_bytes"],
+                      dirty_bytes=reply["stats"]["dirty_bytes"])
+
+        tasks = [engine.spawn(pod_round(s, p, d), name=f"precopy-{p}")
+                 for s, p, d in moves]
+        ok, _ = yield engine.timeout(all_of([t.finished for t in tasks]), deadline)
+        if not ok:
+            for task in tasks:
+                if not task.done:
+                    task.cancel()
+            errors.append(f"precopy round {round_no}: deadline expired")
+        return stats, errors
 
     # ------------------------------------------------------------------
     # restart

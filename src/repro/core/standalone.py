@@ -151,6 +151,17 @@ def activate_pod(pod: Pod) -> None:
     """
     kernel = pod.kernel
     for proc in pod.processes():
+        # A syscall that completed while the process was already stopped
+        # parked its result instead of writing the register (the kernel's
+        # SIGSTOP protocol).  On the source node SIGCONT delivers it; a
+        # restored process never gets that SIGCONT, so deliver it here —
+        # otherwise the process resumes past the syscall with a stale
+        # register and the completed result (e.g. received bytes) is lost.
+        if proc.pending_result is not None:
+            dst, value = proc.pending_result
+            proc.pending_result = None
+            if dst is not None:
+                proc.regs[dst] = value
         if proc.state == BLOCKED and proc.blocked_on is not None:
             kernel.do_syscall(proc, proc.blocked_on, restarted=True)
         elif proc.state == RUNNABLE:

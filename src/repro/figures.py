@@ -15,7 +15,8 @@ import argparse
 from typing import Any, Dict, List, Optional
 
 from .core.pipeline import parse_filter_args
-from .harness import APPS, run_fig5_row, run_fig6_cell, run_fig6b_cell
+from .harness import (APPS, run_fig5_row, run_fig6_cell, run_fig6b_cell,
+                      run_migration_cell)
 from .metrics import print_table
 
 Filters = Optional[List[Dict[str, Any]]]
@@ -88,13 +89,34 @@ def fig6c(apps: List[str], scale: float, filters: Filters = None) -> None:
                 rows)
 
 
+def figmig(apps: List[str], scale: float, filters: Filters = None) -> None:
+    """Live migration: downtime vs pre-copy round cap (not a paper
+    figure — the downtime study the paper's direct-migration section
+    motivates).  A 256 MB pod rewriting 40 MB/s moves between blades;
+    cap 0 is plain stop-and-copy."""
+    rows = []
+    for cap in (0, 1, 2, 4, 8):
+        cell = run_migration_cell(cap)
+        rows.append((cap, cell.rounds_run,
+                     f"{cell.downtime * 1000:.1f}",
+                     f"{cell.total_time * 1000:.0f}",
+                     f"{100 * cell.downtime_ratio:.1f}",
+                     f"{cell.precopy_bytes / 1e6:.1f}",
+                     cell.bailout or "-"))
+    print_table("Live migration — downtime vs pre-copy rounds "
+                "(256 MB pod, 40 MB/s writes)",
+                ("round cap", "rounds run", "downtime [ms]", "total [ms]",
+                 "downtime %", "pre-copied [MB]", "bailout"), rows)
+
+
 def statistics_mean_mb(sizes: List[int]) -> float:
     return (sum(sizes) / len(sizes) / 1e6) if sizes else 0.0
 
 
 def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--fig", choices=["5", "6a", "6b", "6c", "all"], default="all")
+    parser.add_argument("--fig", choices=["5", "6a", "6b", "6c", "mig", "all"],
+                        default="all")
     parser.add_argument("--app", choices=list(APPS), default=None)
     parser.add_argument("--scale", type=float, default=1.0,
                         help="duration scale (image sizes unaffected)")
@@ -106,7 +128,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     args = parser.parse_args(argv)
     apps = [args.app] if args.app else list(APPS)
     filters = parse_filter_args(args.compress, args.incremental) or None
-    runners = {"5": fig5, "6a": fig6a, "6b": fig6b, "6c": fig6c}
+    runners = {"5": fig5, "6a": fig6a, "6b": fig6b, "6c": fig6c, "mig": figmig}
     for name, fn in runners.items():
         if args.fig in (name, "all"):
             fn(apps, args.scale, filters)

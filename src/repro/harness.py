@@ -29,9 +29,11 @@ from .apps import btnas, cpi, petsc_bratu, povray
 from .baselines.vanilla import launch_master_worker_vanilla, launch_spmd_vanilla
 from .cluster.builder import Cluster
 from .core.manager import Manager, OpResult
-from .metrics import Fig5Cell, Fig6Cell
+from .core.streaming import DEFAULT_DIRTY_THRESHOLD, migrate_task
+from .metrics import Fig5Cell, Fig6Cell, MigrationCell
 from .middleware.daemon import checkpoint_targets, launch_master_worker, launch_spmd
 from .obs.tracer import PHASE, SpanTracer
+from .vos import build_program, imm, program
 from .vos.kernel import DEFAULT_HZ
 from .vos.process import DEAD
 
@@ -375,3 +377,67 @@ def run_fig6b_cell(app: str, nodes: int, scale: float = 1.0, seed: int = 0,
     if not handle.ok(cluster) or not spec.verify(cluster, handle):
         raise RuntimeError(f"{app} on {nodes} nodes failed across restart")
     return cell
+
+
+# ---------------------------------------------------------------------------
+# live migration: downtime vs pre-copy rounds
+# ---------------------------------------------------------------------------
+
+
+@program("harness.writer")
+def _writer(b, *, ballast, dirty_rate, chunk_cycles, chunks):
+    """Compute loop that keeps rewriting its ballast in place — the
+    writable-working-set workload of the live-migration study."""
+    if dirty_rate:
+        b.set_dirty_rate(dirty_rate)
+    b.alloc(imm(ballast), "heap")
+    with b.for_range("i", imm(0), imm(chunks)):
+        b.compute(imm(chunk_cycles))
+    b.halt(imm(0))
+
+
+def run_migration_cell(precopy_rounds: int, *, ballast: int = 256_000_000,
+                       dirty_rate: int = 40_000_000, migrate_at: float = 0.5,
+                       work_seconds: float = 30.0, seed: int = 0,
+                       until: float = 300.0,
+                       dirty_threshold: int = DEFAULT_DIRTY_THRESHOLD) -> MigrationCell:
+    """Migrate a writing pod under a given pre-copy round cap.
+
+    A single pod holding ``ballast`` bytes rewrites ``dirty_rate`` bytes
+    per CPU-second; at ``migrate_at`` it is moved blade0 → blade1 with up
+    to ``precopy_rounds`` pre-copy rounds (0 = plain stop-and-copy).  The
+    run must finish on the destination blade for the cell to count.
+    """
+    cluster = Cluster.build(2, seed=seed)
+    manager = Manager.deploy(cluster)
+    src, dst = cluster.node(0), cluster.node(1)
+    cluster.create_pod(src, "mig-w")
+    chunk = 30_000_000  # ~10 ms slices: frequent preemption points
+    src.kernel.spawn(
+        build_program("harness.writer", ballast=ballast, dirty_rate=dirty_rate,
+                      chunk_cycles=chunk,
+                      chunks=max(1, int(work_seconds * DEFAULT_HZ) // chunk)),
+        pod_id="mig-w")
+    out: Dict[str, Any] = {}
+
+    def orchestrate():
+        yield cluster.engine.sleep(migrate_at)
+        out["mig"] = yield from migrate_task(
+            manager, [(src.name, "mig-w", dst.name)],
+            live=precopy_rounds > 0, precopy_rounds=max(1, precopy_rounds),
+            dirty_threshold=dirty_threshold)
+
+    cluster.engine.spawn(orchestrate(), name="mig-cell")
+    cluster.engine.run(until=until)
+    mig = out.get("mig")
+    if mig is None or not mig.ok:
+        errs = [] if mig is None else mig.checkpoint.errors + mig.restart.errors
+        raise RuntimeError(f"migration (cap {precopy_rounds}) failed: {errs}")
+    done = [p for p in dst.kernel.procs.values()
+            if p.program.name == "harness.writer" and p.state == DEAD
+            and p.exit_code == 0]
+    if not done:
+        raise RuntimeError(
+            f"writer did not finish on {dst.name} (cap {precopy_rounds})")
+    return MigrationCell(precopy_rounds, mig.downtime, mig.total_time,
+                         mig.precopy_bytes, mig.bailout, list(mig.rounds))

@@ -91,6 +91,32 @@ class Fig6Cell:
         return int(statistics.mean(tail)) if tail else 0
 
 
+@dataclass
+class MigrationCell:
+    """One point of the live-migration study: downtime for a given
+    pre-copy round cap (cap 0 is plain stop-and-copy)."""
+
+    rounds_cap: int
+    downtime: float
+    total_time: float
+    precopy_bytes: int
+    bailout: Optional[str]
+    #: per-round accounting dicts straight from ``MigrationResult.rounds``
+    rounds: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def rounds_run(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def downtime_ratio(self) -> float:
+        """Downtime as a fraction of the whole migration (1.0 when the
+        application was stopped for all of it)."""
+        if self.total_time == 0:
+            return 0.0
+        return self.downtime / self.total_time
+
+
 def fmt_seconds(t: float) -> str:
     """Human-scale duration."""
     if t < 1.0:

@@ -216,6 +216,12 @@ class Pod:
                 return False
             if proc.state == BLOCKED and not proc.stopped:
                 return False
+            # a dispatched-but-not-yet-run syscall handler will still
+            # mutate kernel state (e.g. push bytes into the network
+            # stack); capturing across that window splits the syscall's
+            # effects between the image and the doomed source node
+            if proc.syscall_dispatching:
+                return False
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

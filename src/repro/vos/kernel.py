@@ -206,9 +206,13 @@ class Kernel:
         overhead = (self.syscall_overhead_cycles + extra) / self.hz
         proc.state = BLOCKED
         proc.blocked_on = orig
+        proc.syscall_dispatching = True
         self.engine.schedule(overhead, self._run_handler, proc, req, restarted)
 
     def _run_handler(self, proc: Any, req: SyscallRequest, restarted: bool) -> None:
+        # the handler's side effects land now (or it parks the process in
+        # a re-issuable blocked state), so the dispatch window is over
+        proc.syscall_dispatching = False
         if getattr(proc, "state", None) == DEAD:
             return
         handler = self._handlers.get(req.name)

@@ -25,9 +25,16 @@ class Memory:
     Segments are named (``text``, ``data``, ``stack``, ``heap`` by
     default, apps may add more, e.g. ``grid``).  ``alloc``/``free``
     adjust a segment; the total drives checkpoint image size.
+
+    Alongside each segment's size the class keeps a *dirty counter*:
+    bytes modified since the last :meth:`clear_dirty`.  The counter is
+    runtime-only bookkeeping for pre-copy live migration — it is clamped
+    to the segment size (a byte can only be dirty once) and it is never
+    serialized, so checkpoint images are byte-identical whether or not
+    anything tracks writes.
     """
 
-    __slots__ = ("_segments",)
+    __slots__ = ("_segments", "_dirty")
 
     def __init__(self, text: int = 0, data: int = 0, stack: int = 0, heap: int = 0) -> None:
         self._segments: Dict[str, int] = {
@@ -36,34 +43,82 @@ class Memory:
             "stack": int(stack),
             "heap": int(heap),
         }
+        # a freshly created address space has never been copied anywhere
+        self._dirty: Dict[str, int] = dict(self._segments)
 
     @property
     def rss(self) -> int:
         """Total resident bytes across all segments."""
         return sum(self._segments.values())
 
+    @property
+    def dirty_bytes(self) -> int:
+        """Total bytes written since the last :meth:`clear_dirty`."""
+        return sum(self._dirty.values())
+
     def segment(self, name: str) -> int:
         """Bytes currently accounted to segment ``name`` (0 if absent)."""
         return self._segments.get(name, 0)
+
+    def dirty_table(self) -> Dict[str, int]:
+        """Per-segment dirty byte counts (a copy; zero entries included)."""
+        return dict(self._dirty)
+
+    def clear_dirty(self) -> None:
+        """Mark every segment clean — call when a copy round starts."""
+        for name in self._dirty:
+            self._dirty[name] = 0
+
+    def touch(self, nbytes: int, segment: str = None) -> None:
+        """Record ``nbytes`` of in-place writes to ``segment``.
+
+        With ``segment=None`` the writes land on the largest segment —
+        the working set of a program that never named one (the scheduler's
+        dirty-rate charging uses this).  Dirtiness saturates at the
+        segment size; touching an absent or empty segment is a no-op
+        (there is nothing to re-copy).
+        """
+        if nbytes <= 0:
+            return
+        if segment is None:
+            if not self._segments:
+                return
+            segment = max(self._segments, key=lambda k: (self._segments[k], k))
+        size = self._segments.get(segment, 0)
+        if size <= 0:
+            return
+        self._dirty[segment] = min(size, self._dirty.get(segment, 0) + int(nbytes))
 
     def alloc(self, nbytes: int, segment: str = "heap") -> None:
         """Grow ``segment`` by ``nbytes`` (must be >= 0)."""
         if nbytes < 0:
             raise VosError(f"alloc of negative size {nbytes}")
-        self._segments[segment] = self._segments.get(segment, 0) + int(nbytes)
+        size = self._segments.get(segment, 0) + int(nbytes)
+        self._segments[segment] = size
+        # new pages are dirty: they exist only on this node
+        self._dirty[segment] = min(size, self._dirty.get(segment, 0) + int(nbytes))
 
     def free(self, nbytes: int, segment: str = "heap") -> None:
         """Shrink ``segment`` by ``nbytes``; cannot go below zero."""
         current = self._segments.get(segment, 0)
         if nbytes < 0 or nbytes > current:
             raise VosError(f"free({nbytes}) from segment {segment!r} holding {current}")
-        self._segments[segment] = current - int(nbytes)
+        size = current - int(nbytes)
+        self._segments[segment] = size
+        # released pages need no copy; keep the invariant dirty <= size
+        self._dirty[segment] = min(size, self._dirty.get(segment, 0))
 
     def resize(self, nbytes: int, segment: str = "heap") -> None:
         """Set ``segment`` to exactly ``nbytes``."""
         if nbytes < 0:
             raise VosError(f"resize to negative size {nbytes}")
-        self._segments[segment] = int(nbytes)
+        old = self._segments.get(segment, 0)
+        size = int(nbytes)
+        self._segments[segment] = size
+        # a resize rewrites the delta in place (grow maps new pages,
+        # shrink is covered by the clamp)
+        delta = abs(size - old)
+        self._dirty[segment] = min(size, self._dirty.get(segment, 0) + delta)
 
     # -- checkpoint support -------------------------------------------
     def to_image(self) -> Dict[str, int]:
@@ -75,6 +130,9 @@ class Memory:
         """Rebuild a Memory from :meth:`to_image` output."""
         mem = cls()
         mem._segments = {str(k): int(v) for k, v in image.items()}
+        # a restored address space is fully dirty relative to any future
+        # migration target — no round has copied it anywhere yet
+        mem._dirty = dict(mem._segments)
         return mem
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

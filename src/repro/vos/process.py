@@ -84,6 +84,12 @@ class Process:
         self.blocked_on: Optional[SyscallRequest] = None
         #: A syscall result that arrived while the process was stopped.
         self.pending_result: Optional[Tuple[Optional[str], Any]] = None
+        #: True between syscall dispatch and the handler actually running
+        #: (the syscall-overhead window).  A checkpoint must not cut here:
+        #: the handler's side effects (e.g. a send's bytes entering the
+        #: network stack) have not happened yet, so the pod is not
+        #: quiescent.  Never serialized — quiesce drains it first.
+        self.syscall_dispatching = False
         #: fd -> kernel object (socket, open file).  Owned by the kernel;
         #: reconstructed on restart by the checkpoint machinery.
         self.fds: Dict[int, Any] = {}

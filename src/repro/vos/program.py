@@ -96,6 +96,10 @@ class Program:
     params: Dict[str, Any]
     instrs: Tuple[Instr, ...]
     labels: Dict[str, int] = field(default_factory=dict)
+    #: Bytes of working-set memory the program rewrites per CPU-second
+    #: (drives the scheduler's dirty-page accounting for live migration).
+    #: Not serialized — rebuilt with the program on restore.
+    dirty_rate: float = 0.0
 
     def __len__(self) -> int:
         return len(self.instrs)
@@ -188,6 +192,7 @@ class ProgramBuilder:
         self._labels: Dict[str, int] = {}
         self._fixups: List[Tuple[int, str]] = []  # (instr index, label)
         self._gensym = 0
+        self._dirty_rate = 0.0
 
     # -- label plumbing -------------------------------------------------
     def _fresh(self, stem: str) -> str:
@@ -299,6 +304,18 @@ class ProgramBuilder:
 
         return _Block(self, top, end, step=_step)
 
+    # -- memory write behavior ----------------------------------------------
+    def set_dirty_rate(self, bytes_per_cpu_s: float) -> "ProgramBuilder":
+        """Declare how many bytes the program rewrites per CPU-second.
+
+        The scheduler charges this against the process's memory as dirty
+        pages while it consumes cycles (live-migration working set).
+        """
+        if bytes_per_cpu_s < 0:
+            raise VosError(f"negative dirty rate {bytes_per_cpu_s}")
+        self._dirty_rate = float(bytes_per_cpu_s)
+        return self
+
     # -- finalize -----------------------------------------------------------
     def build(self) -> Program:
         """Resolve labels and freeze the program."""
@@ -312,7 +329,8 @@ class ProgramBuilder:
                 kind=old.kind, fn=old.fn, dst=old.dst, srcs=old.srcs,
                 name=old.name, target=target, sense=old.sense,
             )
-        return Program(self.name, dict(self.params), tuple(instrs), dict(self._labels))
+        return Program(self.name, dict(self.params), tuple(instrs),
+                       dict(self._labels), dirty_rate=self._dirty_rate)
 
 
 # ---------------------------------------------------------------------------

@@ -91,14 +91,26 @@ class Scheduler:
             return
         used, reason, payload = proc.step(self.quantum_cycles)
         self.busy_cycles[cpu] += used
+        self._charge_dirty(proc, used)
         delay = used / self.kernel.hz
         self.kernel.engine.schedule(delay, self._slice_done, cpu, proc, reason, payload)
+
+    def _charge_dirty(self, proc: Process, cycles: int) -> None:
+        """Account memory writes for ``cycles`` of execution.
+
+        Pure bookkeeping against the process's dirty counters — consumes
+        no simulated time, so dirty tracking never perturbs schedules.
+        """
+        rate = proc.program.dirty_rate
+        if rate > 0.0 and cycles > 0:
+            proc.memory.touch(int(cycles * rate / self.kernel.hz))
 
     def _burn_done(self, cpu: int, proc: Process, burn: int) -> None:
         self._burns.pop(proc.pid, None)
         proc.compute_remaining -= burn
         proc.cpu_cycles += burn
         self.busy_cycles[cpu] += burn
+        self._charge_dirty(proc, burn)
         self._slice_done(cpu, proc, "quantum", None)
 
     def preempt_burn(self, proc: Process) -> bool:
@@ -117,6 +129,7 @@ class Scheduler:
         proc.compute_remaining -= consumed
         proc.cpu_cycles += consumed
         self.busy_cycles[cpu] += consumed
+        self._charge_dirty(proc, consumed)
         self.cpus[cpu] = None
         self.kick()
         return True

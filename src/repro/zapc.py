@@ -23,7 +23,11 @@ from typing import List, Optional
 
 from .core.manager import Manager
 from .core.pipeline import parse_filter_args
-from .core.streaming import migrate_task
+from .core.streaming import (
+    DEFAULT_DIRTY_THRESHOLD,
+    DEFAULT_PRECOPY_ROUNDS,
+    migrate_task,
+)
 from .harness import APPS, build_cluster, layout
 from .middleware.daemon import checkpoint_targets
 from .obs import MetricsRegistry, SpanTracer, export, phase_timeline
@@ -59,13 +63,18 @@ def _print_op(result, label: str) -> None:
 def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
              seed: int = 0, filters: Optional[List[dict]] = None,
              checkpoints: int = 1, trace: Optional[str] = None,
-             trace_format: str = "chrome", metrics: bool = False) -> bool:
+             trace_format: str = "chrome", metrics: bool = False,
+             live: bool = False, precopy_rounds: int = DEFAULT_PRECOPY_ROUNDS,
+             dirty_threshold: int = DEFAULT_DIRTY_THRESHOLD) -> bool:
     """Run one demo scenario; returns True when everything verified.
 
     ``trace`` writes a span trace of the whole run to a file
     (``trace_format``: ``chrome`` for ``chrome://tracing`` / Perfetto,
     ``jsonl`` for the deterministic line-delimited dump) and prints the
     phase timeline; ``metrics`` prints the metrics registry tables.
+    ``live`` makes a migration pre-copy memory while the application
+    keeps running (up to ``precopy_rounds`` rounds, stopping early once
+    the residual falls to ``dirty_threshold`` bytes).
     """
     spec = APPS[app]
     if nodes not in spec.node_counts:
@@ -104,8 +113,11 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
             moves = [(node, pod, f"blade{blades + i}")
                      for i, (node, pod, _u) in enumerate(targets)]
             print("migrating:", ", ".join(f"{p}:{s}->{d}" for s, p, d in moves))
-            mig = yield from migrate_task(manager, moves, filters=filters)
+            mig = yield from migrate_task(manager, moves, filters=filters,
+                                          live=live, precopy_rounds=precopy_rounds,
+                                          dirty_threshold=dirty_threshold)
             outcome["ops"] = [("checkpoint", mig.checkpoint), ("restart", mig.restart)]
+            outcome["mig"] = mig
         elif action == "recover":
             file_targets = [(n, p, f"file:/san/{p}.img") for n, p, _u in targets]
             ops = []
@@ -125,6 +137,19 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
     cluster.engine.run(until=3600.0)
     for label, result in outcome.get("ops", []):
         _print_op(result, label)
+    mig = outcome.get("mig")
+    if mig is not None and mig.live:
+        line = (f"live migration: downtime {mig.downtime * 1000:.1f} ms of "
+                f"{mig.total_time * 1000:.0f} ms total; "
+                f"{len(mig.rounds)} pre-copy round(s), "
+                f"{mig.precopy_bytes / 1e6:.1f} MB pre-copied")
+        if mig.bailout:
+            line += f"; bailout: {mig.bailout}"
+        print(line)
+        for rnd in mig.rounds:
+            print(f"  round {rnd['round']}: shipped {rnd['shipped_bytes'] / 1e6:6.1f} MB"
+                  f" in {rnd['seconds'] * 1000:6.1f} ms"
+                  f"  (dirty after: {rnd['dirty_bytes'] / 1e6:.1f} MB)")
     ok = all(r.ok for _l, r in outcome.get("ops", []))
     finished = handle.ok(cluster)
     verified = finished and spec.verify(cluster, handle)
@@ -160,12 +185,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="trace file format (default: chrome trace_event)")
     parser.add_argument("--metrics", action="store_true",
                         help="print the metrics registry after the run")
+    parser.add_argument("--live", action="store_true",
+                        help="migrate live: pre-copy memory while the app "
+                             "runs, then stop-and-copy only the residual")
+    parser.add_argument("--precopy-rounds", type=int,
+                        default=DEFAULT_PRECOPY_ROUNDS, metavar="N",
+                        help="max pre-copy rounds for --live "
+                             f"(default: {DEFAULT_PRECOPY_ROUNDS})")
+    parser.add_argument("--dirty-threshold", type=int,
+                        default=DEFAULT_DIRTY_THRESHOLD, metavar="BYTES",
+                        help="stop pre-copying once the residual dirty set "
+                             f"falls to this (default: {DEFAULT_DIRTY_THRESHOLD})")
     args = parser.parse_args(argv)
     ok = run_demo(args.action, args.app, args.nodes, scale=args.scale,
                   seed=args.seed,
                   filters=parse_filter_args(args.compress, args.incremental) or None,
                   checkpoints=args.checkpoints, trace=args.trace,
-                  trace_format=args.trace_format, metrics=args.metrics)
+                  trace_format=args.trace_format, metrics=args.metrics,
+                  live=args.live, precopy_rounds=args.precopy_rounds,
+                  dirty_threshold=args.dirty_threshold)
     return 0 if ok else 1
 
 

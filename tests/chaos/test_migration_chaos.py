@@ -1,0 +1,82 @@
+"""Seeded chaos inside live-migration pre-copy rounds.
+
+Each seed drives one episode (see repro.cluster.chaos.run_migration_chaos):
+a checksummed ping-pong pair with a writing working set, a live migration
+of both pods to fresh blades, and a seeded fault schedule fired at
+pre-copy phase boundaries.  The episode audits:
+
+M1  exactly one copy of each pod exists afterwards — on the destination
+    when the migration committed, still running on the source when it
+    aborted (never both, never zero on surviving blades),
+M2  the application's rolling checksums are exact whenever it finishes.
+
+``CHAOS_SEED_BUCKET=k/n`` (CI matrix) restricts a worker to the seeds
+with ``seed % n == k``.
+"""
+
+import os
+
+import pytest
+
+from repro.cluster.chaos import MIGRATION_FAULT_KINDS, run_migration_chaos
+from repro.cluster.faults import PRECOPY_PHASES, FaultPlan
+
+N_SEEDS = 24
+SEEDS = list(range(N_SEEDS))
+_bucket = os.environ.get("CHAOS_SEED_BUCKET")
+if _bucket:
+    _k, _n = (int(x) for x in _bucket.split("/"))
+    SEEDS = [s for s in SEEDS if s % _n == _k]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_migration_invariants_hold(seed):
+    report = run_migration_chaos(seed)
+    assert report.migration is not None, f"seed {seed}: no migration ran"
+    assert report.violations == [], (
+        f"seed {seed} violated invariants "
+        f"(replay with run_migration_chaos({seed})):\n"
+        + "\n".join(report.violations)
+        + f"\nplan: {report.plan}\nmigration: {report.migration}"
+        + f"\nfired: {report.fired}")
+
+
+def test_same_seed_identical_episode():
+    a = run_migration_chaos(3, trace_spans=True)
+    b = run_migration_chaos(3, trace_spans=True)
+    assert a.trace == b.trace
+    assert a.fired == b.fired
+    assert a.migration == b.migration
+    assert a.span_dump == b.span_dump
+    assert a.violations == b.violations == []
+
+
+def test_precopy_plans_draw_from_precopy_phases():
+    plan = FaultPlan.random(11, ["blade0", "blade1"], phases=PRECOPY_PHASES,
+                            kinds=MIGRATION_FAULT_KINDS)
+    assert plan.faults, "empty fault plan"
+    for spec in plan.faults:
+        assert spec.phase in PRECOPY_PHASES
+        assert spec.kind in MIGRATION_FAULT_KINDS
+
+
+@pytest.mark.skipif(bool(_bucket), reason="coverage audit needs the full seed set")
+def test_seed_set_covers_migration_fault_space():
+    """The fixed seed matrix exercises every migration fault kind, at
+    least one aborted migration (source kept), at least one committed
+    one (destination only), and at least one multi-round pre-copy."""
+    kinds = set()
+    commits = aborts = multi_round = 0
+    for seed in SEEDS:
+        report = run_migration_chaos(seed)
+        kinds.update(f[1] for f in report.fired)
+        if report.migrated_ok:
+            commits += 1
+        else:
+            aborts += 1
+        if report.migration and report.migration[3] >= 2:
+            multi_round += 1
+    assert kinds == set(MIGRATION_FAULT_KINDS), f"unexercised kinds: {kinds}"
+    assert commits >= 1, "no seed committed a live migration"
+    assert aborts >= 1, "no seed exercised an aborted live migration"
+    assert multi_round >= 1, "no seed ran more than one pre-copy round"

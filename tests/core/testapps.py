@@ -40,7 +40,9 @@ def expected_sums(rounds: int) -> tuple:
 
 
 @program("testapp.pp-server")
-def _pp_server(b, *, port, rounds, compute=200_000, ballast=0):
+def _pp_server(b, *, port, rounds, compute=200_000, ballast=0, dirty_rate=0):
+    if dirty_rate:
+        b.set_dirty_rate(dirty_rate)
     if ballast:
         b.alloc(imm(ballast), "heap")
     b.syscall("lfd", "socket", imm("tcp"))
@@ -60,7 +62,9 @@ def _pp_server(b, *, port, rounds, compute=200_000, ballast=0):
 
 
 @program("testapp.pp-client")
-def _pp_client(b, *, server, port, rounds, compute=200_000, ballast=0):
+def _pp_client(b, *, server, port, rounds, compute=200_000, ballast=0, dirty_rate=0):
+    if dirty_rate:
+        b.set_dirty_rate(dirty_rate)
     if ballast:
         b.alloc(imm(ballast), "heap")
     b.syscall("fd", "socket", imm("tcp"))
@@ -77,22 +81,28 @@ def _pp_client(b, *, server, port, rounds, compute=200_000, ballast=0):
 
 
 def launch_pingpong(cluster, *, rounds=1500, port=9100, compute=200_000,
-                    ballast=0, server_node=0, client_node=1,
+                    ballast=0, dirty_rate=0, server_node=0, client_node=1,
                     server_pod="pp-srv", client_pod="pp-cli"):
-    """Start the pair in two pods; returns (server proc, client proc)."""
+    """Start the pair in two pods; returns (server proc, client proc).
+
+    ``dirty_rate`` (bytes rewritten per CPU-second) turns the pair into a
+    writing workload for live-migration tests; it is passed through only
+    when nonzero so existing checkpoint images keep their exact params.
+    """
     from repro.vos import build_program
 
+    extra = {"dirty_rate": dirty_rate} if dirty_rate else {}
     n_srv = cluster.node(server_node)
     n_cli = cluster.node(client_node)
     pod_srv = cluster.create_pod(n_srv, server_pod)
     pod_cli = cluster.create_pod(n_cli, client_pod)
     srv = n_srv.kernel.spawn(
         build_program("testapp.pp-server", port=port, rounds=rounds,
-                      compute=compute, ballast=ballast),
+                      compute=compute, ballast=ballast, **extra),
         pod_id=server_pod)
     cli = n_cli.kernel.spawn(
         build_program("testapp.pp-client", server=pod_srv.vip, port=port,
-                      rounds=rounds, compute=compute, ballast=ballast),
+                      rounds=rounds, compute=compute, ballast=ballast, **extra),
         pod_id=client_pod)
     return srv, cli
 

@@ -18,7 +18,7 @@ import pytest
 
 from repro.cluster import Cluster
 from repro.cluster.chaos import run_chaos
-from repro.core import Manager
+from repro.core import Manager, migrate
 from repro.obs import (
     SpanTracer,
     phase_sums,
@@ -57,6 +57,26 @@ def traced_checkpoint_run(seed: int, trace: bool = True, at: float = 0.15):
     return tracer, result
 
 
+def traced_live_migration_run(seed: int, at: float = 0.15):
+    """One live (pre-copy) migration of a writing ping-pong pair;
+    returns (tracer, MigrationResult)."""
+    cluster = Cluster.build(4, seed=seed)
+    tracer = SpanTracer(cluster.engine).install(cluster)
+    manager = Manager.deploy(cluster)
+    launch_pingpong(cluster, rounds=6000, ballast=64_000_000,
+                    dirty_rate=48_000_000)
+    holder = {}
+    cluster.engine.schedule(at, lambda: holder.update(mig=migrate(
+        manager,
+        [("blade0", "pp-srv", "blade2"), ("blade1", "pp-cli", "blade3")],
+        live=True, precopy_rounds=4)))
+    cluster.engine.run(until=300.0)
+    mig = holder["mig"].finished.result
+    assert mig.ok, (mig.checkpoint.errors, mig.restart.errors)
+    assert mig.rounds, "live migration ran no pre-copy rounds"
+    return tracer, mig
+
+
 # ---------------------------------------------------------------------------
 # determinism
 # ---------------------------------------------------------------------------
@@ -68,6 +88,41 @@ def test_same_seed_byte_identical_jsonl():
     dump_a, dump_b = to_jsonl(tr_a), to_jsonl(tr_b)
     assert dump_a == dump_b
     assert len(dump_a.splitlines()) > 20  # a real trace, not a stub
+
+
+def test_live_migration_same_seed_byte_identical_jsonl():
+    """Pre-copy rounds are part of the deterministic trace surface."""
+    tr_a, _ = traced_live_migration_run(7)
+    tr_b, _ = traced_live_migration_run(7)
+    dump_a, dump_b = to_jsonl(tr_a), to_jsonl(tr_b)
+    assert dump_a == dump_b
+    assert "precopy-round" in dump_a
+    assert "agent.phase.precopy" in dump_a
+
+
+def test_live_migration_chrome_args_carry_round_bytes():
+    """The exported Chrome trace exposes per-round byte accounting on
+    the pre-copy spans, matching the MigrationResult's round log."""
+    tracer, mig = traced_live_migration_run(7)
+    doc = to_chrome(tracer)
+    assert validate_chrome(doc) == []
+    rounds = [ev for ev in doc["traceEvents"]
+              if ev.get("name") == "manager.phase.precopy-round"
+              and ev["ph"] == "B"]  # duration slices export as B/E pairs
+    assert rounds, "no pre-copy round spans in the Chrome export"
+    for ev in rounds:
+        assert "shipped_bytes" in ev["args"] and "dirty_bytes" in ev["args"]
+        assert "round" in ev["args"]
+    # per (round, pod) the span accounting equals the result's round log
+    by_round: dict = {}
+    for ev in rounds:
+        by_round.setdefault(int(ev["args"]["round"]), []).append(ev)
+    for rnd in mig.rounds:
+        evs = by_round[rnd["round"]]
+        assert sum(int(e["args"]["shipped_bytes"]) for e in evs) \
+            == rnd["shipped_bytes"]
+        assert sum(int(e["args"]["dirty_bytes"]) for e in evs) \
+            == rnd["dirty_bytes"]
 
 
 def test_different_schedules_diverge():

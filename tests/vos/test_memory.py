@@ -47,3 +47,136 @@ def test_image_round_trip():
     clone = Memory.from_image(m.to_image())
     assert clone.rss == m.rss
     assert clone.segment("grid") == 99
+
+
+# ---------------------------------------------------------------------------
+# dirty tracking
+# ---------------------------------------------------------------------------
+
+
+def test_fresh_memory_fully_dirty():
+    m = Memory(heap=1000)
+    assert m.dirty_bytes == 1000
+    m.clear_dirty()
+    assert m.dirty_bytes == 0
+
+
+def test_touch_saturates_at_segment_size():
+    m = Memory(heap=100)
+    m.clear_dirty()
+    m.touch(60, "heap")
+    m.touch(60, "heap")
+    assert m.dirty_bytes == 100
+
+
+def test_touch_default_targets_largest_segment():
+    m = Memory(text=10, data=5)
+    m.alloc(1000, "grid")
+    m.clear_dirty()
+    m.touch(64)  # no segment named: the working set (grid) takes the writes
+    assert m.dirty_table()["grid"] == 64
+    assert m.dirty_bytes == 64
+
+
+def test_touch_empty_memory_is_noop():
+    m = Memory()
+    m.clear_dirty()
+    m.touch(100)
+    m.touch(100, "nowhere")
+    assert m.dirty_bytes == 0
+
+
+def test_restored_memory_fully_dirty():
+    m = Memory(heap=500)
+    m.clear_dirty()
+    clone = Memory.from_image(m.to_image())
+    assert clone.dirty_bytes == clone.rss == 500
+
+
+def test_dirty_never_serialized():
+    a = Memory(heap=500)
+    b = Memory(heap=500)
+    a.clear_dirty()
+    b.touch(100, "heap")
+    assert a.to_image() == b.to_image()
+
+
+# ---------------------------------------------------------------------------
+# property tests: a random operation stream keeps the invariants
+# ---------------------------------------------------------------------------
+
+hyp = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+SEGMENTS = ("heap", "grid", "stack")
+
+_op = st.one_of(
+    st.tuples(st.just("alloc"), st.sampled_from(SEGMENTS),
+              st.integers(0, 1 << 20)),
+    st.tuples(st.just("free"), st.sampled_from(SEGMENTS),
+              st.integers(0, 1 << 20)),
+    st.tuples(st.just("resize"), st.sampled_from(SEGMENTS),
+              st.integers(0, 1 << 20)),
+    st.tuples(st.just("touch"), st.sampled_from(SEGMENTS),
+              st.integers(0, 1 << 20)),
+    st.tuples(st.just("touch_any"), st.just(""), st.integers(0, 1 << 20)),
+    st.tuples(st.just("clear"), st.just(""), st.just(0)),
+)
+
+
+def _apply(m, op):
+    kind, seg, n = op
+    if kind == "alloc":
+        m.alloc(n, seg)
+    elif kind == "free":
+        m.free(min(n, m.segment(seg)), seg)
+    elif kind == "resize":
+        m.resize(n, seg)
+    elif kind == "touch":
+        m.touch(n, seg)
+    elif kind == "touch_any":
+        m.touch(n)
+    elif kind == "clear":
+        m.clear_dirty()
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_op, max_size=40))
+def test_dirty_bounded_by_rss(ops):
+    """No operation stream can make dirty exceed resident bytes —
+    per segment and in total."""
+    m = Memory(heap=4096)
+    for op in ops:
+        _apply(m, op)
+        table = m.dirty_table()
+        for seg, dirty in table.items():
+            assert 0 <= dirty <= m.segment(seg), (seg, ops)
+        assert m.dirty_bytes <= m.rss
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_op, max_size=40))
+def test_clear_dirty_always_zeroes(ops):
+    """clear_dirty leaves nothing to re-copy, whatever came before."""
+    m = Memory(heap=4096)
+    for op in ops:
+        _apply(m, op)
+    m.clear_dirty()
+    assert m.dirty_bytes == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_op, max_size=40))
+def test_rss_matches_image_accounting(ops):
+    """rss stays the sum of the serialized segment table, and dirty
+    tracking never leaks into the image."""
+    m = Memory(heap=4096)
+    reference = Memory(heap=4096)
+    for op in ops:
+        _apply(m, op)
+        # the reference applies only the size-changing half of the stream
+        if op[0] in ("alloc", "free", "resize"):
+            _apply(reference, op)
+    image = m.to_image()
+    assert m.rss == sum(image.values())
+    assert image == reference.to_image()
