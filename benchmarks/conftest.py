@@ -7,6 +7,8 @@ paper-style row to a session report printed at the end of the run.
 
 from __future__ import annotations
 
+import json
+import os
 from collections import defaultdict
 
 import pytest
@@ -15,7 +17,11 @@ import pytest
 #: durations; image sizes and network volumes are unaffected by scale).
 SCALE = 1.0
 
+#: suite name for the committed perf-trajectory file (BENCH_<suite>.json).
+BENCH_SUITE = "core"
+
 _reports = defaultdict(list)
+_bench_metrics = {}
 
 
 @pytest.fixture
@@ -24,6 +30,26 @@ def report():
 
     def add(table: str, row: tuple) -> None:
         _reports[table].append(row)
+
+    return add
+
+
+@pytest.fixture
+def bench_json():
+    """Record one cell of the BENCH_<suite>.json perf trajectory.
+
+    Only *simulated*-time metrics belong here: they are deterministic,
+    so the emitted file is byte-stable and CI can diff a regenerated
+    copy against the committed one to gate hot-path regressions
+    (ROADMAP item 3).  Set ``BENCH_JSON=<path>`` to write the file at
+    session end.
+    """
+
+    def add(key: str, **metrics) -> None:
+        _bench_metrics[key] = {
+            k: (round(v, 6) if isinstance(v, float) else v)
+            for k, v in sorted(metrics.items())
+        }
 
     return add
 
@@ -54,3 +80,11 @@ def pytest_sessionfinish(session, exitstatus):
         if rows:
             print()
             print_table(titles[name], headers[name], sorted(rows, key=lambda r: (str(r[0]), str(r[1]))))
+    path = os.environ.get("BENCH_JSON")
+    if path and _bench_metrics:
+        payload = {"schema": 1, "suite": BENCH_SUITE,
+                   "metrics": dict(sorted(_bench_metrics.items()))}
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nbench metrics -> {path} ({len(_bench_metrics)} cells)")

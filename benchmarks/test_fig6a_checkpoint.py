@@ -17,7 +17,7 @@ CELLS = [(app, n) for app, spec in APPS.items() for n in spec.node_counts]
 
 
 @pytest.mark.parametrize("app,nodes", CELLS, ids=[f"{a}-{n}" for a, n in CELLS])
-def test_fig6a_cell(benchmark, report, app, nodes):
+def test_fig6a_cell(benchmark, report, bench_json, app, nodes):
     cell = benchmark.pedantic(run_fig6_cell, args=(app, nodes),
                               kwargs={"scale": SCALE, "n_checkpoints": 10},
                               rounds=1, iterations=1)
@@ -27,6 +27,10 @@ def test_fig6a_cell(benchmark, report, app, nodes):
         mean_ckpt_s=cell.mean_checkpoint,
         mean_net_ckpt_s=cell.mean_network_ckpt,
         n_checkpoints=len(cell.checkpoint_times))
+    bench_json(f"fig6a/{app}-{nodes}",
+               mean_ckpt_ms=cell.mean_checkpoint * 1000,
+               net_ckpt_ms=cell.mean_network_ckpt * 1000,
+               n_checkpoints=len(cell.checkpoint_times))
     report("fig6a", (app, nodes, len(cell.checkpoint_times),
                      f"{cell.mean_checkpoint * 1000:.0f}",
                      f"{cell.mean_network_ckpt * 1000:.2f}",

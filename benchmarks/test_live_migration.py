@@ -22,12 +22,17 @@ CAPS = (0, 1, 2, 4, 8)
 
 
 @pytest.mark.parametrize("cap", CAPS, ids=[f"rounds-{c}" for c in CAPS])
-def test_downtime_vs_rounds(benchmark, report, cap):
+def test_downtime_vs_rounds(benchmark, report, bench_json, cap):
     cell = benchmark.pedantic(run_migration_cell, args=(cap,),
                               rounds=1, iterations=1)
     benchmark.extra_info.update(
         downtime_s=cell.downtime, total_s=cell.total_time,
         rounds_run=cell.rounds_run, precopy_bytes=cell.precopy_bytes)
+    bench_json(f"livemig/rounds-{cap}",
+               downtime_ms=cell.downtime * 1000,
+               total_ms=cell.total_time * 1000,
+               rounds_run=cell.rounds_run,
+               precopy_mb=cell.precopy_bytes / 1e6)
     report("livemig", (cap, cell.rounds_run,
                        f"{cell.downtime * 1000:.1f}",
                        f"{cell.total_time * 1000:.0f}",

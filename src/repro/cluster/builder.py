@@ -42,6 +42,9 @@ class Cluster:
         #: optional metrics registry (see :mod:`repro.obs.metrics`);
         #: protocol code records through :meth:`count` / :meth:`observe`.
         self.metrics = None
+        #: the *active* Manager (the newest deployed, un-crashed one);
+        #: fault injection addresses ``crash_manager`` at it.
+        self.manager = None
 
     # ------------------------------------------------------------------
     @classmethod

@@ -31,7 +31,13 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..vos import build_program, imm, program
 from .builder import Cluster
-from .faults import PRECOPY_PHASES, FaultInjector, FaultPlan
+from .faults import (
+    MANAGER_PHASES,
+    PRECOPY_PHASES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
 
 MOD = (1 << 61) - 1
 
@@ -317,6 +323,277 @@ class MigrationChaosReport:
     crashed_nodes: List[str] = field(default_factory=list)
     app_finished: bool = False
     span_dump: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Manager-failover chaos
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FailoverChaosReport:
+    """One audited Manager-failover chaos episode (see
+    :func:`run_failover_chaos`)."""
+
+    seed: int
+    #: the ``manager.ledger.*`` crossing the Manager was killed at.
+    crash_phase: str
+    plan: List[Dict[str, Any]]
+    trace: List[Tuple[float, str, Optional[str], Optional[str], Tuple[str, ...]]]
+    fired: List[Tuple[float, str, str, Optional[str], Optional[str]]]
+    #: (op kind, op_id, status) per driver operation, in order.
+    ops: List[Tuple[str, int, str]] = field(default_factory=list)
+    #: what the takeover replica did: (op_id, phase_at_claim, outcome).
+    takeover: Optional[List[Tuple[int, str, str]]] = None
+    manager_crashed: bool = False
+    violations: List[str] = field(default_factory=list)
+    app_finished: bool = False
+    span_dump: Optional[str] = None
+
+
+def run_failover_chaos(seed: int, crash_phase: str, n_nodes: int = 4,
+                       rounds: int = 220, until: float = 120.0,
+                       trace_spans: bool = False) -> FailoverChaosReport:
+    """One Manager-failover chaos episode; returns the audited report.
+
+    The checksummed ping-pong pair runs while ``mgr0`` drives a
+    file-target coordinated checkpoint and a ``crash_manager`` fault
+    kills it exactly at the ``crash_phase`` ledger crossing — between
+    "this phase's record is durable" and "the next phase's actions run",
+    the worst case for the op left in flight.  A supervisor detects the
+    dead Manager, waits out its lease, deploys ``mgr1`` with
+    :meth:`~repro.core.manager.Manager.deploy_replica`, and runs
+    :meth:`~repro.core.manager.Manager.takeover_task`; the driver then
+    pushes a *continuity* checkpoint through whichever Manager is alive.
+    Audited invariants:
+
+    F1  Every ledger op ends terminal (``commit`` or ``aborted``) — the
+        takeover leaves nothing in flight.
+    F2  No partial image is visible as restartable on the SAN (I2).
+    F3  Both pods end resumed — running, not suspended, not firewalled —
+        on exactly one node each (I1 across the takeover).
+    F4  The continuity checkpoint through the replacement Manager
+        succeeds (no blade ever crashed in this matrix).
+    F5  The application finishes with correct checksums.
+    F6  If the victim op was non-terminal at the crash, the takeover
+        claimed it and resolved it (resumed / re-driven / aborted).
+
+    For ``crash_phase="manager.ledger.abort"`` the plan also hangs the
+    server Agent at suspend past the meta deadline, forcing the victim
+    op onto the abort path (the crossing cannot fire otherwise).
+
+    Determinism is the caller's oracle: two runs of the same
+    ``(seed, crash_phase)`` must produce identical ``trace``/``fired``
+    sequences (and ``span_dump`` when tracing).
+    """
+    from ..core.manager import Manager, PhaseTimeouts
+    from ..core.pipeline import FileSink
+    from ..storage.ledger import OpLedger
+
+    cluster = Cluster.build(n_nodes, seed=seed)
+    tracer = None
+    if trace_spans:
+        from ..obs import SpanTracer
+
+        tracer = SpanTracer(cluster.engine).install(cluster)
+    manager = Manager.deploy(cluster)
+    engine = cluster.engine
+    drv_rng = random.Random(seed ^ 0x9E3779B9)
+    timeouts = PhaseTimeouts(connect=2.0, meta=5.0, barrier=5.0, done=8.0,
+                             flush=20.0, load=5.0, restart_done=15.0, drain=3.0)
+    grace = timeouts.barrier + timeouts.done + 2.0
+    lease_s = 3.0
+
+    srv_node, cli_node = cluster.node(1), cluster.node(2 % n_nodes)
+    faults = [FaultSpec(kind="crash_manager", phase=crash_phase)]
+    if crash_phase == "manager.ledger.abort":
+        # the abort crossing only exists on a failed op: stall the server
+        # Agent at suspend past the Manager's meta deadline
+        faults.insert(0, FaultSpec(kind="hang", phase="agent.suspend",
+                                   node=srv_node.name, seconds=9.0))
+    injector = FaultInjector(cluster, FaultPlan(seed=seed, faults=faults)).install()
+
+    pod_srv = cluster.create_pod(srv_node, SRV_POD)
+    cluster.create_pod(cli_node, CLI_POD)
+    srv = srv_node.kernel.spawn(
+        build_program("chaos.pp-server", port=9300, rounds=rounds), pod_id=SRV_POD)
+    cli = cli_node.kernel.spawn(
+        build_program("chaos.pp-client", server=pod_srv.vip, port=9300, rounds=rounds),
+        pod_id=CLI_POD)
+
+    report = FailoverChaosReport(seed=seed, crash_phase=crash_phase,
+                                 plan=injector.plan.describe(),
+                                 trace=injector.trace, fired=injector.fired)
+    san_paths = [(f"/san/fo-{SRV_POD}.img", SRV_POD),
+                 (f"/san/fo-{CLI_POD}.img", CLI_POD)]
+    state: Dict[str, Any] = {"replica": None, "takeover": None}
+
+    def active_manager():
+        return state["replica"] if state["replica"] is not None else manager
+
+    def check_resumed(label: str):
+        for pod_id in (SRV_POD, CLI_POD):
+            hosts = [n for n in cluster.nodes
+                     if not n.crashed and pod_id in n.kernel.pods]
+            if len(hosts) != 1:
+                report.violations.append(
+                    f"F3 {label}: {pod_id} active on "
+                    f"{[n.name for n in hosts] or 'no node'}")
+                continue
+            node = hosts[0]
+            pod = node.kernel.pods[pod_id]
+            if pod.suspended:
+                report.violations.append(
+                    f"F3 {label}: {pod_id} left suspended on {node.name}")
+            if pod.vip in node.kernel.netstack.netfilter._blocked_ips:
+                report.violations.append(
+                    f"F3 {label}: {pod_id} vip still firewalled on {node.name}")
+
+    def supervisor():
+        # the Manager's own failure detector: poll the process, wait out
+        # its lease, then take over against the shared ledger
+        while not manager.crashed:
+            if engine.now >= until - 45.0:
+                return
+            yield engine.sleep(0.25)
+        yield engine.sleep(lease_s + 1.0)
+        replica = Manager.deploy_replica(cluster, manager.agents, name="mgr1")
+        state["replica"] = replica
+        actions = yield from replica.takeover_task(timeouts=timeouts,
+                                                   lease_s=lease_s)
+        state["takeover"] = [tuple(a) for a in actions]
+        report.takeover = state["takeover"]
+
+    def driver():
+        yield engine.sleep(round(drv_rng.uniform(0.05, 0.3), 4))
+        # the victim op: always file targets so every MANAGER_PHASES
+        # crossing (including flush) exists on the success path
+        targets = [(srv_node.name, SRV_POD, f"file:{san_paths[0][0]}"),
+                   (cli_node.name, CLI_POD, f"file:{san_paths[1][0]}")]
+        task = manager.checkpoint(targets, deadline=30.0, timeouts=timeouts,
+                                  lease_s=lease_s)
+        ok, res = yield engine.timeout(task.finished, 60.0)
+        if res is not None:
+            report.ops.append(("checkpoint", res.op_id, res.status))
+        else:
+            report.ops.append(("checkpoint", 0, "crashed"))
+        # wait out the takeover when the Manager died
+        while manager.crashed and state["takeover"] is None:
+            yield engine.sleep(0.25)
+        yield engine.sleep(grace)  # parked sessions settle (abort/flush)
+        check_resumed("post-takeover")
+        # continuity: the surviving Manager must drive new ops
+        mgr = active_manager()
+        use_files = drv_rng.random() < 0.5
+        targets2 = []
+        for node, pod_id in ((srv_node, SRV_POD), (cli_node, CLI_POD)):
+            if use_files:
+                path = f"/san/fo-cont-{pod_id}.img"
+                san_paths.append((path, pod_id))
+                targets2.append((node.name, pod_id, f"file:{path}"))
+            else:
+                targets2.append((node.name, pod_id, "mem"))
+        res2 = yield from mgr.checkpoint_task(targets2, deadline=30.0,
+                                              timeouts=timeouts,
+                                              lease_s=lease_s)
+        report.ops.append(("checkpoint", res2.op_id, res2.status))
+        if not res2.ok:
+            report.violations.append(
+                f"F4: continuity checkpoint via {mgr.name} ended "
+                f"{res2.status}: {res2.errors}")
+
+    engine.spawn(supervisor(), name="failover-supervisor")
+    engine.spawn(driver(), name="failover-driver")
+    engine.run(until=until)
+
+    report.manager_crashed = manager.crashed
+
+    # ---- F1: the ledger holds no non-terminal op ----
+    ledger = OpLedger(cluster.san)
+    orphans = {op_id: op.phase for op_id, op in ledger.replay().items()
+               if not op.terminal}
+    if orphans:
+        report.violations.append(f"F1: non-terminal ledger ops: {orphans}")
+
+    # ---- F2: nothing partial is visible as restartable on the SAN ----
+    home = cluster.node(0)
+    for path, pod_id in san_paths:
+        sink = FileSink(cluster.san, home.kernel.vfs, path)
+        if not sink.exists():
+            continue
+        try:
+            sink.load(pod_id)
+        except Exception as err:  # noqa: BLE001 - any load failure is the violation
+            report.violations.append(f"F2: partial image visible at {path}: {err}")
+
+    # ---- F3 at end state ----
+    check_resumed("final")
+
+    # ---- F6: a non-terminal victim op was claimed and resolved ----
+    if report.manager_crashed:
+        if state["replica"] is None:
+            report.violations.append("F6: Manager crashed but no replica deployed")
+        elif report.takeover is None:
+            report.violations.append("F6: takeover never completed")
+        else:
+            for op_id, _phase, outcome in report.takeover:
+                if outcome not in ("resumed", "redriven", "aborted"):
+                    report.violations.append(
+                        f"F6: op{op_id} takeover outcome {outcome!r}")
+        # the crash must actually have fired at the requested crossing
+        if not any(kind == "crash_manager" and phase == crash_phase
+                   for (_t, kind, phase, _n, _p) in report.fired):
+            report.violations.append(
+                f"F6: crash_manager did not fire at {crash_phase}")
+    else:
+        report.violations.append(
+            f"F6: Manager never crashed (no {crash_phase} crossing?)")
+
+    # ---- the last committed checkpoint stayed restorable (I3) ----
+    mgr = active_manager()
+    last = mgr.last_checkpoint
+    if last is not None and last.ok:
+        for node_name, pod_id, uri in last.targets:
+            if uri.startswith("file:"):
+                sink = FileSink(cluster.san, home.kernel.vfs, uri[len("file:"):])
+                try:
+                    sink.load(pod_id)
+                except Exception as err:  # noqa: BLE001
+                    report.violations.append(
+                        f"I3: last_checkpoint {uri} unloadable: {err}")
+            elif not mgr.agents[node_name].mem_sink.load(pod_id):
+                report.violations.append(
+                    f"I3: last_checkpoint mem image for {pod_id} missing on {node_name}")
+
+    # ---- I4: meta-all-received before any continue, per successful op ----
+    for kind, op_id, status in report.ops:
+        if kind != "checkpoint" or status != "ok":
+            continue
+        marker = f"op{op_id}"
+        idx = [i for i, ev in enumerate(report.trace)
+               if ev[1] in ("manager.op_start", "manager.op_end") and ev[3] == marker]
+        if len(idx) != 2:
+            continue
+        window = report.trace[idx[0]:idx[1] + 1]
+        meta_ts = [ev[0] for ev in window if ev[1] == "manager.meta_recv"]
+        cont_ts = [ev[0] for ev in window if ev[1] == "manager.continue_sent"]
+        if meta_ts and cont_ts and max(meta_ts) > min(cont_ts):
+            report.violations.append(
+                f"I4: op{op_id} sent continue before all meta-data arrived")
+
+    # ---- F5: end-to-end correctness (no blade ever crashes here) ----
+    if srv is not None and cli is not None:
+        sums = final_sums(cluster)
+        report.app_finished = None not in sums
+        if report.app_finished and sums != expected_sums(rounds):
+            report.violations.append(
+                f"F5: checksum mismatch: {sums} != {expected_sums(rounds)}")
+        if not report.app_finished:
+            report.violations.append("F5: application did not finish")
+    if tracer is not None:
+        from ..obs import to_jsonl
+
+        report.span_dump = to_jsonl(tracer)
+    return report
 
 
 def run_migration_chaos(seed: int, n_nodes: int = 5, rounds: int = 2500,

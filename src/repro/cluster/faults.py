@@ -37,6 +37,13 @@ Fault kinds:
     Suspend the task crossing the boundary for ``seconds`` — an Agent
     stuck in a pipeline stage, which the Manager's per-phase timeouts
     must survive.
+``crash_manager``
+    Fail-stop crash of the *Manager* at the phase boundary (scheduled
+    as its own engine event, like ``crash_node``).  Not part of
+    :data:`FAULT_KINDS` — the random-draw domain is frozen so existing
+    seeded plans replay identically — it is used by explicit failover
+    plans (see :func:`repro.cluster.chaos.run_failover_chaos`), which
+    fire it at the :data:`MANAGER_PHASES` ledger crossings.
 """
 
 from __future__ import annotations
@@ -134,7 +141,21 @@ PRECOPY_PHASES = (
     "manager.precopy_round",
     "agent.precopy",
 )
-ALL_PHASES = CHECKPOINT_PHASES + RESTART_PHASES + PRECOPY_PHASES
+#: the Manager's durable phase boundaries: each is crossed immediately
+#: after the matching op-ledger record became durable, so a Manager
+#: crash here is exactly "the record survived, the action after it did
+#: not" — the crash points a takeover replica must recover from.
+#: (Kept separate from CHECKPOINT_PHASES for the same replay reason.)
+MANAGER_PHASES = (
+    "manager.ledger.begin",
+    "manager.ledger.meta",
+    "manager.ledger.continue",
+    "manager.ledger.done",
+    "manager.ledger.flush",
+    "manager.ledger.abort",
+    "manager.ledger.commit",
+)
+ALL_PHASES = CHECKPOINT_PHASES + RESTART_PHASES + PRECOPY_PHASES + MANAGER_PHASES
 
 
 @dataclass
@@ -296,6 +317,12 @@ class FaultInjector:
                 # be the one crossing this boundary, and a generator
                 # cannot be closed while it is executing
                 engine.schedule(0.0, crash_node, cluster, target)
+        elif spec.kind == "crash_manager":
+            mgr = getattr(cluster, "manager", None)
+            if mgr is not None and not mgr.crashed:
+                # same scheduling rule: the crossing task is usually one
+                # of the Manager's own op tasks
+                engine.schedule(0.0, mgr.crash)
         elif spec.kind == "link_drop":
             if target is not None:
                 peers = ([cluster.node_by_name(spec.peer)]

@@ -28,7 +28,7 @@ from ..cluster.builder import Cluster
 from ..cluster.node import Node
 from ..errors import CheckpointError, CodecError, RestartError
 from ..pod.pod import Pod
-from ..sim.tasks import all_of
+from ..sim.tasks import Future, all_of
 from ..vos.syscalls import Errno
 from .devckpt import capture_pod_devices, restore_pod_devices
 from .image import PodImage
@@ -117,6 +117,16 @@ class Agent:
         #: A session still working for a dead operation must not publish
         #: its image (the late store would shadow the last good one).
         self.gc_ops: set = set()
+        #: continue-wait re-attach registry: (op_id, pod_id) -> Future.
+        #: A checkpoint session parked at the barrier can be completed
+        #: (``continue_op``) or aborted (``gc``) through a *different*
+        #: connection — how a takeover Manager adopts the dead one's
+        #: in-flight sessions.
+        self.op_waits: Dict[Tuple[int, str], Future] = {}
+        #: pod_id -> op id of the last checkpoint committed locally
+        #: (lets a takeover Manager attribute an in-memory image to the
+        #: op it is trying to finish, not an older one).
+        self.committed_ops: Dict[str, int] = {}
         self._task = None
 
     # ------------------------------------------------------------------
@@ -186,14 +196,43 @@ class Agent:
             elif cmd == "ping":
                 yield from send_msg(kernel, chan, fd, {"type": "pong", "node": self.node.name})
             elif cmd == "gc":
-                # abort-path garbage collection: tombstone the op and
-                # roll the local stores back to the pre-op state
+                # abort-path garbage collection: tombstone the op, break
+                # any session still parked at its barrier, and roll the
+                # local stores back to the pre-op state.  Idempotent
+                # under double-abort: a second gc for an op already
+                # tombstoned here (a takeover replica re-running a
+                # half-done abort) must NOT roll back again — state
+                # committed *after* the first abort (a newer successful
+                # checkpoint) would be destroyed.
                 op = int(msg.get("op_id", 0))
+                already = bool(op) and op in self.gc_ops
                 if op:
                     self.gc_ops.add(op)
-                for pid in msg.get("pods", []):
-                    self._gc_pod(pid)
+                    self._signal_op(op, {"cmd": "abort"})
+                if not already:
+                    for pid in msg.get("pods", []):
+                        self._gc_pod(pid)
                 yield from send_msg(kernel, chan, fd, {"type": "gcd", "node": self.node.name})
+            elif cmd == "continue_op":
+                # takeover re-attach: complete the continue barrier of a
+                # resumable op on behalf of its dead Manager.  The ledger
+                # guarantees the continue broadcast was decided, so
+                # releasing the parked sessions preserves the sync point.
+                op = int(msg.get("op_id", 0))
+                waiting = sorted(p for (o, p) in self.op_waits if o == op)
+                if op and op not in self.gc_ops:
+                    self._signal_op(op, {"cmd": "continue", "redirect_out": []})
+                yield from send_msg(kernel, chan, fd, {
+                    "type": "reattached", "op_id": op,
+                    "node": self.node.name, "waiting": waiting})
+            elif cmd == "query_image":
+                pod = msg.get("pod")
+                chain = self.mem_sink.load(pod)
+                yield from send_msg(kernel, chan, fd, {
+                    "type": "image_status", "pod": pod,
+                    "exists": bool(chain),
+                    "op_ok": self.committed_ops.get(pod) == int(msg.get("op_id", -1)),
+                })
             elif cmd == "query_pod":
                 pod = kernel.pods.get(msg.get("pod"))
                 yield from send_msg(kernel, chan, fd, {
@@ -347,20 +386,43 @@ class Agent:
         t_wait = engine.now
         phase = self.cluster.span("agent.phase.barrier", node=self.node.name,
                                   pod=pod_id, parent=op_parent)
-        if wait_timeout > 0.0:
-            waiter = engine.spawn(recv_msg(kernel, chan, fd),
-                                  name=f"ckpt-wait@{self.node.name}")
-            try:
-                in_time, reply = yield engine.timeout(waiter.finished, wait_timeout)
-            except Exception:
-                in_time, reply = True, None
-            if not in_time:
-                waiter.cancel()
-                chan.waiting = None
-                chan.blocked_on = None
-                reply = None
-        else:
-            reply = yield from recv_msg(kernel, chan, fd)
+        # continue-wait re-attach (HA Manager): while parked here the
+        # session is addressable through the (op, pod) registry, so a
+        # takeover Manager can deliver 'continue' or 'abort' over a
+        # *different* connection when the original Manager is dead
+        signal = Future(f"op-signal-{op_id}:{pod_id}")
+        if op_id:
+            self.op_waits[(op_id, pod_id)] = signal
+        try:
+            if wait_timeout > 0.0:
+                waiter = engine.spawn(recv_msg(kernel, chan, fd),
+                                      name=f"ckpt-wait@{self.node.name}")
+                race = Future(f"ckpt-race-{op_id}:{pod_id}")
+                waiter.finished.add_done_callback(
+                    lambda f: race.set_result(("conn", f.result))
+                    if not race.done else None)
+                signal.add_done_callback(
+                    lambda f: race.set_result(("side", f.result))
+                    if not race.done else None)
+                try:
+                    in_time, arrived = yield engine.timeout(race, wait_timeout)
+                except Exception:
+                    in_time, arrived = True, None
+                if not in_time or arrived is None:
+                    reply = None
+                else:
+                    source, reply = arrived
+                if not in_time or (arrived is not None and arrived[0] == "side"):
+                    # timed out, or the side channel won: abandon the
+                    # original connection's half-read recv
+                    waiter.cancel()
+                    chan.waiting = None
+                    chan.blocked_on = None
+            else:
+                reply = yield from recv_msg(kernel, chan, fd)
+        finally:
+            if op_id:
+                self.op_waits.pop((op_id, pod_id), None)
         if reply is None or reply.get("cmd") == "abort" or op_id in self.gc_ops:
             # Manager died, aborted, or already garbage-collected this
             # operation: resume the application gracefully
@@ -421,6 +483,8 @@ class Agent:
         if op_id not in self.gc_ops:
             self.pipeline_state.commit(pod_id)
             self.mem_sink.store(image)
+            if op_id:
+                self.committed_ops[pod_id] = op_id
 
         # optional file-system snapshot, "taken immediately prior to
         # reactivating the pod" — point-in-time capture of the shared
@@ -748,12 +812,20 @@ class Agent:
             return False
         return True
 
+    def _signal_op(self, op_id: int, msg: Dict[str, Any]) -> None:
+        """Resolve every session future parked at op ``op_id``'s barrier
+        (each session gets its own copy of the synthetic reply)."""
+        for (op, _pod), fut in sorted(self.op_waits.items()):
+            if op == op_id and not fut.done:
+                fut.set_result(dict(msg))
+
     def _gc_pod(self, pod_id: str) -> None:
         """Roll local stores back past anything a failed op staged or
         committed for ``pod_id``."""
         self.mem_sink.rollback(pod_id)
         if not self.pipeline_state.rollback(pod_id):
             self.pipeline_state.abandon(pod_id)
+        self.committed_ops.pop(pod_id, None)
         # drop pre-copy accounting from an aborted live migration
         self.precopy_store.pop(pod_id, None)
 

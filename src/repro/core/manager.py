@@ -27,6 +27,22 @@ collected from the SAN and from destination Agents' stores, and the
 Manager verifies that the pods actually resumed.  :meth:`Manager.recover`
 closes the loop of the paper's motivating use case: detect a crashed
 node and restart its pods elsewhere from the last good checkpoint.
+
+**HA Manager.**  The Manager itself is stateless across phases: each
+operation is an explicit state machine (:class:`OpMachine`) whose every
+phase transition is appended to the durable op ledger
+(:class:`repro.storage.ledger.OpLedger`, a JSONL write-ahead log on the
+SAN) *before* the phase's actions run, and announced as a
+``manager.ledger.*`` trace crossing.  If the Manager fail-stops
+(:meth:`Manager.crash`), a replica deployed with
+:meth:`Manager.deploy_replica` scans the ledger, claims each orphaned
+op once its owner's lease expires, and — per op — resumes from the
+last durable phase (checkpoints past the continue broadcast are
+finished and committed; restarts with a durable plan are re-driven for
+the missing pods) or aborts through the same tombstone-GC path a
+normal failure takes.  Agents cooperate via the continue-wait
+re-attach: a session parked at the barrier can be completed or aborted
+by a *different* Manager connection (see ``continue_op`` / ``gc``).
 """
 
 from __future__ import annotations
@@ -37,13 +53,22 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..cluster.builder import Cluster
 from ..cluster.node import Node
 from ..sim.tasks import Future, Task, all_of
+from ..storage.ledger import OpLedger
 from ..vos.syscalls import Errno
+from . import codec
 from .agent import AGENT_PORT, Agent, deploy_agents
 from .meta import derive_restart_plan
+from .pipeline import FileSink
 from .wire import recv_msg, send_msg
 
 #: «node, pod, URI» — the request tuple of Section 4.
 Target = Tuple[str, str, str]
+
+#: how long one ledger record keeps an op owned before a replica may
+#: claim it.  Each phase record renews the lease, so a live Manager
+#: never loses an op; a dead one loses it one lease after its last
+#: durable phase.
+DEFAULT_LEASE_S = 30.0
 
 
 @dataclass
@@ -108,6 +133,8 @@ class OpResult:
     #: per-pod "is it running again?" verification outcome.
     gc_paths: List[str] = field(default_factory=list)
     resumed: Dict[str, bool] = field(default_factory=dict)
+    #: last durable state-machine phase this op reached (ledger mirror).
+    phase: str = "begin"
 
     @property
     def duration(self) -> float:
@@ -127,24 +154,145 @@ class OpResult:
         return int(self.max_stat("image_bytes"))
 
 
+class OpMachine:
+    """The durable per-op state machine.
+
+    Every transition appends a ledger record *first* and then crosses
+    the matching ``manager.ledger.<phase>`` trace point, followed by an
+    explicit scheduling boundary (``yield None``).  The boundary is the
+    point of the design: a ``crash_manager`` fault scheduled at the
+    crossing lands exactly between "the record is durable" and "the
+    next phase's actions run" — the worst case a takeover replica must
+    handle, and the case :data:`repro.cluster.faults.MANAGER_PHASES`
+    enumerates.  Each record also renews the owner's lease.
+    """
+
+    def __init__(self, manager: "Manager", result: OpResult,
+                 lease_s: Optional[float] = None) -> None:
+        self.manager = manager
+        self.result = result
+        self.lease_s = DEFAULT_LEASE_S if lease_s is None else float(lease_s)
+
+    def _append(self, phase: str, rec: str = "phase", **fields) -> None:
+        mgr = self.manager
+        now = mgr.cluster.engine.now
+        self.result.phase = phase
+        mgr.ledger.append(dict({"rec": rec, "op": self.result.op_id,
+                                "phase": phase, "owner": mgr.name,
+                                "lease": now + self.lease_s, "t": now},
+                               **fields))
+
+    def _transition(self, phase: str, rec: str = "phase", **fields):
+        self._append(phase, rec=rec, **fields)
+        yield from self.manager.cluster.trace(f"manager.ledger.{phase}",
+                                              pod=f"op{self.result.op_id}")
+        yield None  # let a crash scheduled at the crossing land here
+
+    def begin(self, **fields):
+        """Open the op: the full request, durable before any Agent hears
+        about it."""
+        yield from self._transition(
+            "begin", rec="op", kind=self.result.kind,
+            targets=[list(t) for t in self.result.targets], **fields)
+
+    def advance(self, phase: str, **fields):
+        """One phase boundary: durable record, crossing, boundary."""
+        yield from self._transition(phase, **fields)
+
+    def commit(self, **fields):
+        """Terminal success (also re-records the targets, so a replica
+        can reconstruct ``last_checkpoint`` from the commit alone)."""
+        yield from self._transition(
+            "commit", targets=[list(t) for t in self.result.targets], **fields)
+
+    def aborted(self, reason: str = "") -> None:
+        """Terminal failure — synchronous: the abort path just finished
+        and there is nothing after this record to crash before."""
+        self._append("aborted", reason=reason)
+
+
 class Manager:
     """Front-end client for coordinated checkpoint-restart."""
 
     def __init__(self, cluster: Cluster, agents: Dict[str, Agent],
-                 home: Optional[Node] = None) -> None:
+                 home: Optional[Node] = None, name: str = "mgr0",
+                 ledger: Optional[OpLedger] = None) -> None:
         self.cluster = cluster
         self.agents = agents
         #: the node the Manager runs on ("can be run from anywhere,
         #: inside or outside the cluster" — we put it on blade 0, as the
         #: paper's evaluation does).
         self.home = home if home is not None else cluster.node(0)
+        self.name = name
+        #: the durable op ledger on the SAN — shared by construction
+        #: with every other Manager of this cluster.
+        self.ledger = ledger if ledger is not None else OpLedger(cluster.san)
         self.last_checkpoint: Optional[OpResult] = None
+        #: fail-stop flag: a crashed Manager drives nothing ever again.
+        self.crashed = False
         self._next_op_id = 1
+        #: live protocol tasks this Manager spawned (reaped on crash).
+        self._tracked: List[Task] = []
+        cluster.manager = self
 
     @classmethod
-    def deploy(cls, cluster: Cluster) -> "Manager":
+    def deploy(cls, cluster: Cluster, name: str = "mgr0") -> "Manager":
         """Start an Agent on every node and return a Manager."""
-        return cls(cluster, deploy_agents(cluster))
+        return cls(cluster, deploy_agents(cluster), name=name)
+
+    @classmethod
+    def deploy_replica(cls, cluster: Cluster, agents: Dict[str, Agent],
+                       home: Optional[Node] = None,
+                       name: str = "mgr1") -> "Manager":
+        """A fresh Manager against the *existing* Agents and ledger.
+
+        The replica starts stateless: its ``last_checkpoint`` is
+        reconstructed from the newest durable commit record, and
+        :meth:`takeover_task` then claims whatever the dead Manager
+        left in flight.
+        """
+        replica = cls(cluster, agents, home=home, name=name)
+        last = replica.ledger.last_committed("checkpoint")
+        if last is not None:
+            rebuilt = OpResult("checkpoint", "ok", last.t_last, last.t_last,
+                               targets=[tuple(t) for t in last.targets],
+                               op_id=last.op_id, phase="commit")
+            replica.last_checkpoint = rebuilt
+        return replica
+
+    def new_op_id(self) -> int:
+        """Allocate the next op id, never below what the ledger has seen
+        (two Managers over one ledger must not collide)."""
+        op_id = max(self._next_op_id, self.ledger.next_op_id())
+        self._next_op_id = op_id + 1
+        return op_id
+
+    def _spawn(self, gen, name: str) -> Task:
+        """Spawn a protocol task and track it for fail-stop reaping."""
+        task = self.cluster.engine.spawn(gen, name=name)
+        if len(self._tracked) > 64:
+            self._tracked = [t for t in self._tracked if not t.done]
+        self._tracked.append(task)
+        return task
+
+    def crash(self) -> None:
+        """Fail-stop crash of this Manager (the process, not its node).
+
+        Every in-flight protocol task dies mid-phase; connections to
+        Agents go dead (their sessions see EOF or wait out the barrier
+        deadline, unless a replica re-attaches first).  The ledger is
+        the only thing that survives.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        if getattr(self.cluster, "manager", None) is self:
+            self.cluster.manager = None
+        tracked, self._tracked = self._tracked, []
+        for task in tracked:
+            if not task.done:
+                task.cancel()
+        self.cluster.count("manager.crashes")
 
     # ------------------------------------------------------------------
     # plumbing
@@ -197,7 +345,7 @@ class Manager:
         """recv_msg bounded by a phase timeout; None on timeout/EOF/error."""
         engine = self.cluster.engine
         kernel = self.home.kernel
-        task = engine.spawn(recv_msg(kernel, chan, fd), name="mgr-recv")
+        task = self._spawn(recv_msg(kernel, chan, fd), name="mgr-recv")
         try:
             ok, msg = yield engine.timeout(task.finished, timeout_s)
         except Exception:
@@ -234,8 +382,8 @@ class Manager:
     def checkpoint(self, targets: List[Target], **kw) -> Task:
         """Spawn a coordinated checkpoint; returns the Task (its
         ``finished`` future resolves to an :class:`OpResult`)."""
-        return self.cluster.engine.spawn(self.checkpoint_task(targets, **kw),
-                                         name="manager-checkpoint")
+        return self._spawn(self.checkpoint_task(targets, **kw),
+                           name="manager-checkpoint")
 
     def checkpoint_task(self, targets: List[Target], context: str = "snapshot",
                         deadline: float = 60.0, order: str = "net-first",
@@ -245,7 +393,8 @@ class Manager:
                         timeouts: Optional[PhaseTimeouts] = None,
                         gc_on_failure: bool = True,
                         verify_resume: bool = True,
-                        live: bool = False):
+                        live: bool = False,
+                        lease_s: Optional[float] = None):
         """The Manager side of Figure 1 (generator; run as a host task).
 
         ``redirect_moves`` (pod → destination node) activates the §5
@@ -268,12 +417,14 @@ class Manager:
         Agents then charge the stream for the pre-copy *residual* only
         and report suspend-instant / residual stats for downtime
         accounting (see :mod:`repro.core.streaming`).
+
+        ``lease_s`` bounds how long each ledger record keeps the op
+        owned by this Manager before a takeover replica may claim it.
         """
         engine = self.cluster.engine
         kernel = self.home.kernel
         timeouts = timeouts if timeouts is not None else PhaseTimeouts()
-        op_id = self._next_op_id
-        self._next_op_id += 1
+        op_id = self.new_op_id()
         result = OpResult("checkpoint", "ok", engine.now, engine.now,
                           targets=list(targets), op_id=op_id)
         # operation span, registered under ("op", op_id) so Agent-side
@@ -281,21 +432,17 @@ class Manager:
         op_span = self.cluster.span("manager.checkpoint", category="op",
                                     key=("op", op_id), op=op_id,
                                     pods=len(targets), context=context)
+        machine = OpMachine(self, result, lease_s)
         conns: Dict[str, Tuple[Any, int]] = {}
         meta_count = [0]
+        done_count = [0]
+        flush_count = [0]
         all_meta = Future("all-meta")
         op_failed = Future(f"ckpt-{op_id}-failed")
         expect_stream = {pod for (_n, pod, uri) in targets if uri.startswith("agent://")}
         expect_flush = {pod for (_n, pod, uri) in targets if uri.startswith("file:")}
-
-        def fail(reason: str) -> None:
-            result.errors.append(reason)
-            if not all_meta.done:
-                # release barrier waiters immediately so their pods are
-                # resumed without waiting out the barrier timeout
-                all_meta.set_exception(RuntimeError(reason))
-            if not op_failed.done:
-                op_failed.set_result(reason)
+        flush_needed = expect_stream | expect_flush
+        fail = self._op_failer(result, all_meta, op_failed)
 
         def redirect_out_for(pod_id: str) -> List[dict]:
             if not redirect_moves:
@@ -365,7 +512,15 @@ class Manager:
             phase.end()
             meta_count[0] += 1
             if meta_count[0] == len(targets) and not all_meta.done:
-                all_meta.set_result(True)
+                # the durable sync point: every pod froze and reported.
+                # Both records land *before* the barrier is released, so
+                # once "continue" is in the ledger the broadcast is
+                # inevitable — a Manager that dies after this instant
+                # leaves an op a replica can finish, not only abort.
+                yield from machine.advance("meta", pods=sorted(result.metas))
+                yield from machine.advance("continue")
+                if not all_meta.done:
+                    all_meta.set_result(True)
             # 3. the single synchronization point (bounded per phase)
             t_wait = engine.now
             phase = self.cluster.span("manager.phase.barrier", node=node_name,
@@ -403,6 +558,9 @@ class Manager:
             result.t_end = max(result.t_end, engine.now)
             phase.end()
             yield from self.cluster.trace("manager.done_recv", node=node_name, pod=pod_id)
+            done_count[0] += 1
+            if done_count[0] == len(targets):
+                yield from machine.advance("done", pods=sorted(result.pods))
             # direct-migration streaming / file flush acknowledgements
             if pod_id in expect_stream:
                 post = self.cluster.span("manager.post.stream", node=node_name,
@@ -412,8 +570,8 @@ class Manager:
                 if ack is None or ack.get("type") != "streamed":
                     post.end(status="failed")
                     fail(f"{pod_id}: image streaming failed")
-                else:
-                    post.end()
+                    return
+                post.end()
             elif pod_id in expect_flush:
                 post = self.cluster.span("manager.post.flush", node=node_name,
                                          pod=pod_id, parent=op_span,
@@ -422,11 +580,19 @@ class Manager:
                 if ack is None or ack.get("type") != "flushed":
                     post.end(status="failed")
                     fail(f"{pod_id}: image flush failed or timed out")
-                else:
-                    post.end()
+                    return
+                post.end()
+            else:
+                return
+            flush_count[0] += 1
+            if flush_count[0] == len(flush_needed):
+                yield from machine.advance("flush")
 
         yield from self.cluster.trace("manager.op_start", pod=f"op{op_id}")
-        tasks = [engine.spawn(pod_task(n, p, u), name=f"ckpt-{p}") for n, p, u in targets]
+        yield from machine.begin(context=context,
+                                 filters_requested=list(filters or []))
+        tasks = [self._spawn(pod_task(n, p, u), name=f"ckpt-{p}")
+                 for n, p, u in targets]
         all_done = all_of([t.finished for t in tasks])
         race = Future(f"ckpt-{op_id}-race")
         all_done.add_done_callback(
@@ -434,6 +600,13 @@ class Manager:
         op_failed.add_done_callback(
             lambda _f: race.set_result("failed") if not race.done else None)
         ok, outcome = yield engine.timeout(race, deadline)
+        if self.crashed:
+            # fail-stop: a dead Manager neither cleans up nor commits —
+            # finishing this op is the takeover replica's job, driven by
+            # whatever the ledger durably recorded above
+            result.status = "crashed"
+            op_span.end(status=result.status)
+            return result
         if not ok:
             result.status = "timeout"
             result.errors.append("deadline expired; aborted")
@@ -445,14 +618,16 @@ class Manager:
         elif result.errors:
             result.status = "failed"
         if result.status != "ok":
-            yield from self._cleanup_failed_checkpoint(
-                targets, result, conns, tasks, timeouts,
-                gc_on_failure=gc_on_failure, verify_resume=verify_resume)
+            yield from self._finish_failed_op(
+                result, tasks, timeouts, machine, conns=conns,
+                targets=targets, gc_on_failure=gc_on_failure,
+                verify_resume=verify_resume)
         for chan, fd in conns.values():
             yield from self._close_conn(chan, fd)
         if len(result.pods) != len(targets):
             result.t_end = engine.now  # failed/partial ops report full elapsed time
         if result.ok:
+            yield from machine.commit(duration_s=result.duration)
             self.last_checkpoint = result
         yield from self.cluster.trace("manager.op_end", pod=f"op{op_id}")
         # the span closes after cleanup; the protocol latency the paper
@@ -463,32 +638,58 @@ class Manager:
     # ------------------------------------------------------------------
     # abort path: reap, abort, garbage-collect, verify
     # ------------------------------------------------------------------
-    def _cleanup_failed_checkpoint(self, targets: List[Target], result: OpResult,
-                                   conns: Dict[str, Tuple[Any, int]],
-                                   tasks: List[Task], timeouts: PhaseTimeouts,
-                                   gc_on_failure: bool = True,
-                                   verify_resume: bool = True):
+    def _op_failer(self, result: OpResult, barrier: Future, op_failed: Future):
+        """The one failure closure every coordinated op's pod tasks
+        share: record the reason, release the barrier with an exception
+        (so sibling tasks resume their pods instead of waiting out the
+        phase timeout), and trip the op-failed race."""
+        def fail(reason: str) -> None:
+            result.errors.append(reason)
+            if not barrier.done:
+                barrier.set_exception(RuntimeError(reason))
+            if not op_failed.done:
+                op_failed.set_result(reason)
+        return fail
+
+    def _finish_failed_op(self, result: OpResult, tasks: List[Task],
+                          timeouts: PhaseTimeouts, machine: OpMachine,
+                          conns: Optional[Dict[str, Tuple[Any, int]]] = None,
+                          targets: Optional[List[Target]] = None,
+                          gc_on_failure: bool = False,
+                          verify_resume: bool = False):
+        """The one abort path every failed op funnels through: reap,
+        abort, garbage-collect, verify, then the terminal record.
+
+        The ``manager.ledger.abort`` crossing sits between the durable
+        abort intent and the cleanup actions, so a Manager that crashes
+        mid-abort leaves an op a takeover replica re-aborts through this
+        same (idempotent) path.
+        """
         kernel = self.home.kernel
+        reason = result.errors[-1] if result.errors else result.status
         # 1. no orphaned protocol tasks: reap whatever is still in flight
         for task in tasks:
             if not task.done:
                 task.cancel()
+        yield from machine.advance("abort", reason=reason)
         # 2. tell every connected-but-incomplete Agent to abort (resume
         #    its pod); completed pods already resumed on 'continue'
-        for pod_id, (chan, fd) in conns.items():
-            if pod_id in result.pods:
-                continue
-            self._reset_chan(chan)
-            sent = yield from send_msg(kernel, chan, fd, {"cmd": "abort"})
-            if sent:
-                yield from self._recv_timed(chan, fd, timeouts.drain)
+        if conns:
+            for pod_id, (chan, fd) in conns.items():
+                if pod_id in result.pods:
+                    continue
+                self._reset_chan(chan)
+                sent = yield from send_msg(kernel, chan, fd, {"cmd": "abort"})
+                if sent:
+                    yield from self._recv_timed(chan, fd, timeouts.drain)
         # 3. garbage-collect partial images: a failed coordinated
         #    checkpoint must leave nothing restartable behind
-        if gc_on_failure:
+        if gc_on_failure and targets:
             yield from self._gc_partial_images(targets, result, timeouts)
         # 4. verify the pods the operation touched are running again
-        if verify_resume:
+        if verify_resume and targets:
             yield from self._verify_resumed(targets, result, timeouts)
+        machine.aborted(reason)
 
     def _gc_partial_images(self, targets: List[Target], result: OpResult,
                            timeouts: PhaseTimeouts):
@@ -616,36 +817,37 @@ class Manager:
     # ------------------------------------------------------------------
     def restart(self, targets: List[Target], **kw) -> Task:
         """Spawn a coordinated restart; Task resolves to an OpResult."""
-        return self.cluster.engine.spawn(self.restart_task(targets, **kw),
-                                         name="manager-restart")
+        return self._spawn(self.restart_task(targets, **kw),
+                           name="manager-restart")
 
     def restart_task(self, targets: List[Target], time_virtualization: bool = True,
                      deadline: float = 60.0, recovery_mode: str = "two-thread",
-                     timeouts: Optional[PhaseTimeouts] = None):
-        """The Manager side of Figure 3 (generator; run as a host task)."""
+                     timeouts: Optional[PhaseTimeouts] = None,
+                     lease_s: Optional[float] = None):
+        """The Manager side of Figure 3 (generator; run as a host task).
+
+        The restart's durable sync point is the merged connectivity
+        plan: the ``plan`` ledger record carries it (codec-encoded), so
+        a takeover replica can re-drive exactly the pods the restart
+        commands never reached (see :meth:`_redrive_restart`).
+        """
         engine = self.cluster.engine
         kernel = self.home.kernel
         timeouts = timeouts if timeouts is not None else PhaseTimeouts()
-        op_id = self._next_op_id
-        self._next_op_id += 1
+        op_id = self.new_op_id()
         result = OpResult("restart", "ok", engine.now, engine.now,
                           targets=list(targets), op_id=op_id)
         op_span = self.cluster.span("manager.restart", category="op",
                                     key=("op", op_id), op=op_id,
                                     pods=len(targets))
+        machine = OpMachine(self, result, lease_s)
         metas: Dict[str, List[dict]] = {}
         vips: Dict[str, str] = {}
         meta_count = [0]
         all_meta = Future("all-restart-meta")
         plan_ready = Future("restart-plan")
         op_failed = Future(f"restart-{op_id}-failed")
-
-        def fail(reason: str) -> None:
-            result.errors.append(reason)
-            if not all_meta.done:
-                all_meta.set_exception(RuntimeError(reason))
-            if not op_failed.done:
-                op_failed.set_result(reason)
+        fail = self._op_failer(result, all_meta, op_failed)
 
         def load_meta_phase(node_name: str, pod_id: str, uri: str):
             """Connect + image load: idempotent, retried with backoff."""
@@ -744,12 +946,22 @@ class Manager:
                 if not plan_ready.done:
                     plan_ready.set_exception(err)
                 return
+            plan = derive_restart_plan(metas)
+            # the plan may carry bytes (send-queue data), so it rides
+            # the ledger codec-encoded rather than as raw JSON
+            yield from machine.advance(
+                "plan",
+                plan_hex=codec.encode({"plan": plan, "vips": dict(vips)}).hex(),
+                time_virtualization=time_virtualization,
+                recovery_mode=recovery_mode)
             if not plan_ready.done:
-                plan_ready.set_result(derive_restart_plan(metas))
+                plan_ready.set_result(plan)
 
         yield from self.cluster.trace("manager.op_start", pod=f"op{op_id}")
-        engine.spawn(planner(), name="restart-planner")
-        tasks = [engine.spawn(pod_task(n, p, u), name=f"restart-{p}") for n, p, u in targets]
+        yield from machine.begin()
+        self._spawn(planner(), name="restart-planner")
+        tasks = [self._spawn(pod_task(n, p, u), name=f"restart-{p}")
+                 for n, p, u in targets]
         all_done = all_of([t.finished for t in tasks])
         race = Future(f"restart-{op_id}-race")
         all_done.add_done_callback(
@@ -757,6 +969,10 @@ class Manager:
         op_failed.add_done_callback(
             lambda _f: race.set_result("failed") if not race.done else None)
         ok, outcome = yield engine.timeout(race, deadline)
+        if self.crashed:
+            result.status = "crashed"
+            op_span.end(status=result.status)
+            return result
         if not ok:
             result.status = "timeout"
             result.errors.append("deadline expired")
@@ -765,11 +981,16 @@ class Manager:
             yield engine.timeout(all_done, timeouts.drain)
         elif result.errors:
             result.status = "failed"
-        for task in tasks:
-            if not task.done:
-                task.cancel()
+        if result.status != "ok":
+            yield from self._finish_failed_op(result, tasks, timeouts, machine)
+        else:
+            for task in tasks:
+                if not task.done:
+                    task.cancel()
         result.t_end = engine.now
         result.metas = metas
+        if result.ok:
+            yield from machine.commit(duration_s=result.duration)
         yield from self.cluster.trace("manager.op_end", pod=f"op{op_id}")
         op_span.end(status=result.status, duration_s=result.duration)
         return result
@@ -779,8 +1000,7 @@ class Manager:
     # ------------------------------------------------------------------
     def recover(self, **kw) -> Task:
         """Spawn a crash recovery; Task resolves to an OpResult."""
-        return self.cluster.engine.spawn(self.recover_task(**kw),
-                                         name="manager-recover")
+        return self._spawn(self.recover_task(**kw), name="manager-recover")
 
     def recover_task(self, deadline: float = 120.0,
                      timeouts: Optional[PhaseTimeouts] = None,
@@ -800,8 +1020,11 @@ class Manager:
         """
         engine = self.cluster.engine
         timeouts = timeouts if timeouts is not None else PhaseTimeouts()
-        result = OpResult("recover", "ok", engine.now, engine.now)
-        op_span = self.cluster.span("manager.recover", category="op")
+        op_id = self.new_op_id()
+        result = OpResult("recover", "ok", engine.now, engine.now, op_id=op_id)
+        op_span = self.cluster.span("manager.recover", category="op",
+                                    key=("op", op_id), op=op_id)
+        machine = OpMachine(self, result)
         last = self.last_checkpoint
         if last is None or not last.ok or not last.targets:
             result.status = "failed"
@@ -809,6 +1032,12 @@ class Manager:
             result.t_end = engine.now
             op_span.end(status=result.status, duration_s=result.duration)
             return result
+        result.targets = list(last.targets)
+        # the begin record lands only once the early-out checks passed,
+        # so a recover that never started driving anything leaves no
+        # claimable orphan behind; every later return path below writes
+        # a terminal record for the same reason
+        yield from machine.begin()
 
         # 1. failure detection: fail-stop flags plus a liveness probe of
         #    every node the checkpoint involves
@@ -822,11 +1051,13 @@ class Manager:
         yield from self.cluster.trace("manager.recover_detect",
                                       pod=",".join(sorted(crashed)) or None)
         phase.end(crashed=",".join(sorted(crashed)))
+        yield from machine.advance("detect", crashed=sorted(crashed))
         survivors = [n for n in self.cluster.nodes if n.name not in crashed]
         if not survivors:
             result.status = "failed"
             result.errors.append("no surviving nodes to recover onto")
             result.t_end = engine.now
+            machine.aborted(result.errors[-1])
             op_span.end(status=result.status, duration_s=result.duration)
             return result
 
@@ -858,6 +1089,7 @@ class Manager:
         if result.errors:
             result.status = "failed"
             result.t_end = engine.now
+            machine.aborted(result.errors[-1])
             op_span.end(status=result.status, duration_s=result.duration)
             return result
 
@@ -880,5 +1112,242 @@ class Manager:
         result.filters = restart.filters
         result.targets = new_targets
         result.t_end = engine.now
+        if result.ok:
+            yield from machine.commit(duration_s=result.duration)
+        else:
+            machine.aborted(result.errors[-1] if result.errors else restart.status)
         op_span.end(status=result.status, duration_s=result.duration)
         return result
+
+    # ------------------------------------------------------------------
+    # replica takeover: claim, then resume / re-drive / abort orphans
+    # ------------------------------------------------------------------
+    def takeover(self, **kw) -> Task:
+        """Spawn a ledger takeover; Task resolves to the action list."""
+        return self._spawn(self.takeover_task(**kw), name="manager-takeover")
+
+    def takeover_task(self, timeouts: Optional[PhaseTimeouts] = None,
+                      lease_s: Optional[float] = None):
+        """Recover every op the dead Manager left in flight.
+
+        Scans the ledger for orphans (non-terminal ops whose lease
+        expired), claims each with an atomic claim record, then — per
+        op, by its last durable phase:
+
+        * checkpoint past the ``continue`` record: the barrier release
+          was inevitable, so every Agent either committed or is parked
+          waiting — re-attach (``continue_op``), verify every image is
+          durable and every pod resumed, and *commit* the op;
+        * restart with a durable plan: re-drive exactly the pods the
+          restart commands never reached;
+        * anything else: abort through the normal tombstone-GC path.
+
+        Returns ``[(op_id, phase_at_claim, outcome), ...]``.
+        """
+        engine = self.cluster.engine
+        timeouts = timeouts if timeouts is not None else PhaseTimeouts()
+        lease = DEFAULT_LEASE_S if lease_s is None else float(lease_s)
+        actions: List[Tuple[int, str, str]] = []
+        for op in self.ledger.orphaned(engine.now):
+            span = self.cluster.span("manager.claim", parent=("op", op.op_id),
+                                     category="op", op=op.op_id,
+                                     owner=self.name, at_phase=op.phase)
+            if not self.ledger.claim(op.op_id, self.name, engine.now, lease):
+                span.end(status="refused")
+                actions.append((op.op_id, op.phase, "refused"))
+                continue
+            span.end(status="claimed")
+            yield from self.cluster.trace("manager.takeover_claim",
+                                          pod=f"op{op.op_id}")
+            if op.kind == "checkpoint" and op.phase in ("continue", "done", "flush"):
+                outcome = yield from self._resume_orphan(op, timeouts)
+            elif op.kind == "restart" and op.fields.get("plan_hex"):
+                outcome = yield from self._redrive_restart(op, timeouts)
+            else:
+                outcome = yield from self._abort_orphan(op, timeouts)
+            actions.append((op.op_id, op.phase, outcome))
+        return actions
+
+    def _resume_orphan(self, op, timeouts: PhaseTimeouts):
+        """Finish a checkpoint whose continue broadcast was durable."""
+        engine = self.cluster.engine
+        span = self.cluster.span("manager.resume", parent=("op", op.op_id),
+                                 category="op", op=op.op_id, at_phase=op.phase)
+        # re-attach: complete the barrier of any session still parked on
+        # the dead Manager's connection (idempotent for the rest)
+        for node_name in sorted({n for (n, _p, _u) in op.targets}):
+            if self.cluster.node_by_name(node_name).crashed:
+                continue
+            yield from self._send_simple(node_name, {
+                "cmd": "continue_op", "op_id": op.op_id}, timeouts)
+        verified = yield from self._verify_op_images(op, timeouts)
+        resumed = True
+        if verified and op.context == "snapshot":
+            probe = OpResult(op.kind, "ok", engine.now, engine.now,
+                             targets=[tuple(t) for t in op.targets],
+                             op_id=op.op_id)
+            yield from self._verify_resumed(op.targets, probe, timeouts)
+            for node_name, pod_id, _uri in op.targets:
+                if self.cluster.node_by_name(node_name).crashed:
+                    continue
+                if not probe.resumed.get(pod_id, False):
+                    resumed = False
+        if not (verified and resumed):
+            span.end(status="unverified")
+            return (yield from self._abort_orphan(op, timeouts))
+        result = OpResult("checkpoint", "ok", op.t_last, engine.now,
+                          targets=[tuple(t) for t in op.targets],
+                          op_id=op.op_id)
+        machine = OpMachine(self, result)
+        yield from machine.commit(resumed_by=self.name)
+        self.last_checkpoint = result
+        span.end(status="resumed")
+        return "resumed"
+
+    def _verify_op_images(self, op, timeouts: PhaseTimeouts):
+        """Poll until every target image of ``op`` is durably loadable
+        (bounded by the flush-scale timeout: an in-flight session that
+        got its continue is still writing)."""
+        engine = self.cluster.engine
+        deadline = engine.now + timeouts.flush
+        pending = sorted(tuple(t) for t in op.targets)
+        while pending:
+            still = []
+            for node_name, pod_id, uri in pending:
+                ready = yield from self._image_ready(op, node_name, pod_id, uri,
+                                                     timeouts)
+                if not ready:
+                    still.append((node_name, pod_id, uri))
+            pending = still
+            if not pending or engine.now >= deadline:
+                break
+            yield engine.sleep(min(0.25, timeouts.drain))
+        return not pending
+
+    def _image_ready(self, op, node_name: str, pod_id: str, uri: str,
+                     timeouts: PhaseTimeouts):
+        """Is this one image durable and attributable to op ``op``?"""
+        if uri.startswith("file:"):
+            sink = FileSink(self.cluster.san, self.home.kernel.vfs,
+                            uri[len("file:"):])
+            if not sink.exists():
+                return False
+            try:
+                sink.load(pod_id)
+            except Exception:
+                return False
+            return True
+        dest = uri[len("agent://"):] if uri.startswith("agent://") else node_name
+        if self.cluster.node_by_name(dest).crashed:
+            return False
+        reply = yield from self._send_simple(dest, {
+            "cmd": "query_image", "pod": pod_id, "op_id": op.op_id}, timeouts)
+        return bool(reply and reply.get("exists") and reply.get("op_ok"))
+
+    def _abort_orphan(self, op, timeouts: PhaseTimeouts):
+        """Abort an orphan through the normal tombstone-GC path.
+
+        The gc broadcast doubles as the re-attach for parked sessions
+        (the Agent signals their barrier futures with an abort), and the
+        tombstone suppresses any late store.  Aborting is idempotent —
+        re-running it after a half-done abort by the dead Manager rolls
+        nothing back twice (the Agents' gc guard) and re-unlinking a
+        gone SAN container is a no-op.
+        """
+        engine = self.cluster.engine
+        span = self.cluster.span("manager.abort", parent=("op", op.op_id),
+                                 category="op", op=op.op_id, at_phase=op.phase)
+        reason = f"orphaned at {op.phase}; aborted by {self.name}"
+        result = OpResult(op.kind, "failed", engine.now, engine.now,
+                          targets=[tuple(t) for t in op.targets],
+                          op_id=op.op_id, errors=[reason])
+        machine = OpMachine(self, result)
+        yield from machine.advance("abort", reason=reason)
+        if op.kind == "checkpoint" and op.targets:
+            yield from self._gc_partial_images(op.targets, result, timeouts)
+            # signalled sessions resume their pods within a few events;
+            # the drain window bounds the wait before the verify probe
+            yield engine.sleep(timeouts.drain)
+            yield from self._verify_resumed(op.targets, result, timeouts)
+        machine.aborted(reason)
+        span.end(status="aborted", gc_paths=len(result.gc_paths))
+        return "aborted"
+
+    def _redrive_restart(self, op, timeouts: PhaseTimeouts):
+        """Finish an orphaned restart from its durable plan.
+
+        Pods whose restart command never went out are re-driven on
+        fresh sessions — concurrently, because connectivity recovery
+        only completes when every peer participates; pods that already
+        exist (restored, or mid-restore by a surviving Agent session)
+        are left to finish on their own.
+        """
+        engine = self.cluster.engine
+        kernel = self.home.kernel
+        span = self.cluster.span("manager.redrive", parent=("op", op.op_id),
+                                 category="op", op=op.op_id)
+        decoded = codec.decode(bytes.fromhex(op.fields["plan_hex"]))
+        plan, vips = decoded["plan"], decoded["vips"]
+        tv = bool(op.fields.get("time_virtualization", True))
+        mode = op.fields.get("recovery_mode", "two-thread")
+        failures: List[str] = []
+        redriven = [0]
+
+        def redrive_pod(node_name: str, pod_id: str, uri: str):
+            reply = yield from self._send_simple(node_name, {
+                "cmd": "query_pod", "pod": pod_id}, timeouts)
+            if reply is not None and reply.get("exists"):
+                return
+            opened = yield from self._open_retry(node_name, timeouts)
+            if opened is None:
+                failures.append(f"{pod_id}: cannot reach agent on {node_name}")
+                return
+            chan, fd = opened
+            yield from send_msg(kernel, chan, fd, {
+                "cmd": "load_meta", "pod": pod_id, "uri": uri,
+                "op_id": op.op_id})
+            msg = yield from self._recv_timed(chan, fd, timeouts.load)
+            if msg is None or msg.get("type") != "meta":
+                failures.append(f"{pod_id}: image reload failed")
+                yield from self._close_conn(chan, fd)
+                return
+            pod_plan = plan.get(pod_id, {})
+            yield from send_msg(kernel, chan, fd, {
+                "cmd": "restart", "pod": pod_id,
+                "vip": vips.get(pod_id, msg.get("vip")),
+                "uri": uri, "op_id": op.op_id,
+                "listeners": pod_plan.get("listeners", []),
+                "schedule": pod_plan.get("schedule", []),
+                "time_virtualization": tv,
+                "recovery_mode": mode,
+            })
+            done = yield from self._recv_timed(chan, fd, timeouts.restart_done)
+            yield from self._close_conn(chan, fd)
+            if done is None or done.get("status") != "ok":
+                failures.append(f"{pod_id}: re-driven restart failed")
+                return
+            redriven[0] += 1
+
+        tasks = [self._spawn(redrive_pod(n, p, u), name=f"redrive-{p}")
+                 for n, p, u in op.targets]
+        if tasks:
+            ok, _ = yield engine.timeout(
+                all_of([t.finished for t in tasks]),
+                timeouts.connect + timeouts.load + timeouts.restart_done)
+            if not ok:
+                for task in tasks:
+                    if not task.done:
+                        task.cancel()
+                failures.append("redrive deadline expired")
+        result = OpResult("restart", "failed" if failures else "ok",
+                          op.t_last, engine.now,
+                          targets=[tuple(t) for t in op.targets],
+                          op_id=op.op_id, errors=list(failures))
+        machine = OpMachine(self, result)
+        if failures:
+            machine.aborted("; ".join(failures))
+            span.end(status="failed")
+            return "aborted"
+        yield from machine.commit(resumed_by=self.name, redriven=redriven[0])
+        span.end(status="redriven", redriven=redriven[0])
+        return "redriven"

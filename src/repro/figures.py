@@ -109,13 +109,37 @@ def figmig(apps: List[str], scale: float, filters: Filters = None) -> None:
                  "downtime %", "pre-copied [MB]", "bailout"), rows)
 
 
+def figfailover(apps: List[str], scale: float, filters: Filters = None) -> None:
+    """HA Manager failover: one chaos episode per ledger crash point
+    (not a paper figure — the Manager is the paper's lone unreplicated
+    component; this table shows a standby replica resolving the orphan
+    left at every phase boundary)."""
+    from .cluster.chaos import run_failover_chaos
+    from .cluster.faults import MANAGER_PHASES
+    rows = []
+    for crash_phase in MANAGER_PHASES:
+        rep = run_failover_chaos(0, crash_phase)
+        claimed = rep.takeover or []
+        rows.append((crash_phase.split("manager.ledger.")[-1],
+                     ", ".join(f"op{o}@{p}" for o, p, _w in claimed) or "-",
+                     ", ".join(w for _o, _p, w in claimed) or "none orphaned",
+                     len(rep.ops),
+                     "yes" if rep.app_finished else "no",
+                     "ok" if not rep.violations else f"{len(rep.violations)}!"))
+    print_table("Manager failover — replica takeover per ledger crash point "
+                "(seed 0)",
+                ("crash at", "orphan claimed", "outcome", "ops run",
+                 "app done", "invariants"), rows)
+
+
 def statistics_mean_mb(sizes: List[int]) -> float:
     return (sum(sizes) / len(sizes) / 1e6) if sizes else 0.0
 
 
 def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--fig", choices=["5", "6a", "6b", "6c", "mig", "all"],
+    parser.add_argument("--fig", choices=["5", "6a", "6b", "6c", "mig",
+                                          "failover", "all"],
                         default="all")
     parser.add_argument("--app", choices=list(APPS), default=None)
     parser.add_argument("--scale", type=float, default=1.0,
@@ -128,7 +152,8 @@ def main(argv: Optional[List[str]] = None) -> None:
     args = parser.parse_args(argv)
     apps = [args.app] if args.app else list(APPS)
     filters = parse_filter_args(args.compress, args.incremental) or None
-    runners = {"5": fig5, "6a": fig6a, "6b": fig6b, "6c": fig6c, "mig": figmig}
+    runners = {"5": fig5, "6a": fig6a, "6b": fig6b, "6c": fig6c, "mig": figmig,
+               "failover": figfailover}
     for name, fn in runners.items():
         if args.fig in (name, "all"):
             fn(apps, args.scale, filters)

@@ -1,13 +1,18 @@
-"""Storage substrate: the shared SAN and file-system snapshots."""
+"""Storage substrate: the shared SAN, snapshots, and the op ledger."""
 
+from .ledger import LEDGER_PATH, TERMINAL_PHASES, LedgerOp, OpLedger
 from .san import FC_BANDWIDTH, FC_LATENCY, SAN_MOUNT, SharedStorage
 from .snapshot import Snapshot, SnapshotManager
 
 __all__ = [
     "FC_BANDWIDTH",
     "FC_LATENCY",
+    "LEDGER_PATH",
+    "LedgerOp",
+    "OpLedger",
     "SAN_MOUNT",
     "SharedStorage",
     "Snapshot",
     "SnapshotManager",
+    "TERMINAL_PHASES",
 ]

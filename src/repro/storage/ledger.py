@@ -1,0 +1,194 @@
+"""The durable op ledger: a JSONL write-ahead log on the SAN.
+
+The Manager is the protocol's lone unreplicated component — the paper's
+coordinator "can be run from anywhere", which also means it can die
+anywhere, stranding an in-flight coordinated operation.  The cure
+(DMTCP's coordinator model, and the stateless-agent exemplars) is to
+make the coordinator state *recoverable*: every operation appends a
+record to this ledger at each phase boundary, so any replica Manager
+can scan the log, reconstruct each op's last durable phase, and either
+finish the op or abort it through the tombstone-GC path.
+
+The ledger lives on the SAN (the one :class:`FileSystem` instance every
+blade mounts), so durability and visibility come for free from the
+shared-storage assumption the paper already makes.  Records are one
+JSON object per line with sorted keys — byte-identical across same-seed
+runs, which keeps the chaos determinism oracle intact.  Appends are
+modeled as free (a ledger record is tens of bytes riding the SAN's
+metadata path; charging FC latency per record would perturb every
+existing latency figure for no modeling value).
+
+Record schema (all records carry ``op``, ``t``, and ``rec``):
+
+``{"rec": "op", "op": N, "phase": "begin", "kind": ..., "targets":
+[[node, pod, uri], ...], "context": ..., "owner": mgr, "lease": T}``
+    Opens op ``N``: the full request, who drives it, and a lease.
+
+``{"rec": "phase", "op": N, "phase": P, "owner": mgr, "lease": T, ...}``
+    Op ``N`` reached phase ``P``; extra keys carry per-phase payload
+    (negotiated filters, per-pod stats, the restart plan).  Writing the
+    record *renews the owner's lease*.
+
+``{"rec": "claim", "op": N, "owner": mgr, "lease": T}``
+    A replica claimed the orphaned op.  Claims are atomic by
+    construction: the simulator is single-threaded and :meth:`claim`
+    never yields between the lease check and the append.
+
+Terminal phases are ``commit`` and ``aborted``; everything else is
+in-flight and claimable once its lease expires.  A torn final line
+(a writer that died mid-append) is ignored on scan, mirroring how a
+real WAL discards a torn tail record.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..vos.filesystem import FileSystem, ensure_dirs
+
+#: conventional ledger path on the SAN (inner path, below the mount).
+LEDGER_PATH = "/zapc/ops.jsonl"
+
+#: phases after which an op needs no further work from anyone.
+TERMINAL_PHASES = ("commit", "aborted")
+
+
+@dataclass
+class LedgerOp:
+    """One op's state, folded from its ledger records (newest wins)."""
+
+    op_id: int
+    kind: str = "checkpoint"
+    phase: str = "begin"
+    targets: List[Tuple[str, str, str]] = field(default_factory=list)
+    context: str = "snapshot"
+    owner: Optional[str] = None
+    lease_until: float = 0.0
+    #: merged per-phase payload (negotiated filters, plan, stats, ...).
+    fields: Dict[str, Any] = field(default_factory=dict)
+    #: every owner that ever claimed the op, in order.
+    claims: List[str] = field(default_factory=list)
+    t_last: float = 0.0
+
+    @property
+    def terminal(self) -> bool:
+        return self.phase in TERMINAL_PHASES
+
+
+class OpLedger:
+    """Append/scan/claim interface over the JSONL ledger file."""
+
+    def __init__(self, fs: FileSystem, path: str = LEDGER_PATH) -> None:
+        self.fs = fs
+        self.path = path
+        #: scan bookkeeping: lines the last scan had to discard (the torn
+        #: tail, or corruption injected by tests).
+        self.skipped = 0
+
+    # -- raw log ---------------------------------------------------------
+    def _file(self):
+        f = self.fs.files.get(self.path)
+        if f is None:
+            ensure_dirs(self.fs, self.path.rsplit("/", 1)[0] or "/")
+            f = self.fs.create(self.path)
+        return f
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record (sorted keys: deterministic bytes)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._file().data += (line + "\n").encode("ascii")
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Parse the log, tolerating a torn (truncated) final line."""
+        f = self.fs.files.get(self.path)
+        self.skipped = 0
+        if f is None:
+            return []
+        out: List[Dict[str, Any]] = []
+        data = bytes(f.data)
+        lines = data.split(b"\n")
+        # data ending in "\n" leaves a legitimate empty tail; anything
+        # else is a torn append and is discarded like a torn WAL record
+        for raw in lines:
+            if not raw:
+                continue
+            try:
+                rec = json.loads(raw.decode("ascii"))
+            except (ValueError, UnicodeDecodeError):
+                self.skipped += 1
+                continue
+            if isinstance(rec, dict) and "op" in rec:
+                out.append(rec)
+            else:
+                self.skipped += 1
+        return out
+
+    # -- folded state ----------------------------------------------------
+    def replay(self) -> Dict[int, LedgerOp]:
+        """Fold the log into per-op state, in op-id order."""
+        ops: Dict[int, LedgerOp] = {}
+        for rec in self.records():
+            op_id = int(rec["op"])
+            op = ops.get(op_id)
+            if op is None:
+                op = ops[op_id] = LedgerOp(op_id=op_id)
+            kind = rec.get("rec", "phase")
+            op.t_last = float(rec.get("t", op.t_last))
+            if kind == "claim":
+                op.owner = rec.get("owner")
+                op.lease_until = float(rec.get("lease", 0.0))
+                op.claims.append(rec.get("owner"))
+                continue
+            if kind == "op":
+                op.kind = rec.get("kind", op.kind)
+                op.context = rec.get("context", op.context)
+                op.targets = [tuple(t) for t in rec.get("targets", [])]
+            if rec.get("owner") is not None:
+                op.owner = rec["owner"]
+            if rec.get("lease") is not None:
+                op.lease_until = float(rec["lease"])
+            op.phase = rec.get("phase", op.phase)
+            for key, value in rec.items():
+                if key not in ("rec", "op", "phase", "owner", "lease", "t",
+                               "kind", "context", "targets"):
+                    op.fields[key] = value
+        return ops
+
+    def next_op_id(self) -> int:
+        """Smallest op id no record has used yet."""
+        return max((int(r["op"]) for r in self.records()), default=0) + 1
+
+    def orphaned(self, now: float) -> List[LedgerOp]:
+        """Non-terminal ops whose lease has expired, in op-id order —
+        the set a takeover replica must resume or abort."""
+        return [op for _id, op in sorted(self.replay().items())
+                if not op.terminal and now >= op.lease_until]
+
+    def claim(self, op_id: int, owner: str, now: float,
+              lease_s: float) -> bool:
+        """Atomically claim an orphaned op.
+
+        Refuses when the op is unknown, already terminal, or still under
+        another Manager's unexpired lease.  Single-threaded simulation
+        plus no yield between check and append makes this atomic — the
+        moral equivalent of an O_APPEND compare-and-swap record.
+        """
+        op = self.replay().get(op_id)
+        if op is None or op.terminal:
+            return False
+        if op.owner is not None and op.owner != owner and now < op.lease_until:
+            return False
+        self.append({"rec": "claim", "op": op_id, "owner": owner,
+                     "lease": now + lease_s, "t": now})
+        return True
+
+    def last_committed(self, kind: str = "checkpoint") -> Optional[LedgerOp]:
+        """The newest committed op of ``kind`` (highest op id) — what a
+        replica reconstructs ``last_checkpoint`` from."""
+        best: Optional[LedgerOp] = None
+        for _id, op in sorted(self.replay().items()):
+            if op.kind == kind and op.phase == "commit":
+                best = op
+        return best

@@ -12,8 +12,13 @@ Examples::
     python -m repro.zapc snapshot --app CPI --nodes 4
     python -m repro.zapc snapshot --app BT/NAS --nodes 4 --incremental --checkpoints 3
     python -m repro.zapc snapshot --trace out.json --trace-format chrome --metrics
+    python -m repro.zapc snapshot --app CPI --nodes 4 --managers 2
     python -m repro.zapc migrate  --app BT/NAS --nodes 4 --compress 6
     python -m repro.zapc recover  --app PETSc --nodes 2
+
+``--managers 2`` demonstrates the HA Manager: the active Manager is
+crashed at a ledger phase boundary mid-checkpoint and a standby replica
+claims the orphaned op from the durable op ledger and finishes it.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
-from .core.manager import Manager
+from .core.manager import Manager, OpResult
 from .core.pipeline import parse_filter_args
 from .core.streaming import (
     DEFAULT_DIRTY_THRESHOLD,
@@ -65,7 +70,8 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
              checkpoints: int = 1, trace: Optional[str] = None,
              trace_format: str = "chrome", metrics: bool = False,
              live: bool = False, precopy_rounds: int = DEFAULT_PRECOPY_ROUNDS,
-             dirty_threshold: int = DEFAULT_DIRTY_THRESHOLD) -> bool:
+             dirty_threshold: int = DEFAULT_DIRTY_THRESHOLD,
+             managers: int = 1) -> bool:
     """Run one demo scenario; returns True when everything verified.
 
     ``trace`` writes a span trace of the whole run to a file
@@ -75,6 +81,11 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
     ``live`` makes a migration pre-copy memory while the application
     keeps running (up to ``precopy_rounds`` rounds, stopping early once
     the residual falls to ``dirty_threshold`` bytes).
+
+    ``managers`` > 1 turns a snapshot into the HA failover demo: the
+    active Manager is crashed at the ``continue`` ledger crossing of the
+    first checkpoint, and once its lease expires a standby replica scans
+    the op ledger, claims the orphan, and resumes (or aborts) it.
     """
     spec = APPS[app]
     if nodes not in spec.node_counts:
@@ -91,6 +102,11 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
             cluster.nodes.append(Node(cluster.engine, i, f"blade{i}", real_ip(i),
                                       cluster.fabric, cluster.vnet, cluster.san))
     manager = Manager.deploy(cluster)
+    if managers > 1 and action == "snapshot":
+        from .cluster.faults import FaultInjector, FaultPlan, FaultSpec
+        FaultInjector(cluster, FaultPlan(seed=seed, faults=[
+            FaultSpec(kind="crash_manager", phase="manager.ledger.continue"),
+        ])).install()
     handle = spec.launch_pods(cluster, nodes, scale)
     expected = spec.work_seconds(nodes, scale)
     print(f"{app} on {nodes} node(s) ({blades} blade(s)); "
@@ -102,10 +118,36 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
         targets = checkpoint_targets(handle, cluster)
         if action == "snapshot":
             ops = []
+            active = manager
             for i in range(max(1, checkpoints)):
                 if i:
                     yield cluster.engine.sleep(max(0.02, expected * 0.05))
-                result = yield from manager.checkpoint_task(targets, filters=filters)
+                if managers > 1 and i == 0:
+                    lease_s = 3.0
+                    task = active.checkpoint(targets, filters=filters,
+                                             lease_s=lease_s)
+                    yield cluster.engine.timeout(task.finished, 120.0)
+                    if active.crashed:
+                        print(f"{active.name} crashed mid-checkpoint; standby "
+                              f"waits out the {lease_s:.0f} s ledger lease")
+                        yield cluster.engine.sleep(lease_s + 1.0)
+                        replica = Manager.deploy_replica(cluster, active.agents,
+                                                         name="mgr1")
+                        actions = yield from replica.takeover_task(
+                            lease_s=lease_s)
+                        for op_id, phase, what in actions:
+                            print(f"  op {op_id}: orphaned at «{phase}» "
+                                  f"-> {what}")
+                        active = replica
+                        result = replica.last_checkpoint
+                        if result is None:
+                            result = OpResult("checkpoint", "failed", 0.0,
+                                              cluster.engine.now)
+                    else:
+                        result = task.finished.result
+                else:
+                    result = yield from active.checkpoint_task(targets,
+                                                               filters=filters)
                 ops.append((f"checkpoint #{i}" if checkpoints > 1 else "checkpoint",
                             result))
             outcome["ops"] = ops
@@ -196,6 +238,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=DEFAULT_DIRTY_THRESHOLD, metavar="BYTES",
                         help="stop pre-copying once the residual dirty set "
                              f"falls to this (default: {DEFAULT_DIRTY_THRESHOLD})")
+    parser.add_argument("--managers", type=int, default=1, metavar="N",
+                        help="with N > 1, demo HA failover: crash the active "
+                             "Manager mid-snapshot and let a standby replica "
+                             "finish the op from the durable op ledger")
     args = parser.parse_args(argv)
     ok = run_demo(args.action, args.app, args.nodes, scale=args.scale,
                   seed=args.seed,
@@ -203,7 +249,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                   checkpoints=args.checkpoints, trace=args.trace,
                   trace_format=args.trace_format, metrics=args.metrics,
                   live=args.live, precopy_rounds=args.precopy_rounds,
-                  dirty_threshold=args.dirty_threshold)
+                  dirty_threshold=args.dirty_threshold,
+                  managers=args.managers)
     return 0 if ok else 1
 
 

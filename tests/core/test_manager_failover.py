@@ -1,0 +1,283 @@
+"""Manager failover at unit scale: replica takeover, lease discipline,
+idempotent tombstone-GC, and recover deadlines.
+
+The chaos matrix (tests/chaos/test_failover_chaos.py) sweeps every crash
+point × many seeds; these tests pin down the individual mechanisms with
+one deterministic scenario each, so a matrix failure has a small test to
+bisect against.
+"""
+
+from repro.cluster import Cluster, FaultInjector, FaultPlan, FaultSpec
+from repro.cluster.faults import crash_node
+from repro.core import Manager
+from repro.core.manager import PhaseTimeouts
+from repro.core.pipeline import FileSink
+from repro.storage import OpLedger
+from repro.vos import DEAD
+
+from .testapps import expected_sums, final_sums, launch_pingpong
+
+ROUNDS = 600
+TIGHT = PhaseTimeouts(connect=2.0, meta=5.0, barrier=5.0, done=8.0,
+                      flush=20.0, load=5.0, restart_done=15.0, drain=2.0)
+SRV_IMG = "/san/ha-srv.img"
+CLI_IMG = "/san/ha-cli.img"
+
+
+def _world(seed):
+    cluster = Cluster.build(4, seed=seed)
+    manager = Manager.deploy(cluster)
+    return cluster, manager
+
+
+def _file_targets(cluster):
+    return [(cluster.node(1).name, "pp-srv", f"file:{SRV_IMG}"),
+            (cluster.node(2).name, "pp-cli", f"file:{CLI_IMG}")]
+
+
+def _crash_at(cluster, ledger_phase):
+    plan = FaultPlan(seed=0, faults=[
+        FaultSpec(kind="crash_manager", phase=ledger_phase)])
+    return FaultInjector(cluster, plan).install()
+
+
+def _await_crash_then_takeover(cluster, manager, state, settle=3.0,
+                               lease_s=2.0):
+    """Driver tail: wait out the crash + lease, deploy a replica,
+    run its takeover, and record what it did."""
+    engine = cluster.engine
+    while not manager.crashed:
+        yield engine.sleep(0.25)
+    yield engine.sleep(settle)
+    replica = Manager.deploy_replica(cluster, manager.agents, name="mgr1")
+    state["replica"] = replica
+    state["actions"] = yield from replica.takeover_task(
+        timeouts=TIGHT, lease_s=lease_s)
+
+
+def test_replica_resumes_checkpoint_crashed_after_continue():
+    """Crash after the ``continue`` record is durable: the barrier
+    release was inevitable, so the replica must finish the op — commit,
+    not abort — and the image must be whole."""
+    cluster, manager = _world(11)
+    _crash_at(cluster, "manager.ledger.continue")
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS,
+                               server_node=1, client_node=2)
+    engine = cluster.engine
+    state = {}
+
+    def driver():
+        yield engine.sleep(0.2)
+        manager.checkpoint(_file_targets(cluster), timeouts=TIGHT, lease_s=2.0)
+        yield from _await_crash_then_takeover(cluster, manager, state)
+
+    engine.spawn(driver(), name="drv")
+    engine.run(until=240.0)
+    assert manager.crashed
+    assert state["actions"] == [(1, "continue", "resumed")]
+    replica = state["replica"]
+    assert replica.last_checkpoint is not None
+    assert replica.last_checkpoint.op_id == 1
+    # exactly one whole committed image per pod on the SAN
+    vfs = cluster.node(0).kernel.vfs
+    for path, pod in ((SRV_IMG, "pp-srv"), (CLI_IMG, "pp-cli")):
+        assert FileSink(cluster.san, vfs, path).load(pod), \
+            f"{pod}: image not durable after resume"
+    ops = OpLedger(cluster.san).replay()
+    assert ops[1].terminal and ops[1].phase == "commit"
+    assert srv.state == DEAD and cli.state == DEAD
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_replica_aborts_checkpoint_crashed_before_continue():
+    """Crash after ``meta`` but before the ``continue`` record: some
+    Agent might never have been released, so the replica must abort via
+    tombstone-GC — no partial image survives, every pod resumes."""
+    cluster, manager = _world(12)
+    _crash_at(cluster, "manager.ledger.meta")
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS,
+                               server_node=1, client_node=2)
+    engine = cluster.engine
+    state = {}
+
+    def driver():
+        yield engine.sleep(0.2)
+        manager.checkpoint(_file_targets(cluster), timeouts=TIGHT, lease_s=2.0)
+        yield from _await_crash_then_takeover(cluster, manager, state)
+
+    engine.spawn(driver(), name="drv")
+    engine.run(until=240.0)
+    assert manager.crashed
+    assert state["actions"] == [(1, "meta", "aborted")]
+    assert state["replica"].last_checkpoint is None
+    for path in (SRV_IMG, CLI_IMG):
+        assert not cluster.san.exists(path), f"partial image left at {path}"
+    assert OpLedger(cluster.san).replay()[1].phase == "aborted"
+    # the app was released and ran to the correct answer anyway
+    assert srv.state == DEAD and cli.state == DEAD
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_replica_redrives_orphaned_restart():
+    """Crash after the restart ``plan`` record: the replica re-drives
+    the restart from the durable plan — the pods come back and the app
+    completes, without replanning from scratch."""
+    cluster, manager = _world(13)
+    _crash_at(cluster, "manager.ledger.plan")  # only crossed by restarts
+    srv, cli = launch_pingpong(cluster, rounds=ROUNDS,
+                               server_node=1, client_node=2)
+    engine = cluster.engine
+    targets = _file_targets(cluster)
+    state = {}
+
+    def driver():
+        yield engine.sleep(0.2)
+        task = manager.checkpoint(targets, timeouts=TIGHT)
+        ok, res = yield engine.timeout(task.finished, 60.0)
+        assert ok and res is not None and res.ok, res and res.errors
+        cluster.find_pod("pp-srv").destroy()
+        cluster.find_pod("pp-cli").destroy()
+        manager.restart(targets, timeouts=TIGHT, lease_s=2.0)
+        yield from _await_crash_then_takeover(cluster, manager, state)
+
+    engine.spawn(driver(), name="drv")
+    engine.run(until=240.0)
+    assert manager.crashed
+    assert state["actions"] == [(2, "plan", "redriven")]
+    ops = OpLedger(cluster.san).replay()
+    assert ops[2].terminal and ops[2].phase == "commit"
+    assert final_sums(cluster) == expected_sums(ROUNDS)
+
+
+def test_takeover_respects_live_lease():
+    """A takeover before the dead owner's lease expires claims nothing;
+    after expiry the same orphan is claimed and resumed."""
+    cluster, manager = _world(14)
+    _crash_at(cluster, "manager.ledger.continue")
+    launch_pingpong(cluster, rounds=ROUNDS, server_node=1, client_node=2)
+    engine = cluster.engine
+    state = {}
+
+    def driver():
+        yield engine.sleep(0.2)
+        manager.checkpoint(_file_targets(cluster), timeouts=TIGHT, lease_s=5.0)
+        while not manager.crashed:
+            yield engine.sleep(0.25)
+        yield engine.sleep(0.5)      # well inside the 5 s lease
+        replica = Manager.deploy_replica(cluster, manager.agents, name="mgr1")
+        state["early"] = yield from replica.takeover_task(
+            timeouts=TIGHT, lease_s=5.0)
+        yield engine.sleep(6.0)      # now the lease is stale
+        state["late"] = yield from replica.takeover_task(
+            timeouts=TIGHT, lease_s=5.0)
+
+    engine.spawn(driver(), name="drv")
+    engine.run(until=240.0)
+    assert state["early"] == [], "claimed an op whose lease was still live"
+    assert state["late"] == [(1, "continue", "resumed")]
+
+
+def test_double_abort_gc_is_idempotent():
+    """Satellite regression: a replayed gc for an already-aborted op
+    (dead Manager sent it, takeover replica sends it again) must not
+    roll back an image a *newer* op has committed since."""
+    cluster, manager = _world(15)
+    launch_pingpong(cluster, rounds=ROUNDS, server_node=1, client_node=2)
+    engine = cluster.engine
+    node1 = cluster.node(1).name
+    agent = manager.agents[node1]
+    state = {}
+
+    def driver():
+        yield engine.sleep(0.2)
+        # op 1: a good mem checkpoint of pp-srv
+        task = manager.checkpoint([(node1, "pp-srv", "mem")], timeouts=TIGHT)
+        ok, res = yield engine.timeout(task.finished, 60.0)
+        assert ok and res.ok, res and res.errors
+        # op 2: fails (ghost pod) -> the Manager gc's it, tombstoning
+        # op 2 on the Agent and rolling pp-srv's store back
+        task = manager.checkpoint([(node1, "pp-srv", "mem"),
+                                   (node1, "ghost", "mem")], timeouts=TIGHT)
+        ok, res = yield engine.timeout(task.finished, 60.0)
+        assert ok and not res.ok
+        # op 3: a fresh good checkpoint commits a newer image
+        task = manager.checkpoint([(node1, "pp-srv", "mem")], timeouts=TIGHT)
+        ok, res = yield engine.timeout(task.finished, 60.0)
+        assert ok and res.ok, res and res.errors
+        state["op3"] = res.op_id
+        state["chain"] = list(agent.mem_sink.load("pp-srv"))
+        # the replayed abort: gc for op 2 arrives a second time
+        yield from manager._send_simple(node1, {
+            "cmd": "gc", "op_id": 2, "pods": ["pp-srv"]}, TIGHT)
+
+    engine.spawn(driver(), name="drv")
+    engine.run(until=240.0)
+    assert state["chain"], "op 3 never committed a mem image"
+    assert agent.mem_sink.load("pp-srv") == state["chain"], \
+        "replayed gc for op 2 rolled back op 3's committed image"
+    assert agent.committed_ops.get("pp-srv") == state["op3"]
+
+
+def test_recover_deadline_expiry_leaves_terminal_ledger():
+    """A recover whose deadline expires mid-restart fails — and still
+    writes a terminal record, so a later takeover finds no orphan."""
+    cluster, manager = _world(16)
+    launch_pingpong(cluster, rounds=ROUNDS, server_node=1, client_node=2)
+    engine = cluster.engine
+    state = {}
+
+    def driver():
+        yield engine.sleep(0.2)
+        task = manager.checkpoint(_file_targets(cluster), timeouts=TIGHT)
+        ok, res = yield engine.timeout(task.finished, 60.0)
+        assert ok and res.ok, res and res.errors
+        crash_node(cluster, cluster.node(1))
+        task = manager.recover(deadline=0.05, timeouts=TIGHT)
+        ok, res = yield engine.timeout(task.finished, 60.0)
+        assert ok
+        state["recover"] = res
+
+    engine.spawn(driver(), name="drv")
+    engine.run(until=240.0)
+    res = state["recover"]
+    assert not res.ok and res.status in ("timeout", "failed"), res.status
+    ops = OpLedger(cluster.san).replay()
+    assert all(op.terminal for op in ops.values()), \
+        f"non-terminal ops after failed recover: {ops}"
+    # nothing for a replica to claim
+    manager.crash()
+    replica = Manager.deploy_replica(cluster, manager.agents, name="mgr1")
+    actions = engine.run_task(replica.takeover_task(timeouts=TIGHT,
+                                                    lease_s=1.0))
+    assert actions == []
+
+
+def test_replica_reconstructs_last_checkpoint_and_op_ids():
+    """A stateless replica rebuilds ``last_checkpoint`` from the newest
+    durable commit and allocates op ids above everything in the ledger."""
+    cluster, manager = _world(17)
+    launch_pingpong(cluster, rounds=ROUNDS, server_node=1, client_node=2)
+    engine = cluster.engine
+    state = {}
+
+    def driver():
+        yield engine.sleep(0.2)
+        task = manager.checkpoint(_file_targets(cluster), timeouts=TIGHT)
+        ok, res = yield engine.timeout(task.finished, 60.0)
+        assert ok and res.ok, res and res.errors
+        state["ckpt"] = res
+        manager.crash()
+        replica = Manager.deploy_replica(cluster, manager.agents, name="mgr1")
+        state["replica"] = replica
+        state["actions"] = yield from replica.takeover_task(timeouts=TIGHT,
+                                                            lease_s=1.0)
+
+    engine.spawn(driver(), name="drv")
+    engine.run(until=240.0)
+    replica, ckpt = state["replica"], state["ckpt"]
+    assert state["actions"] == []            # a committed op is no orphan
+    assert replica.last_checkpoint is not None
+    assert replica.last_checkpoint.op_id == ckpt.op_id
+    assert replica.last_checkpoint.targets == [tuple(t) for t in ckpt.targets]
+    assert replica.new_op_id() > ckpt.op_id
+    assert cluster.manager is replica

@@ -1,0 +1,146 @@
+"""The durable op ledger: append/replay/claim semantics.
+
+The ledger is the whole basis of Manager failover, so its replay has to
+be exact under the messy cases a real WAL sees: a torn final line (the
+writer died mid-append), duplicate claims racing for one orphan, and
+stale leases that must not block a takeover forever.
+"""
+
+from repro.storage import LEDGER_PATH, OpLedger, SharedStorage
+
+
+def _ledger():
+    return OpLedger(SharedStorage())
+
+
+def test_append_and_replay_folds_phases():
+    led = _ledger()
+    led.append({"rec": "op", "op": 1, "phase": "begin", "kind": "checkpoint",
+                "targets": [["blade1", "p0", "file:/san/p0.img"]],
+                "context": "snapshot", "owner": "mgr0", "lease": 30.0, "t": 0.0})
+    led.append({"rec": "phase", "op": 1, "phase": "meta", "owner": "mgr0",
+                "lease": 31.0, "t": 1.0, "pods": ["p0"]})
+    led.append({"rec": "phase", "op": 1, "phase": "continue", "owner": "mgr0",
+                "lease": 32.0, "t": 2.0})
+    ops = led.replay()
+    assert set(ops) == {1}
+    op = ops[1]
+    assert op.kind == "checkpoint"
+    assert op.phase == "continue"
+    assert op.targets == [("blade1", "p0", "file:/san/p0.img")]
+    assert op.owner == "mgr0"
+    assert op.lease_until == 32.0
+    assert op.fields["pods"] == ["p0"]       # per-phase payload merged
+    assert not op.terminal
+    assert led.next_op_id() == 2
+
+
+def test_terminal_phases_end_the_op():
+    led = _ledger()
+    led.append({"rec": "op", "op": 1, "phase": "begin", "kind": "checkpoint",
+                "targets": [], "owner": "mgr0", "lease": 5.0, "t": 0.0})
+    led.append({"rec": "phase", "op": 1, "phase": "commit", "owner": "mgr0",
+                "lease": 6.0, "t": 1.0})
+    assert led.replay()[1].terminal
+    assert led.orphaned(now=100.0) == []
+    assert led.last_committed("checkpoint").op_id == 1
+
+
+def test_truncated_last_record_is_discarded():
+    """A torn tail (writer died mid-append) must not poison the scan:
+    every complete record before it still replays."""
+    led = _ledger()
+    led.append({"rec": "op", "op": 1, "phase": "begin", "kind": "checkpoint",
+                "targets": [], "owner": "mgr0", "lease": 5.0, "t": 0.0})
+    led.append({"rec": "phase", "op": 1, "phase": "meta", "owner": "mgr0",
+                "lease": 6.0, "t": 1.0})
+    # tear the file mid-way through the last record
+    f = led.fs.files[led.path]
+    torn = bytes(f.data)[:-9]
+    del f.data[:]
+    f.data.extend(torn)
+    ops = led.replay()
+    assert led.skipped == 1
+    assert ops[1].phase == "begin"           # the torn meta record is gone
+    assert led.next_op_id() == 2             # op ids still monotonic
+
+
+def test_corrupt_middle_line_is_skipped():
+    led = _ledger()
+    led.append({"rec": "op", "op": 1, "phase": "begin", "kind": "restart",
+                "targets": [], "owner": "mgr0", "lease": 5.0, "t": 0.0})
+    led._file().data += b"{not json at all\n"
+    led.append({"rec": "phase", "op": 1, "phase": "commit", "owner": "mgr0",
+                "lease": 9.0, "t": 2.0})
+    ops = led.replay()
+    assert led.skipped == 1
+    assert ops[1].terminal
+
+
+def test_duplicate_claim_is_refused_under_live_lease():
+    """Two replicas race for one orphan: the first claim wins, the
+    second is refused while the winner's lease is live."""
+    led = _ledger()
+    led.append({"rec": "op", "op": 1, "phase": "meta", "kind": "checkpoint",
+                "targets": [], "owner": "mgr0", "lease": 3.0, "t": 0.0})
+    assert led.claim(1, "mgr1", now=5.0, lease_s=10.0)    # lease expired at 3
+    assert not led.claim(1, "mgr2", now=6.0, lease_s=10.0)  # mgr1 holds it
+    op = led.replay()[1]
+    assert op.owner == "mgr1"
+    assert op.claims == ["mgr1"]
+    # re-claiming your own op just renews the lease
+    assert led.claim(1, "mgr1", now=7.0, lease_s=10.0)
+    assert led.replay()[1].lease_until == 17.0
+
+
+def test_stale_lease_is_claimable():
+    """A claim whose holder also died becomes claimable once *its*
+    lease expires — leases chain, they do not deadlock."""
+    led = _ledger()
+    led.append({"rec": "op", "op": 1, "phase": "continue", "kind": "checkpoint",
+                "targets": [], "owner": "mgr0", "lease": 3.0, "t": 0.0})
+    assert led.claim(1, "mgr1", now=4.0, lease_s=5.0)     # mgr1: lease to 9
+    assert not led.claim(1, "mgr2", now=8.0, lease_s=5.0)
+    assert led.claim(1, "mgr2", now=9.5, lease_s=5.0)     # mgr1's lease stale
+    assert led.replay()[1].claims == ["mgr1", "mgr2"]
+
+
+def test_claim_refuses_unknown_and_terminal_ops():
+    led = _ledger()
+    assert not led.claim(42, "mgr1", now=0.0, lease_s=5.0)
+    led.append({"rec": "op", "op": 1, "phase": "begin", "kind": "checkpoint",
+                "targets": [], "owner": "mgr0", "lease": 1.0, "t": 0.0})
+    led.append({"rec": "phase", "op": 1, "phase": "aborted", "owner": "mgr0",
+                "lease": 1.0, "t": 0.5})
+    assert not led.claim(1, "mgr1", now=10.0, lease_s=5.0)
+
+
+def test_orphaned_orders_by_op_id_and_respects_leases():
+    led = _ledger()
+    for op_id, lease in ((3, 2.0), (1, 2.0), (2, 50.0)):
+        led.append({"rec": "op", "op": op_id, "phase": "meta",
+                    "kind": "checkpoint", "targets": [], "owner": "mgr0",
+                    "lease": lease, "t": 0.0})
+    orphans = led.orphaned(now=10.0)
+    assert [o.op_id for o in orphans] == [1, 3]   # op 2's lease still live
+
+
+def test_records_are_deterministic_bytes():
+    """Sorted keys + compact separators: the same appends produce the
+    same bytes, which is what keeps chaos traces byte-comparable."""
+    led_a, led_b = _ledger(), _ledger()
+    for led in (led_a, led_b):
+        led.append({"t": 0.0, "op": 1, "rec": "op", "phase": "begin",
+                    "kind": "checkpoint", "targets": [], "owner": "m",
+                    "lease": 1.0})
+    assert bytes(led_a.fs.files[LEDGER_PATH].data) == \
+        bytes(led_b.fs.files[LEDGER_PATH].data)
+    assert b'"lease":1.0' in bytes(led_a.fs.files[LEDGER_PATH].data)
+
+
+def test_ledger_path_created_on_first_append():
+    led = _ledger()
+    assert not led.fs.exists(LEDGER_PATH)
+    assert led.records() == []               # scanning a missing log is fine
+    led.append({"rec": "op", "op": 1, "phase": "begin", "t": 0.0})
+    assert led.fs.exists(LEDGER_PATH)
