@@ -64,6 +64,8 @@ def pytest_sessionfinish(session, exitstatus):
         "fig6c": ("app", "nodes", "largest pod image [MB]", "network state [KB]"),
         "livemig": ("round cap", "rounds run", "downtime [ms]", "total [ms]",
                     "downtime [%]", "bailout"),
+        "fleet": ("max inflight", "waves", "campaign [s]",
+                  "p50 downtime [ms]", "p99 downtime [ms]", "pods ok"),
         "ablations": ("experiment", "variant", "metric", "value"),
     }
     titles = {
@@ -73,9 +75,12 @@ def pytest_sessionfinish(session, exitstatus):
         "fig6c": "Figure 6(c) — average checkpoint image size (largest pod)",
         "livemig": "Live migration — downtime vs pre-copy rounds "
                    "(256 MB pod, 40 MB/s writes)",
+        "fleet": "Fleet evacuation — 18 of 24 blades, 96 pods, "
+                 "by in-flight cap",
         "ablations": "Design ablations",
     }
-    for name in ("fig5", "fig6a", "fig6b", "fig6c", "livemig", "ablations"):
+    for name in ("fig5", "fig6a", "fig6b", "fig6c", "livemig", "fleet",
+                 "ablations"):
         rows = _reports.get(name)
         if rows:
             print()

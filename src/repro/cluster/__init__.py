@@ -5,6 +5,7 @@ from .faults import (
     ALL_PHASES,
     CHECKPOINT_PHASES,
     FAULT_KINDS,
+    FLEET_PHASES,
     PRECOPY_PHASES,
     RESTART_PHASES,
     FaultInjector,
@@ -20,6 +21,7 @@ __all__ = [
     "ALL_PHASES",
     "CHECKPOINT_PHASES",
     "FAULT_KINDS",
+    "FLEET_PHASES",
     "PRECOPY_PHASES",
     "RESTART_PHASES",
     "Cluster",

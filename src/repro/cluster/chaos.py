@@ -724,3 +724,331 @@ def run_migration_chaos(seed: int, n_nodes: int = 5, rounds: int = 2500,
 
         report.span_dump = to_jsonl(tracer)
     return report
+
+
+# ---------------------------------------------------------------------------
+# fleet-campaign chaos
+# ---------------------------------------------------------------------------
+
+#: fault kinds that make sense at fleet wave boundaries (SAN faults are
+#: covered by the per-op batteries; here the interesting failures are
+#: blades dying and links misbehaving *between* units).
+FLEET_FAULT_KINDS = ("crash_node", "link_drop", "link_delay", "hang")
+
+
+@dataclass
+class FleetChaosReport:
+    """One audited fleet-campaign chaos episode (see
+    :func:`run_fleet_chaos`)."""
+
+    seed: int
+    #: drain | evacuate | checkpoint — drawn from the seed.
+    scenario: str
+    #: nodes being drained/evacuated ([] for the checkpoint scenario).
+    targets: List[str]
+    plan: List[Dict[str, Any]]
+    trace: List[Tuple[float, str, Optional[str], Optional[str], Tuple[str, ...]]]
+    fired: List[Tuple[float, str, str, Optional[str], Optional[str]]]
+    max_inflight: int = 0
+    #: (status, ok, failed, skipped, threshold_tripped) of the *final*
+    #: campaign run (the resumed one when the Manager was crashed).
+    campaign: Optional[Tuple[str, int, int, int, bool]] = None
+    #: per-run gate high-water marks, in run order.
+    peaks: List[int] = field(default_factory=list)
+    #: what the replica's op-level takeover did (None: no failover).
+    takeover: Optional[List[Tuple[int, str, str]]] = None
+    #: what the replica's campaign resume did (None: no failover).
+    resume: Optional[List[Tuple[int, str, str]]] = None
+    manager_crashed: bool = False
+    crashed_nodes: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    span_dump: Optional[str] = None
+
+
+def run_fleet_chaos(seed: int, n_nodes: int = 8, n_pods: int = 24,
+                    until: float = 900.0,
+                    trace_spans: bool = False) -> FleetChaosReport:
+    """One fleet-campaign chaos episode; returns the audited report.
+
+    A cluster of idle pods (blades 1..5 populated, the rest spare) runs
+    one seeded scenario — drain a blade, evacuate two, or checkpoint the
+    whole fleet — while a seeded fault plan fires at the ``fleet.*``
+    wave boundaries (blade crashes, link drops/delays, hangs), possibly
+    plus a ``crash_manager`` mid-campaign.  On a Manager crash a
+    supervisor waits out the lease, deploys a replica, resolves orphaned
+    *ops* with :meth:`~repro.core.manager.Manager.takeover_task`, then
+    finishes the orphaned *campaign* with
+    :func:`~repro.fleet.campaign.resume_campaigns_task`.  Audited
+    invariants:
+
+    FC1  **No pod lost or duplicated.**  Every fleet pod is active on
+         exactly one surviving node; a missing pod is explained only by
+         a crashed blade that still holds it.
+    FC2  **Threshold respected.**  Once the failed fraction trips the
+         threshold, no retry attempt starts, at most ``max_inflight``
+         already-admitted units run their first attempt, and the halted
+         campaign really does exceed its threshold.
+    FC3  **Bounded concurrency.**  Across all runs (original and
+         resumed), overlapping unit attempts never exceed
+         ``max_inflight``; each run's gate high-water mark agrees.
+    FC4  (caller's oracle) Same seed → byte-identical ``trace`` /
+         ``fired`` / ``span_dump``.
+    FC5  **Clean end state.**  Every ok pod runs unsuspended and
+         unfirewalled, off the evacuated set; every failed/skipped
+         migration leaves its pod on the source blade (unless that
+         blade crashed); a fully-ok drain leaves the node empty; and
+         with a live Manager at the end every ledger campaign is
+         terminal.
+    """
+    from ..core.manager import Manager
+    from ..fleet import (
+        FLEET_TIMEOUTS,
+        FleetPolicy,
+        build_fleet_world,
+        checkpoint_fleet_task,
+        drain_campaign,
+        evacuate_campaign,
+        resume_campaigns_task,
+    )
+    from ..fleet.campaign import CampaignResult
+    from ..storage.ledger import OpLedger
+    from .faults import FLEET_PHASES
+
+    drv_rng = random.Random(seed ^ 0x51EE7F1E)
+    scenario = drv_rng.choice(("drain", "evacuate", "checkpoint"))
+    populated = [f"blade{i}" for i in range(1, 6)]
+    if scenario == "drain":
+        targets = [drv_rng.choice(populated)]
+    elif scenario == "evacuate":
+        targets = sorted(drv_rng.sample(populated, 2))
+    else:
+        targets = []
+    policy = FleetPolicy(max_inflight=drv_rng.choice((2, 3, 4)),
+                         wave_barrier=drv_rng.random() < 0.5,
+                         failure_threshold=0.5, retries=1,
+                         deadline=30.0, lease_s=3.0)
+
+    cluster, manager, pods = build_fleet_world(
+        n_nodes, n_pods, seed=seed, first_node=1, last_node=5)
+    engine = cluster.engine
+    tracer = None
+    if trace_spans:
+        from ..obs import SpanTracer
+
+        tracer = SpanTracer(engine).install(cluster)
+    plan = FaultPlan.random(seed, [n.name for n in cluster.nodes],
+                            phases=FLEET_PHASES, kinds=FLEET_FAULT_KINDS)
+    if drv_rng.random() < 0.4:
+        plan.faults.append(FaultSpec(
+            kind="crash_manager",
+            phase=drv_rng.choice(("fleet.pod_start", "fleet.pod_done",
+                                  "fleet.wave_done")),
+            after=drv_rng.randint(1, 8)))
+    injector = FaultInjector(cluster, plan).install()
+
+    report = FleetChaosReport(seed=seed, scenario=scenario, targets=targets,
+                              plan=injector.plan.describe(),
+                              trace=injector.trace, fired=injector.fired,
+                              max_inflight=policy.max_inflight)
+    lease_s = 3.0
+    state: Dict[str, Any] = {"orig": None, "resumed": [], "resume": None,
+                             "takeover": None, "replica": None}
+
+    def supervisor():
+        while not manager.crashed:
+            if engine.now >= until - 90.0:
+                return
+            yield engine.sleep(0.25)
+        yield engine.sleep(lease_s + 1.0)
+        replica = Manager.deploy_replica(cluster, manager.agents, name="mgr1")
+        state["replica"] = replica
+        # op-level first: resolve any orphaned checkpoint/migration op
+        # (resume suspended pods, abort torn streams) before re-driving
+        # the campaign's unfinished units on clean pods
+        took = yield from replica.takeover_task(timeouts=FLEET_TIMEOUTS,
+                                                lease_s=lease_s)
+        state["takeover"] = [tuple(a) for a in took]
+        acts = yield from resume_campaigns_task(replica,
+                                                timeouts=FLEET_TIMEOUTS,
+                                                lease_s=lease_s,
+                                                collect=state["resumed"])
+        state["resume"] = [tuple(a) for a in acts]
+
+    def driver():
+        yield engine.sleep(round(drv_rng.uniform(0.05, 0.3), 4))
+        if scenario == "drain":
+            task = drain_campaign(manager, targets[0], policy=policy,
+                                  timeouts=FLEET_TIMEOUTS).run()
+        elif scenario == "evacuate":
+            task = evacuate_campaign(manager, targets, policy=policy,
+                                     timeouts=FLEET_TIMEOUTS).run()
+        else:
+            task = manager._spawn(
+                checkpoint_fleet_task(manager, policy=policy,
+                                      timeouts=FLEET_TIMEOUTS),
+                name="fleet-chaos-ckpt")
+        _ok, res = yield engine.timeout(task.finished, until - 120.0)
+        state["orig"] = res
+
+    engine.spawn(supervisor(), name="fleet-chaos-supervisor")
+    engine.spawn(driver(), name="fleet-chaos-driver")
+    engine.run(until=until)
+
+    report.manager_crashed = manager.crashed
+    report.crashed_nodes = [n.name for n in cluster.nodes if n.crashed]
+    report.takeover = state["takeover"]
+    report.resume = state["resume"]
+    runs: List[CampaignResult] = [r for r in [state["orig"]] if r is not None]
+    runs += state["resumed"]
+    report.peaks = [r.peak_inflight for r in runs]
+    if runs:
+        final = runs[-1]
+        c = final.counts()
+        report.campaign = (final.status, c["ok"], c["failed"], c["skipped"],
+                           final.threshold_tripped)
+
+    # the authoritative per-pod end state: later runs override earlier
+    outcomes: Dict[str, Any] = {}
+    for r in runs:
+        outcomes.update(r.pods)
+
+    if report.manager_crashed and state["resume"] is None:
+        report.violations.append("FC0: Manager crashed but no resume ran")
+    if not runs:
+        report.violations.append("FC0: no campaign result from any run")
+
+    # ---- FC1: every fleet pod exactly once on surviving hardware ----
+    # crash_node destroys its pods, so a lost pod is *explained* when
+    # any blade it plausibly lived on (its source, or a migration
+    # destination some attempt reached) crashed
+    plausible: Dict[str, set] = {pod_id: {src} for src, pod_id in pods}
+    for r in runs:
+        for pod_id, out in r.pods.items():
+            plausible.setdefault(pod_id, set()).add(out.node)
+            if out.dest:
+                plausible[pod_id].add(out.dest)
+    crashed_set = set(report.crashed_nodes)
+
+    def _crash_explained(pod_id: str) -> bool:
+        return bool(plausible.get(pod_id, set()) & crashed_set)
+
+    for _src, pod_id in pods:
+        hosts = [n.name for n in cluster.nodes
+                 if not n.crashed and pod_id in n.kernel.pods]
+        if len(hosts) > 1:
+            report.violations.append(
+                f"FC1: {pod_id} active on multiple nodes: {hosts}")
+        elif not hosts and not _crash_explained(pod_id):
+            report.violations.append(
+                f"FC1: {pod_id} lost with no crashed blade to explain it")
+
+    # ---- FC2: the threshold really halts the campaign ----
+    for run_idx, r in enumerate(runs):
+        if not r.threshold_tripped:
+            continue
+        total = max(1, len(r.pods))
+        # failures counted at each unit's *final* attempt
+        last_attempt = {}
+        for pod, wave, attempt, t0, t1, status in r.events:
+            last_attempt[pod] = (attempt, t1, status)
+        fail_times = sorted(t1 for (_a, t1, status) in last_attempt.values()
+                            if status == "failed")
+        trip_t = None
+        for k, t1 in enumerate(fail_times, start=1):
+            if k / total > policy.failure_threshold:
+                trip_t = t1
+                break
+        if trip_t is None:
+            report.violations.append(
+                f"FC2: run{run_idx} halted but failures never exceeded "
+                f"threshold ({len(fail_times)}/{total})")
+            continue
+        late_first = set()
+        for pod, wave, attempt, t0, t1, status in r.events:
+            if t0 <= trip_t:
+                continue
+            if attempt > 1:
+                report.violations.append(
+                    f"FC2: run{run_idx} retry of {pod} (attempt {attempt}) "
+                    f"started after the threshold tripped")
+            else:
+                late_first.add(pod)
+        if len(late_first) > policy.max_inflight:
+            report.violations.append(
+                f"FC2: run{run_idx} admitted {len(late_first)} first "
+                f"attempts after the trip (> max_inflight "
+                f"{policy.max_inflight})")
+
+    # ---- FC3: overlapping attempts never exceed max_inflight ----
+    deltas: List[Tuple[float, int]] = []
+    for r in runs:
+        for _pod, _wave, _attempt, t0, t1, _status in r.events:
+            deltas.append((t0, +1))
+            deltas.append((t1, -1))
+        if r.peak_inflight > policy.max_inflight:
+            report.violations.append(
+                f"FC3: gate peak {r.peak_inflight} > max_inflight "
+                f"{policy.max_inflight}")
+    deltas.sort(key=lambda d: (d[0], d[1]))  # releases before acquires
+    live = peak = 0
+    for _t, d in deltas:
+        live += d
+        peak = max(peak, live)
+    if peak > policy.max_inflight:
+        report.violations.append(
+            f"FC3: {peak} overlapping unit attempts > max_inflight "
+            f"{policy.max_inflight}")
+
+    # ---- FC5: clean end state ----
+    evac = set(targets)
+    for pod_id, out in sorted(outcomes.items()):
+        hosts = [n for n in cluster.nodes
+                 if not n.crashed and pod_id in n.kernel.pods]
+        if out.status == "ok":
+            if not hosts:
+                if not _crash_explained(pod_id):
+                    report.violations.append(f"FC5: ok pod {pod_id} vanished")
+                continue
+            node = hosts[0]
+            if scenario != "checkpoint" and node.name in evac:
+                report.violations.append(
+                    f"FC5: ok pod {pod_id} still on evacuated {node.name}")
+            pod = node.kernel.pods[pod_id]
+            if pod.suspended:
+                report.violations.append(
+                    f"FC5: ok pod {pod_id} left suspended on {node.name}")
+            if pod.vip in node.kernel.netstack.netfilter._blocked_ips:
+                report.violations.append(
+                    f"FC5: ok pod {pod_id} still firewalled on {node.name}")
+        elif scenario != "checkpoint":
+            # failed/skipped moves leave the pod home (M1), unless home died
+            if out.node in report.crashed_nodes:
+                continue
+            if [n.name for n in hosts] != [out.node]:
+                report.violations.append(
+                    f"FC5: {out.status} pod {pod_id} not on its source "
+                    f"{out.node}: {[n.name for n in hosts] or 'gone'}")
+    if scenario in ("drain", "evacuate") and runs and runs[-1].status == "ok":
+        for name in targets:
+            node = cluster.node_by_name(name)
+            if not node.crashed and node.kernel.pods:
+                report.violations.append(
+                    f"FC5: campaign ok but {name} still hosts "
+                    f"{sorted(node.kernel.pods)}")
+
+    # ---- ledger: campaigns terminal whenever a Manager survived ----
+    alive = (not manager.crashed) or state["replica"] is not None
+    if alive and state["resume"] is not None or not manager.crashed:
+        ledger = OpLedger(cluster.san)
+        open_camps = {cid: lc.phase
+                      for cid, lc in ledger.replay_campaigns().items()
+                      if not lc.terminal}
+        if open_camps:
+            report.violations.append(
+                f"FC5: non-terminal ledger campaigns: {open_camps}")
+
+    if tracer is not None:
+        from ..obs import to_jsonl
+
+        report.span_dump = to_jsonl(tracer)
+    return report

@@ -155,7 +155,18 @@ MANAGER_PHASES = (
     "manager.ledger.abort",
     "manager.ledger.commit",
 )
-ALL_PHASES = CHECKPOINT_PHASES + RESTART_PHASES + PRECOPY_PHASES + MANAGER_PHASES
+#: fleet campaign boundaries (wave loop and per-unit launch/finish, plus
+#: the replica's campaign-resume crossing).  Kept separate from every
+#: other tuple so existing seeded plans draw identically.
+FLEET_PHASES = (
+    "fleet.wave_start",
+    "fleet.pod_start",
+    "fleet.pod_done",
+    "fleet.wave_done",
+    "fleet.resume",
+)
+ALL_PHASES = (CHECKPOINT_PHASES + RESTART_PHASES + PRECOPY_PHASES
+              + MANAGER_PHASES + FLEET_PHASES)
 
 
 @dataclass

@@ -233,6 +233,11 @@ class Manager:
         self._next_op_id = 1
         #: live protocol tasks this Manager spawned (reaped on crash).
         self._tracked: List[Task] = []
+        #: per-node op exclusion: node name -> label of the op holding
+        #: it.  A recover and a drain racing over one node's pods would
+        #: destroy what the other is migrating; the claim table makes
+        #: the loser fail fast instead (see claim_nodes).
+        self._node_claims: Dict[str, str] = {}
         cluster.manager = self
 
     @classmethod
@@ -292,7 +297,41 @@ class Manager:
         for task in tracked:
             if not task.done:
                 task.cancel()
+        self._node_claims.clear()
         self.cluster.count("manager.crashes")
+
+    # ------------------------------------------------------------------
+    # per-node op exclusion
+    # ------------------------------------------------------------------
+    def claim_nodes(self, nodes, label: str) -> bool:
+        """Claim every node in ``nodes`` for the op tagged ``label``.
+
+        All-or-nothing: if any node is already held by a *different*
+        label, nothing is claimed and the caller must fail fast — this
+        is what keeps a ``recover()`` from destroying pods a concurrent
+        ``drain()`` is mid-migrating (and vice versa).  Re-claiming your
+        own label is a no-op success.  Synchronous (no yield), so the
+        check-then-claim is atomic in the single-threaded simulation.
+        """
+        names = list(nodes)
+        for name in names:
+            holder = self._node_claims.get(name)
+            if holder is not None and holder != label:
+                self.cluster.count("manager.node_claim_conflicts")
+                return False
+        for name in names:
+            self._node_claims[name] = label
+        return True
+
+    def release_nodes(self, nodes, label: str) -> None:
+        """Release claims held by ``label`` (foreign claims untouched)."""
+        for name in nodes:
+            if self._node_claims.get(name) == label:
+                del self._node_claims[name]
+
+    def node_claim_holder(self, node_name: str):
+        """The label holding ``node_name``, or None when unclaimed."""
+        return self._node_claims.get(node_name)
 
     # ------------------------------------------------------------------
     # plumbing
@@ -1033,6 +1072,21 @@ class Manager:
             op_span.end(status=result.status, duration_s=result.duration)
             return result
         result.targets = list(last.targets)
+        # per-node op exclusion: a recover destroys surviving instances
+        # of every involved pod, so it must own the involved nodes — a
+        # concurrent drain/evacuation campaign holding any of them makes
+        # this recover fail fast instead of racing it pod by pod
+        claim_label = f"recover:op{op_id}"
+        involved_nodes = sorted({n for (n, _p, _u) in last.targets})
+        if not self.claim_nodes(involved_nodes, claim_label):
+            held = {n: self.node_claim_holder(n) for n in involved_nodes
+                    if self.node_claim_holder(n) not in (None, claim_label)}
+            result.status = "failed"
+            result.errors.append(
+                f"node exclusion refused: {sorted(held.items())}")
+            result.t_end = engine.now
+            op_span.end(status=result.status, duration_s=result.duration)
+            return result
         # the begin record lands only once the early-out checks passed,
         # so a recover that never started driving anything leaves no
         # claimable orphan behind; every later return path below writes
@@ -1058,10 +1112,16 @@ class Manager:
             result.errors.append("no surviving nodes to recover onto")
             result.t_end = engine.now
             machine.aborted(result.errors[-1])
+            self.release_nodes(involved_nodes, claim_label)
             op_span.end(status=result.status, duration_s=result.duration)
             return result
 
-        # 2. placement — checked for feasibility before any destruction
+        # 2. placement — checked for feasibility before any destruction.
+        #    Nodes another op holds (a drain emptying a blade) are not
+        #    placement targets unless nothing else survives.
+        unclaimed = [n for n in survivors
+                     if self.node_claim_holder(n.name) in (None, claim_label)]
+        candidates = unclaimed if unclaimed else survivors
         load = {n.name: len(n.kernel.pods) for n in survivors}
         new_targets: List[Target] = []
         for node_name, pod_id, uri in last.targets:
@@ -1075,7 +1135,7 @@ class Manager:
                 elif node_name not in crashed:
                     dest = node_name
                 else:
-                    dest = min(survivors, key=lambda n: (load[n.name], n.index)).name
+                    dest = min(candidates, key=lambda n: (load[n.name], n.index)).name
             else:
                 # an in-memory image is only loadable on the node that
                 # holds it
@@ -1090,6 +1150,7 @@ class Manager:
             result.status = "failed"
             result.t_end = engine.now
             machine.aborted(result.errors[-1])
+            self.release_nodes(involved_nodes, claim_label)
             op_span.end(status=result.status, duration_s=result.duration)
             return result
 
@@ -1116,6 +1177,7 @@ class Manager:
             yield from machine.commit(duration_s=result.duration)
         else:
             machine.aborted(result.errors[-1] if result.errors else restart.status)
+        self.release_nodes(involved_nodes, claim_label)
         op_span.end(status=result.status, duration_s=result.duration)
         return result
 

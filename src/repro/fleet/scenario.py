@@ -1,0 +1,129 @@
+"""Shared fleet scenarios: the idle-pod world and the evacuation demo.
+
+Fleet tests, benchmarks, ``zapc fleet`` and ``figures --fig fleet`` all
+drive the same world: a cluster of blades populated with *idle* pods —
+a server parked in ``accept()`` with a heap ballast sized per pod.  An
+idle pod costs zero events while undisturbed, which is what makes the
+100-node / 1000-pod evacuation simulate in seconds; its ballast still
+has to move, so migrations pay real transfer time and the per-pod
+downtime distribution is non-trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cluster.builder import Cluster
+from ..cluster.faults import FLEET_PHASES, FaultInjector, FaultPlan
+from ..core.manager import Manager, PhaseTimeouts
+from .campaign import FleetPolicy
+from .drain import evacuate_task
+
+#: fault kinds safe for the *deterministic-completion* fleet scenarios
+#: (stalls and latency, no crashes: every pod must arrive).
+SOFT_FAULT_KINDS = ("hang", "link_delay")
+
+
+def _register_idle_program() -> None:
+    from ..vos import imm, program
+    from ..vos.program import _REGISTRY
+
+    if "fleet.idle" in _REGISTRY:
+        return
+
+    @program("fleet.idle")
+    def _idle(b, *, port=9900, ballast=0):  # noqa: ANN001 - builder DSL
+        if ballast:
+            b.alloc(imm(ballast), "heap")
+        b.syscall("lfd", "socket", imm("tcp"))
+        b.syscall(None, "bind", "lfd", imm(("default", port)))
+        b.syscall(None, "listen", "lfd", imm(8))
+        b.syscall("conn", "accept", "lfd")
+        b.halt(imm(0))
+
+
+def build_fleet_world(n_nodes: int, n_pods: int, seed: int = 0,
+                      first_node: int = 1, last_node: Optional[int] = None,
+                      ballast: int = 262_144, ballast_step: int = 65_536,
+                      port: int = 9900,
+                      ) -> Tuple[Cluster, Manager, List[Tuple[str, str]]]:
+    """A cluster with ``n_pods`` idle pods round-robined over the blades
+    ``first_node..last_node`` (inclusive; default: every blade but 0,
+    where the Manager lives).  Pod ``i`` carries a ballast of
+    ``ballast + (i % 7) * ballast_step`` bytes, so image sizes — and
+    per-pod downtimes — spread deterministically.
+
+    Returns ``(cluster, manager, [(node, pod), ...])``.
+    """
+    from ..vos import build_program
+    _register_idle_program()
+    cluster = Cluster.build(n_nodes, seed=seed)
+    manager = Manager.deploy(cluster)
+    last = (n_nodes - 1) if last_node is None else last_node
+    hosts = [cluster.node(i) for i in range(first_node, last + 1)]
+    pods: List[Tuple[str, str]] = []
+    for i in range(n_pods):
+        node = hosts[i % len(hosts)]
+        pod_id = f"fp{i:04d}"
+        cluster.create_pod(node, pod_id)
+        size = ballast + (i % 7) * ballast_step
+        node.kernel.spawn(build_program("fleet.idle", port=port,
+                                        ballast=size), pod_id=pod_id)
+        pods.append((node.name, pod_id))
+    return cluster, manager, pods
+
+
+#: tight per-phase deadlines for fleet scenarios (idle pods suspend
+#: instantly; generous defaults would only slow fault detection).
+FLEET_TIMEOUTS = PhaseTimeouts(connect=2.0, meta=5.0, barrier=5.0, done=8.0,
+                               flush=20.0, load=5.0, restart_done=15.0,
+                               drain=2.0)
+
+
+def run_evacuation_demo(n_nodes: int = 24, n_pods: int = 96,
+                        n_evacuate: int = 18, seed: int = 0,
+                        max_inflight: int = 8,
+                        wave_size: Optional[int] = None,
+                        wave_barrier: bool = True,
+                        failure_threshold: float = 0.25,
+                        retries: int = 1,
+                        downtime_budget: Optional[float] = None,
+                        n_faults: int = 0,
+                        trace_spans: bool = False,
+                        until: float = 14400.0) -> Dict[str, Any]:
+    """One deterministic evacuation: populate blades ``1..n_evacuate``,
+    then evacuate them all onto the spares (and blade 0).
+
+    ``n_faults`` > 0 injects that many seeded soft faults (hangs, link
+    delays — never crashes, so completion stays deterministic) at the
+    ``fleet.*`` phase boundaries.  Returns a dict with the
+    ``CampaignResult`` (``"result"``), the world, and the injector.
+    """
+    cluster, manager, pods = build_fleet_world(
+        n_nodes, n_pods, seed=seed, first_node=1, last_node=n_evacuate)
+    tracer = None
+    if trace_spans:
+        from ..obs import SpanTracer
+        tracer = SpanTracer(cluster.engine).install(cluster)
+    injector = None
+    if n_faults > 0:
+        plan = FaultPlan.random(seed, [n.name for n in cluster.nodes],
+                                n_faults=n_faults, phases=FLEET_PHASES,
+                                kinds=SOFT_FAULT_KINDS)
+        injector = FaultInjector(cluster, plan).install()
+    policy = FleetPolicy(max_inflight=max_inflight, wave_size=wave_size,
+                         wave_barrier=wave_barrier,
+                         failure_threshold=failure_threshold,
+                         retries=retries, downtime_budget=downtime_budget)
+    evac = [f"blade{i}" for i in range(1, n_evacuate + 1)]
+    state: Dict[str, Any] = {}
+
+    def driver():
+        state["result"] = yield from evacuate_task(
+            manager, evac, policy=policy, timeouts=FLEET_TIMEOUTS)
+
+    cluster.engine.spawn(driver(), name="fleet-demo")
+    cluster.engine.run(until=until)
+    return {"cluster": cluster, "manager": manager, "pods": pods,
+            "evacuated": evac, "result": state.get("result"),
+            "injector": injector, "tracer": tracer}

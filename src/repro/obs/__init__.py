@@ -20,7 +20,14 @@ from .exporters import (
     to_chrome,
     to_jsonl,
 )
-from .metrics import DEFAULT_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
 from .tracer import (
     FAULT,
     MARK,
@@ -42,7 +49,7 @@ __all__ = [
     "CHECKPOINT_SPAN_NAMES", "Counter", "DEFAULT_BOUNDS", "FAULT", "Gauge",
     "Histogram", "MARK", "MetricsRegistry", "NULL_SPAN", "OP", "PHASE",
     "POST", "SIM_TICK_S", "STAGE", "Span", "SpanTracer", "WINDOW",
-    "dumps_chrome", "export", "lane_of", "phase_summary", "phase_sums",
-    "phase_timeline", "reconcile_op", "to_chrome", "to_jsonl",
+    "dumps_chrome", "export", "lane_of", "percentile", "phase_summary",
+    "phase_sums", "phase_timeline", "reconcile_op", "to_chrome", "to_jsonl",
     "validate_chrome", "validate_file",
 ]

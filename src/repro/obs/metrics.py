@@ -25,6 +25,24 @@ DEFAULT_BOUNDS: Tuple[float, ...] = (
     0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Interpolation-free by design: the result is always a member of
+    ``values``, so fleet reports (p50/p99 per-pod downtime) stay exactly
+    reproducible across runs of the same seed.  Empty input yields 0.0.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if q <= 0.0:
+        return ordered[0]
+    # nearest-rank: smallest index whose cumulative share covers q
+    rank = -(-int(q * len(ordered)) // 100) if q < 100.0 else len(ordered)
+    rank = max(1, min(len(ordered), rank))
+    return ordered[rank - 1]
+
+
 class Counter:
     """Monotonically increasing count (events, bytes)."""
 

@@ -1,13 +1,22 @@
 """Storage substrate: the shared SAN, snapshots, and the op ledger."""
 
-from .ledger import LEDGER_PATH, TERMINAL_PHASES, LedgerOp, OpLedger
+from .ledger import (
+    CAMPAIGN_TERMINAL_PHASES,
+    LEDGER_PATH,
+    TERMINAL_PHASES,
+    LedgerCampaign,
+    LedgerOp,
+    OpLedger,
+)
 from .san import FC_BANDWIDTH, FC_LATENCY, SAN_MOUNT, SharedStorage
 from .snapshot import Snapshot, SnapshotManager
 
 __all__ = [
+    "CAMPAIGN_TERMINAL_PHASES",
     "FC_BANDWIDTH",
     "FC_LATENCY",
     "LEDGER_PATH",
+    "LedgerCampaign",
     "LedgerOp",
     "OpLedger",
     "SAN_MOUNT",

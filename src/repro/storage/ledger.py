@@ -38,6 +38,38 @@ Terminal phases are ``commit`` and ``aborted``; everything else is
 in-flight and claimable once its lease expires.  A torn final line
 (a writer that died mid-append) is ignored on scan, mirroring how a
 real WAL discards a torn tail record.
+
+The ``campaign`` record family journals fleet orchestration (rolling
+checkpoint waves, node drains, evacuations) in the same log.  Campaign
+records carry ``cid`` instead of ``op`` and fold with the same
+newest-wins rule into :class:`LedgerCampaign`:
+
+``{"rec": "campaign", "cid": C, "phase": "begin", "kind": ...,
+"units": [[node, pod, arg], ...], "waves": [[pod, ...], ...],
+"policy": {...}, "owner": mgr, "lease": T}``
+    Opens campaign ``C``: every unit, the wave partition, and the
+    policy knobs — enough for a replica to rebuild the whole plan.
+
+``{"rec": "campaign", "cid": C, "phase": "wave", "wave": W, ...}``
+    Wave ``W`` started.  The *first* claim of a wave wins; a duplicate
+    wave record from a different owner (two Managers racing after a
+    messy failover) is folded as a recorded-but-ignored claim.
+
+``{"rec": "campaign", "cid": C, "phase": "pod", "wave": W, "pod": P,
+"status": "ok"|"failed", "op": N, "downtime": D, ...}``
+    Unit outcome for pod ``P`` (op ``N`` did the work).  A resuming
+    replica skips every pod whose latest record says ``ok`` — completed
+    pods are never re-checkpointed.
+
+``{"rec": "campaign", "cid": C, "phase": "wave-done", "wave": W, ...}``
+    Every unit of wave ``W`` reached an outcome.
+
+``{"rec": "campaign-claim", "cid": C, "owner": mgr, "lease": T}``
+    A replica claimed the orphaned campaign (same atomicity argument
+    as op claims).
+
+Campaign terminal phases are ``commit`` (all waves done), ``halted``
+(failure threshold tripped), and ``aborted``.
 """
 
 from __future__ import annotations
@@ -53,6 +85,9 @@ LEDGER_PATH = "/zapc/ops.jsonl"
 
 #: phases after which an op needs no further work from anyone.
 TERMINAL_PHASES = ("commit", "aborted")
+
+#: phases after which a campaign needs no further work from anyone.
+CAMPAIGN_TERMINAL_PHASES = ("commit", "halted", "aborted")
 
 
 @dataclass
@@ -77,6 +112,47 @@ class LedgerOp:
         return self.phase in TERMINAL_PHASES
 
 
+@dataclass
+class LedgerCampaign:
+    """One fleet campaign's state, folded from its ledger records."""
+
+    cid: int
+    kind: str = "checkpoint"
+    phase: str = "begin"
+    #: every unit as journaled at begin: (node, pod, arg) — the arg is a
+    #: checkpoint URI or a migration destination ("" = pick by load).
+    units: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: the wave partition journaled at begin: pod ids per wave, in order.
+    waves: List[List[str]] = field(default_factory=list)
+    #: the policy knobs journaled at begin (max_inflight, threshold, ...).
+    policy: Dict[str, Any] = field(default_factory=dict)
+    owner: Optional[str] = None
+    lease_until: float = 0.0
+    #: newest-wins unit outcome per pod: {"status", "op", "wave", ...}.
+    pods: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: wave index -> the owner whose wave record landed *first*.
+    wave_owners: Dict[int, str] = field(default_factory=dict)
+    #: every wave record in append order (duplicates included), as
+    #: (wave index, owner) — the audit trail of racing claims.
+    wave_claims: List[Tuple[int, str]] = field(default_factory=list)
+    #: wave indices whose wave-done record landed.
+    waves_done: List[int] = field(default_factory=list)
+    #: every owner that ever claimed the campaign, in order.
+    claims: List[str] = field(default_factory=list)
+    t_last: float = 0.0
+
+    @property
+    def terminal(self) -> bool:
+        return self.phase in CAMPAIGN_TERMINAL_PHASES
+
+    @property
+    def done_pods(self) -> List[str]:
+        """Pods whose latest unit record is ``ok`` — the set a resuming
+        replica must not drive again."""
+        return sorted(p for p, rec in self.pods.items()
+                      if rec.get("status") == "ok")
+
+
 class OpLedger:
     """Append/scan/claim interface over the JSONL ledger file."""
 
@@ -86,6 +162,13 @@ class OpLedger:
         #: scan bookkeeping: lines the last scan had to discard (the torn
         #: tail, or corruption injected by tests).
         self.skipped = 0
+        #: id-allocation caches: highest op/campaign id seen, maintained
+        #: incrementally by :meth:`append` after the first full scan, so
+        #: allocating ids is O(1) instead of re-parsing the whole log per
+        #: op (quadratic at fleet scale).  Per-instance only — a replica
+        #: builds its own OpLedger and does its own first scan.
+        self._max_op: Optional[int] = None
+        self._max_cid: Optional[int] = None
 
     # -- raw log ---------------------------------------------------------
     def _file(self):
@@ -99,6 +182,10 @@ class OpLedger:
         """Append one record (sorted keys: deterministic bytes)."""
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         self._file().data += (line + "\n").encode("ascii")
+        if self._max_op is not None and "op" in record and "cid" not in record:
+            self._max_op = max(self._max_op, int(record["op"]))
+        if self._max_cid is not None and "cid" in record:
+            self._max_cid = max(self._max_cid, int(record["cid"]))
 
     def records(self) -> List[Dict[str, Any]]:
         """Parse the log, tolerating a torn (truncated) final line."""
@@ -119,7 +206,7 @@ class OpLedger:
             except (ValueError, UnicodeDecodeError):
                 self.skipped += 1
                 continue
-            if isinstance(rec, dict) and "op" in rec:
+            if isinstance(rec, dict) and ("op" in rec or "cid" in rec):
                 out.append(rec)
             else:
                 self.skipped += 1
@@ -130,6 +217,8 @@ class OpLedger:
         """Fold the log into per-op state, in op-id order."""
         ops: Dict[int, LedgerOp] = {}
         for rec in self.records():
+            if "cid" in rec:
+                continue  # campaign records fold via replay_campaigns()
             op_id = int(rec["op"])
             op = ops.get(op_id)
             if op is None:
@@ -158,7 +247,11 @@ class OpLedger:
 
     def next_op_id(self) -> int:
         """Smallest op id no record has used yet."""
-        return max((int(r["op"]) for r in self.records()), default=0) + 1
+        if self._max_op is None:
+            self._max_op = max(
+                (int(r["op"]) for r in self.records()
+                 if "op" in r and "cid" not in r), default=0)
+        return self._max_op + 1
 
     def orphaned(self, now: float) -> List[LedgerOp]:
         """Non-terminal ops whose lease has expired, in op-id order —
@@ -192,3 +285,79 @@ class OpLedger:
             if op.kind == kind and op.phase == "commit":
                 best = op
         return best
+
+    # -- campaigns -------------------------------------------------------
+    def replay_campaigns(self) -> Dict[int, LedgerCampaign]:
+        """Fold the campaign record family into per-campaign state."""
+        campaigns: Dict[int, LedgerCampaign] = {}
+        for rec in self.records():
+            if "cid" not in rec:
+                continue
+            cid = int(rec["cid"])
+            camp = campaigns.get(cid)
+            if camp is None:
+                camp = campaigns[cid] = LedgerCampaign(cid=cid)
+            kind = rec.get("rec", "campaign")
+            camp.t_last = float(rec.get("t", camp.t_last))
+            if kind == "campaign-claim":
+                camp.owner = rec.get("owner")
+                camp.lease_until = float(rec.get("lease", 0.0))
+                camp.claims.append(rec.get("owner"))
+                continue
+            phase = rec.get("phase", camp.phase)
+            if phase == "begin":
+                camp.kind = rec.get("kind", camp.kind)
+                camp.units = [tuple(u) for u in rec.get("units", [])]
+                camp.waves = [list(w) for w in rec.get("waves", [])]
+                camp.policy = dict(rec.get("policy", {}))
+            elif phase == "wave":
+                wave = int(rec.get("wave", -1))
+                owner = rec.get("owner")
+                camp.wave_claims.append((wave, owner))
+                if wave in camp.wave_owners:
+                    # duplicate wave claim: first writer wins, the
+                    # duplicate stays on the audit trail only
+                    continue
+                camp.wave_owners[wave] = owner
+            elif phase == "pod":
+                camp.pods[rec.get("pod")] = {
+                    k: v for k, v in rec.items()
+                    if k in ("status", "op", "wave", "downtime", "attempts")}
+            elif phase == "wave-done":
+                wave = int(rec.get("wave", -1))
+                if wave not in camp.waves_done:
+                    camp.waves_done.append(wave)
+            if rec.get("owner") is not None:
+                camp.owner = rec["owner"]
+            if rec.get("lease") is not None:
+                camp.lease_until = float(rec["lease"])
+            camp.phase = phase
+        return campaigns
+
+    def next_campaign_id(self) -> int:
+        """Smallest campaign id no record has used yet."""
+        if self._max_cid is None:
+            self._max_cid = max(
+                (int(r["cid"]) for r in self.records() if "cid" in r),
+                default=0)
+        return self._max_cid + 1
+
+    def orphaned_campaigns(self, now: float) -> List[LedgerCampaign]:
+        """Non-terminal campaigns whose lease has expired, in campaign-id
+        order — what a takeover replica must resume."""
+        return [c for _id, c in sorted(self.replay_campaigns().items())
+                if not c.terminal and now >= c.lease_until]
+
+    def claim_campaign(self, cid: int, owner: str, now: float,
+                       lease_s: float) -> bool:
+        """Atomically claim an orphaned campaign (same rule as ops:
+        refused when unknown, terminal, or under a live foreign lease)."""
+        camp = self.replay_campaigns().get(cid)
+        if camp is None or camp.terminal:
+            return False
+        if (camp.owner is not None and camp.owner != owner
+                and now < camp.lease_until):
+            return False
+        self.append({"rec": "campaign-claim", "cid": cid, "owner": owner,
+                     "lease": now + lease_s, "t": now})
+        return True

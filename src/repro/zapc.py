@@ -15,10 +15,17 @@ Examples::
     python -m repro.zapc snapshot --app CPI --nodes 4 --managers 2
     python -m repro.zapc migrate  --app BT/NAS --nodes 4 --compress 6
     python -m repro.zapc recover  --app PETSc --nodes 2
+    python -m repro.zapc fleet --nodes 100 --pods 1000 --evacuate 75 \\
+        --max-inflight 16 --faults 4
 
 ``--managers 2`` demonstrates the HA Manager: the active Manager is
 crashed at a ledger phase boundary mid-checkpoint and a standby replica
 claims the orphaned op from the durable op ledger and finishes it.
+
+``fleet`` runs the fleet orchestration demo instead of an application:
+a cluster of idle pods is evacuated in bounded-concurrency waves, and
+the wave table, per-pod downtime distribution, and any threshold or
+budget trips are printed.
 """
 
 from __future__ import annotations
@@ -205,9 +212,70 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
     return ok and verified
 
 
+def run_fleet(nodes: int, pods: int, evacuate: int, seed: int = 0,
+              max_inflight: int = 8, wave_size: Optional[int] = None,
+              wave_barrier: bool = True, threshold: float = 0.25,
+              retries: int = 1, budget: Optional[float] = None,
+              faults: int = 0) -> bool:
+    """Run the fleet evacuation demo and print the campaign report."""
+    from .fleet import run_evacuation_demo
+    print(f"fleet: evacuating blades 1..{evacuate} of {nodes} "
+          f"({pods} pods), max {max_inflight} in flight"
+          + (f", {faults} seeded soft fault(s)" if faults else ""))
+    out = run_evacuation_demo(n_nodes=nodes, n_pods=pods,
+                              n_evacuate=evacuate, seed=seed,
+                              max_inflight=max_inflight, wave_size=wave_size,
+                              wave_barrier=wave_barrier,
+                              failure_threshold=threshold, retries=retries,
+                              downtime_budget=budget, n_faults=faults)
+    res = out["result"]
+    if res is None:
+        print("campaign did not finish before the simulation horizon")
+        return False
+    counts = res.counts()
+    print(f"campaign #{res.cid}: {res.status} in "
+          f"{res.duration * 1000:.0f} ms (simulated); "
+          f"{counts['ok']} ok / {counts['failed']} failed / "
+          f"{counts['skipped']} skipped; peak {res.peak_inflight} in flight")
+    print(f"  {'wave':>4}  {'pods':>4}  {'ok':>4}  {'failed':>6}  "
+          f"{'window (ms)':>14}  {'max downtime':>12}")
+    for w in res.waves:
+        print(f"  {w.index:>4}  {w.ok + w.failed + w.skipped:>4}  "
+              f"{w.ok:>4}  {w.failed:>6}  "
+              f"{(w.t_end - w.t_start) * 1000:>11.1f} ms  "
+              f"{w.max_downtime * 1000:>9.1f} ms")
+    times = res.downtimes()
+    if times:
+        print(f"per-pod downtime over {len(times)} move(s): "
+              + "  ".join(f"p{q} {res.downtime_percentile(q) * 1000:.1f} ms"
+                          for q in (50, 90, 99)))
+    if res.threshold_tripped:
+        print(f"failure threshold ({threshold:.0%}) tripped: "
+              "campaign halted, tail skipped")
+    if res.budget_trips:
+        print(f"downtime budget tripped on {len(res.budget_trips)} pod(s): "
+              + ", ".join(sorted(res.budget_trips)[:8])
+              + (" ..." if len(res.budget_trips) > 8 else ""))
+    for err in res.errors:
+        print(f"  error: {err}")
+    if out["injector"] is not None and out["injector"].fired:
+        for (t, kind, phase, node, pod) in out["injector"].fired:
+            where = node or pod or "-"
+            print(f"  fault @ {t * 1000:8.1f} ms: {kind} at «{phase}» ({where})")
+    evac = set(out["evacuated"])
+    cluster = out["cluster"]
+    emptied = all(not cluster.node_by_name(n).kernel.pods for n in evac)
+    landed = sum(len(n.kernel.pods) for n in cluster.nodes
+                 if n.name not in evac)
+    print(f"evacuated blades empty: {emptied}; "
+          f"pods running on survivors: {landed}/{pods}")
+    return res.ok and emptied and landed == pods
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.zapc", description=__doc__)
-    parser.add_argument("action", choices=["snapshot", "migrate", "recover"])
+    parser.add_argument("action",
+                        choices=["snapshot", "migrate", "recover", "fleet"])
     parser.add_argument("--app", choices=list(APPS), default="CPI")
     parser.add_argument("--nodes", type=int, default=4)
     parser.add_argument("--scale", type=float, default=0.5)
@@ -242,7 +310,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="with N > 1, demo HA failover: crash the active "
                              "Manager mid-snapshot and let a standby replica "
                              "finish the op from the durable op ledger")
+    fleet = parser.add_argument_group("fleet", "options for the fleet action")
+    fleet.add_argument("--pods", type=int, default=96,
+                       help="idle pods to populate (fleet action)")
+    fleet.add_argument("--evacuate", type=int, default=None, metavar="N",
+                       help="evacuate blades 1..N (default: 3/4 of --nodes)")
+    fleet.add_argument("--max-inflight", type=int, default=8,
+                       help="bounded concurrency: units in flight at once")
+    fleet.add_argument("--wave-size", type=int, default=None,
+                       help="units per wave (default: max-inflight)")
+    fleet.add_argument("--no-barrier", action="store_true",
+                       help="let waves overlap (no per-wave barrier)")
+    fleet.add_argument("--threshold", type=float, default=0.25,
+                       help="failed fraction that halts the campaign")
+    fleet.add_argument("--retries", type=int, default=1,
+                       help="per-pod retries before a unit counts failed")
+    fleet.add_argument("--budget", type=float, default=None, metavar="S",
+                       help="per-pod downtime budget in seconds (advisory)")
+    fleet.add_argument("--faults", type=int, default=0, metavar="N",
+                       help="inject N seeded soft faults at fleet phases")
     args = parser.parse_args(argv)
+    if args.action == "fleet":
+        n_evac = args.evacuate if args.evacuate is not None \
+            else max(1, (args.nodes * 3) // 4)
+        ok = run_fleet(args.nodes, args.pods, n_evac, seed=args.seed,
+                       max_inflight=args.max_inflight,
+                       wave_size=args.wave_size,
+                       wave_barrier=not args.no_barrier,
+                       threshold=args.threshold, retries=args.retries,
+                       budget=args.budget, faults=args.faults)
+        return 0 if ok else 1
     ok = run_demo(args.action, args.app, args.nodes, scale=args.scale,
                   seed=args.seed,
                   filters=parse_filter_args(args.compress, args.incremental) or None,

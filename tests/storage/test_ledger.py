@@ -144,3 +144,138 @@ def test_ledger_path_created_on_first_append():
     assert led.records() == []               # scanning a missing log is fine
     led.append({"rec": "op", "op": 1, "phase": "begin", "t": 0.0})
     assert led.fs.exists(LEDGER_PATH)
+
+
+# ---------------------------------------------------------------------------
+# the campaign record family (fleet orchestration)
+# ---------------------------------------------------------------------------
+
+def _camp(led, phase, cid=1, t=0.0, lease=None, owner="mgr0", **fields):
+    led.append(dict({"rec": "campaign", "cid": cid, "phase": phase,
+                     "owner": owner, "lease": t + 30.0 if lease is None
+                     else lease, "t": t}, **fields))
+
+
+def _begin(led, cid=1, t=0.0, owner="mgr0"):
+    _camp(led, "begin", cid=cid, t=t, owner=owner, kind="drain",
+          units=[["blade1", "p0", ""], ["blade1", "p1", ""]],
+          waves=[["p0"], ["p1"]],
+          policy={"max_inflight": 2, "wave_size": 1, "exclude": ["blade1"]})
+
+
+def test_campaign_records_fold_to_state():
+    led = _ledger()
+    _begin(led)
+    _camp(led, "wave", t=1.0, wave=0, pods=1)
+    _camp(led, "pod", t=2.0, wave=0, pod="p0", status="ok", op=7,
+          downtime=0.25, attempts=1)
+    _camp(led, "wave-done", t=3.0, wave=0, ok=1, failed=0)
+    camps = led.replay_campaigns()
+    assert set(camps) == {1}
+    camp = camps[1]
+    assert camp.kind == "drain"
+    assert camp.phase == "wave-done"
+    assert camp.units == [("blade1", "p0", ""), ("blade1", "p1", "")]
+    assert camp.waves == [["p0"], ["p1"]]
+    assert camp.policy["exclude"] == ["blade1"]
+    assert camp.pods["p0"]["status"] == "ok"
+    assert camp.done_pods == ["p0"]
+    assert camp.wave_owners == {0: "mgr0"}
+    assert camp.waves_done == [0]
+    assert not camp.terminal
+    assert led.next_campaign_id() == 2
+
+
+def test_campaign_terminal_phases():
+    led = _ledger()
+    for cid, phase in ((1, "commit"), (2, "halted"), (3, "aborted")):
+        _begin(led, cid=cid)
+        _camp(led, phase, cid=cid, t=5.0)
+    camps = led.replay_campaigns()
+    assert all(c.terminal for c in camps.values())
+    assert led.orphaned_campaigns(now=1000.0) == []
+
+
+def test_campaign_torn_tail_mid_wave_is_resumable():
+    """The Manager died while appending a mid-wave pod record: the torn
+    line is discarded and the fold ends at the last durable record —
+    exactly the state a resuming replica re-drives from."""
+    led = _ledger()
+    _begin(led)
+    _camp(led, "wave", t=1.0, wave=0, pods=1)
+    _camp(led, "pod", t=2.0, wave=0, pod="p0", status="ok", op=7,
+          downtime=0.25, attempts=1)
+    _camp(led, "pod", t=3.0, wave=1, pod="p1", status="ok", op=8,
+          downtime=0.3, attempts=1)
+    f = led.fs.files[led.path]
+    torn = bytes(f.data)[:-11]               # tear the p1 record mid-line
+    del f.data[:]
+    f.data.extend(torn)
+    camp = led.replay_campaigns()[1]
+    assert led.skipped == 1
+    assert camp.done_pods == ["p0"]          # p1's outcome never became durable
+    assert camp.phase == "pod"
+    assert not camp.terminal
+    # the campaign is orphanable once its last durable lease expires
+    orphans = led.orphaned_campaigns(now=100.0)
+    assert [c.cid for c in orphans] == [1]
+
+
+def test_duplicate_wave_claim_first_writer_wins():
+    """Two Managers racing one wave: the first wave record owns it; the
+    duplicate is kept in the audit trail but does not steal ownership."""
+    led = _ledger()
+    _begin(led)
+    _camp(led, "wave", t=1.0, wave=0, pods=1, owner="mgr0")
+    _camp(led, "wave", t=2.0, wave=0, pods=1, owner="mgr1")
+    camp = led.replay_campaigns()[1]
+    assert camp.wave_owners == {0: "mgr0"}   # first writer wins
+    assert camp.wave_claims == [(0, "mgr0"), (0, "mgr1")]
+
+
+def test_campaign_claim_respects_live_lease():
+    led = _ledger()
+    _begin(led, t=0.0)                       # lease runs to t=30
+    assert not led.claim_campaign(1, "mgr1", now=10.0, lease_s=5.0)
+    assert led.claim_campaign(1, "mgr1", now=31.0, lease_s=5.0)
+    assert not led.claim_campaign(2, "mgr1", now=31.0, lease_s=5.0)  # unknown
+    camp = led.replay_campaigns()[1]
+    assert camp.owner == "mgr1"
+    assert camp.claims == ["mgr1"]
+    _camp(led, "commit", t=40.0, owner="mgr1")
+    assert not led.claim_campaign(1, "mgr2", now=100.0, lease_s=5.0)  # terminal
+
+
+def test_campaign_records_do_not_disturb_op_replay():
+    """The two families share one log: folding one must never leak into
+    the other, and id allocation stays per-family."""
+    led = _ledger()
+    led.append({"rec": "op", "op": 3, "phase": "commit", "kind": "checkpoint",
+                "targets": [], "owner": "mgr0", "lease": 1.0, "t": 0.0})
+    _begin(led, cid=7)
+    # campaign pod records carry an "op" field (the op that did the
+    # work); it must not mint op state or bump the op id allocator
+    _camp(led, "pod", cid=7, t=2.0, wave=0, pod="p0", status="ok", op=3,
+          downtime=0.1, attempts=1)
+    ops = led.replay()
+    assert set(ops) == {3}
+    assert led.next_op_id() == 4
+    assert led.next_campaign_id() == 8
+    camps = led.replay_campaigns()
+    assert set(camps) == {7}
+
+
+def test_id_caches_follow_appends():
+    """next_op_id / next_campaign_id are O(1) after the first scan: the
+    caches track appends instead of re-parsing the log per allocation."""
+    led = _ledger()
+    assert led.next_op_id() == 1
+    assert led.next_campaign_id() == 1
+    led.append({"rec": "op", "op": 1, "phase": "begin", "t": 0.0})
+    _begin(led, cid=1, t=0.0)
+    assert led.next_op_id() == 2
+    assert led.next_campaign_id() == 2
+    # a second instance over the same file scans fresh and agrees
+    other = OpLedger(led.fs)
+    assert other.next_op_id() == 2
+    assert other.next_campaign_id() == 2
