@@ -105,6 +105,17 @@ class Cluster:
         return self.tracer.add(name, t_start, t_end, node=node, pod=pod,
                                parent=parent, category=category, **attrs)
 
+    def span_context(self, key: Any, **attrs: Any) -> None:
+        """Bind ambient attrs onto a tracer key (or no-op).
+
+        Spans later parented by ``key`` inherit ``attrs`` — this is how
+        the Manager stamps its identity and driving span onto agent-side
+        spans *without* riding the wire (message bytes are timing-bearing
+        in this simulation, so span context must cost zero bytes).
+        """
+        if self.tracer is not None:
+            self.tracer.set_context(key, **attrs)
+
     def count(self, name: str, amount: int = 1) -> None:
         """Bump a counter on the installed metrics registry, if any."""
         if self.metrics is not None:

@@ -763,6 +763,11 @@ class FleetChaosReport:
     crashed_nodes: List[str] = field(default_factory=list)
     violations: List[str] = field(default_factory=list)
     span_dump: Optional[str] = None
+    #: assembled campaign trace (JSONL / Chrome form) and its SLO audit —
+    #: only when ``trace_spans`` and a Manager survived to own the ledger.
+    assembled: Optional[str] = None
+    assembled_chrome: Optional[str] = None
+    slo: Optional[Dict[str, Any]] = None
 
 
 def run_fleet_chaos(seed: int, n_nodes: int = 8, n_pods: int = 24,
@@ -799,6 +804,11 @@ def run_fleet_chaos(seed: int, n_nodes: int = 8, n_pods: int = 24,
          blade crashed); a fully-ok drain leaves the node empty; and
          with a live Manager at the end every ledger campaign is
          terminal.
+    FC6  **Complete assembled trace** (``trace_spans`` only).  The
+         ledger + span dump stitch into exactly one campaign tree whose
+         coverage accounts for every pod-unit the ledger knows about —
+         including ops adopted after takeover — and the tree passes the
+         SLO audit implied by the campaign's own journaled policy.
     """
     from ..core.manager import Manager
     from ..fleet import (
@@ -1048,7 +1058,28 @@ def run_fleet_chaos(seed: int, n_nodes: int = 8, n_pods: int = 24,
                 f"FC5: non-terminal ledger campaigns: {open_camps}")
 
     if tracer is not None:
-        from ..obs import to_jsonl
+        from ..obs import assemble_campaigns, audit_campaign, to_jsonl
 
         report.span_dump = to_jsonl(tracer)
+        # ---- FC6: the assembled trace accounts for every pod-unit ----
+        # one tracer spans all Manager incarnations of the episode, so
+        # the ledger + one dump must stitch into one complete tree
+        traces = assemble_campaigns(OpLedger(cluster.san),
+                                    dumps=(report.span_dump,))
+        if len(traces) != 1:
+            report.violations.append(
+                f"FC6: expected one assembled campaign, got {len(traces)}")
+        if traces:
+            assembled = traces[-1]
+            cov = assembled.coverage()
+            if not cov["complete"]:
+                report.violations.append(
+                    "FC6: assembled trace missing pod-units: "
+                    + ",".join(cov["missing"]))
+            audit = audit_campaign(assembled)
+            for v in audit.violations():
+                report.violations.append(f"FC6: SLO {v.rule}: {v.detail}")
+            report.assembled = assembled.to_jsonl()
+            report.assembled_chrome = assembled.dumps_chrome()
+            report.slo = audit.to_dict()
     return report

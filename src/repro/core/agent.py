@@ -282,7 +282,11 @@ class Agent:
         t0 = engine.now
         #: the Manager's operation span (if a tracer is installed the
         #: Manager registered it under this key; resolves to no parent
-        #: otherwise) — all per-pod phase spans hang off it.
+        #: otherwise) — all per-pod phase spans hang off it.  The tracer
+        #: also stamps the key's ambient context (driving Manager span,
+        #: owner name) onto every span parented here, so a later trace
+        #: assembly can attribute this Agent's work to the incarnation
+        #: that commanded it without any ids riding the wire.
         op_parent = ("op", op_id)
 
         # 1. suspend pod, block network
@@ -873,6 +877,8 @@ class Agent:
             })
             return
         meta = build_pod_meta(msg["pod"], reassembled.payload["sockets"])
+        self.cluster.count("agent.restore.bytes",
+                           sum(img.total_bytes for img in chain))
         phase.end(chain_epochs=len(chain))
         yield from send_msg(kernel, chan, fd, {
             "type": "meta",

@@ -168,19 +168,26 @@ class OpMachine:
     """
 
     def __init__(self, manager: "Manager", result: OpResult,
-                 lease_s: Optional[float] = None) -> None:
+                 lease_s: Optional[float] = None, span=None) -> None:
         self.manager = manager
         self.result = result
         self.lease_s = DEFAULT_LEASE_S if lease_s is None else float(lease_s)
+        #: the driving incarnation's op span; its id rides every ledger
+        #: record so the campaign-trace assembler can join durable facts
+        #: back to the span dump that timed them.
+        self.span = span
 
     def _append(self, phase: str, rec: str = "phase", **fields) -> None:
         mgr = self.manager
         now = mgr.cluster.engine.now
         self.result.phase = phase
-        mgr.ledger.append(dict({"rec": rec, "op": self.result.op_id,
-                                "phase": phase, "owner": mgr.name,
-                                "lease": now + self.lease_s, "t": now},
-                               **fields))
+        record = dict({"rec": rec, "op": self.result.op_id,
+                       "phase": phase, "owner": mgr.name,
+                       "lease": now + self.lease_s, "t": now}, **fields)
+        sid = getattr(self.span, "span_id", None)
+        if sid is not None:
+            record.setdefault("span", sid)
+        mgr.ledger.append(record)
 
     def _transition(self, phase: str, rec: str = "phase", **fields):
         self._append(phase, rec=rec, **fields)
@@ -470,8 +477,15 @@ class Manager:
         # spans on other nodes can attach themselves as children
         op_span = self.cluster.span("manager.checkpoint", category="op",
                                     key=("op", op_id), op=op_id,
-                                    pods=len(targets), context=context)
-        machine = OpMachine(self, result, lease_s)
+                                    pods=len(targets), context=context,
+                                    owner=self.name)
+        # span context for the Agents: in a real deployment the span id
+        # would ride the checkpoint command; here message bytes are
+        # timing-bearing, so context propagates through the shared
+        # tracer's key registry instead (same joinability, zero bytes)
+        self.cluster.span_context(("op", op_id), mspan=op_span.span_id,
+                                  owner=self.name)
+        machine = OpMachine(self, result, lease_s, span=op_span)
         conns: Dict[str, Tuple[Any, int]] = {}
         meta_count = [0]
         done_count = [0]
@@ -878,8 +892,10 @@ class Manager:
                           targets=list(targets), op_id=op_id)
         op_span = self.cluster.span("manager.restart", category="op",
                                     key=("op", op_id), op=op_id,
-                                    pods=len(targets))
-        machine = OpMachine(self, result, lease_s)
+                                    pods=len(targets), owner=self.name)
+        self.cluster.span_context(("op", op_id), mspan=op_span.span_id,
+                                  owner=self.name)
+        machine = OpMachine(self, result, lease_s, span=op_span)
         metas: Dict[str, List[dict]] = {}
         vips: Dict[str, str] = {}
         meta_count = [0]
@@ -1062,8 +1078,11 @@ class Manager:
         op_id = self.new_op_id()
         result = OpResult("recover", "ok", engine.now, engine.now, op_id=op_id)
         op_span = self.cluster.span("manager.recover", category="op",
-                                    key=("op", op_id), op=op_id)
-        machine = OpMachine(self, result)
+                                    key=("op", op_id), op=op_id,
+                                    owner=self.name)
+        self.cluster.span_context(("op", op_id), mspan=op_span.span_id,
+                                  owner=self.name)
+        machine = OpMachine(self, result, span=op_span)
         last = self.last_checkpoint
         if last is None or not last.ok or not last.targets:
             result.status = "failed"
@@ -1234,7 +1253,10 @@ class Manager:
         """Finish a checkpoint whose continue broadcast was durable."""
         engine = self.cluster.engine
         span = self.cluster.span("manager.resume", parent=("op", op.op_id),
-                                 category="op", op=op.op_id, at_phase=op.phase)
+                                 category="op", op=op.op_id, at_phase=op.phase,
+                                 owner=self.name)
+        self.cluster.span_context(("op", op.op_id), mspan=span.span_id,
+                                  owner=self.name)
         # re-attach: complete the barrier of any session still parked on
         # the dead Manager's connection (idempotent for the rest)
         for node_name in sorted({n for (n, _p, _u) in op.targets}):
@@ -1260,7 +1282,7 @@ class Manager:
         result = OpResult("checkpoint", "ok", op.t_last, engine.now,
                           targets=[tuple(t) for t in op.targets],
                           op_id=op.op_id)
-        machine = OpMachine(self, result)
+        machine = OpMachine(self, result, span=span)
         yield from machine.commit(resumed_by=self.name)
         self.last_checkpoint = result
         span.end(status="resumed")
@@ -1318,12 +1340,15 @@ class Manager:
         """
         engine = self.cluster.engine
         span = self.cluster.span("manager.abort", parent=("op", op.op_id),
-                                 category="op", op=op.op_id, at_phase=op.phase)
+                                 category="op", op=op.op_id, at_phase=op.phase,
+                                 owner=self.name)
+        self.cluster.span_context(("op", op.op_id), mspan=span.span_id,
+                                  owner=self.name)
         reason = f"orphaned at {op.phase}; aborted by {self.name}"
         result = OpResult(op.kind, "failed", engine.now, engine.now,
                           targets=[tuple(t) for t in op.targets],
                           op_id=op.op_id, errors=[reason])
-        machine = OpMachine(self, result)
+        machine = OpMachine(self, result, span=span)
         yield from machine.advance("abort", reason=reason)
         if op.kind == "checkpoint" and op.targets:
             yield from self._gc_partial_images(op.targets, result, timeouts)
@@ -1347,7 +1372,9 @@ class Manager:
         engine = self.cluster.engine
         kernel = self.home.kernel
         span = self.cluster.span("manager.redrive", parent=("op", op.op_id),
-                                 category="op", op=op.op_id)
+                                 category="op", op=op.op_id, owner=self.name)
+        self.cluster.span_context(("op", op.op_id), mspan=span.span_id,
+                                  owner=self.name)
         decoded = codec.decode(bytes.fromhex(op.fields["plan_hex"]))
         plan, vips = decoded["plan"], decoded["vips"]
         tv = bool(op.fields.get("time_virtualization", True))
@@ -1405,7 +1432,7 @@ class Manager:
                           op.t_last, engine.now,
                           targets=[tuple(t) for t in op.targets],
                           op_id=op.op_id, errors=list(failures))
-        machine = OpMachine(self, result)
+        machine = OpMachine(self, result, span=span)
         if failures:
             machine.aborted("; ".join(failures))
             span.end(status="failed")

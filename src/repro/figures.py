@@ -155,6 +155,39 @@ def figfleet(apps: List[str], scale: float, filters: Filters = None) -> None:
                  "p99 downtime [ms]", "pods ok", "peak inflight"), rows)
 
 
+def figtimeline(apps: List[str], scale: float, filters: Filters = None) -> None:
+    """Fleet timeline: downtime / in-flight / bytes over simulated time
+    (not a paper figure — the windowed-series view of the evacuation the
+    fleet figure summarizes; each row is one window of the campaign)."""
+    from .harness import run_timeline_series
+    out = run_timeline_series()
+    cols = out["columns"]
+    series = cols["series"]
+    window_ms = cols["window_s"] * 1000
+
+    def col(name, i, fmt="{:.1f}", scale_by=1.0):
+        v = series.get(name, [None] * len(cols["t"]))[i]
+        return "-" if v is None else fmt.format(v * scale_by)
+
+    rows = []
+    for i, t in enumerate(cols["t"]):
+        moved = series.get("fleet.pod_downtime.count", [0] * len(cols["t"]))[i]
+        bytes_rate = sum(
+            (series.get(f"agent.{k}.bytes.rate", [0.0] * len(cols["t"]))[i]
+             or 0.0) for k in ("netstate", "flush", "restore"))
+        rows.append((f"{t * 1000:.0f}", col("fleet.inflight.max", i, "{:.0f}"),
+                     moved,
+                     col("fleet.pod_downtime.p50", i, "{:.1f}", 1000),
+                     col("fleet.pod_downtime.p99", i, "{:.1f}", 1000),
+                     f"{bytes_rate / 1e6:.1f}"))
+    res = out["result"]
+    print_table(
+        f"Fleet timeline — campaign #{res.cid} ({res.status}), "
+        f"{window_ms:.0f} ms windows",
+        ("t [ms]", "inflight", "moved", "downtime p50 [ms]",
+         "downtime p99 [ms]", "bytes [MB/s]"), rows)
+
+
 def statistics_mean_mb(sizes: List[int]) -> float:
     return (sum(sizes) / len(sizes) / 1e6) if sizes else 0.0
 
@@ -162,7 +195,8 @@ def statistics_mean_mb(sizes: List[int]) -> float:
 def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fig", choices=["5", "6a", "6b", "6c", "mig",
-                                          "failover", "fleet", "all"],
+                                          "failover", "fleet", "timeline",
+                                          "all"],
                         default="all")
     parser.add_argument("--app", choices=list(APPS), default=None)
     parser.add_argument("--scale", type=float, default=1.0,
@@ -176,7 +210,8 @@ def main(argv: Optional[List[str]] = None) -> None:
     apps = [args.app] if args.app else list(APPS)
     filters = parse_filter_args(args.compress, args.incremental) or None
     runners = {"5": fig5, "6a": fig6a, "6b": fig6b, "6c": fig6c, "mig": figmig,
-               "failover": figfailover, "fleet": figfleet}
+               "failover": figfailover, "fleet": figfleet,
+               "timeline": figtimeline}
     for name, fn in runners.items():
         if args.fig in (name, "all"):
             fn(apps, args.scale, filters)

@@ -212,6 +212,12 @@ class Campaign:
         self._failures = 0
         self._reserved: Dict[str, int] = {}
         self._order = {n.name: n.index for n in self.cluster.nodes}
+        from ..obs.tracer import NULL_SPAN
+        #: campaign + wave spans, kept so a mid-wave halt can register
+        #: its terminal status on spans it cannot end (see
+        #: :meth:`_check_threshold` and Span.finalize_with).
+        self._span = NULL_SPAN
+        self._wave_spans: List[Any] = []
 
     # ------------------------------------------------------------------
     @classmethod
@@ -238,10 +244,15 @@ class Campaign:
     # ------------------------------------------------------------------
     def _append(self, phase: str, **fields_: Any) -> None:
         now = self.cluster.engine.now
-        self.ledger.append(dict({"rec": "campaign", "cid": self.cid,
-                                 "phase": phase, "owner": self.manager.name,
-                                 "lease": now + self.lease_s, "t": now},
-                                **fields_))
+        rec = dict({"rec": "campaign", "cid": self.cid,
+                    "phase": phase, "owner": self.manager.name,
+                    "lease": now + self.lease_s, "t": now}, **fields_)
+        # span context rides the record: the campaign span id joins this
+        # durable fact to the incarnation's trace dump for the assembler
+        sid = getattr(self._span, "span_id", None)
+        if sid is not None:
+            rec.setdefault("span", sid)
+        self.ledger.append(rec)
 
     def _check_threshold(self) -> None:
         total = max(1, len(self.units))
@@ -249,6 +260,13 @@ class Campaign:
                 self._failures / total > self.policy.failure_threshold:
             self._stop = "threshold"
             self.cluster.count("fleet.threshold_trips")
+            # the campaign and any open wave spans may never be ended by
+            # their (about to be abandoned) tasks: register the terminal
+            # status close_open() must apply instead of "unclosed"
+            self._span.finalize_with("halted", stop="threshold")
+            for wspan in self._wave_spans:
+                if getattr(wspan, "open", False):
+                    wspan.finalize_with("halted")
 
     def _dest_for(self, pod: str) -> Optional[str]:
         """Least-loaded eligible destination, reservation-aware.
@@ -314,6 +332,7 @@ class Campaign:
                                  campaign=self.cid, units=len(self.units),
                                  waves=len(self.waves),
                                  max_inflight=self.policy.max_inflight)
+        self._span = span
         if self.resumed_from is None:
             self._append("begin", kind=self.kind,
                          units=[list(u) for u in self.units],
@@ -338,6 +357,7 @@ class Campaign:
             wspan = self.cluster.span("fleet.wave", parent=span,
                                       campaign=self.cid, wave=w,
                                       pods=len(pending))
+            self._wave_spans.append(wspan)
             wave_state = {"remaining": len(pending), "summary": summary,
                           "span": wspan, "barrier": Future(f"wave-{w}")}
             pending_total["n"] += len(pending)
@@ -362,6 +382,9 @@ class Campaign:
         if mgr.crashed:
             result.status = "crashed"
             result.t_end = engine.now
+            for wspan in self._wave_spans:
+                if getattr(wspan, "open", False):
+                    wspan.end(status="crashed")
             span.end(status=result.status)
             return result
         counts = result.counts()
@@ -389,6 +412,7 @@ class Campaign:
         policy = self.policy
         engine = self.cluster.engine
         yield from self._gate.acquire()
+        self.cluster.gauge_set("fleet.inflight", self._gate.active)
         outcome = PodOutcome(pod=pod, node=node, wave=wave, status="skipped")
         if self._stop is None and not self.manager.crashed:
             yield from self.cluster.trace("fleet.pod_start", node=node,
@@ -415,6 +439,7 @@ class Campaign:
             # unit's launch decision sees this unit's failure
             self._record_outcome(outcome, wave_state["summary"], result)
             self._gate.release()
+            self.cluster.gauge_set("fleet.inflight", self._gate.active)
             yield from self.cluster.trace("fleet.pod_done", node=node,
                                           pod=pod)
         else:
@@ -422,6 +447,7 @@ class Campaign:
             result.pods[pod] = outcome
             wave_state["summary"].skipped += 1
             self._gate.release()
+            self.cluster.gauge_set("fleet.inflight", self._gate.active)
         wave_state["remaining"] -= 1
         pending_total["n"] -= 1
         if wave_state["remaining"] == 0:

@@ -90,14 +90,19 @@ def run_evacuation_demo(n_nodes: int = 24, n_pods: int = 96,
                         downtime_budget: Optional[float] = None,
                         n_faults: int = 0,
                         trace_spans: bool = False,
+                        metrics: bool = False,
+                        series_window_s: Optional[float] = None,
                         until: float = 14400.0) -> Dict[str, Any]:
     """One deterministic evacuation: populate blades ``1..n_evacuate``,
     then evacuate them all onto the spares (and blade 0).
 
     ``n_faults`` > 0 injects that many seeded soft faults (hangs, link
     delays — never crashes, so completion stays deterministic) at the
-    ``fleet.*`` phase boundaries.  Returns a dict with the
-    ``CampaignResult`` (``"result"``), the world, and the injector.
+    ``fleet.*`` phase boundaries.  ``metrics`` installs a registry with
+    a windowed series bank (window ``series_window_s``), so the run
+    streams ``fleet.*`` timeseries usable by the timeline figure and the
+    SLO auditor.  Returns a dict with the ``CampaignResult``
+    (``"result"``), the world, the injector, and the instruments.
     """
     cluster, manager, pods = build_fleet_world(
         n_nodes, n_pods, seed=seed, first_node=1, last_node=n_evacuate)
@@ -105,6 +110,11 @@ def run_evacuation_demo(n_nodes: int = 24, n_pods: int = 96,
     if trace_spans:
         from ..obs import SpanTracer
         tracer = SpanTracer(cluster.engine).install(cluster)
+    registry = None
+    if metrics:
+        from ..obs import MetricsRegistry
+        registry = MetricsRegistry().install(cluster)
+        registry.enable_series(cluster.engine, window_s=series_window_s)
     injector = None
     if n_faults > 0:
         plan = FaultPlan.random(seed, [n.name for n in cluster.nodes],
@@ -126,4 +136,4 @@ def run_evacuation_demo(n_nodes: int = 24, n_pods: int = 96,
     cluster.engine.run(until=until)
     return {"cluster": cluster, "manager": manager, "pods": pods,
             "evacuated": evac, "result": state.get("result"),
-            "injector": injector, "tracer": tracer}
+            "injector": injector, "tracer": tracer, "metrics": registry}

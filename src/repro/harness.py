@@ -441,3 +441,27 @@ def run_migration_cell(precopy_rounds: int, *, ballast: int = 256_000_000,
             f"writer did not finish on {dst.name} (cap {precopy_rounds})")
     return MigrationCell(precopy_rounds, mig.downtime, mig.total_time,
                          mig.precopy_bytes, mig.bailout, list(mig.rounds))
+
+
+def run_timeline_series(n_nodes: int = 24, n_pods: int = 96,
+                        n_evacuate: int = 18, seed: int = 0,
+                        max_inflight: int = 8,
+                        window_s: float = 0.05) -> Dict[str, Any]:
+    """Timeline cell: one metered evacuation, exported as windowed series.
+
+    Runs the fleet evacuation with a :class:`~repro.obs.series.SeriesBank`
+    attached (window ``window_s`` simulated seconds) and returns
+    ``{"columns": <deterministic columnar export>, "result":
+    <CampaignResult>}`` (see
+    :meth:`~repro.obs.series.SeriesBank.to_columns`).  Feeds
+    ``figures --fig timeline``: per-pod downtime percentiles, in-flight
+    occupancy, and checkpoint/restore byte rates over the campaign's
+    lifetime.
+    """
+    from .fleet import run_evacuation_demo
+    out = run_evacuation_demo(n_nodes=n_nodes, n_pods=n_pods,
+                              n_evacuate=n_evacuate, seed=seed,
+                              max_inflight=max_inflight,
+                              metrics=True, series_window_s=window_s)
+    return {"columns": out["metrics"].series.to_columns(),
+            "result": out["result"]}

@@ -11,6 +11,12 @@ an installed tracer perturbs nothing, and traces of the same seed are
 byte-identical — the tracer doubles as a determinism oracle.
 """
 
+from .assemble import (
+    CampaignTrace,
+    TraceNode,
+    assemble_campaign,
+    assemble_campaigns,
+)
 from .exporters import (
     dumps_chrome,
     export,
@@ -28,6 +34,14 @@ from .metrics import (
     MetricsRegistry,
     percentile,
 )
+from .series import DEFAULT_WINDOW_S, SeriesBank
+from .slo import (
+    SloBudget,
+    SloReport,
+    SloVerdict,
+    WallProfiler,
+    audit_campaign,
+)
 from .tracer import (
     FAULT,
     MARK,
@@ -43,13 +57,23 @@ from .tracer import (
     phase_sums,
     reconcile_op,
 )
-from .validate import CHECKPOINT_SPAN_NAMES, validate_chrome, validate_file
+from .validate import (
+    CHECKPOINT_SPAN_NAMES,
+    FLEET_SPAN_NAMES,
+    KNOWN_CATEGORIES,
+    validate_campaign,
+    validate_chrome,
+    validate_file,
+)
 
 __all__ = [
-    "CHECKPOINT_SPAN_NAMES", "Counter", "DEFAULT_BOUNDS", "FAULT", "Gauge",
-    "Histogram", "MARK", "MetricsRegistry", "NULL_SPAN", "OP", "PHASE",
-    "POST", "SIM_TICK_S", "STAGE", "Span", "SpanTracer", "WINDOW",
+    "CHECKPOINT_SPAN_NAMES", "CampaignTrace", "Counter", "DEFAULT_BOUNDS",
+    "DEFAULT_WINDOW_S", "FAULT", "FLEET_SPAN_NAMES", "Gauge", "Histogram",
+    "KNOWN_CATEGORIES", "MARK", "MetricsRegistry", "NULL_SPAN", "OP", "PHASE",
+    "POST", "SIM_TICK_S", "STAGE", "SeriesBank", "SloBudget", "SloReport",
+    "SloVerdict", "Span", "SpanTracer", "TraceNode", "WINDOW", "WallProfiler",
+    "assemble_campaign", "assemble_campaigns", "audit_campaign",
     "dumps_chrome", "export", "lane_of", "percentile", "phase_summary",
     "phase_sums", "phase_timeline", "reconcile_op", "to_chrome", "to_jsonl",
-    "validate_chrome", "validate_file",
+    "validate_campaign", "validate_chrome", "validate_file",
 ]

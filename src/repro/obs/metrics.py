@@ -46,29 +46,36 @@ def percentile(values: Sequence[float], q: float) -> float:
 class Counter:
     """Monotonically increasing count (events, bytes)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "bank")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        #: optional SeriesBank receiving per-window samples (see series.py).
+        self.bank = None
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
         self.value += amount
+        if self.bank is not None:
+            self.bank.record_counter(self.name, amount)
 
 
 class Gauge:
     """Last-written value (queue depths, current epoch)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "bank")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
+        self.bank = None
 
     def set(self, value: float) -> None:
         self.value = value
+        if self.bank is not None:
+            self.bank.record_gauge(self.name, value)
 
 
 class Histogram:
@@ -79,7 +86,7 @@ class Histogram:
     creation for determinism.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total")
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "bank")
 
     def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
         if not bounds or list(bounds) != sorted(bounds):
@@ -89,11 +96,14 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
+        self.bank = None
 
     def observe(self, value: float) -> None:
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
+        if self.bank is not None:
+            self.bank.record_hist(self.name, value)
 
     @property
     def mean(self) -> float:
@@ -112,22 +122,42 @@ class MetricsRegistry:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        #: optional SeriesBank; see :meth:`enable_series`.
+        self.series = None
 
     def install(self, cluster) -> "MetricsRegistry":
         cluster.metrics = self
         return self
+
+    def enable_series(self, engine, window_s: Optional[float] = None):
+        """Attach a windowed :class:`~repro.obs.series.SeriesBank`.
+
+        Existing and future instruments start streaming per-window
+        samples into it (counter increments, gauge sets, histogram
+        observations) keyed by the engine's simulated clock.  Returns
+        the bank.
+        """
+        from .series import DEFAULT_WINDOW_S, SeriesBank
+        self.series = SeriesBank(
+            engine, DEFAULT_WINDOW_S if window_s is None else window_s)
+        for store in (self.counters, self.gauges, self.histograms):
+            for inst in store.values():
+                inst.bank = self.series
+        return self.series
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
         inst = self.counters.get(name)
         if inst is None:
             inst = self.counters[name] = Counter(name)
+            inst.bank = self.series
         return inst
 
     def gauge(self, name: str) -> Gauge:
         inst = self.gauges.get(name)
         if inst is None:
             inst = self.gauges[name] = Gauge(name)
+            inst.bank = self.series
         return inst
 
     def histogram(self, name: str,
@@ -136,6 +166,7 @@ class MetricsRegistry:
         if inst is None:
             inst = self.histograms[name] = Histogram(
                 name, bounds if bounds is not None else DEFAULT_BOUNDS)
+            inst.bank = self.series
         return inst
 
     # ------------------------------------------------------------------

@@ -1,0 +1,124 @@
+"""Sim-clock windowed timeseries over the metrics registry.
+
+One-shot aggregates (the :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot) answer "how much, total?"; at fleet scale the interesting
+signal is *when* — per-wave downtime distributions, in-flight occupancy,
+network burst shape over a campaign.  A :class:`SeriesBank` buckets
+every instrument sample into fixed simulated-time windows as it happens:
+
+* counters  → per-window increments, exported as rates (units/s),
+* gauges    → last sample per window (carried forward when silent),
+* histograms→ per-window percentiles + sample counts.
+
+Attach one to a registry with
+:meth:`~repro.obs.metrics.MetricsRegistry.enable_series`; existing and
+future instruments report to it transparently, so all the ``fleet.*`` /
+manager / agent instrumentation added since PR 3 feeds series with no
+call-site changes.  Like the tracer, recording is pure bookkeeping on
+the simulated clock — a run with series enabled has identical timings to
+one without, and :meth:`SeriesBank.dumps` is byte-identical across
+same-seed runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .metrics import percentile
+
+#: default window width in simulated seconds.
+DEFAULT_WINDOW_S = 5.0
+
+
+class SeriesBank:
+    """Windowed sample store keyed by instrument name."""
+
+    def __init__(self, engine, window_s: float = DEFAULT_WINDOW_S) -> None:
+        self.engine = engine
+        self.window_s = float(window_s)
+        #: counter name -> {window index -> summed increments}
+        self.counters: Dict[str, Dict[int, float]] = {}
+        #: gauge name -> {window index -> last sample}
+        self.gauges: Dict[str, Dict[int, float]] = {}
+        #: gauge name -> {window index -> max sample} (occupancy peaks —
+        #: a cap rule needs the high-water mark, not the closing value)
+        self.gauge_peaks: Dict[str, Dict[int, float]] = {}
+        #: histogram name -> {window index -> [samples]}
+        self.hists: Dict[str, Dict[int, List[float]]] = {}
+
+    # ------------------------------------------------------------------
+    def _window(self) -> int:
+        return int(self.engine.now / self.window_s)
+
+    def record_counter(self, name: str, amount: float) -> None:
+        w = self.counters.setdefault(name, {})
+        idx = self._window()
+        w[idx] = w.get(idx, 0.0) + amount
+
+    def record_gauge(self, name: str, value: float) -> None:
+        idx = self._window()
+        self.gauges.setdefault(name, {})[idx] = value
+        peaks = self.gauge_peaks.setdefault(name, {})
+        peaks[idx] = max(peaks.get(idx, value), value)
+
+    def record_hist(self, name: str, value: float) -> None:
+        self.hists.setdefault(name, {}).setdefault(
+            self._window(), []).append(value)
+
+    # ------------------------------------------------------------------
+    def window_count(self) -> int:
+        """Windows from t=0 through the last one holding a sample."""
+        last = -1
+        for bank in (self.counters, self.gauges, self.hists):
+            for windows in bank.values():
+                if windows:
+                    last = max(last, max(windows))
+        return last + 1
+
+    def to_columns(self, percentiles: Sequence[int] = (50, 99),
+                   ) -> Dict[str, Any]:
+        """Deterministic columnar export: dense per-window columns.
+
+        ``{"schema": 1, "window_s": W, "t": [...window starts...],
+        "series": {name: [value per window]}}`` — counters as
+        ``<name>.rate`` (units/s), gauges as ``<name>.last``
+        (carried forward across silent windows) plus ``<name>.max``
+        (in-window high-water mark, ``None`` when silent), histograms
+        as ``<name>.p<q>`` and ``<name>.count``.  Column order is sorted by
+        name; empty cells are ``None`` (or ``0.0`` for rates/counts) so
+        every column has the same length and the artifact is
+        byte-identical across same-seed runs.
+        """
+        n = self.window_count()
+        cols: Dict[str, List[Any]] = {}
+        for name in sorted(self.counters):
+            windows = self.counters[name]
+            cols[f"{name}.rate"] = [
+                round(windows.get(i, 0.0) / self.window_s, 9)
+                for i in range(n)]
+        for name in sorted(self.gauges):
+            windows = self.gauges[name]
+            col: List[Optional[float]] = []
+            last: Optional[float] = None
+            for i in range(n):
+                if i in windows:
+                    last = windows[i]
+                col.append(last)
+            cols[f"{name}.last"] = col
+            peaks = self.gauge_peaks.get(name, {})
+            cols[f"{name}.max"] = [peaks.get(i) for i in range(n)]
+        for name in sorted(self.hists):
+            windows = self.hists[name]
+            for q in percentiles:
+                cols[f"{name}.p{q}"] = [
+                    (round(percentile(windows[i], q), 9)
+                     if windows.get(i) else None) for i in range(n)]
+            cols[f"{name}.count"] = [len(windows.get(i, ())) for i in range(n)]
+        return {"schema": 1, "window_s": self.window_s,
+                "t": [round(i * self.window_s, 9) for i in range(n)],
+                "series": cols}
+
+    def dumps(self, percentiles: Sequence[int] = (50, 99)) -> str:
+        return json.dumps(self.to_columns(percentiles), sort_keys=True,
+                          separators=(",", ":")) + "\n"

@@ -59,7 +59,8 @@ class Span:
     """One recorded interval (or instant) of simulated time."""
 
     __slots__ = ("tracer", "span_id", "parent_id", "name", "t_start", "t_end",
-                 "node", "pod", "category", "status", "attrs")
+                 "node", "pod", "category", "status", "attrs",
+                 "pending_status", "pending_attrs")
 
     def __init__(self, tracer: "SpanTracer", span_id: int, name: str,
                  t_start: float, parent_id: Optional[int] = None,
@@ -77,6 +78,8 @@ class Span:
         self.category = category
         self.status = "ok"
         self.attrs: Dict[str, Any] = attrs or {}
+        self.pending_status: Optional[str] = None
+        self.pending_attrs: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def end(self, status: Optional[str] = None, **attrs: Any) -> "Span":
@@ -92,6 +95,29 @@ class Span:
     def annotate(self, **attrs: Any) -> "Span":
         """Attach attributes without closing the span."""
         self.attrs.update(attrs)
+        return self
+
+    def finalize_with(self, status: str, **attrs: Any) -> "Span":
+        """Register the terminal status/attrs a later sweep must apply.
+
+        A halting campaign cannot ``end()`` spans owned by the tasks it
+        is about to abandon — they may still be running and will never
+        resume to close themselves.  Registering the outcome here makes
+        :meth:`SpanTracer.close_open` close the span with *this* status
+        and these attrs instead of the generic ``"unclosed"``, so the
+        dump records *why* the span never finished (e.g. ``"halted"``
+        when the failure threshold tripped mid-wave).  On an
+        already-closed span this degrades to an attribute update.
+        """
+        if self.t_end is not None:
+            self.status = status
+            self.attrs.update(attrs)
+            return self
+        self.pending_status = status
+        if attrs:
+            merged = dict(self.pending_attrs or {})
+            merged.update(attrs)
+            self.pending_attrs = merged
         return self
 
     @property
@@ -143,6 +169,9 @@ class _NullSpan:
     def annotate(self, **attrs: Any) -> "_NullSpan":
         return self
 
+    def finalize_with(self, status: str, **attrs: Any) -> "_NullSpan":
+        return self
+
 
 NULL_SPAN = _NullSpan()
 
@@ -163,6 +192,11 @@ class SpanTracer:
         self.spans: List[Span] = []
         self._next_id = 1
         self._keys: Dict[Tuple[Any, ...], Span] = {}
+        #: ambient attrs stamped onto every span parented by a key — the
+        #: receiving side of span context riding the wire (an Agent binds
+        #: ``mspan`` = the Manager incarnation's op-span id, and every
+        #: Agent-side span under that op inherits it).
+        self._contexts: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -185,15 +219,37 @@ class SpanTracer:
             return found.span_id if found is not None else None
         return None
 
+    def _stamp(self, parent: ParentRef, attrs: Dict[str, Any]) -> Dict[str, Any]:
+        """Stamp key context onto a key-parented span's attrs.
+
+        A span parented by a tuple key like ``("op", 7)`` inherits that
+        key as an attr (``op=7``) plus any ambient context bound to the
+        key via :meth:`set_context` — which is what lets the campaign
+        assembler join spans to ledger records across dumps without
+        every call site threading ids through by hand.  Explicit attrs
+        always win.
+        """
+        if isinstance(parent, tuple) and len(parent) == 2:
+            attrs.setdefault(str(parent[0]), parent[1])
+            for k, v in self._contexts.get(parent, {}).items():
+                attrs.setdefault(k, v)
+        return attrs
+
+    def set_context(self, key: Tuple[Any, ...], **attrs: Any) -> None:
+        """Bind ambient attrs to ``key``: every later span parented by
+        the key inherits them (see :meth:`_stamp`)."""
+        self._contexts.setdefault(key, {}).update(attrs)
+
     def begin(self, name: str, node: Optional[str] = None,
               pod: Optional[str] = None, parent: ParentRef = None,
               category: str = PHASE, key: Optional[Tuple[Any, ...]] = None,
               **attrs: Any) -> Span:
         """Open a span at the current simulated time."""
+        attrs = self._stamp(parent, dict(attrs))
         span = Span(self, self._next_id, name, self.now,
                     parent_id=self._resolve_parent(parent),
                     node=node, pod=pod, category=category,
-                    attrs=dict(attrs) if attrs else None)
+                    attrs=attrs or None)
         self._next_id += 1
         self.spans.append(span)
         if key is not None:
@@ -206,10 +262,11 @@ class SpanTracer:
             **attrs: Any) -> Span:
         """Record a span with explicit start/end times (modeled stages:
         the caller slept once for several stages and subdivides here)."""
+        attrs = self._stamp(parent, dict(attrs))
         span = Span(self, self._next_id, name, t_start,
                     parent_id=self._resolve_parent(parent),
                     node=node, pod=pod, category=category,
-                    attrs=dict(attrs) if attrs else None)
+                    attrs=attrs or None)
         self._next_id += 1
         span.t_end = t_end
         self.spans.append(span)
@@ -232,12 +289,16 @@ class SpanTracer:
 
         A cancelled protocol task never resumes to call ``end()``; the
         exporters call this first so the dump has no dangling spans.
-        Returns how many spans were closed.
+        Spans that registered a terminal outcome via
+        :meth:`Span.finalize_with` close with *that* status and attrs
+        instead of the blanket default.  Returns how many spans were
+        closed.
         """
         n = 0
         for span in self.spans:
             if span.t_end is None:
-                span.end(status=status)
+                span.end(status=span.pending_status or status,
+                         **(span.pending_attrs or {}))
                 n += 1
         return n
 

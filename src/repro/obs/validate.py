@@ -8,10 +8,19 @@ traced snapshot+restart and uploads the trace as an artifact):
 * timestamps are non-decreasing in stream order;
 * duration events form matched, properly nested ``B``/``E`` pairs per
   track (a stack check, name-matched);
+* every event's ``cat`` is a *known* span category — an unknown
+  category fails validation (a silently-passing unknown means an
+  instrumentation site and this schema have drifted apart);
 * async ``b``/``e`` pairs match by id;
 * optionally (``--checkpoint``), the checkpoint protocol phases the
   paper's Figure 6 decomposes — suspend, network block, netstate save,
-  meta-data report, continue barrier, standalone save — all appear.
+  meta-data report, continue barrier, standalone save — all appear;
+* optionally (``--fleet``), the PR 7 fleet campaign spans and trace
+  points appear;
+* ``--campaign`` instead validates an *assembled* campaign-trace JSONL
+  artifact (see :mod:`repro.obs.assemble`): header schema, pre-order
+  node ids, parent-before-child, time ordering, known kinds, and
+  complete pod-unit coverage.
 """
 
 from __future__ import annotations
@@ -30,6 +39,21 @@ CHECKPOINT_SPAN_NAMES = (
     "agent.phase.standalone",
     "manager.checkpoint",
 )
+
+#: span/trace-point names a traced fleet campaign must contain.
+FLEET_SPAN_NAMES = (
+    "fleet.wave",
+    "fleet.wave_start",
+    "fleet.pod_start",
+    "fleet.pod_done",
+)
+
+#: every span category an exporter may emit: the tracer's categories
+#: plus the node kinds the campaign assembler synthesizes.
+KNOWN_CATEGORIES = frozenset((
+    "op", "phase", "stage", "window", "mark", "fault", "post",
+    "campaign", "wave", "unit",
+))
 
 _REQUIRED_KEYS = ("ph", "pid", "tid", "name")
 
@@ -58,6 +82,9 @@ def validate_chrome(doc: Any, require: Optional[List[str]] = None) -> List[str]:
         if last_ts is not None and ts < last_ts:
             problems.append(f"event {i}: ts {ts} before previous {last_ts}")
         last_ts = ts
+        cat = ev.get("cat")
+        if cat is not None and cat not in KNOWN_CATEGORIES:
+            problems.append(f"event {i}: unknown span category {cat!r}")
         seen_names.add(ev.get("name"))
         track = (ev.get("pid"), ev.get("tid"))
         if ph == "B":
@@ -99,31 +126,117 @@ def validate_chrome(doc: Any, require: Optional[List[str]] = None) -> List[str]:
     return problems
 
 
-def validate_file(path: str, require: Optional[List[str]] = None) -> List[str]:
+def validate_campaign(lines: Any) -> List[str]:
+    """Validate an assembled campaign-trace JSONL artifact.
+
+    ``lines`` is the artifact text or an iterable of parsed records.
+    Checks the header, that node ids are pre-order (parent always
+    precedes child), that every node's kind and times are sane, and
+    that the header's coverage claims every pod-unit is in the tree.
+    """
+    if isinstance(lines, str):
+        try:
+            records = [json.loads(line) for line in lines.splitlines() if line]
+        except ValueError as err:
+            return [f"bad JSONL: {err}"]
+    else:
+        records = list(lines)
+    if not records:
+        return ["empty artifact"]
+    problems: List[str] = []
+    header = records[0]
+    if header.get("rec") != "campaign-trace":
+        return [f"first record is {header.get('rec')!r}, "
+                "expected 'campaign-trace' header"]
+    if header.get("schema") != 1:
+        problems.append(f"unknown schema {header.get('schema')!r}")
+    for key in ("cid", "kind", "status", "owners", "coverage", "nodes"):
+        if key not in header:
+            problems.append(f"header missing key {key!r}")
+    coverage = header.get("coverage") or {}
+    if coverage.get("missing"):
+        problems.append("coverage incomplete: pod-units missing from tree: "
+                        + ",".join(coverage["missing"]))
+    nodes = records[1:]
+    if header.get("nodes") is not None and header["nodes"] != len(nodes):
+        problems.append(f"header claims {header['nodes']} nodes, "
+                        f"artifact has {len(nodes)}")
+    for i, node in enumerate(nodes):
+        where = f"node {i}"
+        if node.get("rec") != "node":
+            problems.append(f"{where}: rec is {node.get('rec')!r}")
+            continue
+        for key in ("id", "kind", "name", "t0", "t1", "status", "src"):
+            if key not in node:
+                problems.append(f"{where}: missing key {key!r}")
+        if node.get("id") != i:
+            problems.append(f"{where}: id {node.get('id')!r} not pre-order")
+        parent = node.get("parent")
+        if i == 0:
+            if parent is not None:
+                problems.append(f"{where}: root has parent {parent!r}")
+            if node.get("kind") != "campaign":
+                problems.append(f"{where}: root kind {node.get('kind')!r}")
+        elif not isinstance(parent, int) or not 0 <= parent < i:
+            problems.append(f"{where}: parent {parent!r} does not precede it")
+        kind = node.get("kind")
+        if kind is not None and kind not in KNOWN_CATEGORIES:
+            problems.append(f"{where}: unknown kind {kind!r}")
+        t0, t1 = node.get("t0"), node.get("t1")
+        if isinstance(t0, (int, float)) and isinstance(t1, (int, float)) \
+                and t1 < t0:
+            problems.append(f"{where}: t1 {t1} before t0 {t0}")
+    return problems
+
+
+def validate_file(path: str, require: Optional[List[str]] = None,
+                  campaign: bool = False) -> List[str]:
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except (OSError, ValueError) as err:
+            text = fh.read()
+    except OSError as err:
+        return [f"cannot load {path}: {err}"]
+    if campaign:
+        return validate_campaign(text)
+    try:
+        doc = json.loads(text)
+    except ValueError as err:
         return [f"cannot load {path}: {err}"]
     return validate_chrome(doc, require=require)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("path", help="Chrome trace JSON file to validate")
+    parser.add_argument("path", help="trace file to validate")
     parser.add_argument("--checkpoint", action="store_true",
                         help="additionally require the coordinated-checkpoint "
                              "protocol phases to be present")
+    parser.add_argument("--fleet", action="store_true",
+                        help="additionally require the fleet campaign spans "
+                             "and trace points to be present")
+    parser.add_argument("--campaign", action="store_true",
+                        help="validate an assembled campaign-trace JSONL "
+                             "artifact instead of a Chrome trace")
     args = parser.parse_args(argv)
-    require = list(CHECKPOINT_SPAN_NAMES) if args.checkpoint else None
-    problems = validate_file(args.path, require=require)
+    require: List[str] = []
+    if args.checkpoint:
+        require += list(CHECKPOINT_SPAN_NAMES)
+    if args.fleet:
+        require += list(FLEET_SPAN_NAMES)
+    problems = validate_file(args.path, require=require or None,
+                             campaign=args.campaign)
     if problems:
         for p in problems:
             print(f"INVALID: {p}")
         return 1
     with open(args.path, "r", encoding="utf-8") as fh:
-        n = len(json.load(fh)["traceEvents"])
-    print(f"OK: {args.path} — {n} events, schema valid")
+        if args.campaign:
+            n = sum(1 for line in fh if line.strip()) - 1
+            what = "nodes"
+        else:
+            n = len(json.load(fh)["traceEvents"])
+            what = "events"
+    print(f"OK: {args.path} — {n} {what}, schema valid")
     return 0
 
 

@@ -153,6 +153,93 @@ class LedgerCampaign:
                       if rec.get("status") == "ok")
 
 
+def fold_ops(records: List[Dict[str, Any]]) -> Dict[int, LedgerOp]:
+    """Fold raw op records into per-op state (newest wins).
+
+    Module-level so the campaign-trace assembler (:mod:`repro.obs.
+    assemble`) can fold a record list it obtained elsewhere — a span
+    dump's sidecar, a copied log — without a live :class:`FileSystem`.
+    """
+    ops: Dict[int, LedgerOp] = {}
+    for rec in records:
+        if "cid" in rec:
+            continue  # campaign records fold via fold_campaigns()
+        op_id = int(rec["op"])
+        op = ops.get(op_id)
+        if op is None:
+            op = ops[op_id] = LedgerOp(op_id=op_id)
+        kind = rec.get("rec", "phase")
+        op.t_last = float(rec.get("t", op.t_last))
+        if kind == "claim":
+            op.owner = rec.get("owner")
+            op.lease_until = float(rec.get("lease", 0.0))
+            op.claims.append(rec.get("owner"))
+            continue
+        if kind == "op":
+            op.kind = rec.get("kind", op.kind)
+            op.context = rec.get("context", op.context)
+            op.targets = [tuple(t) for t in rec.get("targets", [])]
+        if rec.get("owner") is not None:
+            op.owner = rec["owner"]
+        if rec.get("lease") is not None:
+            op.lease_until = float(rec["lease"])
+        op.phase = rec.get("phase", op.phase)
+        for key, value in rec.items():
+            if key not in ("rec", "op", "phase", "owner", "lease", "t",
+                           "kind", "context", "targets"):
+                op.fields[key] = value
+    return ops
+
+
+def fold_campaigns(records: List[Dict[str, Any]]) -> Dict[int, LedgerCampaign]:
+    """Fold raw campaign-family records into per-campaign state."""
+    campaigns: Dict[int, LedgerCampaign] = {}
+    for rec in records:
+        if "cid" not in rec:
+            continue
+        cid = int(rec["cid"])
+        camp = campaigns.get(cid)
+        if camp is None:
+            camp = campaigns[cid] = LedgerCampaign(cid=cid)
+        kind = rec.get("rec", "campaign")
+        camp.t_last = float(rec.get("t", camp.t_last))
+        if kind == "campaign-claim":
+            camp.owner = rec.get("owner")
+            camp.lease_until = float(rec.get("lease", 0.0))
+            camp.claims.append(rec.get("owner"))
+            continue
+        phase = rec.get("phase", camp.phase)
+        if phase == "begin":
+            camp.kind = rec.get("kind", camp.kind)
+            camp.units = [tuple(u) for u in rec.get("units", [])]
+            camp.waves = [list(w) for w in rec.get("waves", [])]
+            camp.policy = dict(rec.get("policy", {}))
+        elif phase == "wave":
+            wave = int(rec.get("wave", -1))
+            owner = rec.get("owner")
+            camp.wave_claims.append((wave, owner))
+            if wave in camp.wave_owners:
+                # duplicate wave claim: first writer wins, the
+                # duplicate stays on the audit trail only
+                continue
+            camp.wave_owners[wave] = owner
+        elif phase == "pod":
+            camp.pods[rec.get("pod")] = {
+                k: v for k, v in rec.items()
+                if k in ("status", "op", "wave", "downtime", "attempts",
+                         "adopted", "t")}
+        elif phase == "wave-done":
+            wave = int(rec.get("wave", -1))
+            if wave not in camp.waves_done:
+                camp.waves_done.append(wave)
+        if rec.get("owner") is not None:
+            camp.owner = rec["owner"]
+        if rec.get("lease") is not None:
+            camp.lease_until = float(rec["lease"])
+        camp.phase = phase
+    return campaigns
+
+
 class OpLedger:
     """Append/scan/claim interface over the JSONL ledger file."""
 
@@ -215,35 +302,7 @@ class OpLedger:
     # -- folded state ----------------------------------------------------
     def replay(self) -> Dict[int, LedgerOp]:
         """Fold the log into per-op state, in op-id order."""
-        ops: Dict[int, LedgerOp] = {}
-        for rec in self.records():
-            if "cid" in rec:
-                continue  # campaign records fold via replay_campaigns()
-            op_id = int(rec["op"])
-            op = ops.get(op_id)
-            if op is None:
-                op = ops[op_id] = LedgerOp(op_id=op_id)
-            kind = rec.get("rec", "phase")
-            op.t_last = float(rec.get("t", op.t_last))
-            if kind == "claim":
-                op.owner = rec.get("owner")
-                op.lease_until = float(rec.get("lease", 0.0))
-                op.claims.append(rec.get("owner"))
-                continue
-            if kind == "op":
-                op.kind = rec.get("kind", op.kind)
-                op.context = rec.get("context", op.context)
-                op.targets = [tuple(t) for t in rec.get("targets", [])]
-            if rec.get("owner") is not None:
-                op.owner = rec["owner"]
-            if rec.get("lease") is not None:
-                op.lease_until = float(rec["lease"])
-            op.phase = rec.get("phase", op.phase)
-            for key, value in rec.items():
-                if key not in ("rec", "op", "phase", "owner", "lease", "t",
-                               "kind", "context", "targets"):
-                    op.fields[key] = value
-        return ops
+        return fold_ops(self.records())
 
     def next_op_id(self) -> int:
         """Smallest op id no record has used yet."""
@@ -289,50 +348,7 @@ class OpLedger:
     # -- campaigns -------------------------------------------------------
     def replay_campaigns(self) -> Dict[int, LedgerCampaign]:
         """Fold the campaign record family into per-campaign state."""
-        campaigns: Dict[int, LedgerCampaign] = {}
-        for rec in self.records():
-            if "cid" not in rec:
-                continue
-            cid = int(rec["cid"])
-            camp = campaigns.get(cid)
-            if camp is None:
-                camp = campaigns[cid] = LedgerCampaign(cid=cid)
-            kind = rec.get("rec", "campaign")
-            camp.t_last = float(rec.get("t", camp.t_last))
-            if kind == "campaign-claim":
-                camp.owner = rec.get("owner")
-                camp.lease_until = float(rec.get("lease", 0.0))
-                camp.claims.append(rec.get("owner"))
-                continue
-            phase = rec.get("phase", camp.phase)
-            if phase == "begin":
-                camp.kind = rec.get("kind", camp.kind)
-                camp.units = [tuple(u) for u in rec.get("units", [])]
-                camp.waves = [list(w) for w in rec.get("waves", [])]
-                camp.policy = dict(rec.get("policy", {}))
-            elif phase == "wave":
-                wave = int(rec.get("wave", -1))
-                owner = rec.get("owner")
-                camp.wave_claims.append((wave, owner))
-                if wave in camp.wave_owners:
-                    # duplicate wave claim: first writer wins, the
-                    # duplicate stays on the audit trail only
-                    continue
-                camp.wave_owners[wave] = owner
-            elif phase == "pod":
-                camp.pods[rec.get("pod")] = {
-                    k: v for k, v in rec.items()
-                    if k in ("status", "op", "wave", "downtime", "attempts")}
-            elif phase == "wave-done":
-                wave = int(rec.get("wave", -1))
-                if wave not in camp.waves_done:
-                    camp.waves_done.append(wave)
-            if rec.get("owner") is not None:
-                camp.owner = rec["owner"]
-            if rec.get("lease") is not None:
-                camp.lease_until = float(rec["lease"])
-            camp.phase = phase
-        return campaigns
+        return fold_campaigns(self.records())
 
     def next_campaign_id(self) -> int:
         """Smallest campaign id no record has used yet."""

@@ -17,6 +17,8 @@ Examples::
     python -m repro.zapc recover  --app PETSc --nodes 2
     python -m repro.zapc fleet --nodes 100 --pods 1000 --evacuate 75 \\
         --max-inflight 16 --faults 4
+    python -m repro.zapc fleet --audit --budget 0.5
+    python -m repro.zapc trace --campaign --seed 18 --trace campaign.jsonl
 
 ``--managers 2`` demonstrates the HA Manager: the active Manager is
 crashed at a ledger phase boundary mid-checkpoint and a standby replica
@@ -25,7 +27,17 @@ claims the orphaned op from the durable op ledger and finishes it.
 ``fleet`` runs the fleet orchestration demo instead of an application:
 a cluster of idle pods is evacuated in bounded-concurrency waves, and
 the wave table, per-pod downtime distribution, and any threshold or
-budget trips are printed.
+budget trips are printed.  With ``--audit`` the run is traced and
+metered, the campaign trace is assembled from the op ledger + span
+dump, and an SLO audit (budgets from the campaign's own policy, e.g.
+``--budget``) decides the exit code; the simulator's own wall-time
+profile prints alongside.
+
+``trace --campaign`` runs one traced fleet-chaos episode (same worlds
+the chaos battery audits; seed 18 crashes the Manager mid-campaign) and
+writes the failover-stitched campaign trace — one causal tree spanning
+every Manager incarnation — as JSONL plus a Chrome ``trace_event`` view
+and the SLO report.  Same seed → byte-identical artifacts.
 """
 
 from __future__ import annotations
@@ -212,22 +224,81 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
     return ok and verified
 
 
+def run_campaign_trace(seed: int, out_path: str) -> bool:
+    """Run one traced fleet-chaos episode; write the assembled artifacts.
+
+    Writes the failover-stitched campaign trace as JSONL to
+    ``out_path``, its Chrome ``trace_event`` view to
+    ``out_path + ".chrome.json"`` and the SLO report to
+    ``out_path + ".slo.json"``.  Deterministic: same seed, same bytes.
+    """
+    import json
+
+    from .cluster.chaos import run_fleet_chaos
+    from .obs import WallProfiler
+    wall = WallProfiler()
+    with wall.phase("simulate+assemble"):
+        report = run_fleet_chaos(seed, trace_spans=True)
+    print(f"fleet-chaos seed {seed}: scenario {report.scenario}"
+          + (f" targeting {','.join(report.targets)}" if report.targets else "")
+          + ("; Manager crashed mid-campaign and a replica finished the "
+             "campaign" if report.manager_crashed else ""))
+    if report.assembled is None:
+        print("no campaign was assembled (no campaign records in the ledger)")
+        return False
+    header = json.loads(report.assembled.splitlines()[0])
+    cov = header["coverage"]
+    with wall.phase("write"):
+        with open(out_path, "w", encoding="utf-8") as fh:
+            fh.write(report.assembled)
+        with open(out_path + ".chrome.json", "w", encoding="utf-8") as fh:
+            fh.write(report.assembled_chrome)
+        with open(out_path + ".slo.json", "w", encoding="utf-8") as fh:
+            json.dump(report.slo, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+    print(f"assembled campaign {header['cid']} ({header['kind']}, "
+          f"{header['status']}): {header['nodes']} nodes, "
+          f"owners {','.join(header['owners'])}")
+    print(f"coverage: {cov['in_tree']}/{cov['units']} pod-units in tree"
+          + (f", {len(cov['adopted'])} adopted after takeover"
+             if cov["adopted"] else "")
+          + ("" if cov["complete"] else f"; MISSING: {cov['missing']}"))
+    print(f"trace: {out_path} (+ .chrome.json, .slo.json)")
+    for v in report.violations:
+        print(f"  violation: {v}")
+    wall.render()
+    return not report.violations
+
+
 def run_fleet(nodes: int, pods: int, evacuate: int, seed: int = 0,
               max_inflight: int = 8, wave_size: Optional[int] = None,
               wave_barrier: bool = True, threshold: float = 0.25,
               retries: int = 1, budget: Optional[float] = None,
-              faults: int = 0) -> bool:
-    """Run the fleet evacuation demo and print the campaign report."""
+              faults: int = 0, audit: bool = False) -> bool:
+    """Run the fleet evacuation demo and print the campaign report.
+
+    With ``audit``, the run is traced and metered, the op ledger + span
+    dump are stitched into one campaign trace, and the SLO auditor
+    checks it against the budgets the campaign's own policy declared
+    (``--budget`` becomes the per-pod downtime budget) — a failed audit
+    fails the command.
+    """
     from .fleet import run_evacuation_demo
+    from .obs import WallProfiler
+    wall = WallProfiler()
     print(f"fleet: evacuating blades 1..{evacuate} of {nodes} "
           f"({pods} pods), max {max_inflight} in flight"
           + (f", {faults} seeded soft fault(s)" if faults else ""))
-    out = run_evacuation_demo(n_nodes=nodes, n_pods=pods,
-                              n_evacuate=evacuate, seed=seed,
-                              max_inflight=max_inflight, wave_size=wave_size,
-                              wave_barrier=wave_barrier,
-                              failure_threshold=threshold, retries=retries,
-                              downtime_budget=budget, n_faults=faults)
+    with wall.phase("simulate"):
+        out = run_evacuation_demo(n_nodes=nodes, n_pods=pods,
+                                  n_evacuate=evacuate, seed=seed,
+                                  max_inflight=max_inflight,
+                                  wave_size=wave_size,
+                                  wave_barrier=wave_barrier,
+                                  failure_threshold=threshold,
+                                  retries=retries,
+                                  downtime_budget=budget, n_faults=faults,
+                                  trace_spans=audit, metrics=audit)
     res = out["result"]
     if res is None:
         print("campaign did not finish before the simulation horizon")
@@ -269,13 +340,27 @@ def run_fleet(nodes: int, pods: int, evacuate: int, seed: int = 0,
                  if n.name not in evac)
     print(f"evacuated blades empty: {emptied}; "
           f"pods running on survivors: {landed}/{pods}")
-    return res.ok and emptied and landed == pods
+    verdict = True
+    if audit:
+        from .obs import assemble_campaign, audit_campaign
+        from .storage.ledger import OpLedger
+        with wall.phase("assemble"):
+            trace = assemble_campaign(OpLedger(cluster.san),
+                                      dumps=(out["tracer"],), cid=res.cid)
+        series = out["metrics"].series.to_columns()
+        with wall.phase("audit"):
+            slo = audit_campaign(trace, series=series)
+        slo.render()
+        wall.render()
+        verdict = slo.ok
+    return res.ok and emptied and landed == pods and verdict
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.zapc", description=__doc__)
     parser.add_argument("action",
-                        choices=["snapshot", "migrate", "recover", "fleet"])
+                        choices=["snapshot", "migrate", "recover", "fleet",
+                                 "trace"])
     parser.add_argument("--app", choices=list(APPS), default="CPI")
     parser.add_argument("--nodes", type=int, default=4)
     parser.add_argument("--scale", type=float, default=0.5)
@@ -329,7 +414,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="per-pod downtime budget in seconds (advisory)")
     fleet.add_argument("--faults", type=int, default=0, metavar="N",
                        help="inject N seeded soft faults at fleet phases")
+    fleet.add_argument("--audit", action="store_true",
+                       help="trace + meter the run, assemble the campaign "
+                            "trace from the ledger, and SLO-audit it "
+                            "against the policy's budgets (exit 1 on a "
+                            "violated budget)")
+    parser.add_argument("--campaign", action="store_true",
+                        help="with the trace action: run a traced "
+                             "fleet-chaos episode and write the assembled "
+                             "failover-stitched campaign trace")
     args = parser.parse_args(argv)
+    if args.action == "trace":
+        if not args.campaign:
+            raise SystemExit("the trace action requires --campaign")
+        ok = run_campaign_trace(args.seed,
+                                args.trace or "campaign-trace.jsonl")
+        return 0 if ok else 1
     if args.action == "fleet":
         n_evac = args.evacuate if args.evacuate is not None \
             else max(1, (args.nodes * 3) // 4)
@@ -338,7 +438,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                        wave_size=args.wave_size,
                        wave_barrier=not args.no_barrier,
                        threshold=args.threshold, retries=args.retries,
-                       budget=args.budget, faults=args.faults)
+                       budget=args.budget, faults=args.faults,
+                       audit=args.audit)
         return 0 if ok else 1
     ok = run_demo(args.action, args.app, args.nodes, scale=args.scale,
                   seed=args.seed,

@@ -59,7 +59,33 @@ def test_same_seed_identical_episode():
     assert a.fired == b.fired
     assert a.campaign == b.campaign
     assert a.span_dump == b.span_dump
+    # the assembled campaign trace and its SLO report extend the
+    # determinism oracle: byte-identical across same-seed runs
+    assert a.assembled == b.assembled
+    assert a.assembled_chrome == b.assembled_chrome
+    assert a.slo == b.slo
     assert a.violations == b.violations == []
+
+
+def test_crash_seed_assembles_one_complete_campaign_trace():
+    # seed 18 crashes the Manager mid-campaign; the assembled trace must
+    # still be a single tree accounting for every pod-unit the ledger
+    # knows about, stitched across both incarnations (FC6)
+    import json
+
+    from repro.obs.validate import validate_campaign, validate_chrome
+
+    report = run_fleet_chaos(18, trace_spans=True)
+    assert report.manager_crashed
+    assert report.violations == []
+    assert report.assembled is not None
+    assert validate_campaign(report.assembled) == []
+    header = json.loads(report.assembled.splitlines()[0])
+    assert header["coverage"]["complete"]
+    assert len(header["owners"]) == 2          # both incarnations appear
+    assert validate_chrome(json.loads(report.assembled_chrome)) == []
+    assert report.slo["ok"] and report.slo["schema"] == 1
+    assert any(v["rule"] == "coverage" for v in report.slo["verdicts"])
 
 
 def test_manager_crash_seed_resumes_campaign():

@@ -1,0 +1,206 @@
+"""Campaign-trace assembler tests: ledger skeleton, span stitching,
+adopted ops, determinism, and artifact validity.
+
+The seeded chaos batteries never happen to adopt an op mid-campaign
+(takeover always lands between units), so the adoption path is pinned
+here with a handcrafted ledger: mgr0 opens op 9, crashes, mgr1 claims
+and finishes it, and the pod record carries ``adopted: true``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.assemble import (CampaignTrace, TraceNode, assemble_campaign,
+                                assemble_campaigns)
+from repro.obs.tracer import OP, SpanTracer
+from repro.obs.validate import validate_campaign, validate_chrome
+
+
+class FakeEngine:
+    def __init__(self):
+        self.now = 0.0
+
+
+def ledger_records():
+    """A two-wave evacuation that survives a Manager crash.
+
+    mgr0 drives wave 0 (pod p0, op 5) then dies with op 9 (pod p1)
+    in flight; mgr1 claims the campaign and the orphan op, finishes
+    both, and journals p1's outcome with the adopted flag.
+    """
+    return [
+        {"rec": "campaign", "cid": 1, "phase": "begin", "kind": "evacuate",
+         "units": [["blade1", "p0", ""], ["blade1", "p1", ""]],
+         "waves": [["p0"], ["p1"]],
+         "policy": {"max_inflight": 1, "downtime_budget": 0.5},
+         "owner": "mgr0", "lease": 30.0, "t": 0.0},
+        {"rec": "campaign", "cid": 1, "phase": "wave", "wave": 0,
+         "owner": "mgr0", "lease": 31.0, "t": 1.0},
+        {"rec": "op", "op": 5, "phase": "begin", "kind": "migrate",
+         "targets": [["blade1", "p0", ""]], "owner": "mgr0",
+         "lease": 32.0, "t": 1.0},
+        {"rec": "phase", "op": 5, "phase": "commit", "owner": "mgr0",
+         "t": 3.0},
+        {"rec": "campaign", "cid": 1, "phase": "pod", "wave": 0, "pod": "p0",
+         "status": "ok", "op": 5, "downtime": 0.2, "attempts": 1,
+         "owner": "mgr0", "t": 3.5},
+        {"rec": "campaign", "cid": 1, "phase": "wave-done", "wave": 0,
+         "owner": "mgr0", "t": 4.0},
+        {"rec": "campaign", "cid": 1, "phase": "wave", "wave": 1,
+         "owner": "mgr0", "lease": 34.0, "t": 4.5},
+        {"rec": "op", "op": 9, "phase": "begin", "kind": "migrate",
+         "targets": [["blade1", "p1", ""]], "owner": "mgr0",
+         "lease": 35.0, "t": 5.0},
+        # mgr0 crashes here; mgr1 claims campaign and orphan op
+        {"rec": "campaign-claim", "cid": 1, "owner": "mgr1",
+         "lease": 64.0, "t": 6.0},
+        {"rec": "claim", "op": 9, "owner": "mgr1", "lease": 66.0, "t": 6.5},
+        {"rec": "phase", "op": 9, "phase": "commit", "owner": "mgr1",
+         "t": 8.0},
+        {"rec": "campaign", "cid": 1, "phase": "pod", "wave": 1, "pod": "p1",
+         "status": "ok", "op": 9, "downtime": 0.3, "attempts": 1,
+         "adopted": True, "owner": "mgr1", "t": 8.5},
+        {"rec": "campaign", "cid": 1, "phase": "wave-done", "wave": 1,
+         "owner": "mgr1", "t": 9.0},
+        {"rec": "campaign", "cid": 1, "phase": "commit", "owner": "mgr1",
+         "t": 9.5},
+    ]
+
+
+def span_dumps():
+    """Two incarnations' span dumps: mgr0's episode and mgr1's.
+
+    Op 9's phase span in dump 1 is *loose* — its driving op span died
+    with mgr0, so it reaches the tree only through the stamped ``op``
+    attr (the failover-stitching path).
+    """
+    mgr0 = SpanTracer(FakeEngine())
+    op5 = mgr0.begin("manager.migrate", category=OP, key=("op", 5),
+                     op=5, owner="mgr0")
+    mgr0.engine.now = 1.2
+    ph = mgr0.begin("agent.phase.suspend", node="blade1", pod="p0",
+                    parent=("op", 5))
+    mgr0.engine.now = 2.8
+    ph.end()
+    op5.end()
+    dump0 = "\n".join(
+        json.dumps(s.to_dict(), sort_keys=True) for s in mgr0.spans) + "\n"
+    # dump 1 as a raw span-dict list (exercises the list input path)
+    dump1 = [
+        {"span": 1, "parent": None, "name": "agent.phase.restore",
+         "t0": 6.8, "t1": 7.9, "node": "blade2", "pod": "p1",
+         "cat": "phase", "status": "ok", "attrs": {"op": 9, "owner": "mgr1"}},
+    ]
+    return dump0, dump1
+
+
+def test_ledger_alone_builds_complete_skeleton():
+    trace = assemble_campaign(ledger_records())
+    assert trace.cid == 1 and trace.kind == "evacuate"
+    assert trace.status == "commit"
+    assert trace.owners == ["mgr0", "mgr1"]
+    root = trace.root
+    assert root.kind == "campaign" and root.name == "fleet.evacuate"
+    assert root.t0 == 0.0 and root.t1 == 9.5
+    waves = [n for n in root.children if n.kind == "wave"]
+    assert [w.attrs["wave"] for w in waves] == [0, 1]
+    assert [w.attrs["owner"] for w in waves] == ["mgr0", "mgr0"]
+    cov = trace.coverage()
+    assert cov["complete"] and cov["in_tree"] == 2 and cov["missing"] == []
+    assert trace.ops_in_tree == [5, 9] and trace.ops_unattached == []
+
+
+def test_adopted_op_is_attached_and_flagged():
+    trace = assemble_campaign(ledger_records())
+    assert trace.adopted == ["p1"]
+    assert trace.coverage()["adopted"] == ["p1"]
+    unit = next(u for u in trace.units() if u.pod == "p1")
+    assert unit.attrs["adopted"] is True
+    opnode = next(n for n in unit.children if n.kind == "op")
+    assert opnode.attrs["op"] == 9
+    assert opnode.attrs["owner"] == "mgr1"        # the adopter
+    assert opnode.attrs["claims"] == ["mgr1"]     # the takeover audit trail
+
+
+def test_spans_from_both_incarnations_stitch_under_ops():
+    trace = assemble_campaign(ledger_records(), dumps=span_dumps())
+    unit0 = next(u for u in trace.units() if u.pod == "p0")
+    op5 = next(n for n in unit0.children if n.kind == "op")
+    names = {n.name: n.src for n in op5.walk()}
+    assert names["manager.migrate"] == "span:0"
+    assert names["agent.phase.suspend"] == "span:0"
+    # the loose phase span joins op 9 through its stamped op attr
+    unit1 = next(u for u in trace.units() if u.pod == "p1")
+    op9 = next(n for n in unit1.children if n.kind == "op")
+    restore = next(n for n in op9.walk() if n.name == "agent.phase.restore")
+    assert restore.src == "span:1"
+    assert restore.t0 == 6.8 and restore.t1 == 7.9
+    # unit bounds stretch to cover the stitched spans
+    assert unit1.t1 >= 8.5
+
+
+def test_stray_recorded_pod_folds_into_the_plan():
+    recs = ledger_records()
+    recs.insert(-1, {"rec": "campaign", "cid": 1, "phase": "pod", "wave": 7,
+                     "pod": "p9", "status": "failed", "owner": "mgr1",
+                     "t": 9.2})
+    trace = assemble_campaign(recs)
+    cov = trace.coverage()
+    assert cov["complete"] and "p9" in trace.pods_in_tree
+    stray = next(u for u in trace.units() if u.pod == "p9")
+    assert stray.status == "failed"
+
+
+def test_planned_pod_without_outcome_is_unrecorded():
+    recs = [r for r in ledger_records()
+            if not (r.get("phase") == "pod" and r.get("pod") == "p1")]
+    trace = assemble_campaign(recs)
+    unit = next(u for u in trace.units() if u.pod == "p1")
+    assert unit.status == "unrecorded"
+    assert trace.coverage()["complete"]   # planned units still in tree
+
+
+def test_jsonl_artifact_is_deterministic_and_valid():
+    a = assemble_campaign(ledger_records(), dumps=span_dumps()).to_jsonl()
+    b = assemble_campaign(ledger_records(), dumps=span_dumps()).to_jsonl()
+    assert a == b
+    assert validate_campaign(a) == []
+    header = json.loads(a.splitlines()[0])
+    assert header["schema"] == 1 and header["coverage"]["complete"]
+    assert header["nodes"] == len(a.splitlines()) - 1
+
+
+def test_chrome_export_is_schema_valid():
+    trace = assemble_campaign(ledger_records(), dumps=span_dumps())
+    doc = trace.to_chrome()
+    assert validate_chrome(doc) == []
+    lanes = {e["args"]["name"] for e in doc["traceEvents"]
+             if e.get("name") == "thread_name"}
+    assert lanes == {"campaign", "p0", "p1"}
+    assert trace.dumps_chrome() == trace.dumps_chrome()
+
+
+def test_assemble_campaign_raises_on_none_and_many():
+    with pytest.raises(ValueError):
+        assemble_campaign([])
+    two = ledger_records() + [
+        {"rec": "campaign", "cid": 2, "phase": "begin", "kind": "checkpoint",
+         "units": [], "waves": [], "policy": {}, "owner": "mgr0",
+         "lease": 9.0, "t": 10.0}]
+    with pytest.raises(ValueError):
+        assemble_campaign(two)
+    assert assemble_campaign(two, cid=2).cid == 2
+    assert len(assemble_campaigns(two)) == 2
+
+
+def test_walk_is_preorder_and_sort_is_stable():
+    root = TraceNode(kind="campaign", name="c", t0=0.0, t1=9.0)
+    late = TraceNode(kind="wave", name="w1", t0=5.0, t1=6.0)
+    early = TraceNode(kind="wave", name="w0", t0=1.0, t1=2.0)
+    root.children = [late, early]
+    root.sort()
+    assert [n.name for n in root.walk()] == ["c", "w0", "w1"]
+    trace = CampaignTrace(cid=0, kind="x", status="commit", owners=[],
+                          root=root, pods_in_tree=[], pods_missing=["pX"])
+    assert not trace.coverage()["complete"]

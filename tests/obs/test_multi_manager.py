@@ -1,0 +1,130 @@
+"""Multi-incarnation traces: one op id driven by two Managers.
+
+A failover redrives an op under the same id: the dead incarnation's
+spans stay in the episode dump (closed by the sweep with their
+registered outcome) while the successor re-registers the ``("op", id)``
+key and drives its own span tree.  These tests pin what the assembler
+and exporters rely on: latest key registration wins, per-incarnation
+ambient context stamps the right owner, reconciliation holds to ±1 sim
+tick on the surviving incarnation, and exporter lane order is stable.
+"""
+
+from repro.obs.exporters import dumps_chrome, to_chrome, to_jsonl
+from repro.obs.tracer import (OP, PHASE, SIM_TICK_S, SpanTracer,
+                              reconcile_op)
+from repro.obs.validate import FLEET_SPAN_NAMES, validate_chrome
+
+
+class FakeEngine:
+    def __init__(self):
+        self.now = 0.0
+
+
+def build_episode():
+    """One episode tracer spanning a crash: mgr0 drives op 3, dies
+    mid-phase; mgr1 rebinds the key and redrives the same op id."""
+    tracer = SpanTracer(FakeEngine())
+    eng = tracer.engine
+    op_a = tracer.begin("manager.checkpoint", category=OP, key=("op", 3),
+                        op=3, owner="mgr0")
+    tracer.set_context(("op", 3), mspan=op_a.span_id, owner="mgr0")
+    tracer.add("manager.phase.connect", 0.0, 0.4, pod="p0",
+               parent=op_a, category=PHASE)
+    agent_a = tracer.begin("agent.phase.suspend", node="blade1", pod="p0",
+                           parent=("op", 3))
+    eng.now = 0.9
+    agent_a.end()
+    op_a.finalize_with("crashed", crashed_at=0.9)   # mgr0 dies here
+    eng.now = 2.0
+    op_b = tracer.begin("manager.checkpoint", category=OP, key=("op", 3),
+                        op=3, owner="mgr1")
+    tracer.set_context(("op", 3), mspan=op_b.span_id, owner="mgr1")
+    tracer.add("manager.phase.connect", 2.0, 2.5, pod="p0",
+               parent=op_b, category=PHASE)
+    tracer.add("manager.phase.commit", 2.5, 3.0, pod="p0",
+               parent=op_b, category=PHASE)
+    agent_b = tracer.begin("agent.phase.suspend", node="blade1", pod="p0",
+                           parent=("op", 3))
+    eng.now = 3.0
+    agent_b.end()
+    op_b.end(duration_s=1.0)
+    return tracer, op_a, op_b, agent_a, agent_b
+
+
+def test_latest_key_registration_wins():
+    tracer, op_a, op_b, agent_a, agent_b = build_episode()
+    assert tracer.find(("op", 3)) is op_b
+    assert agent_a.parent_id == op_a.span_id
+    assert agent_b.parent_id == op_b.span_id
+
+
+def test_context_rebind_stamps_per_incarnation_owner():
+    tracer, op_a, op_b, agent_a, agent_b = build_episode()
+    assert agent_a.attrs["owner"] == "mgr0"
+    assert agent_a.attrs["mspan"] == op_a.span_id
+    assert agent_b.attrs["owner"] == "mgr1"
+    assert agent_b.attrs["mspan"] == op_b.span_id
+    assert agent_a.attrs["op"] == agent_b.attrs["op"] == 3
+
+
+def test_crashed_incarnation_closes_with_registered_outcome():
+    tracer, op_a, _op_b, _a, _b = build_episode()
+    tracer.engine.now = 3.0
+    tracer.close_open()
+    assert op_a.status == "crashed"
+    assert op_a.attrs["crashed_at"] == 0.9
+    assert op_a.t_end == 3.0
+
+
+def test_surviving_incarnation_reconciles_to_one_tick():
+    tracer, op_a, op_b, _a, _b = build_episode()
+    assert reconcile_op(tracer, op_b) == []
+    # slack is exactly ±1 sim tick around the reported latency
+    op_b.attrs["duration_s"] = 1.0 + SIM_TICK_S
+    assert reconcile_op(tracer, op_b) == []
+    op_b.attrs["duration_s"] = 1.0 + 2.5 * SIM_TICK_S
+    assert len(reconcile_op(tracer, op_b)) == 1
+    # the crashed incarnation's half-driven op does NOT reconcile: its
+    # sweep-closed duration dwarfs its one recorded phase
+    tracer.close_open()
+    assert len(reconcile_op(tracer, op_a)) == 1
+
+
+def test_exporter_lane_order_is_stable_across_incarnations():
+    tracer, *_ = build_episode()
+    doc = to_chrome(tracer)
+    metas = [e["args"]["name"] for e in doc["traceEvents"]
+             if e.get("name") == "thread_name"]
+    # Manager op lane first, then manager→pod lanes, then node lanes —
+    # both incarnations share the same lanes, no duplicates
+    assert metas == ["manager", "manager→p0", "blade1/p0"]
+    assert validate_chrome(doc) == []
+
+
+def test_multi_incarnation_exports_are_byte_identical():
+    t1, *_ = build_episode()
+    t2, *_ = build_episode()
+    assert to_jsonl(t1) == to_jsonl(t2)
+    assert dumps_chrome(t1) == dumps_chrome(t2)
+
+
+def test_raw_fleet_dump_passes_fleet_validation():
+    tracer = SpanTracer(FakeEngine())
+    wave = tracer.begin("fleet.wave", category=OP, campaign=1, wave=0)
+    tracer.instant("fleet.wave_start", campaign=1, wave=0)
+    tracer.instant("fleet.pod_start", pod="p0", campaign=1)
+    tracer.engine.now = 1.0
+    tracer.instant("fleet.pod_done", pod="p0", campaign=1)
+    wave.end()
+    doc = to_chrome(tracer)
+    assert validate_chrome(doc, require=list(FLEET_SPAN_NAMES)) == []
+    problems = validate_chrome(doc, require=["fleet.absent"])
+    assert problems == ["required span 'fleet.absent' absent from trace"]
+
+
+def test_unknown_category_fails_validation():
+    tracer = SpanTracer(FakeEngine())
+    tracer.begin("x", category="mystery").end()
+    doc = to_chrome(tracer)
+    assert any("unknown span category 'mystery'" in p
+               for p in validate_chrome(doc))

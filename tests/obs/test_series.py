@@ -1,0 +1,104 @@
+"""Windowed-series tests: bucketing, export shape, registry binding."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.series import DEFAULT_WINDOW_S, SeriesBank
+
+
+class FakeEngine:
+    def __init__(self):
+        self.now = 0.0
+
+
+@pytest.fixture
+def bank():
+    return SeriesBank(FakeEngine(), window_s=1.0)
+
+
+def test_counter_sums_per_window_and_exports_rate(bank):
+    bank.record_counter("bytes", 100)
+    bank.engine.now = 0.5
+    bank.record_counter("bytes", 100)
+    bank.engine.now = 2.25
+    bank.record_counter("bytes", 50)
+    cols = bank.to_columns()
+    assert cols["t"] == [0.0, 1.0, 2.0]
+    assert cols["series"]["bytes.rate"] == [200.0, 0.0, 50.0]
+
+
+def test_gauge_exports_last_carried_and_per_window_max(bank):
+    bank.record_gauge("inflight", 3)
+    bank.record_gauge("inflight", 8)
+    bank.record_gauge("inflight", 2)
+    bank.engine.now = 2.0
+    bank.record_gauge("inflight", 1)
+    series = bank.to_columns()["series"]
+    # .last carries the closing value across the silent window; .max
+    # keeps the in-window high-water mark (None when silent) — the
+    # distinction the inflight-cap SLO rule depends on
+    assert series["inflight.last"] == [2, 2, 1]
+    assert series["inflight.max"] == [8, None, 1]
+
+
+def test_hist_exports_percentiles_and_counts(bank):
+    for v in (0.1, 0.2, 0.9):
+        bank.record_hist("downtime", v)
+    bank.engine.now = 1.5
+    bank.record_hist("downtime", 0.4)
+    series = bank.to_columns(percentiles=(50,))["series"]
+    assert series["downtime.p50"] == [0.2, 0.4]
+    assert series["downtime.count"] == [3, 1]
+
+
+def test_columns_are_dense_and_same_length(bank):
+    bank.record_counter("a", 1)
+    bank.engine.now = 3.7
+    bank.record_gauge("g", 2)
+    cols = bank.to_columns()
+    n = len(cols["t"])
+    assert n == 4
+    assert all(len(col) == n for col in cols["series"].values())
+
+
+def test_empty_bank_exports_no_windows(bank):
+    cols = bank.to_columns()
+    assert cols["t"] == [] and cols["series"] == {}
+    assert bank.window_count() == 0
+
+
+def test_dumps_is_deterministic_json(bank):
+    bank.record_counter("a", 1)
+    bank.record_gauge("g", 2)
+    bank.record_hist("h", 0.5)
+    assert bank.dumps() == bank.dumps()
+    doc = json.loads(bank.dumps())
+    assert doc["schema"] == 1 and doc["window_s"] == 1.0
+
+
+def test_default_window_width():
+    assert SeriesBank(FakeEngine()).window_s == DEFAULT_WINDOW_S
+
+
+def test_registry_enable_series_binds_existing_and_future_instruments():
+    eng = FakeEngine()
+    reg = MetricsRegistry()
+    pre = reg.counter("pre.bytes")           # created before the bank
+    bank = reg.enable_series(eng, window_s=2.0)
+    assert reg.series is bank and pre.bank is bank
+    pre.inc(4)
+    reg.gauge("depth").set(7)                # created after the bank
+    eng.now = 3.0
+    reg.histogram("wait").observe(0.25)
+    series = bank.to_columns()["series"]
+    assert series["pre.bytes.rate"] == [2.0, 0.0]
+    assert series["depth.last"] == [7, 7]
+    assert series["wait.count"] == [0, 1]
+
+
+def test_unbanked_registry_records_nothing():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()                   # no bank attached: no error
+    assert reg.series is None

@@ -1,0 +1,135 @@
+"""SLO auditor tests: budget rules over constructed campaign traces."""
+
+import json
+
+from repro.obs.assemble import CampaignTrace, TraceNode
+from repro.obs.slo import SloBudget, WallProfiler, audit_campaign
+
+
+def make_trace(downtimes=(0.1, 0.2), status="commit", missing=(),
+               attempts=1, block_s=0.05, policy=None):
+    """A one-wave campaign with one recorded unit per downtime."""
+    root = TraceNode(kind="campaign", name="fleet.evacuate",
+                     t0=0.0, t1=10.0, status=status,
+                     attrs={"campaign": 1})
+    wave = TraceNode(kind="wave", name="fleet.wave", t0=0.0, t1=6.0,
+                     attrs={"wave": 0})
+    pods = []
+    for i, d in enumerate(downtimes):
+        pod = f"p{i}"
+        unit = TraceNode(kind="unit", name=f"unit.{pod}", pod=pod,
+                         t0=0.0, t1=4.0, status="ok",
+                         attrs={"downtime": d, "attempts": attempts})
+        unit.children.append(TraceNode(
+            kind="window", name="agent.net_block", pod=pod,
+            t0=1.0, t1=1.0 + block_s))
+        wave.children.append(unit)
+        pods.append(pod)
+    root.children.append(wave)
+    return CampaignTrace(
+        cid=1, kind="evacuate", status=status, owners=["mgr0"], root=root,
+        policy=policy if policy is not None else
+        {"downtime_budget": 0.5, "max_inflight": 2},
+        pods_in_tree=pods, pods_missing=list(missing))
+
+
+def verdict(report, rule):
+    return next(v for v in report.verdicts if v.rule == rule)
+
+
+def test_coverage_rule_is_always_on():
+    ok = audit_campaign(make_trace(), budget=SloBudget())
+    assert [v.rule for v in ok.verdicts] == ["coverage"]
+    assert ok.ok
+    bad = audit_campaign(make_trace(missing=("p9",)), budget=SloBudget())
+    assert not bad.ok
+    assert "p9" in verdict(bad, "coverage").detail
+
+
+def test_budgets_default_to_journaled_policy():
+    report = audit_campaign(make_trace())
+    rules = {v.rule for v in report.verdicts}
+    # policy declares downtime_budget and max_inflight; the inflight
+    # rule needs a series export, so only the downtime rule activates
+    assert rules == {"coverage", "pod-downtime"}
+    assert report.ok
+    assert verdict(report, "pod-downtime").budget == 0.5
+
+
+def test_pod_downtime_rule_names_offenders():
+    report = audit_campaign(make_trace(downtimes=(0.1, 0.9, 0.8)))
+    v = verdict(report, "pod-downtime")
+    assert not v.ok and v.measured == 0.9
+    assert "p1" in v.detail and "p2" in v.detail
+
+
+def test_net_block_wave_retry_and_duration_rules():
+    budget = SloBudget(net_block_s=0.01, wave_latency_s=5.0,
+                       retry_rate=0.0, campaign_duration_s=8.0)
+    report = audit_campaign(make_trace(attempts=3), budget=budget)
+    assert not verdict(report, "net-block").ok        # 0.05 > 0.01
+    assert not verdict(report, "wave-latency").ok     # 6.0 > 5.0
+    v = verdict(report, "retry-rate")
+    assert not v.ok and v.measured == 2.0             # (3-1) per unit
+    assert not verdict(report, "campaign-duration").ok  # 10.0 > 8.0
+    assert len(report.violations()) == 4              # coverage passes
+
+
+def test_rules_pass_within_budget():
+    budget = SloBudget(pod_downtime_s=0.5, net_block_s=0.1,
+                       wave_latency_s=7.0, retry_rate=0.0,
+                       campaign_duration_s=20.0)
+    report = audit_campaign(make_trace(), budget=budget)
+    assert report.ok and len(report.verdicts) == 6
+    assert report.violations() == []
+
+
+def test_inflight_cap_reads_series_peak_column():
+    series = {"series": {"fleet.inflight.max": [3, None, 8, 2],
+                         "fleet.inflight.last": [0, 0, 0, 0]}}
+    ok = audit_campaign(make_trace(), budget=SloBudget(max_inflight=8),
+                        series=series)
+    assert verdict(ok, "inflight-cap").ok
+    assert verdict(ok, "inflight-cap").measured == 8.0
+    bad = audit_campaign(make_trace(), budget=SloBudget(max_inflight=4),
+                         series=series)
+    assert not verdict(bad, "inflight-cap").ok
+    # no series export: the rule cannot measure, so it does not run
+    absent = audit_campaign(make_trace(), budget=SloBudget(max_inflight=4))
+    assert "inflight-cap" not in {v.rule for v in absent.verdicts}
+
+
+def test_unrecorded_units_do_not_count_toward_budgets():
+    trace = make_trace(downtimes=(0.1,))
+    ghost = TraceNode(kind="unit", name="unit.pX", pod="pX",
+                      status="unrecorded", attrs={"downtime": 99.0})
+    trace.root.children[0].children.append(ghost)
+    report = audit_campaign(
+        trace, budget=SloBudget(pod_downtime_s=0.5, retry_rate=0.0))
+    assert verdict(report, "pod-downtime").measured == 0.1
+
+
+def test_report_to_dict_schema_and_dumps():
+    report = audit_campaign(make_trace())
+    doc = report.to_dict()
+    assert doc["schema"] == 1 and doc["cid"] == 1 and doc["ok"] is True
+    assert all({"rule", "ok", "measured", "budget", "detail"}
+               <= set(v) for v in doc["verdicts"])
+    assert json.loads(report.dumps()) == doc
+    assert "SLO audit" in report.render()
+
+
+def test_wall_profiler_accumulates_per_phase():
+    wall = WallProfiler()
+    with wall.phase("simulate"):
+        pass
+    with wall.phase("simulate"):
+        pass
+    with wall.phase("audit"):
+        pass
+    assert wall.calls == {"simulate": 2, "audit": 1}
+    assert wall.total >= 0.0
+    doc = wall.to_dict()
+    assert set(doc) == {"wall_s", "calls", "total_s"}
+    assert list(doc["wall_s"]) == ["audit", "simulate"]   # sorted
+    assert "simulator wall time" in wall.render()

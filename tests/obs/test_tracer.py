@@ -141,3 +141,89 @@ def test_reconcile_requires_manager_phases(tracer):
     op = tracer.begin("manager.restart", category=OP)
     op.end()
     assert "no manager phase spans" in reconcile_op(tracer, op)[0]
+
+
+# ---------------------------------------------------------------------------
+# finalize_with: terminal outcomes for spans a halt strands open
+# ---------------------------------------------------------------------------
+
+
+def test_finalize_with_applies_at_close_open(tracer):
+    # a halting campaign cannot end() the unit span of a task it is
+    # abandoning; the registered outcome must land at sweep time
+    span = tracer.begin("fleet.wave", category=OP)
+    span.finalize_with("halted", stop="threshold", failures=3)
+    tracer.engine.now = 7.0
+    assert tracer.close_open() == 1
+    assert span.t_end == 7.0
+    assert span.status == "halted"              # not the blanket "unclosed"
+    assert span.attrs["stop"] == "threshold"
+    assert span.attrs["failures"] == 3
+
+
+def test_finalize_with_merges_repeat_registrations(tracer):
+    span = tracer.begin("x")
+    span.finalize_with("halted", a=1)
+    span.finalize_with("aborted", b=2)          # newest status wins
+    tracer.close_open()
+    assert span.status == "aborted"
+    assert span.attrs == {"a": 1, "b": 2}
+
+
+def test_finalize_with_on_closed_span_updates_in_place(tracer):
+    span = tracer.begin("x")
+    tracer.engine.now = 1.0
+    span.end()
+    span.finalize_with("halted", stop="threshold")
+    assert span.status == "halted" and span.attrs["stop"] == "threshold"
+    assert span.t_end == 1.0                    # close time untouched
+    assert tracer.close_open() == 0
+
+
+def test_normal_end_wins_over_pending_outcome(tracer):
+    # a task that does finish closes itself; the registered halt
+    # outcome must not overwrite the real one
+    span = tracer.begin("x")
+    span.finalize_with("halted")
+    span.end()
+    assert span.status == "ok"
+
+
+def test_null_span_finalize_with_is_inert():
+    assert NULL_SPAN.finalize_with("halted", a=1) is NULL_SPAN
+
+
+# ---------------------------------------------------------------------------
+# key context: ambient attrs stamped onto key-parented spans
+# ---------------------------------------------------------------------------
+
+
+def test_key_parent_stamps_key_attr(tracer):
+    tracer.begin("manager.checkpoint", category=OP, key=("op", 7))
+    child = tracer.begin("agent.phase.suspend", node="b1", parent=("op", 7))
+    assert child.attrs["op"] == 7
+
+
+def test_set_context_attrs_inherited_by_key_parented_spans(tracer):
+    op = tracer.begin("manager.checkpoint", category=OP, key=("op", 7))
+    tracer.set_context(("op", 7), mspan=op.span_id, owner="mgr0")
+    child = tracer.begin("agent.phase.suspend", node="b1", parent=("op", 7))
+    assert child.attrs == {"op": 7, "mspan": op.span_id, "owner": "mgr0"}
+    # spans parented by Span object (not key) are not stamped
+    direct = tracer.begin("stage.serialize", parent=op)
+    assert "owner" not in direct.attrs
+
+
+def test_explicit_attrs_beat_key_context(tracer):
+    tracer.begin("manager.checkpoint", category=OP, key=("op", 1))
+    tracer.set_context(("op", 1), owner="mgr0")
+    span = tracer.begin("agent.phase.suspend", parent=("op", 1), owner="mgr1")
+    assert span.attrs["owner"] == "mgr1"
+
+
+def test_set_context_accumulates_and_overwrites(tracer):
+    tracer.set_context(("op", 1), owner="mgr0")
+    tracer.set_context(("op", 1), mspan=42)
+    tracer.set_context(("op", 1), owner="mgr1")   # takeover rebinds
+    span = tracer.begin("x", parent=("op", 1))
+    assert span.attrs["owner"] == "mgr1" and span.attrs["mspan"] == 42
