@@ -78,6 +78,8 @@ def pytest_sessionfinish(session, exitstatus):
                     "downtime [%]", "bailout"),
         "fleet": ("max inflight", "waves", "campaign [s]",
                   "p50 downtime [ms]", "p99 downtime [ms]", "pods ok"),
+        "inc": ("mode", "epoch0 [MB]", "steady [MB]", "suspend [ms]",
+                "ckpt [ms]", "chain"),
         "ablations": ("experiment", "variant", "metric", "value"),
     }
     titles = {
@@ -89,10 +91,12 @@ def pytest_sessionfinish(session, exitstatus):
                    "(256 MB pod, 40 MB/s writes)",
         "fleet": "Fleet evacuation — 18 of 24 blades, 96 pods, "
                  "by in-flight cap",
+        "inc": "Incremental generations — 2 writer pods, 64 MB ballast, "
+               "8 MB/s writes",
         "ablations": "Design ablations",
     }
     for name in ("fig5", "fig6a", "fig6b", "fig6c", "livemig", "fleet",
-                 "ablations"):
+                 "inc", "ablations"):
         rows = _reports.get(name)
         if rows:
             print()

@@ -3,6 +3,7 @@
 from .builder import Cluster
 from .faults import (
     ALL_PHASES,
+    ASYNC_CKPT_PHASES,
     CHECKPOINT_PHASES,
     FAULT_KINDS,
     FLEET_PHASES,
@@ -19,6 +20,7 @@ from .node import Node, NodeSpec
 
 __all__ = [
     "ALL_PHASES",
+    "ASYNC_CKPT_PHASES",
     "CHECKPOINT_PHASES",
     "FAULT_KINDS",
     "FLEET_PHASES",

@@ -32,6 +32,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..vos import build_program, imm, program
 from .builder import Cluster
 from .faults import (
+    ASYNC_CKPT_PHASES,
+    CHECKPOINT_PHASES,
     MANAGER_PHASES,
     PRECOPY_PHASES,
     FaultInjector,
@@ -1082,4 +1084,177 @@ def run_fleet_chaos(seed: int, n_nodes: int = 8, n_pods: int = 24,
             report.assembled = assembled.to_jsonl()
             report.assembled_chrome = assembled.dumps_chrome()
             report.slo = audit.to_dict()
+    return report
+
+
+# ---------------------------------------------------------------------------
+# zero-stall (async) incremental-checkpoint chaos
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AsyncChaosReport:
+    """One audited async-incremental-checkpoint chaos episode (see
+    :func:`run_async_chaos`)."""
+
+    seed: int
+    plan: List[Dict[str, Any]]
+    trace: List[Tuple[float, str, Optional[str], Optional[str], Tuple[str, ...]]]
+    fired: List[Tuple[float, str, str, Optional[str], Optional[str]]]
+    #: (op kind, op_id, status) per driver operation, in order.
+    ops: List[Tuple[str, int, str]] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    crashed_nodes: List[str] = field(default_factory=list)
+    app_finished: bool = False
+    span_dump: Optional[str] = None
+
+
+def run_async_chaos(seed: int, n_nodes: int = 4, n_ops: int = 5,
+                    rounds: int = 300, until: float = 300.0,
+                    trace_spans: bool = False) -> AsyncChaosReport:
+    """One async-checkpoint chaos episode; returns the audited report.
+
+    The checksummed ping-pong pair (with a nonzero dirty rate, so the
+    copy-on-write window has writes to catch) runs while the driver takes
+    zero-stall *incremental* checkpoints (``async_ckpt=True`` with a
+    delta filter) and a seeded fault plan fires at the checkpoint
+    boundaries plus the new async crossings (capture end, post-resume
+    encode, overlapped write-out).  Audited invariants:
+
+    A1  A failed op leaves every surviving pod running (the serial
+        invariant I1 holds even when the encoder ran past the resume).
+    A2  No partial chain container is ever visible as restartable.
+    A3  **Chain integrity.**  Every committed in-memory delta chain
+        reassembles, and the reassembled payload is byte-identical to
+        the full base the Agent's pipeline state holds — an aborted or
+        faulted epoch can never leave a chain that restores to
+        different bytes.
+    A4  End-to-end checksums match whenever the application finished.
+    """
+    from ..core.manager import Manager, PhaseTimeouts
+    from ..core.pipeline import FileSink, ImagePipeline
+
+    cluster = Cluster.build(n_nodes, seed=seed)
+    tracer = None
+    if trace_spans:
+        from ..obs import SpanTracer
+
+        tracer = SpanTracer(cluster.engine).install(cluster)
+    manager = Manager.deploy(cluster)
+    plan = FaultPlan.random(seed, [n.name for n in cluster.nodes],
+                            phases=CHECKPOINT_PHASES + ASYNC_CKPT_PHASES)
+    injector = FaultInjector(cluster, plan).install()
+    engine = cluster.engine
+    drv_rng = random.Random(seed ^ 0x1F123BB5)
+    timeouts = PhaseTimeouts(connect=2.0, meta=5.0, barrier=5.0, done=8.0,
+                             flush=20.0, load=5.0, restart_done=15.0, drain=3.0)
+    grace = timeouts.barrier + timeouts.done + 2.0
+
+    srv_node, cli_node = cluster.node(1), cluster.node(2 % n_nodes)
+    pod_srv = cluster.create_pod(srv_node, SRV_POD)
+    pod_cli = cluster.create_pod(cli_node, CLI_POD)
+    srv = srv_node.kernel.spawn(
+        build_program("chaos.pp-server", port=9310, rounds=rounds,
+                      dirty_rate=25_000_000), pod_id=SRV_POD)
+    cli = cli_node.kernel.spawn(
+        build_program("chaos.pp-client", server=pod_srv.vip, port=9310,
+                      rounds=rounds, dirty_rate=25_000_000), pod_id=CLI_POD)
+
+    report = AsyncChaosReport(seed=seed, plan=injector.plan.describe(),
+                              trace=injector.trace, fired=injector.fired)
+    san_paths: List[Tuple[str, str]] = []
+
+    def surviving_node(pod_id: str):
+        for node in cluster.nodes:
+            if not node.crashed and pod_id in node.kernel.pods:
+                return node
+        return None
+
+    def check_resumed(label: str):
+        for pod_id in (SRV_POD, CLI_POD):
+            node = surviving_node(pod_id)
+            if node is None:
+                continue
+            pod = node.kernel.pods[pod_id]
+            if pod.suspended:
+                report.violations.append(
+                    f"A1 {label}: {pod_id} left suspended on {node.name}")
+            if pod.vip in node.kernel.netstack.netfilter._blocked_ips:
+                report.violations.append(
+                    f"A1 {label}: {pod_id} vip still firewalled on {node.name}")
+
+    def driver():
+        for i in range(n_ops):
+            use_files = drv_rng.random() < 0.5
+            targets = []
+            for pod_id in (SRV_POD, CLI_POD):
+                node = surviving_node(pod_id)
+                if node is None:
+                    continue
+                if use_files:
+                    uri = f"file:/san/async-{pod_id}-{i}.img"
+                    san_paths.append((f"/san/async-{pod_id}-{i}.img", pod_id))
+                else:
+                    uri = "mem"
+                targets.append((node.name, pod_id, uri))
+            if len(targets) < 2:
+                return
+            res = yield from manager.checkpoint_task(
+                targets, deadline=30.0, timeouts=timeouts,
+                filters=[{"name": "delta"}], async_ckpt=True)
+            report.ops.append(("checkpoint", res.op_id, res.status))
+            if not res.ok:
+                yield engine.sleep(grace)
+                check_resumed(f"op{res.op_id}")
+            yield engine.sleep(drv_rng.uniform(0.5, 2.0))
+
+    engine.spawn(driver(), name="async-chaos-driver")
+    engine.run(until=until)
+
+    report.crashed_nodes = [n.name for n in cluster.nodes if n.crashed]
+
+    # ---- A2: nothing partial is visible as restartable on the SAN ----
+    home = cluster.node(0)
+    for path, pod_id in san_paths:
+        sink = FileSink(cluster.san, home.kernel.vfs, path)
+        if not sink.exists():
+            continue
+        try:
+            sink.load(pod_id)
+        except Exception as err:  # noqa: BLE001 - any load failure is the violation
+            report.violations.append(f"A2: partial image visible at {path}: {err}")
+
+    # ---- A3: every committed delta chain restores byte-identically ----
+    for node in cluster.nodes:
+        if node.crashed:
+            continue
+        agent = manager.agents[node.name]
+        for pod_id, chain in sorted(agent.pipeline_state.chains.items()):
+            if not chain:
+                continue
+            try:
+                reassembled = ImagePipeline.reassemble(list(chain))
+            except Exception as err:  # noqa: BLE001
+                report.violations.append(
+                    f"A3: chain for {pod_id} on {node.name} unrestorable: {err}")
+                continue
+            base = agent.pipeline_state.bases.get(pod_id)
+            if base is not None and reassembled.raw != base:
+                report.violations.append(
+                    f"A3: chain for {pod_id} on {node.name} reassembles to "
+                    "different bytes than the committed base")
+
+    # ---- A4: end-to-end correctness when the run could complete ----
+    if srv is not None and cli is not None:
+        sums = final_sums(cluster)
+        report.app_finished = None not in sums
+        if report.app_finished and sums != expected_sums(rounds):
+            report.violations.append(
+                f"A4: checksum mismatch: {sums} != {expected_sums(rounds)}")
+        if not report.crashed_nodes and not report.app_finished:
+            report.violations.append(
+                "A4: application did not finish despite no node crash")
+    if tracer is not None:
+        from ..obs import to_jsonl
+
+        report.span_dump = to_jsonl(tracer)
     return report

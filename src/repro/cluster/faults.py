@@ -165,8 +165,17 @@ FLEET_PHASES = (
     "fleet.wave_done",
     "fleet.resume",
 )
+#: zero-stall (asynchronous) checkpoint boundaries: end of the capture
+#: window, start of the post-resume encode, start of the overlapped
+#: write-out.  Kept separate from every other tuple so existing seeded
+#: plans draw identically.
+ASYNC_CKPT_PHASES = (
+    "agent.async_capture",
+    "agent.async_encode",
+    "agent.async_stream",
+)
 ALL_PHASES = (CHECKPOINT_PHASES + RESTART_PHASES + PRECOPY_PHASES
-              + MANAGER_PHASES + FLEET_PHASES)
+              + MANAGER_PHASES + FLEET_PHASES + ASYNC_CKPT_PHASES)
 
 
 @dataclass

@@ -37,6 +37,11 @@ class NodeSpec:
     #: fixed per-pod kernel work per checkpoint (process freezing, page
     #: table and descriptor walks), seconds.
     ckpt_fixed_s: float = 0.08
+    #: the slice of ``ckpt_fixed_s`` that must run while the pod is
+    #: suspended on the zero-stall path: freeze plus the write-protect
+    #: walk that arms copy-on-write.  The remainder (descriptor walks,
+    #: serialization prep) runs post-resume against the frozen tables.
+    capture_fixed_s: float = 0.015
     #: fixed per-pod kernel work per restart (pod creation, address
     #: space rebuild), seconds.
     restart_fixed_s: float = 0.15

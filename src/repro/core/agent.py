@@ -51,7 +51,12 @@ from .pipeline import (
     negotiate_filters,
     record_stage_metrics,
 )
-from .standalone import activate_pod, capture_pod_standalone, restore_pod_standalone
+from .standalone import (
+    activate_pod,
+    capture_pod_standalone,
+    capture_proc_dirty,
+    restore_pod_standalone,
+)
 from .wire import recv_msg, send_msg
 
 #: TCP port every Agent listens on (on the node's real address).
@@ -66,6 +71,14 @@ RESTORE_PER_SOCKET = 2e-3
 QUIESCE_POLL = 0.2e-3
 #: connector retry delay when the peer's listener is not up yet.
 CONNECT_RETRY = 2e-3
+
+#: generational dirty-tracking consumers (see
+#: :class:`repro.vos.memory.Memory`): incremental checkpoints, live
+#: pre-copy rounds and the async path's copy-on-write window each keep
+#: an independent baseline, so none can clobber another's ``clear_dirty``.
+CKPT_CONSUMER = "ckpt"
+PRECOPY_CONSUMER = "precopy"
+COW_CONSUMER = "cow"
 
 
 def _stage_seconds(image: PodImage, kind: Optional[str] = None) -> float:
@@ -278,6 +291,18 @@ class Agent:
         # a delta against a base the destination Agent does not hold is
         # useless: images that leave this node must be self-contained
         chain_local = not uri.startswith("agent://")
+        # measured dirty tracking only pays off for a chain-local delta
+        # filter; without one the generational baseline is never consumed
+        track_dirty = chain_local and any(
+            f.name == "delta" and getattr(f, "measured", True) for f in filters)
+        # zero-stall (asynchronous) checkpointing: capture-then-resume
+        # needs the pod to survive (snapshot context) and the image to
+        # stay on this node's sinks — direct migration and the
+        # standalone-first ordering ablation fall back to the serial path
+        use_async = (bool(msg.get("async_ckpt", False))
+                     and context == "snapshot"
+                     and not uri.startswith("agent://")
+                     and msg.get("order", "net-first") != "standalone-first")
         stack = kernel.netstack
         t0 = engine.now
         #: the Manager's operation span (if a tracer is installed the
@@ -300,7 +325,17 @@ class Agent:
         t_suspended = engine.now
         # live migration: once suspended, nothing dirties memory anymore —
         # whatever the pre-copy rounds did not ship is the final residual
-        residual = sum(p.memory.dirty_bytes for p in pod.processes()) if live else None
+        residual = (sum(p.memory.dirty_in(PRECOPY_CONSUMER)
+                        for p in pod.processes()) if live else None)
+        # measured dirty tables against the checkpoint baseline, captured
+        # at suspend; the baseline clear is *staged* — only a committed
+        # op keeps it, an abort folds the generation back so the next
+        # epoch never undercounts
+        proc_dirty = None
+        if track_dirty:
+            proc_dirty = capture_proc_dirty(pod, CKPT_CONSUMER)
+            for p in pod.processes():
+                p.memory.begin_clear(CKPT_CONSUMER)
         yield from self.cluster.trace("agent.suspend", node=self.node.name, pod=pod_id)
         phase.end()
 
@@ -345,7 +380,7 @@ class Agent:
             image = pipeline.pack(standalone, sock_records, sock_fd_rows, devices,
                                   state=self.pipeline_state,
                                   serialize_bandwidth=self.node.spec.memcpy_bandwidth,
-                                  chain_local=chain_local)
+                                  chain_local=chain_local, proc_dirty=proc_dirty)
             t_enc = engine.now
             yield engine.sleep(_stage_seconds(image))
             self._emit_stage_spans(image, t_enc, pod_id, phase)
@@ -360,7 +395,9 @@ class Agent:
         ok = yield from send_msg(kernel, chan, fd, report)
         if not ok:
             phase.end(status="failed")
-            self._abort_checkpoint(pod, net_window)
+            self._abort_checkpoint(
+                pod, net_window,
+                dirty_consumer=CKPT_CONSUMER if track_dirty else None)
             return
         yield from self.cluster.trace("agent.meta_sent", node=self.node.name, pod=pod_id)
         phase.end()
@@ -370,14 +407,24 @@ class Agent:
                                   pod=pod_id, parent=op_parent, order=order)
         if order != "standalone-first":
             standalone = standalone_pass()
-            image = pipeline.pack(standalone, sock_records, sock_fd_rows, devices,
-                                  state=self.pipeline_state,
-                                  serialize_bandwidth=self.node.spec.memcpy_bandwidth,
-                                  chain_local=chain_local)
-            t_enc = engine.now
-            yield engine.sleep(self.node.spec.ckpt_fixed_s + _stage_seconds(image))
-            self._emit_stage_spans(image, t_enc + self.node.spec.ckpt_fixed_s,
-                                   pod_id, phase)
+            if use_async:
+                # zero-stall capture: only the table snapshot happens
+                # inside the outage window; serialize/filter/write run
+                # against the frozen tables after the pod resumes
+                image = None
+                yield engine.sleep(min(self.node.spec.capture_fixed_s,
+                                       self.node.spec.ckpt_fixed_s))
+                yield from self.cluster.trace("agent.async_capture",
+                                              node=self.node.name, pod=pod_id)
+            else:
+                image = pipeline.pack(standalone, sock_records, sock_fd_rows, devices,
+                                      state=self.pipeline_state,
+                                      serialize_bandwidth=self.node.spec.memcpy_bandwidth,
+                                      chain_local=chain_local, proc_dirty=proc_dirty)
+                t_enc = engine.now
+                yield engine.sleep(self.node.spec.ckpt_fixed_s + _stage_seconds(image))
+                self._emit_stage_spans(image, t_enc + self.node.spec.ckpt_fixed_s,
+                                       pod_id, phase)
         t_standalone_done = engine.now
         yield from self.cluster.trace("agent.standalone", node=self.node.name, pod=pod_id)
         phase.end()
@@ -433,7 +480,9 @@ class Agent:
             self.cluster.observe(f"agent.barrier_wait_s.{self.node.name}",
                                  engine.now - t_wait)
             phase.end(status="aborted")
-            self._abort_checkpoint(pod, net_window)
+            self._abort_checkpoint(
+                pod, net_window,
+                dirty_consumer=CKPT_CONSUMER if track_dirty else None)
             yield from send_msg(kernel, chan, fd, {"type": "aborted", "pod": pod_id})
             return
         yield from self.cluster.trace("agent.continue_recv", node=self.node.name, pod=pod_id)
@@ -442,7 +491,9 @@ class Agent:
         if op_id in self.gc_ops:
             # the op died while a fault stalled us at the boundary above
             phase.end(status="aborted")
-            self._abort_checkpoint(pod, net_window)
+            self._abort_checkpoint(
+                pod, net_window,
+                dirty_consumer=CKPT_CONSUMER if track_dirty else None)
             yield from send_msg(kernel, chan, fd, {"type": "aborted", "pod": pod_id})
             return
         phase.end()
@@ -463,7 +514,7 @@ class Agent:
         # Manager's continue message carries the destinations (it alone
         # knows where each peer pod is migrating).
         redirect_out = reply.get("redirect_out", [])
-        if redirect_out:
+        if redirect_out and image is not None:
             rec_by_id = {int(r["sock_id"]): r for r in sock_records}
             for entry in redirect_out:
                 rec = rec_by_id.get(int(entry["sock_id"]))
@@ -481,14 +532,65 @@ class Agent:
             # pipeline diffs against the *previous* epoch because the
             # first pack's base is only staged, not committed)
             repacked = pipeline.pack(standalone, sock_records, sock_fd_rows, devices,
-                                     state=self.pipeline_state, chain_local=chain_local)
+                                     state=self.pipeline_state, chain_local=chain_local,
+                                     proc_dirty=proc_dirty)
             repacked.stage_costs = image.stage_costs
             image = repacked
+        t_resume = None
+        cow_bytes = 0
+        if use_async:
+            # zero-stall: the pod resumes *here* — the outage window ends
+            # before any codec work; serialize/filter run against the
+            # frozen capture tables while the application runs on
+            pod.resume()
+            t_resume = engine.now
+            for p in pod.processes():
+                # copy-on-write window: bytes the resumed pod dirties
+                # under the in-flight snapshot must be duplicated before
+                # the encoder reads them
+                p.memory.clear_dirty(COW_CONSUMER)
+            phase.end(async_ckpt=True)
+            post_enc = self.cluster.span("agent.post.encode",
+                                         node=self.node.name, pod=pod_id,
+                                         parent=op_parent, category="post")
+            yield from self.cluster.trace("agent.async_encode",
+                                          node=self.node.name, pod=pod_id)
+            image = pipeline.pack(standalone, sock_records, sock_fd_rows,
+                                  devices, state=self.pipeline_state,
+                                  serialize_bandwidth=self.node.spec.memcpy_bandwidth,
+                                  chain_local=chain_local, proc_dirty=proc_dirty)
+            # the deferred slice of the fixed kernel work (descriptor
+            # walks, serialization prep) runs here, against the frozen
+            # tables, before the codec touches any bytes
+            yield engine.sleep(max(0.0, self.node.spec.ckpt_fixed_s
+                                   - self.node.spec.capture_fixed_s))
+            t_enc = engine.now
+            yield engine.sleep(_stage_seconds(image))
+            self._emit_stage_spans(image, t_enc, pod_id, post_enc)
+            async_pod = kernel.pods.get(pod_id)
+            if async_pod is not None:
+                for p in async_pod.processes():
+                    cow_bytes += p.memory.dirty_in(COW_CONSUMER)
+                    p.memory.reset_dirty(COW_CONSUMER)
+            if cow_bytes:
+                yield engine.sleep(cow_bytes / self.node.spec.memcpy_bandwidth)
+            post_enc.end(nbytes=image.total_bytes, cow_bytes=cow_bytes)
         if op_id not in self.gc_ops:
             self.pipeline_state.commit(pod_id)
             self.mem_sink.store(image)
+            if track_dirty:
+                commit_pod = kernel.pods.get(pod_id)
+                if commit_pod is not None:
+                    # the op is final on this node: the staged baseline
+                    # clear becomes the next generation's starting point
+                    for p in commit_pod.processes():
+                        p.memory.commit_clear(CKPT_CONSUMER)
             if op_id:
                 self.committed_ops[pod_id] = op_id
+        elif use_async:
+            # the op was garbage-collected while the encoder ran: the gc
+            # already rolled the stores back; drop the staged base too
+            self.pipeline_state.abandon(pod_id)
 
         # optional file-system snapshot, "taken immediately prior to
         # reactivating the pod" — point-in-time capture of the shared
@@ -535,9 +637,18 @@ class Agent:
             # (and thus every existing schedule) is unchanged
             stats["t_suspend_at"] = t0
             stats["residual_bytes"] = residual
-        # the commit phase ends exactly where ``t_local`` is measured, so
-        # the agent lane's phase durations sum to the reported latency
-        phase.end(image_bytes=image.total_bytes)
+        if use_async:
+            # async-only keys, same conditional-key discipline: serial
+            # wire traffic (and thus every existing schedule) is unchanged
+            stats["t_suspend_window"] = t_resume - t0
+            stats["t_encode"] = _stage_seconds(image)
+            stats["cow_bytes"] = cow_bytes
+        else:
+            # the commit phase ends exactly where ``t_local`` is measured,
+            # so the agent lane's phase durations sum to the reported
+            # latency (the async path already ended it at resume — there
+            # the phase sum is the outage window, not the full latency)
+            phase.end(image_bytes=image.total_bytes)
         yield from send_msg(kernel, chan, fd, {
             "type": "done",
             "pod": pod_id,
@@ -545,8 +656,8 @@ class Agent:
             "stats": stats,
         })
 
-        # finalize
-        if context == "snapshot":
+        # finalize (the async path resumed the pod before encoding)
+        if context == "snapshot" and not use_async:
             pod.resume()
         if uri.startswith("agent://"):
             post = self.cluster.span("agent.post.stream", node=self.node.name,
@@ -564,10 +675,17 @@ class Agent:
             post = self.cluster.span("agent.post.flush", node=self.node.name,
                                      pod=pod_id, parent=op_parent,
                                      category="post")
+            if use_async:
+                # stage-overlapped write-out: the SAN link ran while the
+                # codec did (network never idle behind the compressor),
+                # so only the write tail beyond the encode time remains
+                yield from self.cluster.trace("agent.async_stream",
+                                              node=self.node.name, pod=pod_id)
             directives = yield from self.cluster.trace(
                 "agent.flush", node=self.node.name, pod=pod_id)
             flushed = yield from self._flush_to_file(
-                image, sink, op_id=op_id, truncate=directives.get("truncate"))
+                image, sink, op_id=op_id, truncate=directives.get("truncate"),
+                overlap_s=_stage_seconds(image) if use_async else 0.0)
             post.end(status="ok" if flushed else "failed",
                      nbytes=image.total_bytes)
             if flushed:
@@ -598,7 +716,13 @@ class Agent:
             t += seconds
         return t
 
-    def _abort_checkpoint(self, pod: Pod, window=NULL_SPAN) -> None:
+    def _abort_checkpoint(self, pod: Pod, window=NULL_SPAN,
+                          dirty_consumer: Optional[str] = None) -> None:
+        if dirty_consumer is not None:
+            # fold the staged baseline clear back: nothing was committed,
+            # so the generation still belongs to the next checkpoint
+            for p in pod.processes():
+                p.memory.abort_clear(dirty_consumer)
         unblock_pod_network(self.kernel.netstack, pod, window, status="aborted")
         pod.resume()
 
@@ -688,14 +812,26 @@ class Agent:
         if round_no <= 1:
             shipped = sum(p.memory.rss for p in procs)
         else:
-            shipped = sum(p.memory.dirty_bytes for p in procs)
+            shipped = sum(p.memory.dirty_in(PRECOPY_CONSUMER) for p in procs)
+        # the baseline clear is staged, not final: writes landing while
+        # the copy is in flight accrue to the next generation, and a
+        # round the destination never acknowledged folds its dirtiness
+        # back in (commit/abort below) instead of losing it
         for p in procs:
-            p.memory.clear_dirty()
+            p.memory.begin_clear(PRECOPY_CONSUMER)
         ok = yield from self._push_precopy(dst, pod_id, shipped, round_no, op_id)
         # the pod ran (and wrote) for the whole transfer; what it dirtied
         # meanwhile is the working set the next round must move
         pod = kernel.pods.get(pod_id)
-        dirty_after = (sum(p.memory.dirty_bytes for p in pod.processes())
+        if pod is not None:
+            acked = ok and op_id not in self.gc_ops
+            for p in pod.processes():
+                if acked:
+                    p.memory.commit_clear(PRECOPY_CONSUMER)
+                else:
+                    p.memory.abort_clear(PRECOPY_CONSUMER)
+        dirty_after = (sum(p.memory.dirty_in(PRECOPY_CONSUMER)
+                           for p in pod.processes())
                        if pod is not None else 0)
         if not ok or pod is None or op_id in self.gc_ops:
             phase.end(status="failed", shipped_bytes=shipped)
@@ -793,7 +929,8 @@ class Agent:
         ))
 
     def _flush_to_file(self, image: PodImage, sink: FileSink,
-                       op_id: int = 0, truncate: Optional[float] = None):
+                       op_id: int = 0, truncate: Optional[float] = None,
+                       overlap_s: float = 0.0):
         """Write the image to shared storage; True iff the flush published
         a complete, loadable container.
 
@@ -802,9 +939,14 @@ class Agent:
         for a garbage-collected operation, and *verifies by reading the
         container back* — a partial write is unlinked and reported as
         ``flush-failed`` rather than left visible as restartable.
+
+        ``overlap_s`` is codec time the write already ran behind (the
+        async path's stage overlap): the flush charges only
+        ``max(0, write + stall - overlap)`` — the tail of the slower of
+        the two pipelines.
         """
         stall = self.cluster.san.consume_stall()
-        yield self.engine.sleep(sink.write_delay(image) + stall)
+        yield self.engine.sleep(max(0.0, sink.write_delay(image) + stall - overlap_s))
         if op_id and op_id in self.gc_ops:
             # the Manager aborted and collected this op while we slept
             return False
@@ -832,6 +974,13 @@ class Agent:
         self.committed_ops.pop(pod_id, None)
         # drop pre-copy accounting from an aborted live migration
         self.precopy_store.pop(pod_id, None)
+        pod = self.kernel.pods.get(pod_id)
+        if pod is not None:
+            for p in pod.processes():
+                # a rolled-back commit cannot restore its exact pre-clear
+                # counters: fall back to fully dirty — the next epoch
+                # over-charges rather than undercounts
+                p.memory.reset_dirty(CKPT_CONSUMER)
 
     def _load_chain(self, pod_id: str, uri: str) -> List[PodImage]:
         """Load a checkpoint image chain (epoch order; length 1 unless

@@ -440,6 +440,7 @@ class Manager:
                         gc_on_failure: bool = True,
                         verify_resume: bool = True,
                         live: bool = False,
+                        async_ckpt: bool = False,
                         lease_s: Optional[float] = None):
         """The Manager side of Figure 1 (generator; run as a host task).
 
@@ -463,6 +464,13 @@ class Manager:
         Agents then charge the stream for the pre-copy *residual* only
         and report suspend-instant / residual stats for downtime
         accounting (see :mod:`repro.core.streaming`).
+
+        ``async_ckpt`` requests the zero-stall pipelined path: each
+        Agent resumes its pod right after the continue barrier and runs
+        serialize/filter/write-out against the frozen capture tables
+        while the application runs on (snapshot context only; direct
+        migration falls back to serial).  Per-pod suspend windows come
+        back as ``t_suspend_window`` in the done stats.
 
         ``lease_s`` bounds how long each ledger record keeps the op
         owned by this Manager before a takeover replica may claim it.
@@ -542,6 +550,9 @@ class Manager:
                 # key present only for live migration so the non-live
                 # wire traffic (and every existing schedule) is unchanged
                 cmd_msg["live"] = True
+            if async_ckpt:
+                # same conditional-key discipline for the zero-stall path
+                cmd_msg["async_ckpt"] = True
             sent = yield from send_msg(kernel, chan, fd, cmd_msg)
             if not sent:
                 phase.end(status="failed")

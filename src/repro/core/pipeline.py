@@ -133,6 +133,11 @@ class FilterContext:
     #: per-process memory segment tables of the pod being packed,
     #: ``{vpid: {segment: bytes}}`` — drives the accounted dirty model.
     proc_memory: Optional[Dict[int, Dict[str, int]]] = None
+    #: *measured* per-process dirty tables, ``{vpid: {segment: dirty
+    #: bytes}}``, captured at suspend against the checkpoint consumer's
+    #: baseline (:meth:`repro.vos.memory.Memory.dirty_table`).  None when
+    #: dirty tracking is off — filters then fall back to the heuristic.
+    proc_dirty: Optional[Dict[int, Dict[str, int]]] = None
 
 
 class PipelineState:
@@ -305,28 +310,41 @@ class DeltaFilter(ImageFilter):
     Epoch 0 (or any image leaving the node) passes through as a ``full``
     record and becomes the base; later epochs emit only the blocks that
     changed, so the 10 periodic checkpoints of Figure 6(a) write dirty
-    state only after the first.  Accounted memory uses a per-process
-    model: a process whose segment table changed since the last epoch is
-    charged in full, an unchanged one is charged ``dirty_fraction`` of
-    its resident set (the pages the application wrote between epochs).
-    Restart reassembles the chain: the epoch-0 full payload patched by
-    each delta in order.
+    state only after the first.  Accounted memory is charged *measured*
+    dirty bytes when the Agent captured per-process dirty tables at
+    suspend (``ctx.proc_dirty`` — the generational counters of
+    :class:`repro.vos.memory.Memory` against the checkpoint consumer's
+    baseline); without tracking (or with ``measured=False``) it falls
+    back to the per-process heuristic: ``dirty_fraction`` of an
+    unchanged process's resident set, and for a resized segment the
+    steady-state fraction of the surviving pages plus the size delta
+    (pages that are certainly new).  Restart reassembles the chain: the
+    epoch-0 full payload patched by each delta in order.
     """
 
     name = "delta"
 
     def __init__(self, block: int = DELTA_BLOCK,
-                 dirty_fraction: float = DELTA_DIRTY_FRACTION) -> None:
+                 dirty_fraction: float = DELTA_DIRTY_FRACTION,
+                 measured: bool = True) -> None:
         if int(block) <= 0:
             raise CheckpointError(f"delta block size {block!r} must be positive")
         if not 0.0 <= float(dirty_fraction) <= 1.0:
             raise CheckpointError(f"dirty fraction {dirty_fraction!r} outside [0, 1]")
         self.block = int(block)
         self.dirty_fraction = float(dirty_fraction)
+        #: False forces the heuristic even when measured tables exist
+        #: (the figures' heuristic-delta ablation variant).
+        self.measured = bool(measured)
 
     def describe(self) -> Dict[str, Any]:
-        return {"name": self.name, "block": self.block,
+        spec = {"name": self.name, "block": self.block,
                 "dirty_fraction": self.dirty_fraction}
+        if not self.measured:
+            # key present only for the non-default ablation so existing
+            # envelopes / negotiated chains are byte-identical
+            spec["measured"] = False
+        return spec
 
     # -- payload bytes --------------------------------------------------
     def encode(self, data: bytes, ctx: FilterContext) -> Tuple[bytes, Dict[str, Any]]:
@@ -346,7 +364,13 @@ class DeltaFilter(ImageFilter):
         for idx, chunk in blocks:
             out += struct.pack(">II", idx, len(chunk))
             out += chunk
-        return bytes(out), {"kind": "delta"}
+        params: Dict[str, Any] = {"kind": "delta"}
+        if self.measured and ctx.proc_dirty is not None:
+            # generation provenance in the chain: this epoch's accounted
+            # bytes came from measured dirty counters, not the heuristic
+            # (key absent when tracking is off — old envelopes unchanged)
+            params["dirty_model"] = "measured"
+        return bytes(out), params
 
     def decode(self, data: bytes, params: Dict[str, Any], ctx: FilterContext) -> bytes:
         if params.get("kind") == "full":
@@ -374,18 +398,35 @@ class DeltaFilter(ImageFilter):
     def model_accounted(self, accounted: int, ctx: FilterContext) -> int:
         if ctx.base is None or not ctx.chain_local or ctx.proc_memory is None:
             return accounted
-        prev = (ctx.state.proc_memory.get(ctx.pod_id, {})
-                if ctx.state is not None else {})
         raw_total = sum(sum(t.values()) for t in ctx.proc_memory.values())
-        dirty = 0
-        for vpid, table in ctx.proc_memory.items():
-            rss = sum(table.values())
-            if prev.get(vpid) == table:
-                dirty += int(self.dirty_fraction * rss)
-            else:
-                dirty += rss  # resized/new process: conservatively all dirty
         if raw_total <= 0:
             return 0
+        measured = ctx.proc_dirty if self.measured else None
+        prev = (ctx.state.proc_memory.get(ctx.pod_id, {})
+                if ctx.state is not None else {})
+        dirty = 0
+        for vpid, table in ctx.proc_memory.items():
+            if measured is not None:
+                # measured path: charge the dirty counters captured at
+                # suspend (already clamped to segment size); a process or
+                # segment the tracker never saw is charged in full
+                seen = measured.get(vpid, {})
+                dirty += sum(min(size, seen.get(seg, size))
+                             for seg, size in table.items())
+                continue
+            prev_table = prev.get(vpid)
+            if prev_table == table:
+                dirty += int(self.dirty_fraction * sum(table.values()))
+            elif prev_table is None:
+                dirty += sum(table.values())  # new process: every page is new
+            else:
+                # resized process: surviving pages carry the steady-state
+                # fraction; only the size delta is certainly new
+                for seg, size in table.items():
+                    old = prev_table.get(seg, 0)
+                    dirty += min(size,
+                                 int(self.dirty_fraction * min(old, size))
+                                 + abs(size - old))
         # compose with whatever earlier stages did to the accounted bytes
         return int(accounted * (dirty / raw_total))
 
@@ -492,6 +533,7 @@ class ImagePipeline:
         state: Optional[PipelineState] = None,
         serialize_bandwidth: Optional[float] = None,
         chain_local: bool = True,
+        proc_dirty: Optional[Dict[int, Dict[str, int]]] = None,
     ) -> PodImage:
         """Assemble, filter and cost-account one pod checkpoint image.
 
@@ -518,6 +560,7 @@ class ImagePipeline:
             chain_local=chain_local,
             base=state.bases.get(pod_id) if state is not None else None,
             proc_memory=proc_memory_tables(standalone),
+            proc_dirty=proc_dirty,
         )
 
         body = raw
@@ -595,7 +638,8 @@ class ImagePipeline:
             ctx = FilterContext(pod_id=image.pod_id, epoch=int(envelope["epoch"]),
                                 state=state, base=raw)
             for entry in reversed(envelope["filters"]):
-                filt = build_filter({k: v for k, v in entry.items() if k != "kind"})
+                filt = build_filter({k: v for k, v in entry.items()
+                                     if k not in ("kind", "dirty_model")})
                 in_bytes = len(body)
                 body = filt.decode(body, entry, ctx)
                 seconds = filt.decode_seconds(in_bytes, len(body))

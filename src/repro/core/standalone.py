@@ -74,6 +74,15 @@ def proc_memory_tables(standalone: Dict[str, Any]) -> Dict[int, Dict[str, int]]:
     return {int(p["vpid"]): dict(p["memory"]) for p in standalone["procs"]}
 
 
+def capture_proc_dirty(pod: Pod, consumer: str) -> Dict[int, Dict[str, int]]:
+    """Per-process *measured* dirty tables against ``consumer``'s baseline,
+    ``{vpid: {segment: dirty bytes}}`` — captured at suspend, alongside
+    the segment tables, and handed to the delta filter so epoch-N images
+    are charged what the application actually wrote."""
+    return {proc.vpid: proc.memory.dirty_table(consumer)
+            for proc in pod.processes()}
+
+
 def _find_fs(kernel: Kernel, name: str):
     if kernel.vfs.root.name == name:
         return kernel.vfs.root

@@ -162,10 +162,10 @@ def migrate_task(manager: Manager, moves: List[Move], redirect: bool = False,
                     rounds=len(rounds_log),
                     precopy_bytes=sum(r["shipped_bytes"] for r in rounds_log))
 
-    # a failed round cleared dirty counters for bytes the destination
-    # never acknowledged, so the residual undercounts: charge the final
-    # pass in full (plain stop-and-copy) rather than trust it
-    ckpt_live = live and bailout != "precopy-failed"
+    # the per-consumer baseline clears are ack-gated (a failed round
+    # folds its unacknowledged dirtiness back in), so the residual is
+    # trustworthy even after a failed pre-copy round
+    ckpt_live = live
     ckpt_targets = [(src, pod, f"agent://{dst}") for src, pod, dst in moves]
     redirect_moves = {pod: dst for _src, pod, dst in moves} if redirect else None
     ckpt = yield from manager.checkpoint_task(

@@ -109,6 +109,27 @@ def figmig(apps: List[str], scale: float, filters: Filters = None) -> None:
                  "downtime %", "pre-copied [MB]", "bailout"), rows)
 
 
+def figinc(apps: List[str], scale: float, filters: Filters = None) -> None:
+    """Incremental generations: image bytes, suspend window and
+    end-to-end time per epoch, by pipeline mode (not a paper figure —
+    the dirty-delta / zero-stall study; the same writing workload is
+    checkpointed under each configuration)."""
+    from .harness import INC_MODES, run_inc_cell
+    rows = []
+    for mode in INC_MODES:
+        cell = run_inc_cell(mode)
+        for epoch, (img, raw, susp, e2e) in enumerate(zip(
+                cell.image_sizes, cell.raw_image_sizes,
+                cell.suspend_windows, cell.ckpt_times)):
+            rows.append((mode, epoch, f"{img / 1e6:.2f}", f"{raw / 1e6:.1f}",
+                         f"{susp * 1000:.1f}", f"{e2e * 1000:.1f}",
+                         "ok" if cell.chain_ok else "BROKEN"))
+    print_table("Incremental generations — 2 writer pods, 64 MB ballast, "
+                "8 MB/s writes (epoch 0 is the full base)",
+                ("mode", "epoch", "image [MB]", "raw [MB]", "suspend [ms]",
+                 "end-to-end [ms]", "chain"), rows)
+
+
 def figfailover(apps: List[str], scale: float, filters: Filters = None) -> None:
     """HA Manager failover: one chaos episode per ledger crash point
     (not a paper figure — the Manager is the paper's lone unreplicated
@@ -194,7 +215,7 @@ def statistics_mean_mb(sizes: List[int]) -> float:
 
 def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--fig", choices=["5", "6a", "6b", "6c", "mig",
+    parser.add_argument("--fig", choices=["5", "6a", "6b", "6c", "mig", "inc",
                                           "failover", "fleet", "timeline",
                                           "all"],
                         default="all")
@@ -210,7 +231,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     apps = [args.app] if args.app else list(APPS)
     filters = parse_filter_args(args.compress, args.incremental) or None
     runners = {"5": fig5, "6a": fig6a, "6b": fig6b, "6c": fig6c, "mig": figmig,
-               "failover": figfailover, "fleet": figfleet,
+               "inc": figinc, "failover": figfailover, "fleet": figfleet,
                "timeline": figtimeline}
     for name, fn in runners.items():
         if args.fig in (name, "all"):

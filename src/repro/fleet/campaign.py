@@ -68,6 +68,12 @@ class FleetPolicy:
     dirty_threshold: int = 65536
     #: per-unit op deadline in seconds.
     deadline: float = 60.0
+    #: image-pipeline filter chain for checkpoint units (e.g.
+    #: ``[{"name": "delta"}]`` for dirty-delta incremental waves).
+    filters: Optional[List[Dict[str, Any]]] = None
+    #: zero-stall checkpoints: pods resume after the capture window and
+    #: the encode/stream overlaps application time.
+    async_ckpt: bool = False
     #: campaign ledger lease; None = the Manager default.
     lease_s: Optional[float] = None
 
@@ -76,7 +82,7 @@ class FleetPolicy:
 
     def to_fields(self) -> Dict[str, Any]:
         """The journaled form (plain JSON scalars only)."""
-        return {
+        fields_ = {
             "max_inflight": self.max_inflight,
             "wave_size": self.effective_wave_size(),
             "wave_barrier": self.wave_barrier,
@@ -90,6 +96,13 @@ class FleetPolicy:
             "dirty_threshold": self.dirty_threshold,
             "deadline": self.deadline,
         }
+        # only journaled when set: default campaigns keep the exact
+        # record bytes (and thus schedules) they had before these knobs
+        if self.filters is not None:
+            fields_["filters"] = self.filters
+        if self.async_ckpt:
+            fields_["async_ckpt"] = True
+        return fields_
 
     @classmethod
     def from_fields(cls, fields_: Dict[str, Any]) -> "FleetPolicy":
@@ -532,7 +545,8 @@ class Campaign:
         # other context is a migration and the agent destroys the pod)
         res = yield from mgr.checkpoint_task(
             [(node, pod, uri)], context="snapshot",
-            deadline=self.policy.deadline, timeouts=self.timeouts)
+            deadline=self.policy.deadline, timeouts=self.timeouts,
+            filters=self.policy.filters, async_ckpt=self.policy.async_ckpt)
         err = res.errors[0] if res.errors else (
             None if res.ok else res.status)
         return res.ok, res.duration if res.ok else 0.0, res.op_id, err

@@ -30,7 +30,7 @@ from .baselines.vanilla import launch_master_worker_vanilla, launch_spmd_vanilla
 from .cluster.builder import Cluster
 from .core.manager import Manager, OpResult
 from .core.streaming import DEFAULT_DIRTY_THRESHOLD, migrate_task
-from .metrics import Fig5Cell, Fig6Cell, MigrationCell
+from .metrics import Fig5Cell, Fig6Cell, IncCell, MigrationCell
 from .middleware.daemon import checkpoint_targets, launch_master_worker, launch_spmd
 from .obs.tracer import PHASE, SpanTracer
 from .vos import build_program, imm, program
@@ -441,6 +441,93 @@ def run_migration_cell(precopy_rounds: int, *, ballast: int = 256_000_000,
             f"writer did not finish on {dst.name} (cap {precopy_rounds})")
     return MigrationCell(precopy_rounds, mig.downtime, mig.total_time,
                          mig.precopy_bytes, mig.bailout, list(mig.rounds))
+
+
+# ---------------------------------------------------------------------------
+# incremental generations: dirty-delta + zero-stall checkpoint study
+# ---------------------------------------------------------------------------
+
+
+#: pipeline configuration per mode of the generations study.
+INC_MODES: Dict[str, Optional[List[Dict[str, Any]]]] = {
+    "full": None,
+    "heuristic": [{"name": "delta", "measured": False}],
+    "delta": [{"name": "delta"}],
+    "delta-async": [{"name": "delta"}],
+}
+
+
+def run_inc_cell(mode: str, *, n_pods: int = 2, ballast: int = 64_000_000,
+                 dirty_rate: int = 8_000_000, n_checkpoints: int = 4,
+                 interval: float = 0.5, seed: int = 0,
+                 until: float = 300.0) -> IncCell:
+    """Checkpoint a writing workload every epoch under one pipeline mode.
+
+    ``n_pods`` writer pods (``ballast`` bytes each, rewriting
+    ``dirty_rate`` bytes per CPU-second — the live-migration study's
+    workload) are snapshotted ``n_checkpoints`` times, ``interval``
+    apart.  Modes (:data:`INC_MODES`): ``full`` re-images everything
+    every epoch; ``heuristic`` runs the delta filter on its modeled
+    dirty fraction; ``delta`` charges the *measured* per-segment dirty
+    bytes; ``delta-async`` adds the zero-stall path (pods resume after
+    capture, encode/stream overlap application time).
+
+    Besides per-epoch sizes and windows the cell audits chain
+    integrity: every committed delta chain must reassemble
+    byte-identical to the full base the Agent's pipeline state holds
+    (``cell.chain_ok``).
+    """
+    filters = INC_MODES[mode]
+    async_ckpt = mode == "delta-async"
+    cluster = Cluster.build(2, seed=seed)
+    manager = Manager.deploy(cluster)
+    host = cluster.node(1)
+    chunk = 30_000_000  # ~10 ms slices: frequent preemption points
+    work_seconds = interval * (n_checkpoints + 2)
+    targets = []
+    for i in range(n_pods):
+        pod_id = f"inc-w{i}"
+        cluster.create_pod(host, pod_id)
+        host.kernel.spawn(
+            build_program("harness.writer", ballast=ballast,
+                          dirty_rate=dirty_rate, chunk_cycles=chunk,
+                          chunks=max(1, int(work_seconds * DEFAULT_HZ) // chunk)),
+            pod_id=pod_id)
+        targets.append((host.name, pod_id, "mem"))
+    cell = IncCell(mode)
+
+    def ticker():
+        for _ in range(n_checkpoints):
+            yield cluster.engine.sleep(interval)
+            result: OpResult = yield from manager.checkpoint_task(
+                targets, filters=filters, async_ckpt=async_ckpt)
+            if not result.ok:
+                raise RuntimeError(f"inc checkpoint ({mode}) failed: "
+                                   f"{result.errors}")
+            cell.ckpt_times.append(result.duration)
+            cell.image_sizes.append(result.max_image_bytes())
+            cell.raw_image_sizes.append(int(result.max_stat("raw_image_bytes")))
+            cell.suspend_windows.append(max(
+                stats.get("t_suspend_window", stats.get("t_local", 0.0))
+                for stats in result.pods.values()))
+
+    cluster.engine.spawn(ticker(), name="inc-ticker")
+    cluster.engine.run(until=until)
+    if len(cell.image_sizes) < n_checkpoints:
+        raise RuntimeError(f"inc cell ({mode}) took "
+                           f"{len(cell.image_sizes)}/{n_checkpoints} snapshots")
+    if filters is not None:
+        from .core.pipeline import ImagePipeline
+        agent = manager.agents[host.name]
+        for _node, pod_id, _uri in targets:
+            chain = agent.pipeline_state.chains.get(pod_id)
+            base = agent.pipeline_state.bases.get(pod_id)
+            if not chain or base is None:
+                cell.chain_ok = False
+                continue
+            reassembled = ImagePipeline.reassemble(list(chain))
+            cell.chain_ok = cell.chain_ok and reassembled.raw == base
+    return cell
 
 
 def run_timeline_series(n_nodes: int = 24, n_pods: int = 96,

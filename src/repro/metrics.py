@@ -92,6 +92,49 @@ class Fig6Cell:
 
 
 @dataclass
+class IncCell:
+    """One mode of the incremental-generations study: a writing workload
+    checkpointed every epoch under one image-pipeline configuration
+    (``full`` / ``heuristic`` / ``delta`` / ``delta-async``)."""
+
+    mode: str
+    #: per-epoch largest-pod image bytes (epoch 0 is the full base).
+    image_sizes: List[int] = field(default_factory=list)
+    raw_image_sizes: List[int] = field(default_factory=list)
+    #: per-epoch pod suspend window [s]: capture-only under async,
+    #: the whole local checkpoint otherwise.
+    suspend_windows: List[float] = field(default_factory=list)
+    #: per-epoch end-to-end checkpoint time [s] (manager invoke→commit).
+    ckpt_times: List[float] = field(default_factory=list)
+    #: every committed delta chain reassembled byte-identical to the
+    #: agent's full base (vacuously True for unchained modes).
+    chain_ok: bool = True
+
+    @property
+    def epoch0_image_size(self) -> int:
+        return self.image_sizes[0] if self.image_sizes else 0
+
+    @property
+    def steady_state_image_size(self) -> int:
+        tail = self.image_sizes[1:]
+        return int(statistics.mean(tail)) if tail else 0
+
+    @property
+    def mean_suspend(self) -> float:
+        return statistics.mean(self.suspend_windows) if self.suspend_windows else 0.0
+
+    @property
+    def mean_checkpoint(self) -> float:
+        return statistics.mean(self.ckpt_times) if self.ckpt_times else 0.0
+
+    @property
+    def shrink_factor(self) -> float:
+        """Full-image bytes per steady-state incremental-image byte."""
+        steady = self.steady_state_image_size
+        return self.epoch0_image_size / steady if steady else 0.0
+
+
+@dataclass
 class MigrationCell:
     """One point of the live-migration study: downtime for a given
     pre-copy round cap (cap 0 is plain stop-and-copy)."""

@@ -11,12 +11,16 @@ per simulated process.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..errors import VosError
 
 #: Segment names every process starts with.
 DEFAULT_SEGMENTS = ("text", "data", "stack", "heap")
+
+#: The consumer name behind the bare dirty API (``dirty_bytes``,
+#: ``clear_dirty()``), kept for the pre-generational callers and tests.
+DEFAULT_CONSUMER = "default"
 
 
 class Memory:
@@ -26,15 +30,30 @@ class Memory:
     default, apps may add more, e.g. ``grid``).  ``alloc``/``free``
     adjust a segment; the total drives checkpoint image size.
 
-    Alongside each segment's size the class keeps a *dirty counter*:
-    bytes modified since the last :meth:`clear_dirty`.  The counter is
-    runtime-only bookkeeping for pre-copy live migration — it is clamped
-    to the segment size (a byte can only be dirty once) and it is never
+    Alongside each segment's size the class keeps *generational dirty
+    counters*: bytes modified since a named **consumer** last cleared its
+    baseline.  Consumers are independent — incremental checkpoints
+    (``"ckpt"``) and live-migration pre-copy rounds (``"precopy"``) each
+    see the writes since *their own* last generation, so one clearing its
+    baseline cannot make the other undercount.  A consumer that has never
+    cleared sees everything dirty (nothing was ever copied on its
+    behalf); that is also why no consumer table is materialized until the
+    first :meth:`clear_dirty` — absence *is* the fully-dirty baseline.
+
+    Counters are runtime-only bookkeeping: each is clamped to the segment
+    size (a byte can only be dirty once per generation) and none is ever
     serialized, so checkpoint images are byte-identical whether or not
     anything tracks writes.
+
+    Baseline clears can be *transactional* (:meth:`begin_clear` /
+    :meth:`commit_clear` / :meth:`abort_clear`): a copy round stages the
+    clear when it starts — writes landing mid-flight accrue to the next
+    generation — and only an acknowledged round commits it.  An aborted
+    round folds the staged dirtiness back in, so bytes the destination
+    never acknowledged stay dirty.
     """
 
-    __slots__ = ("_segments", "_dirty")
+    __slots__ = ("_segments", "_dirty", "_staged")
 
     def __init__(self, text: int = 0, data: int = 0, stack: int = 0, heap: int = 0) -> None:
         self._segments: Dict[str, int] = {
@@ -43,8 +62,11 @@ class Memory:
             "stack": int(stack),
             "heap": int(heap),
         }
-        # a freshly created address space has never been copied anywhere
-        self._dirty: Dict[str, int] = dict(self._segments)
+        # no consumer has cleared yet: every baseline is the implicit
+        # fully-dirty one (a fresh address space was never copied anywhere)
+        self._dirty: Dict[str, Dict[str, int]] = {}
+        #: staged (uncommitted) clears: consumer -> dirty table at stage time.
+        self._staged: Dict[str, Dict[str, int]] = {}
 
     @property
     def rss(self) -> int:
@@ -53,30 +75,80 @@ class Memory:
 
     @property
     def dirty_bytes(self) -> int:
-        """Total bytes written since the last :meth:`clear_dirty`."""
-        return sum(self._dirty.values())
+        """Default consumer's total dirty bytes (bare / legacy API)."""
+        return self.dirty_in(DEFAULT_CONSUMER)
+
+    def dirty_in(self, consumer: str) -> int:
+        """Total bytes written since ``consumer`` last cleared its baseline."""
+        return sum(self.dirty_table(consumer).values())
 
     def segment(self, name: str) -> int:
         """Bytes currently accounted to segment ``name`` (0 if absent)."""
         return self._segments.get(name, 0)
 
-    def dirty_table(self) -> Dict[str, int]:
-        """Per-segment dirty byte counts (a copy; zero entries included)."""
-        return dict(self._dirty)
+    def dirty_table(self, consumer: str = DEFAULT_CONSUMER) -> Dict[str, int]:
+        """Per-segment dirty byte counts for ``consumer`` (a copy; zero
+        entries included).  A consumer that never cleared sees every
+        segment fully dirty."""
+        table = self._dirty.get(consumer)
+        if table is None:
+            return dict(self._segments)
+        return {name: table.get(name, 0) for name in self._segments}
 
-    def clear_dirty(self) -> None:
-        """Mark every segment clean — call when a copy round starts."""
-        for name in self._dirty:
-            self._dirty[name] = 0
+    def clear_dirty(self, consumer: str = DEFAULT_CONSUMER) -> None:
+        """Mark every segment clean for ``consumer`` — call when that
+        consumer's copy round starts (unconditional form; see
+        :meth:`begin_clear` for the ack-gated variant)."""
+        self._dirty[consumer] = {name: 0 for name in self._segments}
+        self._staged.pop(consumer, None)
 
-    def touch(self, nbytes: int, segment: str = None) -> None:
+    # -- transactional (ack-gated) clears ------------------------------
+    def begin_clear(self, consumer: str) -> int:
+        """Stage a baseline clear for ``consumer``; returns the dirty
+        byte total being staged.  Writes from here on accrue to the new
+        generation; :meth:`commit_clear` makes the clear final,
+        :meth:`abort_clear` folds the staged dirtiness back in."""
+        staged = self.dirty_table(consumer)
+        self._staged[consumer] = staged
+        self._dirty[consumer] = {name: 0 for name in self._segments}
+        return sum(staged.values())
+
+    def commit_clear(self, consumer: str) -> None:
+        """The copy round was acknowledged: drop the staged dirtiness."""
+        self._staged.pop(consumer, None)
+
+    def abort_clear(self, consumer: str) -> None:
+        """The copy round failed: bytes the destination never
+        acknowledged are still dirty — merge the staged table back
+        (saturating at segment size, like any write)."""
+        staged = self._staged.pop(consumer, None)
+        if staged is None:
+            return
+        table = self._dirty.setdefault(consumer, {})
+        for name, size in self._segments.items():
+            merged = table.get(name, 0) + staged.get(name, 0)
+            table[name] = min(size, merged)
+
+    def reset_dirty(self, consumer: str) -> None:
+        """Forget ``consumer``'s baseline entirely — back to fully dirty.
+
+        The conservative rollback for a *committed* clear that later has
+        to be undone (a garbage-collected checkpoint after local commit):
+        the exact pre-clear counters are gone, so the next generation
+        charges everything rather than undercounting."""
+        self._dirty.pop(consumer, None)
+        self._staged.pop(consumer, None)
+
+    def touch(self, nbytes: int, segment: Optional[str] = None) -> None:
         """Record ``nbytes`` of in-place writes to ``segment``.
 
         With ``segment=None`` the writes land on the largest segment —
         the working set of a program that never named one (the scheduler's
         dirty-rate charging uses this).  Dirtiness saturates at the
         segment size; touching an absent or empty segment is a no-op
-        (there is nothing to re-copy).
+        (there is nothing to re-copy).  Every materialized consumer
+        baseline advances; implicit (never-cleared) baselines are already
+        fully dirty.
         """
         if nbytes <= 0:
             return
@@ -87,7 +159,8 @@ class Memory:
         size = self._segments.get(segment, 0)
         if size <= 0:
             return
-        self._dirty[segment] = min(size, self._dirty.get(segment, 0) + int(nbytes))
+        for table in self._dirty.values():
+            table[segment] = min(size, table.get(segment, 0) + int(nbytes))
 
     def alloc(self, nbytes: int, segment: str = "heap") -> None:
         """Grow ``segment`` by ``nbytes`` (must be >= 0)."""
@@ -95,8 +168,9 @@ class Memory:
             raise VosError(f"alloc of negative size {nbytes}")
         size = self._segments.get(segment, 0) + int(nbytes)
         self._segments[segment] = size
-        # new pages are dirty: they exist only on this node
-        self._dirty[segment] = min(size, self._dirty.get(segment, 0) + int(nbytes))
+        # new pages are dirty for every consumer: they exist only here
+        for table in self._dirty.values():
+            table[segment] = min(size, table.get(segment, 0) + int(nbytes))
 
     def free(self, nbytes: int, segment: str = "heap") -> None:
         """Shrink ``segment`` by ``nbytes``; cannot go below zero."""
@@ -106,7 +180,8 @@ class Memory:
         size = current - int(nbytes)
         self._segments[segment] = size
         # released pages need no copy; keep the invariant dirty <= size
-        self._dirty[segment] = min(size, self._dirty.get(segment, 0))
+        for table in self._dirty.values():
+            table[segment] = min(size, table.get(segment, 0))
 
     def resize(self, nbytes: int, segment: str = "heap") -> None:
         """Set ``segment`` to exactly ``nbytes``."""
@@ -118,7 +193,8 @@ class Memory:
         # a resize rewrites the delta in place (grow maps new pages,
         # shrink is covered by the clamp)
         delta = abs(size - old)
-        self._dirty[segment] = min(size, self._dirty.get(segment, 0) + delta)
+        for table in self._dirty.values():
+            table[segment] = min(size, table.get(segment, 0) + delta)
 
     # -- checkpoint support -------------------------------------------
     def to_image(self) -> Dict[str, int]:
@@ -130,9 +206,11 @@ class Memory:
         """Rebuild a Memory from :meth:`to_image` output."""
         mem = cls()
         mem._segments = {str(k): int(v) for k, v in image.items()}
-        # a restored address space is fully dirty relative to any future
-        # migration target — no round has copied it anywhere yet
-        mem._dirty = dict(mem._segments)
+        # a restored address space is fully dirty relative to every
+        # consumer — no round has copied it anywhere yet (the empty
+        # consumer map *is* the implicit fully-dirty baseline)
+        mem._dirty = {}
+        mem._staged = {}
         return mem
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

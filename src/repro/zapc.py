@@ -70,6 +70,8 @@ def _print_op(result, label: str) -> None:
             line += f"  netstate {stats['netstate_bytes']:6d} B"
         if "t_network" in stats:
             line += f"  network {stats['t_network'] * 1000:5.1f} ms"
+        if "t_suspend_window" in stats:
+            line += f"  suspend {stats['t_suspend_window'] * 1000:5.1f} ms"
         if stats.get("epoch"):
             line += f"  epoch {stats['epoch']}"
         print(line)
@@ -90,7 +92,7 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
              trace_format: str = "chrome", metrics: bool = False,
              live: bool = False, precopy_rounds: int = DEFAULT_PRECOPY_ROUNDS,
              dirty_threshold: int = DEFAULT_DIRTY_THRESHOLD,
-             managers: int = 1) -> bool:
+             managers: int = 1, async_ckpt: bool = False) -> bool:
     """Run one demo scenario; returns True when everything verified.
 
     ``trace`` writes a span trace of the whole run to a file
@@ -100,6 +102,10 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
     ``live`` makes a migration pre-copy memory while the application
     keeps running (up to ``precopy_rounds`` rounds, stopping early once
     the residual falls to ``dirty_threshold`` bytes).
+
+    ``async_ckpt`` takes zero-stall snapshots: the pods resume right
+    after the short capture window and the encode + write-out overlap
+    application time (the suspend window shrinks to capture only).
 
     ``managers`` > 1 turns a snapshot into the HA failover demo: the
     active Manager is crashed at the ``continue`` ledger crossing of the
@@ -144,7 +150,8 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
                 if managers > 1 and i == 0:
                     lease_s = 3.0
                     task = active.checkpoint(targets, filters=filters,
-                                             lease_s=lease_s)
+                                             lease_s=lease_s,
+                                             async_ckpt=async_ckpt)
                     yield cluster.engine.timeout(task.finished, 120.0)
                     if active.crashed:
                         print(f"{active.name} crashed mid-checkpoint; standby "
@@ -165,8 +172,8 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
                     else:
                         result = task.finished.result
                 else:
-                    result = yield from active.checkpoint_task(targets,
-                                                               filters=filters)
+                    result = yield from active.checkpoint_task(
+                        targets, filters=filters, async_ckpt=async_ckpt)
                 ops.append((f"checkpoint #{i}" if checkpoints > 1 else "checkpoint",
                             result))
             outcome["ops"] = ops
@@ -185,7 +192,8 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
             for i in range(max(1, checkpoints)):
                 if i:
                     yield cluster.engine.sleep(max(0.02, expected * 0.05))
-                ckpt = yield from manager.checkpoint_task(file_targets, filters=filters)
+                ckpt = yield from manager.checkpoint_task(
+                    file_targets, filters=filters, async_ckpt=async_ckpt)
                 ops.append((f"checkpoint #{i}" if checkpoints > 1 else "checkpoint",
                             ckpt))
             # simulated crash of every pod, then recovery from the SAN
@@ -373,6 +381,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(epoch 0 is full; later snapshots write dirty state)")
     parser.add_argument("--checkpoints", type=int, default=1,
                         help="snapshots to take (chains delta epochs)")
+    parser.add_argument("--async", dest="async_ckpt", action="store_true",
+                        help="zero-stall snapshots: resume the pods after "
+                             "the capture window; encode and write-out "
+                             "overlap application time")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a span trace of the run to PATH")
     parser.add_argument("--trace-format", choices=["jsonl", "chrome"],
@@ -448,7 +460,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                   trace_format=args.trace_format, metrics=args.metrics,
                   live=args.live, precopy_rounds=args.precopy_rounds,
                   dirty_threshold=args.dirty_threshold,
-                  managers=args.managers)
+                  managers=args.managers, async_ckpt=args.async_ckpt)
     return 0 if ok else 1
 
 

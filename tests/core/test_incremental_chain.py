@@ -1,0 +1,244 @@
+"""Dirty-delta incremental checkpoints: chain integrity and acceptance.
+
+Three layers:
+
+* a hypothesis property at the pipeline level — an epoch-0 full image
+  plus N measured-dirty delta epochs reassembles byte-identical to the
+  latest capture, under any random stream of alloc/free/resize/touch
+  against a real :class:`~repro.vos.memory.Memory`;
+* a simulation regression — live-migration pre-copy rounds and
+  incremental checkpoints interleave in one run without corrupting each
+  other's dirty baseline (the bug the per-consumer generations fix);
+* the PR's acceptance criteria on the writing workload — epoch ≥ 1
+  dirty-delta images ≥ 5× smaller than full images, the zero-stall path
+  cuts the pod suspend window ≥ 3× at an identical restored state.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Manager, codec
+from repro.core.image import build_payload
+from repro.core.pipeline import DeltaFilter, ImagePipeline, PipelineState
+from repro.harness import run_inc_cell
+from repro.vos.memory import Memory
+
+from .testapps import expected_sums, final_sums, launch_pingpong
+
+
+# ---------------------------------------------------------------------------
+# property: full + N dirty-delta epochs restore byte-identical
+# ---------------------------------------------------------------------------
+
+hyp = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+SEGMENTS = ("heap", "grid")
+CONSUMER = "ckpt"
+
+_op = st.one_of(
+    st.tuples(st.just("alloc"), st.sampled_from(SEGMENTS), st.integers(0, 1 << 16)),
+    st.tuples(st.just("free"), st.sampled_from(SEGMENTS), st.integers(0, 1 << 16)),
+    st.tuples(st.just("resize"), st.sampled_from(SEGMENTS), st.integers(0, 1 << 16)),
+    st.tuples(st.just("touch"), st.sampled_from(SEGMENTS), st.integers(0, 1 << 16)),
+)
+
+
+def _apply(m, op):
+    kind, seg, n = op
+    if kind == "alloc":
+        m.alloc(n, seg)
+    elif kind == "free":
+        m.free(min(n, m.segment(seg)), seg)
+    elif kind == "resize":
+        m.resize(n, seg)
+    elif kind == "touch":
+        m.touch(n, seg)
+
+
+def _standalone(mem: Memory, epoch: int):
+    """A minimal pod capture around one real Memory: enough for the
+    pipeline (pod_id, per-proc segment tables) plus an epoch-varying
+    register file so every capture has distinct payload bytes."""
+    return {
+        "pod_id": "prop",
+        "vip": "10.1.0.1",
+        "vtime": float(epoch),
+        "time_virtualization": True,
+        "procs": [{"vpid": 1, "memory": mem.to_image(),
+                   "regs": {"epoch": epoch}}],
+        "files": [],
+        "timers": [],
+        "zombies": {},
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.lists(_op, max_size=12), min_size=1, max_size=6))
+def test_dirty_delta_chain_restores_byte_identical(epochs):
+    """Epoch-0 full + N measured dirty-delta epochs == the last capture,
+    byte for byte, at every link of the chain."""
+    mem = Memory(heap=4096)
+    state = PipelineState()
+    pipeline = ImagePipeline([DeltaFilter()])
+
+    def snapshot(epoch):
+        std = _standalone(mem, epoch)
+        proc_dirty = {1: mem.dirty_table(CONSUMER)}
+        image = pipeline.pack(std, [], [], state=state, proc_dirty=proc_dirty)
+        mem.clear_dirty(CONSUMER)
+        state.commit("prop")
+        return std, image
+
+    _std0, img0 = snapshot(0)
+    chain = [img0]
+    for i, batch in enumerate(epochs):
+        for op in batch:
+            _apply(mem, op)
+        std, image = snapshot(i + 1)
+        chain.append(image)
+        assert image.epoch == i + 1
+        out = ImagePipeline.reassemble(list(chain))
+        assert out.raw == codec.encode(build_payload(std, [], []))
+        # the measured model never charges more than a full image of the
+        # current capture
+        assert image.accounted_bytes <= image.raw_accounted_bytes
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_op, max_size=12))
+def test_untouched_epoch_accounts_near_zero(ops):
+    """An epoch where the application wrote nothing is charged (almost)
+    nothing, whatever history preceded it — the whole point of measured
+    dirty tracking."""
+    mem = Memory(heap=1 << 20)
+    state = PipelineState()
+    pipeline = ImagePipeline([DeltaFilter()])
+    for op in ops:
+        _apply(mem, op)
+    std = _standalone(mem, 0)
+    pipeline.pack(std, [], [], state=state,
+                  proc_dirty={1: mem.dirty_table(CONSUMER)})
+    mem.clear_dirty(CONSUMER)
+    state.commit("prop")
+    # nothing written since: the next epoch's accounted size is only
+    # envelope framing, not memory
+    std1 = _standalone(mem, 1)
+    img1 = pipeline.pack(std1, [], [], state=state,
+                         proc_dirty={1: mem.dirty_table(CONSUMER)})
+    state.commit("prop")
+    assert img1.accounted_bytes == 0
+
+
+# ---------------------------------------------------------------------------
+# regression: pre-copy and incremental checkpoints interleave safely
+# ---------------------------------------------------------------------------
+
+
+def test_precopy_and_incremental_share_one_run():
+    """Pre-copy rounds (``precopy`` consumer) and incremental
+    checkpoints (``ckpt`` consumer) interleave in one run; each must
+    keep seeing the dirtiness accumulated since *its own* last visit,
+    and the delta chain must still restore byte-identical."""
+    cluster = Cluster.build(4, seed=11)
+    manager = Manager.deploy(cluster)
+    launch_pingpong(cluster, rounds=4000, ballast=32_000_000,
+                    dirty_rate=16_000_000)
+    moves = [("blade0", "pp-srv", "blade2"), ("blade1", "pp-cli", "blade3")]
+    targets = [("blade0", "pp-srv", "mem"), ("blade1", "pp-cli", "mem")]
+    out = {"ckpts": [], "rounds": []}
+
+    def driver():
+        engine = cluster.engine
+        yield engine.sleep(0.3)
+        # epoch 0: full base
+        res = yield from manager.checkpoint_task(targets,
+                                                 filters=[{"name": "delta"}])
+        assert res.ok, res.errors
+        out["ckpts"].append(res)
+        yield engine.sleep(0.2)
+        # pre-copy round 1 ships the full resident set
+        op = manager.new_op_id()
+        stats, errors = yield from manager.precopy_round(moves, 1, op_id=op)
+        assert not errors, errors
+        out["rounds"].append(stats)
+        yield engine.sleep(0.2)
+        # incremental epoch 1 — must see writes since epoch 0, not since
+        # the pre-copy round's clear
+        res = yield from manager.checkpoint_task(targets,
+                                                 filters=[{"name": "delta"}])
+        assert res.ok, res.errors
+        out["ckpts"].append(res)
+        # pre-copy round 2, immediately after the checkpoint: must see
+        # writes since round 1, not since the checkpoint's clear
+        stats, errors = yield from manager.precopy_round(moves, 2, op_id=op)
+        assert not errors, errors
+        out["rounds"].append(stats)
+        yield engine.sleep(0.2)
+        # incremental epoch 2 right after the pre-copy clear
+        res = yield from manager.checkpoint_task(targets,
+                                                 filters=[{"name": "delta"}])
+        assert res.ok, res.errors
+        out["ckpts"].append(res)
+
+    cluster.engine.spawn(driver(), name="interleave")
+    cluster.engine.run(until=120.0)
+    assert len(out["ckpts"]) == 3 and len(out["rounds"]) == 2
+    assert final_sums(cluster) == expected_sums(4000)
+
+    # each epoch ≥ 1 saw real dirtiness: the writer keeps rewriting, so
+    # a baseline clobbered by the pre-copy clear would account ~0 here
+    # only if the windows were empty — and far more than the measured
+    # window if the clear had been lost entirely
+    full = out["ckpts"][0].max_stat("raw_image_bytes")
+    for res in out["ckpts"][1:]:
+        inc = res.max_stat("image_bytes")
+        assert 0 < inc < 0.5 * full, (inc, full)
+    # round 2 shipped only the dirtiness since round 1 — nonzero (the
+    # interleaved checkpoint's clear didn't steal it) and nowhere near
+    # the full resident set (its own round-1 clear held)
+    r1 = sum(s["shipped_bytes"] for s in out["rounds"][0].values())
+    r2 = sum(s["shipped_bytes"] for s in out["rounds"][1].values())
+    assert r2 > 0
+    assert r2 < 0.5 * r1, (r2, r1)
+
+    # the chains on both source agents still restore byte-identically
+    for node_name, pod_id in (("blade0", "pp-srv"), ("blade1", "pp-cli")):
+        agent = manager.agents[node_name]
+        chain = agent.pipeline_state.chains[pod_id]
+        assert len(chain) == 3
+        reassembled = ImagePipeline.reassemble(list(chain))
+        assert reassembled.raw == agent.pipeline_state.bases[pod_id]
+
+
+# ---------------------------------------------------------------------------
+# acceptance: generational shrink and the zero-stall suspend window
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def inc_cells():
+    return {mode: run_inc_cell(mode)
+            for mode in ("full", "delta", "delta-async")}
+
+
+def test_dirty_delta_epochs_at_least_5x_smaller(inc_cells):
+    """Acceptance: with dirty tracking on, every epoch ≥ 1 image is at
+    least 5× smaller than the full image."""
+    full = inc_cells["full"]
+    delta = inc_cells["delta"]
+    assert delta.image_sizes[0] == pytest.approx(full.image_sizes[0], rel=0.01)
+    for size in delta.image_sizes[1:]:
+        assert size * 5 <= full.steady_state_image_size, delta.image_sizes
+    assert delta.chain_ok
+
+
+def test_async_cuts_suspend_window_at_least_3x(inc_cells):
+    """Acceptance: the zero-stall path shrinks the pod suspend window
+    ≥ 3× against the serial incremental path, and the chain it commits
+    still reassembles byte-identical to the agent's full base."""
+    serial = inc_cells["delta"]
+    zero_stall = inc_cells["delta-async"]
+    assert zero_stall.mean_suspend * 3 <= serial.mean_suspend, (
+        zero_stall.suspend_windows, serial.suspend_windows)
+    assert zero_stall.chain_ok and serial.chain_ok

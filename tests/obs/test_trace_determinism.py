@@ -90,6 +90,62 @@ def test_same_seed_byte_identical_jsonl():
     assert len(dump_a.splitlines()) > 20  # a real trace, not a stub
 
 
+def traced_async_checkpoint_run(seed: int, at: float = 0.15):
+    """One zero-stall incremental snapshot over a writing ping-pong
+    pair; returns (tracer, OpResult)."""
+    cluster = Cluster.build(4, seed=seed)
+    tracer = SpanTracer(cluster.engine).install(cluster)
+    manager = Manager.deploy(cluster)
+    launch_pingpong(cluster, rounds=ROUNDS, ballast=16_000_000,
+                    dirty_rate=8_000_000)
+    holder = {}
+
+    def kick():
+        holder["task"] = manager.checkpoint(
+            [("blade0", "pp-srv", "mem"), ("blade1", "pp-cli", "mem")],
+            filters=[{"name": "delta"}], async_ckpt=True)
+
+    cluster.engine.schedule(at, kick)
+    cluster.engine.run(until=120.0)
+    result = holder["task"].finished.result
+    assert result.ok, result.errors
+    return tracer, result
+
+
+def test_async_checkpoint_same_seed_byte_identical_jsonl():
+    """The zero-stall path (capture, post-resume encode, COW charge,
+    overlapped flush) is part of the deterministic trace surface."""
+    tr_a, res_a = traced_async_checkpoint_run(7)
+    tr_b, res_b = traced_async_checkpoint_run(7)
+    dump_a, dump_b = to_jsonl(tr_a), to_jsonl(tr_b)
+    assert dump_a == dump_b
+    assert "agent.post.encode" in dump_a
+    for stats in res_a.pods.values():
+        assert "t_suspend_window" in stats
+        assert stats["t_suspend_window"] < stats["t_local"]
+    assert res_a.duration == res_b.duration
+
+
+def test_async_checkpoint_post_work_outside_commit_phase():
+    """Async accounting: the agent's phase spans cover only the suspend
+    window (the commit phase ends at resume); the encode rides in a
+    ``post``-category span under the same operation."""
+    tracer, result = traced_async_checkpoint_run(7)
+    op_span = tracer.find(("op", result.op_id))
+    sums = phase_sums(tracer, op_span)
+    for pod_id, stats in result.pods.items():
+        agent_lanes = [total for (actor, pod), total in sums.items()
+                       if actor != "manager" and pod == pod_id]
+        assert agent_lanes, f"no agent phase lane for {pod_id}"
+        assert sum(agent_lanes) == pytest.approx(stats["t_suspend_window"],
+                                                 abs=2 * SIM_TICK_S)
+    posts = [s for s in tracer.children_of(op_span) if s.category == "post"]
+    assert len(posts) == len(result.pods)
+    for span in posts:
+        assert span.name == "agent.post.encode"
+        assert span.duration > 0
+
+
 def test_live_migration_same_seed_byte_identical_jsonl():
     """Pre-copy rounds are part of the deterministic trace surface."""
     tr_a, _ = traced_live_migration_run(7)
