@@ -80,6 +80,8 @@ def pytest_sessionfinish(session, exitstatus):
                   "p50 downtime [ms]", "p99 downtime [ms]", "pods ok"),
         "inc": ("mode", "epoch0 [MB]", "steady [MB]", "suspend [ms]",
                 "ckpt [ms]", "chain"),
+        "cas": ("cell", "logical [MB]", "stored [MB]", "dedup", "gc [MB]",
+                "restore"),
         "ablations": ("experiment", "variant", "metric", "value"),
     }
     titles = {
@@ -93,10 +95,12 @@ def pytest_sessionfinish(session, exitstatus):
                  "by in-flight cap",
         "inc": "Incremental generations — 2 writer pods, 64 MB ballast, "
                "8 MB/s writes",
+        "cas": "Content-addressed store — dedup vs full images, "
+               "cross-pod sharing, GC reclaim",
         "ablations": "Design ablations",
     }
     for name in ("fig5", "fig6a", "fig6b", "fig6c", "livemig", "fleet",
-                 "inc", "ablations"):
+                 "inc", "cas", "ablations"):
         rows = _reports.get(name)
         if rows:
             print()

@@ -1,0 +1,77 @@
+"""Content-addressed store — dedup ratio, cross-pod sharing, GC reclaim.
+
+Not a paper figure: the CAS study.  The generational writer workload
+(2 pods × 64 MB ballast, 4 MB/s writes, 8 epochs) is checkpointed under
+each sink configuration, and the fleet evacuation world is checkpointed
+fleet-wide through the store.  The claims:
+
+* the CAS modes store ≥ 5× fewer bytes than the full-image file sink on
+  the generational workload, with every restore byte-identical to the
+  in-memory ground truth,
+* the fleet world shows measurable *cross-pod* dedup — bytes one pod
+  stored that every later pod references instead of re-writing — and a
+  SAN footprint far below the file-mode baseline.
+"""
+
+import pytest
+
+from repro.harness import CAS_MODES, run_cas_cell
+
+from .conftest import SCALE  # noqa: F401  (cells run at fixed workload scale)
+
+_cells = {}
+
+
+@pytest.mark.parametrize("mode", list(CAS_MODES), ids=list(CAS_MODES))
+def test_cas_generational_dedup(benchmark, report, bench_json, mode):
+    cell = benchmark.pedantic(run_cas_cell, args=(mode,), rounds=1,
+                              iterations=1)
+    _cells[mode] = cell
+    benchmark.extra_info.update(
+        logical_mb=cell.logical_total / 1e6,
+        stored_mb=cell.stored_total / 1e6,
+        dedup_ratio=cell.dedup_ratio)
+    bench_json(f"cas/{mode}",
+               logical_mb=cell.logical_total / 1e6,
+               stored_mb=cell.stored_total / 1e6,
+               dedup_ratio=cell.dedup_ratio,
+               gc_reclaimed_mb=cell.gc_reclaimed_bytes / 1e6,
+               ckpt_ms=cell.mean_checkpoint * 1000)
+    report("cas", (mode,
+                   f"{cell.logical_total / 1e6:.1f}",
+                   f"{cell.stored_total / 1e6:.1f}",
+                   f"{cell.dedup_ratio:.1f}x",
+                   f"{cell.gc_reclaimed_bytes / 1e6:.1f}",
+                   "ok" if cell.restore_ok else "BROKEN"))
+    assert cell.restore_ok
+    full = _cells.get("file-full")
+    if mode.startswith("cas") and full is not None:
+        # acceptance: ≥ 5× fewer stored bytes than full images
+        assert cell.stored_total * 5 <= full.stored_total
+
+
+def test_cas_fleet_cross_pod_dedup(benchmark, report, bench_json):
+    """Fleet-wide checkpoint of the evacuation world through the CAS."""
+    from repro.fleet import run_cas_fleet_demo
+    out = benchmark.pedantic(run_cas_fleet_demo, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        stored_mb=out["stored_bytes"] / 1e6,
+        cross_pod_dup_mb=out["cross_pod_dup_bytes"] / 1e6,
+        dedup_ratio=out["dedup_ratio"])
+    bench_json("cas/fleet",
+               n_pods=out["n_pods"],
+               logical_mb=out["logical_bytes"] / 1e6,
+               stored_mb=out["stored_bytes"] / 1e6,
+               cross_pod_dup_mb=out["cross_pod_dup_bytes"] / 1e6,
+               dedup_ratio=out["dedup_ratio"],
+               san_file_mb=out["san_file_bytes"] / 1e6)
+    report("cas", ("fleet",
+                   f"{out['logical_bytes'] / 1e6:.1f}",
+                   f"{out['stored_bytes'] / 1e6:.1f}",
+                   f"{out['dedup_ratio']:.1f}x",
+                   "-",
+                   "ok" if out["restore_ok"] else "BROKEN"))
+    assert out["restore_ok"]
+    assert out["cross_pod_dup_bytes"] > 0
+    # the fleet SAN footprint shrinks ≥ 5× against the file baseline
+    assert out["stored_bytes"] * 5 <= out["san_file_bytes"]

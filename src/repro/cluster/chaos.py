@@ -33,6 +33,7 @@ from ..vos import build_program, imm, program
 from .builder import Cluster
 from .faults import (
     ASYNC_CKPT_PHASES,
+    CAS_PHASES,
     CHECKPOINT_PHASES,
     MANAGER_PHASES,
     PRECOPY_PHASES,
@@ -1253,6 +1254,205 @@ def run_async_chaos(seed: int, n_nodes: int = 4, n_ops: int = 5,
         if not report.crashed_nodes and not report.app_finished:
             report.violations.append(
                 "A4: application did not finish despite no node crash")
+    if tracer is not None:
+        from ..obs import to_jsonl
+
+        report.span_dump = to_jsonl(tracer)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# content-addressed store chaos
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CasChaosReport:
+    """One audited content-addressed-store chaos episode (see
+    :func:`run_cas_chaos`)."""
+
+    seed: int
+    plan: List[Dict[str, Any]]
+    trace: List[Tuple[float, str, Optional[str], Optional[str], Tuple[str, ...]]]
+    fired: List[Tuple[float, str, str, Optional[str], Optional[str]]]
+    #: (op kind, op_id, status) per driver operation, in order.
+    ops: List[Tuple[str, int, str]] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    crashed_nodes: List[str] = field(default_factory=list)
+    app_finished: bool = False
+    #: final store counters (:meth:`~repro.storage.cas.CasStore.stats`).
+    store_stats: Dict[str, Any] = field(default_factory=dict)
+    span_dump: Optional[str] = None
+
+
+def run_cas_chaos(seed: int, n_nodes: int = 4, n_ops: int = 5,
+                  rounds: int = 300, until: float = 300.0,
+                  trace_spans: bool = False) -> CasChaosReport:
+    """One content-addressed-store chaos episode; returns the audited
+    report.
+
+    The checksummed ping-pong pair (nonzero dirty rate, so generations
+    differ) runs while the driver checkpoints both pods into the CAS at
+    *fixed* per-pod paths — every op extends or replaces the same
+    generation chain, exercising stage/publish/retire/release — with the
+    delta filter and the zero-stall path mixed in at random, and a
+    seeded fault plan firing at the checkpoint boundaries plus the CAS
+    crossings (chunk write, index commit, tombstone GC).  Audited
+    invariants:
+
+    C1  A failed op leaves every surviving pod running (serial
+        invariant I1 across the CAS write path).
+    C2  A published recipe is never partial: whatever generation the
+        store holds for a pod loads completely, and its chain
+        reassembles.
+    C3  **Generation integrity.**  The chain loaded back from the store
+        is byte-identical to a committed prefix of the Agent's
+        in-memory ground truth — an aborted op or replayed tombstone
+        can never publish bytes nobody committed.
+    C4  End-to-end checksums match whenever the application finished.
+    C5  **No leaks, no dangles.**  After a final orphan sweep against
+        the ledger's live ops, the store has no staged leftovers and
+        :meth:`~repro.storage.cas.CasStore.audit` is clean: refcounts
+        equal recipe occurrences, every chunk is referenced, and no
+        published recipe references data that never hit the SAN.
+    """
+    from ..core.manager import Manager, PhaseTimeouts
+    from ..core.pipeline import ImagePipeline
+    from ..storage.cas import CasSink, CasStore
+
+    cluster = Cluster.build(n_nodes, seed=seed)
+    tracer = None
+    if trace_spans:
+        from ..obs import SpanTracer
+
+        tracer = SpanTracer(cluster.engine).install(cluster)
+    manager = Manager.deploy(cluster)
+    plan = FaultPlan.random(seed, [n.name for n in cluster.nodes],
+                            phases=CHECKPOINT_PHASES + CAS_PHASES)
+    injector = FaultInjector(cluster, plan).install()
+    engine = cluster.engine
+    drv_rng = random.Random(seed ^ 0x0CA5CA50)
+    timeouts = PhaseTimeouts(connect=2.0, meta=5.0, barrier=5.0, done=8.0,
+                             flush=20.0, load=5.0, restart_done=15.0, drain=3.0)
+    grace = timeouts.barrier + timeouts.done + 2.0
+
+    srv_node, cli_node = cluster.node(1), cluster.node(2 % n_nodes)
+    pod_srv = cluster.create_pod(srv_node, SRV_POD)
+    pod_cli = cluster.create_pod(cli_node, CLI_POD)
+    srv = srv_node.kernel.spawn(
+        build_program("chaos.pp-server", port=9320, rounds=rounds,
+                      dirty_rate=25_000_000), pod_id=SRV_POD)
+    cli = cli_node.kernel.spawn(
+        build_program("chaos.pp-client", server=pod_srv.vip, port=9320,
+                      rounds=rounds, dirty_rate=25_000_000), pod_id=CLI_POD)
+
+    report = CasChaosReport(seed=seed, plan=injector.plan.describe(),
+                            trace=injector.trace, fired=injector.fired)
+    store = CasStore.on(cluster.san)
+    cas_path = {pod_id: f"/san/cas-{pod_id}.img"
+                for pod_id in (SRV_POD, CLI_POD)}
+
+    def surviving_node(pod_id: str):
+        for node in cluster.nodes:
+            if not node.crashed and pod_id in node.kernel.pods:
+                return node
+        return None
+
+    def check_resumed(label: str):
+        for pod_id in (SRV_POD, CLI_POD):
+            node = surviving_node(pod_id)
+            if node is None:
+                continue
+            pod = node.kernel.pods[pod_id]
+            if pod.suspended:
+                report.violations.append(
+                    f"C1 {label}: {pod_id} left suspended on {node.name}")
+            if pod.vip in node.kernel.netstack.netfilter._blocked_ips:
+                report.violations.append(
+                    f"C1 {label}: {pod_id} vip still firewalled on {node.name}")
+
+    def driver():
+        for _ in range(n_ops):
+            use_delta = drv_rng.random() < 0.5
+            use_async = drv_rng.random() < 0.3
+            targets = []
+            for pod_id in (SRV_POD, CLI_POD):
+                node = surviving_node(pod_id)
+                if node is None:
+                    continue
+                targets.append((node.name, pod_id, f"cas:{cas_path[pod_id]}"))
+            if len(targets) < 2:
+                return
+            res = yield from manager.checkpoint_task(
+                targets, deadline=30.0, timeouts=timeouts,
+                filters=[{"name": "delta"}] if use_delta else None,
+                async_ckpt=use_async)
+            report.ops.append(("checkpoint", res.op_id, res.status))
+            if not res.ok:
+                yield engine.sleep(grace)
+                check_resumed(f"op{res.op_id}")
+            yield engine.sleep(drv_rng.uniform(0.5, 2.0))
+
+    engine.spawn(driver(), name="cas-chaos-driver")
+    engine.run(until=until)
+
+    report.crashed_nodes = [n.name for n in cluster.nodes if n.crashed]
+    home = cluster.node(0)
+
+    # ---- C2 + C3: published generations load and match committed bytes
+    for pod_id, path in sorted(cas_path.items()):
+        if store.recipes.get(path) is None:
+            continue
+        sink = CasSink(cluster.san, home.kernel.vfs, path)
+        try:
+            loaded = sink.load(pod_id)
+        except Exception as err:  # noqa: BLE001 - any load failure is the violation
+            report.violations.append(
+                f"C2: partial generation visible at {path}: {err}")
+            continue
+        try:
+            ImagePipeline.reassemble(list(loaded))
+        except Exception as err:  # noqa: BLE001
+            report.violations.append(
+                f"C2: generation at {path} does not reassemble: {err}")
+        node = surviving_node(pod_id)
+        if node is None:
+            continue
+        truth = manager.agents[node.name].mem_sink.load(pod_id)
+        if truth is None or len(truth) < len(loaded):
+            # the pod restarted on a host whose agent never saw the
+            # full history — no ground truth to diff against
+            continue
+        for i, (img, ref) in enumerate(zip(loaded, truth)):
+            if (img.data != ref.data
+                    or img.accounted_bytes != ref.accounted_bytes
+                    or img.netstate_bytes != ref.netstate_bytes
+                    or img.epoch != ref.epoch):
+                report.violations.append(
+                    f"C3: generation entry {i} at {path} differs from "
+                    "the committed in-memory chain")
+                break
+
+    # ---- C4: end-to-end correctness when the run could complete ----
+    if srv is not None and cli is not None:
+        sums = final_sums(cluster)
+        report.app_finished = None not in sums
+        if report.app_finished and sums != expected_sums(rounds):
+            report.violations.append(
+                f"C4: checksum mismatch: {sums} != {expected_sums(rounds)}")
+        if not report.crashed_nodes and not report.app_finished:
+            report.violations.append(
+                "C4: application did not finish despite no node crash")
+
+    # ---- C5: orphan sweep, then the index must balance exactly ----
+    from ..storage.ledger import TERMINAL_PHASES
+    live = [op_id for op_id, op in manager.ledger.replay().items()
+            if op.phase not in TERMINAL_PHASES]
+    store.sweep_orphans(live)
+    for path in sorted(store.pending):
+        report.violations.append(f"C5: staged recipe leaked at {path}")
+    for problem in store.audit():
+        report.violations.append(f"C5: {problem}")
+    report.store_stats = store.stats()
     if tracer is not None:
         from ..obs import to_jsonl
 

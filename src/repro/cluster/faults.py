@@ -174,8 +174,18 @@ ASYNC_CKPT_PHASES = (
     "agent.async_encode",
     "agent.async_stream",
 )
+#: content-addressed store boundaries: start of the chunk upload, the
+#: commit point between upload and recipe publish, and the op-keyed GC
+#: rollback.  Kept separate from every other tuple so existing seeded
+#: plans draw identically.
+CAS_PHASES = (
+    "cas.write",
+    "cas.commit",
+    "cas.gc",
+)
 ALL_PHASES = (CHECKPOINT_PHASES + RESTART_PHASES + PRECOPY_PHASES
-              + MANAGER_PHASES + FLEET_PHASES + ASYNC_CKPT_PHASES)
+              + MANAGER_PHASES + FLEET_PHASES + ASYNC_CKPT_PHASES
+              + CAS_PHASES)
 
 
 @dataclass
@@ -220,8 +230,13 @@ class FaultPlan:
         faults: List[FaultSpec] = []
         for _ in range(count):
             kind = rng.choice(kinds)
-            # a truncated write can only happen where writes happen
-            phase = "agent.flush" if kind == "truncate_image" else rng.choice(phases)
+            # a truncated write can only happen where writes happen: the
+            # flush boundary, or the CAS chunk upload when the plan's
+            # phase domain includes it (existing domains draw unchanged)
+            if kind == "truncate_image":
+                phase = "cas.write" if "cas.write" in phases else "agent.flush"
+            else:
+                phase = rng.choice(phases)
             spec = FaultSpec(
                 kind=kind,
                 phase=phase,

@@ -222,6 +222,12 @@ class Agent:
                 if op:
                     self.gc_ops.add(op)
                     self._signal_op(op, {"cmd": "abort"})
+                    # content-addressed store: release anything the op
+                    # staged or published fleet-wide (op-keyed, so this
+                    # is idempotent under replayed broadcasts and never
+                    # touches a later committed generation)
+                    from ..storage.cas import CasStore
+                    CasStore.on(self.cluster.san).abort_op(op)
                 if not already:
                     for pid in msg.get("pods", []):
                         self._gc_pod(pid)
@@ -291,10 +297,12 @@ class Agent:
         # a delta against a base the destination Agent does not hold is
         # useless: images that leave this node must be self-contained
         chain_local = not uri.startswith("agent://")
-        # measured dirty tracking only pays off for a chain-local delta
-        # filter; without one the generational baseline is never consumed
-        track_dirty = chain_local and any(
-            f.name == "delta" and getattr(f, "measured", True) for f in filters)
+        # measured dirty tracking pays off for a chain-local delta filter
+        # — and for any content-addressed target, whose dedup model needs
+        # the dirty byte count to tell changed blocks from clean ones
+        track_dirty = chain_local and (any(
+            f.name == "delta" and getattr(f, "measured", True)
+            for f in filters) or uri.startswith("cas:"))
         # zero-stall (asynchronous) checkpointing: capture-then-resume
         # needs the pod to survive (snapshot context) and the image to
         # stay on this node's sinks — direct migration and the
@@ -575,6 +583,11 @@ class Agent:
             if cow_bytes:
                 yield engine.sleep(cow_bytes / self.node.spec.memcpy_bandwidth)
             post_enc.end(nbytes=image.total_bytes, cow_bytes=cow_bytes)
+        if proc_dirty is not None and image is not None:
+            # stamp the measured dirty total on the image: the CAS dedup
+            # model reads it to decide which accounted blocks re-hash
+            image.acct_dirty_bytes = sum(
+                sum(table.values()) for table in proc_dirty.values())
         if op_id not in self.gc_ops:
             self.pipeline_state.commit(pod_id)
             self.mem_sink.store(image)
@@ -668,7 +681,7 @@ class Agent:
             if stream_charge is not None:
                 post.annotate(residual_bytes=stream_charge)
             post.end(nbytes=image.total_bytes)
-        elif uri.startswith("file:"):
+        elif uri.startswith(("file:", "cas:")):
             # flush to shared storage after the application resumed —
             # deliberately outside the checkpoint latency, per the paper
             # (a ``post`` span, excluded from phase reconciliation)
@@ -681,11 +694,17 @@ class Agent:
                 # so only the write tail beyond the encode time remains
                 yield from self.cluster.trace("agent.async_stream",
                                               node=self.node.name, pod=pod_id)
-            directives = yield from self.cluster.trace(
-                "agent.flush", node=self.node.name, pod=pod_id)
-            flushed = yield from self._flush_to_file(
-                image, sink, op_id=op_id, truncate=directives.get("truncate"),
-                overlap_s=_stage_seconds(image) if use_async else 0.0)
+            if uri.startswith("cas:"):
+                flushed = yield from self._flush_to_cas(
+                    image, sink, op_id=op_id,
+                    overlap_s=_stage_seconds(image) if use_async else 0.0)
+            else:
+                directives = yield from self.cluster.trace(
+                    "agent.flush", node=self.node.name, pod=pod_id)
+                flushed = yield from self._flush_to_file(
+                    image, sink, op_id=op_id,
+                    truncate=directives.get("truncate"),
+                    overlap_s=_stage_seconds(image) if use_async else 0.0)
             post.end(status="ok" if flushed else "failed",
                      nbytes=image.total_bytes)
             if flushed:
@@ -732,6 +751,9 @@ class Agent:
             return StreamSink(self.cluster.fabric.bandwidth)
         if uri.startswith("file:"):
             return FileSink(self.cluster.san, self.kernel.vfs, uri[len("file:"):])
+        if uri.startswith("cas:"):
+            from ..storage.cas import CasSink
+            return CasSink(self.cluster.san, self.kernel.vfs, uri[len("cas:"):])
         return self.mem_sink
 
     def _stream_image(self, chan, fd, image: PodImage, uri: str, sink: StreamSink,
@@ -958,6 +980,52 @@ class Agent:
             return False
         return True
 
+    def _flush_to_cas(self, image: PodImage, sink, op_id: int = 0,
+                      overlap_s: float = 0.0):
+        """Flush into the content-addressed store; True iff the staged
+        generation published complete and loadable.
+
+        Same discipline as :meth:`_flush_to_file` with the write split at
+        the CAS commit point: ``stage`` uploads the chunks the index is
+        missing (a ``truncate`` fault directive cuts that upload short),
+        ``publish`` swaps the recipe in, and read-back validation rolls a
+        partial generation back — restoring the previous one — rather
+        than leaving it visible as restartable.  Faults can land on the
+        ``cas.write`` and ``cas.commit`` crossings between the steps.
+        """
+        stall = self.cluster.san.consume_stall()
+        span = self.cluster.span("cas.flush", node=self.node.name,
+                                 pod=image.pod_id, category="cas",
+                                 parent=("op", op_id))
+        directives = yield from self.cluster.trace(
+            "cas.write", node=self.node.name, pod=image.pod_id)
+        yield self.engine.sleep(max(0.0, sink.write_delay(image) + stall
+                                    - overlap_s))
+        if op_id and op_id in self.gc_ops:
+            # the Manager aborted and collected this op while we slept
+            span.end(status="aborted")
+            return False
+        sink.stage(image, op_id=op_id, truncate=directives.get("truncate"))
+        directives = yield from self.cluster.trace(
+            "cas.commit", node=self.node.name, pod=image.pod_id)
+        if op_id and op_id in self.gc_ops:
+            # collected at the commit crossing: the stage is already an
+            # orphan — drop it instead of publishing for a dead op
+            sink.rollback(op_id)
+            span.end(status="aborted")
+            return False
+        sink.publish()
+        try:
+            sink.load(image.pod_id)
+        except RestartError:
+            # partial upload published: roll back to the previous
+            # generation (op-keyed, so a replayed GC cannot undo more)
+            sink.rollback(op_id)
+            span.end(status="failed")
+            return False
+        span.end(status="ok", nbytes=image.total_bytes)
+        return True
+
     def _signal_op(self, op_id: int, msg: Dict[str, Any]) -> None:
         """Resolve every session future parked at op ``op_id``'s barrier
         (each session gets its own copy of the synthetic reply)."""
@@ -990,7 +1058,7 @@ class Agent:
             if not chain:
                 raise RestartError(f"no in-memory image for pod {pod_id!r} on {self.node.name}")
             return chain
-        if uri.startswith("file:"):
+        if uri.startswith(("file:", "cas:")):
             return self._sink_for(uri).load(pod_id)
         raise RestartError(f"unsupported URI {uri!r}")
 

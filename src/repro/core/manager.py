@@ -501,7 +501,8 @@ class Manager:
         all_meta = Future("all-meta")
         op_failed = Future(f"ckpt-{op_id}-failed")
         expect_stream = {pod for (_n, pod, uri) in targets if uri.startswith("agent://")}
-        expect_flush = {pod for (_n, pod, uri) in targets if uri.startswith("file:")}
+        expect_flush = {pod for (_n, pod, uri) in targets
+                        if uri.startswith(("file:", "cas:"))}
         flush_needed = expect_stream | expect_flush
         fail = self._op_failer(result, all_meta, op_failed)
 
@@ -777,6 +778,24 @@ class Manager:
                 fs, inner = self.home.kernel.vfs.resolve(path)
                 if inner in fs.files:
                     fs.files.pop(inner, None)
+                    result.gc_paths.append(path)
+                    self.cluster.count("manager.gc_partial_images")
+            if uri.startswith("cas:"):
+                # content-addressed target: op-keyed rollback restores
+                # the previous published generation (no protected-set
+                # check needed — a committed generation carries a
+                # different op id and is never touched)
+                from ..storage.cas import CasStore
+                path = uri[len("cas:"):]
+                yield from self.cluster.trace("cas.gc", node=node_name,
+                                              pod=pod_id)
+                span = self.cluster.span("cas.gc", node=node_name,
+                                         pod=pod_id, category="cas",
+                                         parent=("op", result.op_id))
+                acted = CasStore.on(self.cluster.san).rollback_path(
+                    path, result.op_id)
+                span.end(status="rolled-back" if acted else "clean")
+                if acted:
                     result.gc_paths.append(path)
                     self.cluster.count("manager.gc_partial_images")
             if uri.startswith("agent://"):
@@ -1159,7 +1178,9 @@ class Manager:
                 # migration image: it lives in the destination Agent's
                 # memory store
                 node_name, uri = uri[len("agent://"):], "mem"
-            if uri.startswith("file:"):
+            if uri.startswith(("file:", "cas:")):
+                # shared-storage image (SAN container or CAS recipe):
+                # restartable from any surviving node
                 if placement and pod_id in placement:
                     dest = placement[pod_id]
                 elif node_name not in crashed:
@@ -1258,6 +1279,19 @@ class Manager:
             else:
                 outcome = yield from self._abort_orphan(op, timeouts)
             actions.append((op.op_id, op.phase, outcome))
+        # orphaned-chunk sweep: a Manager that died between a CAS stage
+        # and its publish left pending recipes holding references; every
+        # op this takeover aborted releases exactly its unshared chunks
+        # (op-keyed, so live generations and other pods are untouched)
+        aborted = [op_id for op_id, _phase, outcome in actions
+                   if outcome == "aborted"]
+        if aborted:
+            from ..storage.cas import CasStore
+            store = CasStore.on(self.cluster.san)
+            for op_id in aborted:
+                reclaimed = store.abort_op(op_id)
+                if reclaimed:
+                    self.cluster.count("cas.sweep_orphans.bytes", reclaimed)
         return actions
 
     def _resume_orphan(self, op, timeouts: PhaseTimeouts):
@@ -1329,6 +1363,20 @@ class Manager:
                 return False
             try:
                 sink.load(pod_id)
+            except Exception:
+                return False
+            return True
+        if uri.startswith("cas:"):
+            from ..storage.cas import CasSink, CasStore
+            path = uri[len("cas:"):]
+            recipe = CasStore.on(self.cluster.san).recipes.get(path)
+            if recipe is None or int(recipe.get("op_id", -1)) != op.op_id:
+                # absent, or a different generation is published (the
+                # rollback of a failed flush restores the previous op's)
+                return False
+            try:
+                CasSink(self.cluster.san, self.home.kernel.vfs,
+                        path).load(pod_id)
             except Exception:
                 return False
             return True

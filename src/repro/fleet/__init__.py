@@ -31,6 +31,7 @@ from .scenario import (
     FLEET_TIMEOUTS,
     SOFT_FAULT_KINDS,
     build_fleet_world,
+    run_cas_fleet_demo,
     run_evacuation_demo,
 )
 from .scheduler import InflightGate, Unit, pick_target, plan_placements, plan_waves
@@ -58,5 +59,6 @@ __all__ = [
     "plan_placements",
     "plan_waves",
     "resume_campaigns_task",
+    "run_cas_fleet_demo",
     "run_evacuation_demo",
 ]

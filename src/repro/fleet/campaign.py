@@ -74,6 +74,9 @@ class FleetPolicy:
     #: zero-stall checkpoints: pods resume after the capture window and
     #: the encode/stream overlaps application time.
     async_ckpt: bool = False
+    #: checkpoint units target the content-addressed store (``cas:``
+    #: URIs): identical chunks dedup across the whole fleet.
+    cas: bool = False
     #: campaign ledger lease; None = the Manager default.
     lease_s: Optional[float] = None
 
@@ -102,6 +105,8 @@ class FleetPolicy:
             fields_["filters"] = self.filters
         if self.async_ckpt:
             fields_["async_ckpt"] = True
+        if self.cas:
+            fields_["cas"] = True
         return fields_
 
     @classmethod
@@ -540,7 +545,8 @@ class Campaign:
                     mig.checkpoint.op_id, err)
         # flat SAN namespace: the shared vfs has no mkdir, so fleet
         # images live beside the per-op ones as /san/fleet-c<cid>-<pod>
-        uri = arg or f"file:/san/fleet-c{self.cid}-{pod}.img"
+        scheme = "cas" if self.policy.cas else "file"
+        uri = arg or f"{scheme}:/san/fleet-c{self.cid}-{pod}.img"
         # "snapshot" context: the pod resumes in place after commit (any
         # other context is a migration and the agent destroys the pod)
         res = yield from mgr.checkpoint_task(

@@ -30,7 +30,7 @@ from .baselines.vanilla import launch_master_worker_vanilla, launch_spmd_vanilla
 from .cluster.builder import Cluster
 from .core.manager import Manager, OpResult
 from .core.streaming import DEFAULT_DIRTY_THRESHOLD, migrate_task
-from .metrics import Fig5Cell, Fig6Cell, IncCell, MigrationCell
+from .metrics import CasCell, Fig5Cell, Fig6Cell, IncCell, MigrationCell
 from .middleware.daemon import checkpoint_targets, launch_master_worker, launch_spmd
 from .obs.tracer import PHASE, SpanTracer
 from .vos import build_program, imm, program
@@ -527,6 +527,112 @@ def run_inc_cell(mode: str, *, n_pods: int = 2, ballast: int = 64_000_000,
                 continue
             reassembled = ImagePipeline.reassemble(list(chain))
             cell.chain_ok = cell.chain_ok and reassembled.raw == base
+    return cell
+
+
+# ---------------------------------------------------------------------------
+# content-addressed store: dedup vs the full-image SAN path
+# ---------------------------------------------------------------------------
+
+
+#: (target URI scheme, pipeline filters) per mode of the CAS study.
+CAS_MODES: Dict[str, Tuple[str, Optional[List[Dict[str, Any]]]]] = {
+    "file-full": ("file", None),
+    "cas-full": ("cas", None),
+    "cas-delta": ("cas", [{"name": "delta"}]),
+}
+
+
+def run_cas_cell(mode: str, *, n_pods: int = 2, ballast: int = 64_000_000,
+                 dirty_rate: int = 4_000_000, n_checkpoints: int = 8,
+                 interval: float = 0.5, seed: int = 0,
+                 until: float = 300.0) -> CasCell:
+    """Checkpoint the generational writer workload to the SAN under one
+    sink configuration (:data:`CAS_MODES`).
+
+    ``file-full`` is the paper's baseline: every epoch flushes the whole
+    container.  ``cas-full`` sends the same full images through the
+    content-addressed sink — the chunk index dedups the clean blocks, so
+    only the dirtied bytes reach the SAN after epoch 0.  ``cas-delta``
+    adds the dirty-delta filter: a delta epoch appends one entry and the
+    prior entries' chunk ids are carried without re-hashing.
+
+    Besides the per-epoch byte accounting, the cell audits restores: the
+    chain loaded back from the SAN must be byte-identical to the Agent's
+    in-memory ground truth (and, under filters, reassemble to the full
+    base) — ``cell.restore_ok``.
+    """
+    scheme, filters = CAS_MODES[mode]
+    cluster = Cluster.build(2, seed=seed)
+    manager = Manager.deploy(cluster)
+    host = cluster.node(1)
+    chunk = 30_000_000  # ~10 ms slices: frequent preemption points
+    work_seconds = interval * (n_checkpoints + 2)
+    targets = []
+    for i in range(n_pods):
+        pod_id = f"cas-w{i}"
+        cluster.create_pod(host, pod_id)
+        host.kernel.spawn(
+            build_program("harness.writer", ballast=ballast,
+                          dirty_rate=dirty_rate, chunk_cycles=chunk,
+                          chunks=max(1, int(work_seconds * DEFAULT_HZ) // chunk)),
+            pod_id=pod_id)
+        targets.append((host.name, pod_id, f"{scheme}:/san/cas-cell-{pod_id}.img"))
+    cell = CasCell(mode)
+    from .storage.cas import CasStore
+    store = CasStore.on(cluster.san)
+
+    def ticker():
+        for _ in range(n_checkpoints):
+            yield cluster.engine.sleep(interval)
+            stored_before = store.stored_bytes
+            result: OpResult = yield from manager.checkpoint_task(
+                targets, filters=filters)
+            if not result.ok:
+                raise RuntimeError(f"cas checkpoint ({mode}) failed: "
+                                   f"{result.errors}")
+            logical = sum(int(stats.get("image_bytes", 0))
+                          for stats in result.pods.values())
+            cell.logical_sizes.append(logical)
+            cell.stored_sizes.append(store.stored_bytes - stored_before
+                                     if scheme == "cas" else logical)
+            cell.ckpt_times.append(result.duration)
+
+    cluster.engine.spawn(ticker(), name="cas-ticker")
+    cluster.engine.run(until=until)
+    if len(cell.logical_sizes) < n_checkpoints:
+        raise RuntimeError(f"cas cell ({mode}) took "
+                           f"{len(cell.logical_sizes)}/{n_checkpoints} snapshots")
+    stats = store.stats()
+    cell.footprint_bytes = int(stats["footprint_bytes"])
+    cell.dup_bytes = int(stats["dup_bytes"])
+    cell.carried_bytes = int(stats["carried_bytes"])
+    cell.gc_reclaimed_bytes = int(stats["gc_reclaimed_bytes"])
+    cell.live_chunks = int(stats["live_chunks"])
+    # restore audit: the SAN chain must match the in-memory ground truth
+    agent = manager.agents[host.name]
+    for _node, pod_id, uri in targets:
+        sink = agent._sink_for(uri)
+        try:
+            loaded = sink.load(pod_id)
+        except Exception:
+            cell.restore_ok = False
+            continue
+        truth = agent.mem_sink.load(pod_id)
+        same = len(loaded) == len(truth) and all(
+            a.data == b.data and a.accounted_bytes == b.accounted_bytes
+            and a.netstate_bytes == b.netstate_bytes and a.epoch == b.epoch
+            and a.filters == b.filters
+            for a, b in zip(loaded, truth))
+        cell.restore_ok = cell.restore_ok and same
+        if filters is not None:
+            from .core.pipeline import ImagePipeline
+            base = agent.pipeline_state.bases.get(pod_id)
+            reassembled = ImagePipeline.reassemble(loaded)
+            cell.restore_ok = (cell.restore_ok and base is not None
+                               and reassembled.raw == base)
+    if scheme == "cas" and store.audit():
+        cell.restore_ok = False
     return cell
 
 

@@ -135,6 +135,50 @@ class IncCell:
 
 
 @dataclass
+class CasCell:
+    """One mode of the content-addressed-store study: the generational
+    writer workload checkpointed to the SAN under one sink/pipeline
+    configuration (``file-full`` / ``cas-full`` / ``cas-delta``)."""
+
+    mode: str
+    #: per-epoch logical image bytes (sum across pods — what a naive
+    #: full-image store writes for the epoch).
+    logical_sizes: List[int] = field(default_factory=list)
+    #: per-epoch bytes that actually reached the SAN (new chunk data for
+    #: the CAS modes; the full containers for ``file-full``).
+    stored_sizes: List[int] = field(default_factory=list)
+    #: per-epoch end-to-end checkpoint time [s].
+    ckpt_times: List[float] = field(default_factory=list)
+    #: final store counters (zero for the file baseline).
+    footprint_bytes: int = 0
+    dup_bytes: int = 0
+    carried_bytes: int = 0
+    gc_reclaimed_bytes: int = 0
+    live_chunks: int = 0
+    #: every restored chain byte-identical to the Agent's in-memory
+    #: ground truth (and reassembling to the full base under filters).
+    restore_ok: bool = True
+
+    @property
+    def logical_total(self) -> int:
+        return sum(self.logical_sizes)
+
+    @property
+    def stored_total(self) -> int:
+        return sum(self.stored_sizes)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical bytes per byte that reached the SAN."""
+        return self.logical_total / self.stored_total if self.stored_total \
+            else 0.0
+
+    @property
+    def mean_checkpoint(self) -> float:
+        return statistics.mean(self.ckpt_times) if self.ckpt_times else 0.0
+
+
+@dataclass
 class MigrationCell:
     """One point of the live-migration study: downtime for a given
     pre-copy round cap (cap 0 is plain stop-and-copy)."""

@@ -52,7 +52,7 @@ FLEET_SPAN_NAMES = (
 #: plus the node kinds the campaign assembler synthesizes.
 KNOWN_CATEGORIES = frozenset((
     "op", "phase", "stage", "window", "mark", "fault", "post",
-    "campaign", "wave", "unit",
+    "campaign", "wave", "unit", "cas",
 ))
 
 _REQUIRED_KEYS = ("ph", "pid", "tid", "name")

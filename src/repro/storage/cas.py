@@ -1,0 +1,570 @@
+"""Content-addressed checkpoint store (CAS) with cross-pod dedup.
+
+The SAN-backed full-image model writes every generation of every pod in
+full — the storage wall the fleet hits once thousands of pods checkpoint
+on a cadence.  This module replaces the *container-per-path* layout of
+:class:`repro.core.pipeline.FileSink` with a *chunk index* shared by the
+whole fleet:
+
+* **Content-defined chunking** — the materialized payload bytes are cut
+  at gear-hash boundaries (:func:`chunk_bounds`), so an edit moves only
+  the chunks it touches: boundaries resynchronize after the edit and the
+  untouched tail dedups against the previous generation.
+* **Accounted-memory blocks** — the resident-set bytes the simulation
+  tracks by count (never materialized) are modeled as fixed blocks.
+  Pristine blocks hash to fleet-shared ids — the application code and
+  read-only data every pod maps is stored once fleet-wide — while blocks
+  the pod has dirtied (from the Agent's measured dirty tables,
+  ``PodImage.acct_dirty_bytes``) get per-generation unique ids.
+* **Recipes** — a ``cas:<path>`` target stores a *recipe*: the ordered
+  chunk-id lists of each chain entry plus the small per-entry metadata.
+  A delta epoch appends one entry and carries the prior entries' ids
+  verbatim — unchanged segments hit the index without being re-hashed.
+* **Refcounted GC, op-keyed** — every recipe (published, retired, or a
+  pending stage) holds one reference per chunk occurrence.  Publishing a
+  generation retires the previous one (a one-deep undo mirroring
+  :class:`MemorySink`); aborting an op rolls back exactly the recipes
+  that op staged or published, so the tombstone GC of
+  ``core.manager``/``core.agent`` releases exactly the aborted op's
+  unshared chunks — chunks still referenced by a live generation chain
+  or another pod survive any number of replayed aborts.
+
+The write protocol is split so faults can land between the two durable
+steps: :meth:`CasSink.stage` uploads the missing chunks and parks the
+recipe as *pending* (a truncating fault uploads only a prefix, leaving
+the staged recipe dangling until read-back or GC rejects it);
+:meth:`CasSink.publish` atomically swaps the recipe in.  A crash between
+the two leaves an orphaned stage that :meth:`CasStore.abort_op` or
+:meth:`CasStore.sweep_orphans` reclaims.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.image import PodImage
+from ..core.pipeline import StageCost, Sink, _chain_entry, _image_from_entry, \
+    image_extends_chain
+from ..errors import RestartError
+
+# ---------------------------------------------------------------------------
+# content-defined chunking (gear hash)
+# ---------------------------------------------------------------------------
+
+#: default chunk-size bounds for payload bytes (min, average, max); the
+#: average must be a power of two (the boundary test masks the low bits).
+CHUNK_MIN = 4096
+CHUNK_AVG = 16384
+CHUNK_MAX = 65536
+
+#: accounted (non-materialized) resident-set bytes are modeled as fixed
+#: blocks of this size — the dirty-table granularity of the dedup model.
+ACCT_BLOCK = 65536
+
+_MASK64 = (1 << 64) - 1
+
+
+def _gear_table() -> Tuple[int, ...]:
+    rng = random.Random(0x5EEDCA5)
+    return tuple(rng.getrandbits(64) for _ in range(256))
+
+
+_GEAR = _gear_table()
+
+
+def chunk_bounds(data: bytes, min_size: int = CHUNK_MIN,
+                 avg_size: int = CHUNK_AVG,
+                 max_size: int = CHUNK_MAX) -> List[Tuple[int, int]]:
+    """Content-defined ``(offset, length)`` chunk bounds of ``data``.
+
+    The gear hash restarts at every cut, so a chunk's boundary depends
+    only on its own bytes: every bound except a final one forced by
+    end-of-data is stable under appends, and boundaries resynchronize a
+    bounded distance after an edit.
+    """
+    mask = avg_size - 1
+    bounds: List[Tuple[int, int]] = []
+    n = len(data)
+    start = 0
+    while start < n:
+        end = min(start + max_size, n)
+        i = start
+        h = 0
+        cut = end
+        while i < end:
+            h = ((h << 1) + _GEAR[data[i]]) & _MASK64
+            i += 1
+            if i - start >= min_size and (h & mask) == 0:
+                cut = i
+                break
+        bounds.append((start, cut - start))
+        start = cut
+    return bounds
+
+
+def split_chunks(data: bytes, min_size: int = CHUNK_MIN,
+                 avg_size: int = CHUNK_AVG,
+                 max_size: int = CHUNK_MAX) -> List[bytes]:
+    """``data`` cut into content-defined chunks (concatenation == data)."""
+    return [bytes(data[off:off + ln])
+            for off, ln in chunk_bounds(data, min_size, avg_size, max_size)]
+
+
+def chunk_id(blob: bytes) -> str:
+    """Content address of one payload chunk."""
+    return "p!" + hashlib.sha256(blob).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# the fleet-wide chunk store
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Object:
+    """One stored chunk: its size, and the bytes when materialized
+    (payload chunks carry real data; accounted blocks are modeled)."""
+
+    size: int
+    blob: Optional[bytes] = None
+
+
+def _recipe_cids(recipe: Dict[str, Any]) -> Iterable[str]:
+    for entry in recipe["entries"]:
+        for cid in entry["payload"]:
+            yield cid
+        for cid in entry["acct"]:
+            yield cid
+
+
+class CasStore:
+    """The chunk index one SAN exports — shared by every pod and node.
+
+    There is exactly one store per :class:`repro.storage.san.SharedStorage`
+    (:meth:`on`), mirroring how every blade mounts the same SAN volume.
+    """
+
+    def __init__(self) -> None:
+        #: chunk id -> stored object.
+        self.objects: Dict[str, _Object] = {}
+        #: chunk id -> reference count (one per recipe occurrence).
+        self.refs: Dict[str, int] = {}
+        #: path -> published recipe (the restartable generation).
+        self.recipes: Dict[str, Dict[str, Any]] = {}
+        #: path -> staged-but-unpublished recipe, keyed by the op that
+        #: staged it; orphaned stages are reclaimed by op-id GC.
+        self.pending: Dict[str, Dict[str, Any]] = {}
+        #: path -> the previous published generation (one-deep undo,
+        #: released at the *next* successful publish).  ``None`` marks
+        #: "previous generation was nothing" — rollback unlinks.
+        self.retired: Dict[str, Optional[Dict[str, Any]]] = {}
+        # -- cumulative cost accounting ---------------------------------
+        self.logical_bytes = 0       #: bytes clients asked to store
+        self.stored_bytes = 0        #: bytes of newly created chunks
+        self.stored_chunks = 0
+        self.dup_hits = 0            #: new-entry chunks found in the index
+        self.dup_bytes = 0
+        self.carried_bytes = 0       #: chain-carried bytes (no re-hash)
+        self.gc_reclaimed_bytes = 0
+        self.gc_reclaimed_chunks = 0
+        self.footprint_bytes = 0     #: live bytes on the SAN right now
+
+    @classmethod
+    def on(cls, san) -> "CasStore":
+        store = getattr(san, "_cas_store", None)
+        if store is None:
+            store = cls()
+            san._cas_store = store
+        return store
+
+    # -- refcounting ----------------------------------------------------
+    def _ref(self, cid: str) -> None:
+        self.refs[cid] = self.refs.get(cid, 0) + 1
+
+    def _unref(self, cid: str) -> int:
+        n = self.refs.get(cid, 0) - 1
+        if n > 0:
+            self.refs[cid] = n
+            return 0
+        self.refs.pop(cid, None)
+        obj = self.objects.pop(cid, None)
+        if obj is None:
+            return 0
+        self.gc_reclaimed_bytes += obj.size
+        self.gc_reclaimed_chunks += 1
+        self.footprint_bytes -= obj.size
+        return obj.size
+
+    def _put(self, cid: str, size: int, blob: Optional[bytes]) -> None:
+        if cid in self.objects:
+            return
+        self.objects[cid] = _Object(size, blob)
+        self.stored_bytes += size
+        self.stored_chunks += 1
+        self.footprint_bytes += size
+
+    def _release(self, recipe: Dict[str, Any]) -> int:
+        reclaimed = 0
+        for cid in _recipe_cids(recipe):
+            reclaimed += self._unref(cid)
+        return reclaimed
+
+    # -- accounted-memory dedup model -----------------------------------
+    def acct_prev_state(self, path: str, pod_id: str) -> Optional[Dict[str, Any]]:
+        """The accounted-block state of the published generation at
+        ``path`` — the dedup baseline the next full image diffs against."""
+        recipe = self.recipes.get(path)
+        if recipe is not None and recipe.get("pod") == pod_id:
+            return recipe.get("acct_state")
+        return None
+
+    @staticmethod
+    def acct_entry_ids(pod_id: str, image: PodImage,
+                       prev_state: Optional[Dict[str, Any]]
+                       ) -> Tuple[List[Tuple[str, int]], Dict[str, Any]]:
+        """Model the accounted bytes of ``image`` as block chunk ids.
+
+        Returns ``(blocks, new_state)`` where ``blocks`` is the ordered
+        ``(chunk_id, length)`` list the entry references and
+        ``new_state`` is the state to embed in the staged recipe (it
+        becomes the baseline only when that recipe publishes, so an
+        aborted op leaves the baseline untouched).  Pure — safe to call
+        for cost estimation without staging.
+        """
+        total = int(image.accounted_bytes)
+        nb = (total + ACCT_BLOCK - 1) // ACCT_BLOCK
+        lens = [ACCT_BLOCK] * nb
+        if nb and total % ACCT_BLOCK:
+            lens[-1] = total % ACCT_BLOCK
+        seq = (int(prev_state["seq"]) if prev_state else 0) + 1
+        if image_extends_chain(image):
+            # delta epoch: the accounted bytes are the dirty bytes —
+            # all-new content, unique per generation
+            blocks = [(f"a!{pod_id}!{seq}!{k}!{lens[k]}", lens[k])
+                      for k in range(nb)]
+            prev_blocks = list(prev_state["blocks"]) if prev_state else []
+            return blocks, {"blocks": prev_blocks, "seq": seq}
+        prev_blocks = prev_state["blocks"] if prev_state else None
+        if prev_blocks is None:
+            # first sight of this pod: every block is pristine mapped
+            # application code/data — shared fleet-wide by construction
+            blocks = [(f"a!shared!{k}!{lens[k]}", lens[k]) for k in range(nb)]
+        else:
+            dirty = image.acct_dirty_bytes
+            dirty_nb = nb if dirty is None \
+                else min(nb, (int(dirty) + ACCT_BLOCK - 1) // ACCT_BLOCK)
+            blocks = []
+            for k in range(nb):
+                ln = lens[k]
+                if k < dirty_nb:
+                    blocks.append((f"a!{pod_id}!{seq}!{k}!{ln}", ln))
+                elif k < len(prev_blocks) and prev_blocks[k][1] == ln:
+                    blocks.append(tuple(prev_blocks[k]))
+                else:
+                    blocks.append((f"a!shared!{k}!{ln}", ln))
+        return blocks, {"blocks": list(blocks), "seq": seq}
+
+    # -- op-keyed GC -----------------------------------------------------
+    def rollback_path(self, path: str, op_id: int) -> bool:
+        """Undo what op ``op_id`` did at ``path`` — drop its pending
+        stage and/or restore the generation its publish replaced.
+
+        Keyed by op id so a replayed tombstone GC (a takeover replica
+        re-running a half-done abort) is a no-op once the rollback ran:
+        the restored generation carries a different op id and is never
+        dropped by the replay.
+        """
+        op_id = int(op_id)
+        acted = False
+        staged = self.pending.get(path)
+        if staged is not None and int(staged.get("op_id", -1)) == op_id:
+            self.pending.pop(path)
+            self._release(staged)
+            acted = True
+        current = self.recipes.get(path)
+        if current is not None and int(current.get("op_id", -1)) == op_id \
+                and path in self.retired:
+            previous = self.retired.pop(path)
+            self._release(current)
+            if previous is None:
+                self.recipes.pop(path, None)
+            else:
+                self.recipes[path] = previous
+            acted = True
+        return acted
+
+    def abort_op(self, op_id: int) -> int:
+        """Tombstone-GC hook: release every recipe op ``op_id`` staged
+        or published.  Idempotent.  Returns bytes reclaimed."""
+        op_id = int(op_id)
+        before = self.gc_reclaimed_bytes
+        for path in [p for p, r in list(self.pending.items())
+                     if int(r.get("op_id", -1)) == op_id]:
+            self.rollback_path(path, op_id)
+        for path in [p for p, r in list(self.recipes.items())
+                     if int(r.get("op_id", -1)) == op_id]:
+            self.rollback_path(path, op_id)
+        return self.gc_reclaimed_bytes - before
+
+    def sweep_orphans(self, live_ops: Iterable[int]) -> Tuple[int, int]:
+        """Release pending stages whose op is no longer live (a Manager
+        died between stage and publish and nobody aborted).  Returns
+        ``(stages_dropped, bytes_reclaimed)``."""
+        live = {int(o) for o in live_ops}
+        before = self.gc_reclaimed_bytes
+        dropped = 0
+        for path, recipe in list(self.pending.items()):
+            if int(recipe.get("op_id", -1)) not in live:
+                self.pending.pop(path)
+                self._release(recipe)
+                dropped += 1
+        return dropped, self.gc_reclaimed_bytes - before
+
+    # -- invariants and accounting --------------------------------------
+    def audit(self) -> List[str]:
+        """Cross-check the index: refcounts must equal the recipe
+        occurrences, no chunk may be leaked (stored or ref'd by nothing)
+        and no *published* recipe may dangle (reference a chunk whose
+        data never made it to the SAN)."""
+        expected: Dict[str, int] = {}
+        holders = list(self.recipes.values()) + list(self.pending.values()) \
+            + [r for r in self.retired.values() if r is not None]
+        for recipe in holders:
+            for cid in _recipe_cids(recipe):
+                expected[cid] = expected.get(cid, 0) + 1
+        problems = []
+        for cid, n in sorted(expected.items()):
+            if self.refs.get(cid, 0) != n:
+                problems.append(
+                    f"refcount mismatch for {cid}: "
+                    f"{self.refs.get(cid, 0)} != {n}")
+        for cid in sorted(self.refs):
+            if cid not in expected:
+                problems.append(f"leaked ref {cid}")
+        for cid in sorted(self.objects):
+            if cid not in expected:
+                problems.append(f"leaked chunk {cid}")
+        for path in sorted(self.recipes):
+            for cid in _recipe_cids(self.recipes[path]):
+                if cid not in self.objects:
+                    problems.append(
+                        f"dangling ref {cid} in published recipe {path!r}")
+        return problems
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical bytes stored per byte of new chunk data written."""
+        return self.logical_bytes / self.stored_bytes if self.stored_bytes \
+            else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "logical_bytes": self.logical_bytes,
+            "stored_bytes": self.stored_bytes,
+            "stored_chunks": self.stored_chunks,
+            "footprint_bytes": self.footprint_bytes,
+            "live_chunks": len(self.objects),
+            "dup_hits": self.dup_hits,
+            "dup_bytes": self.dup_bytes,
+            "carried_bytes": self.carried_bytes,
+            "gc_reclaimed_bytes": self.gc_reclaimed_bytes,
+            "gc_reclaimed_chunks": self.gc_reclaimed_chunks,
+            "dedup_ratio": self.dedup_ratio,
+        }
+
+
+# ---------------------------------------------------------------------------
+# the sink
+# ---------------------------------------------------------------------------
+
+
+class CasSink(Sink):
+    """Flush a checkpoint into the SAN's content-addressed store.
+
+    Drop-in peer of :class:`repro.core.pipeline.FileSink` for a
+    ``cas:<path>`` target URI, with the write split in two so the Agent
+    can place the commit point: :meth:`stage` uploads the chunks the
+    index is missing and parks the recipe, :meth:`publish` swaps it in
+    as the restartable generation.  :meth:`store` does both for callers
+    that need FileSink's one-shot semantics.  Only the *new* bytes cross
+    the FC link — dedup buys write time as well as SAN footprint.
+    """
+
+    kind = "cas"
+
+    def __init__(self, san, vfs, path: str,
+                 chunking: Tuple[int, int, int] = (CHUNK_MIN, CHUNK_AVG,
+                                                   CHUNK_MAX)) -> None:
+        self.san = san
+        self.vfs = vfs  # unused; constructor parity with FileSink
+        self.path = path
+        self.chunking = chunking
+        self.store_ = CasStore.on(san)
+
+    # -- cost model ------------------------------------------------------
+    def _entry_chunks(self, image: PodImage
+                      ) -> Tuple[List[Tuple[str, int, Optional[bytes]]],
+                                 Dict[str, Any]]:
+        """The chunk references of the entry ``image`` would add, plus
+        the accounted-block state to embed.  Pure."""
+        store = self.store_
+        pay = [(chunk_id(b), len(b), b)
+               for b in split_chunks(bytes(image.data), *self.chunking)]
+        prev_state = store.acct_prev_state(self.path, image.pod_id)
+        acct, acct_state = store.acct_entry_ids(image.pod_id, image, prev_state)
+        chunks = pay + [(cid, ln, None) for cid, ln in acct]
+        return chunks, acct_state
+
+    def _new_bytes(self, chunks: List[Tuple[str, int, Optional[bytes]]]) -> int:
+        store = self.store_
+        seen = set()
+        total = 0
+        for cid, ln, _blob in chunks:
+            if cid in store.objects or cid in seen:
+                continue
+            seen.add(cid)
+            total += ln
+        return total
+
+    def write_delay(self, image: PodImage) -> float:
+        chunks, _state = self._entry_chunks(image)
+        new = self._new_bytes(chunks)
+        if image_extends_chain(image) and self.path in self.store_.recipes:
+            return self.san.append_delay(new)
+        return self.san.flush_delay(new)
+
+    def write_cost(self, image: PodImage) -> StageCost:
+        chunks, _state = self._entry_chunks(image)
+        return StageCost(f"write:{self.kind}", self.write_delay(image),
+                         image.total_bytes, self._new_bytes(chunks))
+
+    # -- the two-step write ---------------------------------------------
+    def stage(self, image: PodImage, op_id: int = 0,
+              truncate: Optional[float] = None) -> None:
+        """Upload the missing chunks and park the recipe as pending.
+
+        ``truncate`` (a fraction in (0, 1)) simulates an upload cut
+        short by a fault: references are taken for the full chunk set
+        but only that prefix of the *new* chunks reaches the SAN, which
+        read-back validation after :meth:`publish` must then reject.
+        """
+        store = self.store_
+        chunks, acct_state = self._entry_chunks(image)
+        prev = store.recipes.get(self.path)
+        extends = image_extends_chain(image) and prev is not None
+        meta = {k: v for k, v in _chain_entry(image).items() if k != "data"}
+        entry = {
+            "meta": meta,
+            "payload": [cid for cid, _ln, blob in chunks if blob is not None],
+            "acct": [cid for cid, _ln, blob in chunks if blob is None],
+            "logical": image.total_bytes,
+        }
+        entries = (list(prev["entries"]) + [entry]) if extends else [entry]
+        recipe = {"path": self.path, "pod": image.pod_id,
+                  "op_id": int(op_id), "entries": entries,
+                  "acct_state": acct_state}
+        # chain-carried entries: their ids are reused verbatim from the
+        # published recipe — referenced without re-chunking or re-hashing
+        if extends:
+            for carried in prev["entries"]:
+                for cid in list(carried["payload"]) + list(carried["acct"]):
+                    obj = store.objects.get(cid)
+                    if obj is not None:
+                        store.carried_bytes += obj.size
+        new_chunks: List[Tuple[str, int, Optional[bytes]]] = []
+        seen = set()
+        for cid, ln, blob in chunks:
+            if cid in store.objects or cid in seen:
+                store.dup_hits += 1
+                store.dup_bytes += ln
+            else:
+                seen.add(cid)
+                new_chunks.append((cid, ln, blob))
+        n_up = len(new_chunks) if truncate is None \
+            else int(len(new_chunks) * float(truncate))
+        for cid, ln, blob in new_chunks[:n_up]:
+            store._put(cid, ln, blob)
+        store.logical_bytes += image.total_bytes
+        stale = store.pending.pop(self.path, None)
+        if stale is not None:
+            store._release(stale)
+        for entry_ in entries:
+            for cid in list(entry_["payload"]) + list(entry_["acct"]):
+                store._ref(cid)
+        store.pending[self.path] = recipe
+
+    def publish(self) -> None:
+        """Swap the staged recipe in as the restartable generation and
+        retire the previous one (released at the *next* publish)."""
+        store = self.store_
+        staged = store.pending.pop(self.path, None)
+        if staged is None:
+            return
+        if self.path in store.retired:
+            previous = store.retired.pop(self.path)
+            if previous is not None:
+                store._release(previous)
+        store.retired[self.path] = store.recipes.get(self.path)
+        store.recipes[self.path] = staged
+
+    def store(self, image: PodImage, truncate: Optional[float] = None,
+              op_id: int = 0) -> None:
+        """One-shot write: :meth:`stage` then :meth:`publish`."""
+        self.stage(image, op_id=op_id, truncate=truncate)
+        self.publish()
+
+    # -- FileSink-parallel surface --------------------------------------
+    def exists(self) -> bool:
+        return self.path in self.store_.recipes
+
+    def rollback(self, op_id: int) -> bool:
+        """Op-keyed GC of this path (see :meth:`CasStore.rollback_path`)."""
+        return self.store_.rollback_path(self.path, int(op_id))
+
+    def unlink(self) -> None:
+        """Drop every generation at this path unconditionally — the
+        blunt FileSink-style delete; the abort paths prefer
+        :meth:`rollback`, which restores the retired generation."""
+        store = self.store_
+        for holder in (store.pending.pop(self.path, None),
+                       store.recipes.pop(self.path, None),
+                       store.retired.pop(self.path, None)):
+            if holder is not None:
+                store._release(holder)
+
+    def load(self, pod_id: str) -> List[PodImage]:
+        """Reassemble and validate the published chain at this path.
+
+        A recipe whose chunk data never fully reached the SAN (a
+        truncated stage) must never be visible as restartable: every
+        missing chunk is converted into a clean :class:`RestartError`
+        here, before any pod state is touched.
+        """
+        store = self.store_
+        recipe = store.recipes.get(self.path)
+        if recipe is None:
+            raise RestartError(f"no image at {self.path!r}")
+        chain: List[PodImage] = []
+        for entry in recipe["entries"]:
+            parts: List[bytes] = []
+            for cid in entry["payload"]:
+                obj = store.objects.get(cid)
+                if obj is None or obj.blob is None:
+                    raise RestartError(
+                        f"partial or corrupt image at {self.path!r}: "
+                        f"missing chunk {cid[:18]}…")
+                parts.append(obj.blob)
+            for cid in entry["acct"]:
+                if cid not in store.objects:
+                    raise RestartError(
+                        f"partial or corrupt image at {self.path!r}: "
+                        f"missing chunk {cid}")
+            raw = dict(entry["meta"])
+            raw["data"] = b"".join(parts)
+            chain.append(_image_from_entry(pod_id, raw))
+        if not chain:
+            raise RestartError(f"empty image chain at {self.path!r}")
+        return chain

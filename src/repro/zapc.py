@@ -92,7 +92,8 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
              trace_format: str = "chrome", metrics: bool = False,
              live: bool = False, precopy_rounds: int = DEFAULT_PRECOPY_ROUNDS,
              dirty_threshold: int = DEFAULT_DIRTY_THRESHOLD,
-             managers: int = 1, async_ckpt: bool = False) -> bool:
+             managers: int = 1, async_ckpt: bool = False,
+             cas: bool = False) -> bool:
     """Run one demo scenario; returns True when everything verified.
 
     ``trace`` writes a span trace of the whole run to a file
@@ -106,6 +107,11 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
     ``async_ckpt`` takes zero-stall snapshots: the pods resume right
     after the short capture window and the encode + write-out overlap
     application time (the suspend window shrinks to capture only).
+
+    ``cas`` routes the images through the content-addressed store
+    instead of flat SAN containers (snapshot and recover actions): the
+    chunk index dedups repeated bytes across epochs and pods, and the
+    run ends with the store's cost accounting.
 
     ``managers`` > 1 turns a snapshot into the HA failover demo: the
     active Manager is crashed at the ``continue`` ledger crossing of the
@@ -141,6 +147,8 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
     def orchestrate():
         yield cluster.engine.sleep(max(0.05, expected * 0.4))
         targets = checkpoint_targets(handle, cluster)
+        if cas and action == "snapshot":
+            targets = [(n, p, f"cas:/san/{p}.img") for n, p, _u in targets]
         if action == "snapshot":
             ops = []
             active = manager
@@ -187,7 +195,9 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
             outcome["ops"] = [("checkpoint", mig.checkpoint), ("restart", mig.restart)]
             outcome["mig"] = mig
         elif action == "recover":
-            file_targets = [(n, p, f"file:/san/{p}.img") for n, p, _u in targets]
+            scheme = "cas" if cas else "file"
+            file_targets = [(n, p, f"{scheme}:/san/{p}.img")
+                            for n, p, _u in targets]
             ops = []
             for i in range(max(1, checkpoints)):
                 if i:
@@ -220,6 +230,15 @@ def run_demo(action: str, app: str, nodes: int, scale: float = 0.5,
                   f" in {rnd['seconds'] * 1000:6.1f} ms"
                   f"  (dirty after: {rnd['dirty_bytes'] / 1e6:.1f} MB)")
     ok = all(r.ok for _l, r in outcome.get("ops", []))
+    if cas:
+        from .storage.cas import CasStore
+        stats = CasStore.on(cluster.san).stats()
+        print(f"cas: {stats['logical_bytes'] / 1e6:.1f} MB logical -> "
+              f"{stats['stored_bytes'] / 1e6:.1f} MB stored "
+              f"({stats['dedup_ratio']:.1f}x dedup); "
+              f"footprint {stats['footprint_bytes'] / 1e6:.1f} MB, "
+              f"gc reclaimed {stats['gc_reclaimed_bytes'] / 1e6:.1f} MB "
+              f"over {stats['live_chunks']} live chunk(s)")
     finished = handle.ok(cluster)
     verified = finished and spec.verify(cluster, handle)
     print(f"application finished: {finished}; answer verified: {verified}")
@@ -381,6 +400,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(epoch 0 is full; later snapshots write dirty state)")
     parser.add_argument("--checkpoints", type=int, default=1,
                         help="snapshots to take (chains delta epochs)")
+    parser.add_argument("--cas", action="store_true",
+                        help="checkpoint through the content-addressed "
+                             "store: chunked images, fleet-wide dedup, "
+                             "refcounted GC (snapshot/recover actions)")
     parser.add_argument("--async", dest="async_ckpt", action="store_true",
                         help="zero-stall snapshots: resume the pods after "
                              "the capture window; encode and write-out "
@@ -460,7 +483,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                   trace_format=args.trace_format, metrics=args.metrics,
                   live=args.live, precopy_rounds=args.precopy_rounds,
                   dirty_threshold=args.dirty_threshold,
-                  managers=args.managers, async_ckpt=args.async_ckpt)
+                  managers=args.managers, async_ckpt=args.async_ckpt,
+                  cas=args.cas)
     return 0 if ok else 1
 
 

@@ -1,0 +1,188 @@
+"""Refcount/GC regressions for the content-addressed store.
+
+The op-keyed tombstone protocol must be safe to replay: a Manager's
+direct rollback, the broadcast agent-side ``abort_op``, and a takeover
+replica re-running the same tombstone can all land on the same store in
+any order.  These tests pin the exact reclaim semantics:
+
+* double-abort and replayed tombstones never drop a chunk still
+  referenced by a live generation chain or by another pod,
+* retiring a generation releases exactly the unshared chunks,
+* an orphaned-stage sweep after Manager failover reclaims exactly the
+  stages whose op is no longer live,
+* and after every sequence :meth:`~repro.storage.cas.CasStore.audit`
+  balances — no leaked chunk, no leaked ref, no dangling recipe.
+"""
+
+import pytest
+
+from repro.core.image import PodImage
+from repro.errors import RestartError
+from repro.storage.cas import CasSink, CasStore
+from repro.storage.san import SharedStorage
+from repro.vos.filesystem import FileSystem, VFS
+
+MIN, AVG, MAX = 64, 256, 1024
+
+
+def _world():
+    san = SharedStorage()
+    vfs = VFS(FileSystem("root"))
+    vfs.mount("/san", san)
+    return san, vfs
+
+
+def _sink(san, vfs, path):
+    return CasSink(san, vfs, path, chunking=(MIN, AVG, MAX))
+
+
+def _image(pod_id, data, epoch=0, delta=False):
+    filters = [{"name": "delta", "kind": "delta"}] if delta else []
+    return PodImage(pod_id=pod_id, data=bytes(data),
+                    encoded_bytes=len(data), accounted_bytes=0,
+                    netstate_bytes=0, filters=filters, epoch=epoch)
+
+
+def _payload(seed, n=4096):
+    import random
+    return random.Random(seed).randbytes(n)
+
+
+def test_double_abort_keeps_the_restored_generation():
+    """Abort of op 2 restores op 1's generation; replaying the same
+    tombstone (takeover replica re-running the GC) is a no-op — the
+    restored generation carries op 1's id and survives."""
+    san, vfs = _world()
+    store = CasStore.on(san)
+    sink = _sink(san, vfs, "/san/a.img")
+    d1, d2 = _payload(1), _payload(2)
+    sink.store(_image("pod-a", d1), op_id=1)
+    sink.store(_image("pod-a", d2), op_id=2)
+    assert store.abort_op(2) > 0
+    assert sink.load("pod-a")[0].data == d1
+    for _ in range(3):  # replayed tombstone: nothing left to reclaim
+        assert store.abort_op(2) == 0
+        assert sink.load("pod-a")[0].data == d1
+    assert store.audit() == []
+
+
+def test_abort_never_drops_chunks_shared_with_another_pod():
+    """Pods a and b checkpoint identical bytes; aborting b's op must
+    leave every shared chunk pinned by a's published recipe."""
+    san, vfs = _world()
+    store = CasStore.on(san)
+    data = _payload(3)
+    _sink(san, vfs, "/san/a.img").store(_image("pod-a", data), op_id=1)
+    _sink(san, vfs, "/san/b.img").store(_image("pod-b", data), op_id=2)
+    assert store.abort_op(2) == 0  # every chunk still shared with pod-a
+    assert "/san/b.img" not in store.recipes
+    assert _sink(san, vfs, "/san/a.img").load("pod-a")[0].data == data
+    assert store.abort_op(2) == 0
+    assert store.audit() == []
+
+
+def test_abort_never_drops_chunks_carried_by_a_live_chain():
+    """A delta generation carries the base entry's chunk ids; aborting
+    the delta op must release only the delta's own chunks — the base is
+    still referenced by the restored generation."""
+    san, vfs = _world()
+    store = CasStore.on(san)
+    sink = _sink(san, vfs, "/san/a.img")
+    base, delta = _payload(4, 8192), _payload(5, 512)
+    sink.store(_image("pod-a", base), op_id=1)
+    base_ids = {cid for cid in store.refs}
+    sink.store(_image("pod-a", delta, epoch=1, delta=True), op_id=2)
+    store.abort_op(2)
+    for cid in base_ids:
+        assert cid in store.objects, "base chunk dropped by delta abort"
+    chain = sink.load("pod-a")
+    assert len(chain) == 1 and chain[0].data == base
+    assert store.audit() == []
+
+
+def test_retiring_a_generation_releases_exactly_the_unshared_chunks():
+    """gen3's publish releases gen1 (the one-deep undo keeps gen2):
+    bytes unique to gen1 are reclaimed, bytes gen1 shares with later
+    generations or another pod survive."""
+    san, vfs = _world()
+    store = CasStore.on(san)
+    sink = _sink(san, vfs, "/san/a.img")
+    shared = _payload(6, 4096)
+    g1 = shared + _payload(7, 2048)   # tail unique to gen1
+    g2 = shared + _payload(8, 2048)
+    g3 = shared + _payload(9, 2048)
+    sink.store(_image("pod-a", g1), op_id=1)
+    after_g1 = set(store.objects)
+    sink.store(_image("pod-a", g2), op_id=2)
+    g1_unique = after_g1 - set(
+        cid for cid in store.refs
+        if store.refs[cid] > 1 or cid not in after_g1)
+    reclaimed_before = store.gc_reclaimed_bytes
+    sink.store(_image("pod-a", g3), op_id=3)  # releases gen1
+    assert store.gc_reclaimed_bytes > reclaimed_before
+    # exactly gen1's unshared chunks are gone; everything shared lives
+    for cid in g1_unique:
+        assert cid not in store.objects
+    for cid in after_g1 - g1_unique:
+        assert cid in store.objects
+    # the shared prefix must still be live (gen2 retired + gen3 current)
+    assert sink.load("pod-a")[0].data == g3
+    assert store.audit() == []
+    # footprint bookkeeping balances against the live object set
+    assert store.footprint_bytes == sum(o.size
+                                        for o in store.objects.values())
+
+
+def test_orphan_sweep_reclaims_exactly_the_dead_stages():
+    """A stage whose op died between stage and publish is reclaimed by
+    the failover sweep; stages of live ops and published generations
+    are untouched."""
+    san, vfs = _world()
+    store = CasStore.on(san)
+    _sink(san, vfs, "/san/pub.img").store(_image("pod-a", _payload(10)),
+                                          op_id=1)
+    dead = _sink(san, vfs, "/san/dead.img")
+    dead.stage(_image("pod-b", _payload(11)), op_id=2)  # never published
+    live = _sink(san, vfs, "/san/live.img")
+    live.stage(_image("pod-c", _payload(12)), op_id=3)
+    dropped, reclaimed = store.sweep_orphans(live_ops=[1, 3])
+    assert dropped == 1 and reclaimed > 0
+    assert "/san/dead.img" not in store.pending
+    assert "/san/live.img" in store.pending
+    live.publish()
+    assert _sink(san, vfs, "/san/live.img").load("pod-c") is not None
+    assert _sink(san, vfs, "/san/pub.img").load("pod-a") is not None
+    assert store.audit() == []
+
+
+def test_truncated_stage_never_restartable_and_rollback_balances():
+    """A fault that cuts the chunk upload short leaves a stage whose
+    read-back must fail; rolling the op back reclaims the partial
+    upload exactly — no leaked chunk survives."""
+    san, vfs = _world()
+    store = CasStore.on(san)
+    sink = _sink(san, vfs, "/san/t.img")
+    sink.stage(_image("pod-a", _payload(13, 8192)), op_id=7, truncate=0.3)
+    sink.publish()
+    with pytest.raises(RestartError):
+        sink.load("pod-a")
+    assert store.rollback_path("/san/t.img", 7)
+    assert "/san/t.img" not in store.recipes
+    assert store.objects == {} and store.refs == {}
+    assert store.audit() == []
+    # replaying the tombstone after the rollback is a no-op
+    assert not store.rollback_path("/san/t.img", 7)
+
+
+def test_unrelated_tombstone_is_a_noop():
+    """GC for an op that never touched a path must not disturb the
+    published generation there."""
+    san, vfs = _world()
+    store = CasStore.on(san)
+    sink = _sink(san, vfs, "/san/a.img")
+    data = _payload(14)
+    sink.store(_image("pod-a", data), op_id=1)
+    assert not store.rollback_path("/san/a.img", 99)
+    assert store.abort_op(99) == 0
+    assert sink.load("pod-a")[0].data == data
+    assert store.audit() == []
