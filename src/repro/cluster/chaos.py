@@ -1350,6 +1350,10 @@ def run_cas_chaos(seed: int, n_nodes: int = 4, n_ops: int = 5,
     store = CasStore.on(cluster.san)
     cas_path = {pod_id: f"/san/cas-{pod_id}.img"
                 for pod_id in (SRV_POD, CLI_POD)}
+    # original placement: a pod only ever leaves its home host through a
+    # crash-triggered restart, so "still on its home host" certifies the
+    # local agent witnessed the pod's entire checkpoint history
+    origin = {SRV_POD: srv_node.name, CLI_POD: cli_node.name}
 
     def surviving_node(pod_id: str):
         for node in cluster.nodes:
@@ -1418,9 +1422,23 @@ def run_cas_chaos(seed: int, n_nodes: int = 4, n_ops: int = 5,
         if node is None:
             continue
         truth = manager.agents[node.name].mem_sink.load(pod_id)
-        if truth is None or len(truth) < len(loaded):
-            # the pod restarted on a host whose agent never saw the
-            # full history — no ground truth to diff against
+        if not truth:
+            # this agent holds no committed history for the pod at all —
+            # no ground truth to diff against
+            continue
+        if len(truth) < len(loaded):
+            if node.name != origin[pod_id]:
+                # the pod verifiably restarted here mid-run: this
+                # agent's chain starts at the restore point, not at
+                # generation zero — no full ground truth to diff against
+                continue
+            # on the never-crashed home host the in-memory chain commits
+            # BEFORE the CAS flush, so a published chain longer than the
+            # committed one is exactly the C3 shape: the store holds
+            # generation entries nobody committed
+            report.violations.append(
+                f"C3: published chain at {path} has {len(loaded)} entries "
+                f"but the home host committed only {len(truth)}")
             continue
         for i, (img, ref) in enumerate(zip(loaded, truth)):
             if (img.data != ref.data

@@ -1014,7 +1014,14 @@ class Agent:
             sink.rollback(op_id)
             span.end(status="aborted")
             return False
-        sink.publish()
+        if not sink.publish(op_id):
+            # the pending stage at the path is no longer ours (an
+            # interleaved op replaced it, or it was swept): publishing
+            # it would promote a rival's — possibly truncated — stage
+            # under our read-back, so fail without touching the
+            # published generation
+            span.end(status="failed")
+            return False
         try:
             sink.load(image.pod_id)
         except RestartError:

@@ -467,13 +467,18 @@ class CasSink(Sink):
                   "op_id": int(op_id), "entries": entries,
                   "acct_state": acct_state}
         # chain-carried entries: their ids are reused verbatim from the
-        # published recipe — referenced without re-chunking or re-hashing
+        # published recipe — referenced without re-chunking or re-hashing.
+        # The byte count is parked on the recipe (de-duplicated by cid)
+        # and folded into the store stats only when this stage publishes,
+        # so a retried flush never inflates the carry-over stat.
         if extends:
+            carried_cids = set()
             for carried in prev["entries"]:
-                for cid in list(carried["payload"]) + list(carried["acct"]):
-                    obj = store.objects.get(cid)
-                    if obj is not None:
-                        store.carried_bytes += obj.size
+                carried_cids.update(carried["payload"])
+                carried_cids.update(carried["acct"])
+            recipe["carried"] = sum(
+                store.objects[cid].size for cid in carried_cids
+                if cid in store.objects)
         new_chunks: List[Tuple[str, int, Optional[bytes]]] = []
         seen = set()
         for cid, ln, blob in chunks:
@@ -488,33 +493,50 @@ class CasSink(Sink):
         for cid, ln, blob in new_chunks[:n_up]:
             store._put(cid, ln, blob)
         store.logical_bytes += image.total_bytes
-        stale = store.pending.pop(self.path, None)
-        if stale is not None:
-            store._release(stale)
+        # take this recipe's references BEFORE releasing any stale stage
+        # parked at the path (an op that crashed between stage and
+        # publish): releasing first would drop chunks shared with the
+        # stale recipe to refcount 0 and delete them from the store,
+        # leaving the recipe about to be parked with dangling refs
         for entry_ in entries:
             for cid in list(entry_["payload"]) + list(entry_["acct"]):
                 store._ref(cid)
+        stale = store.pending.pop(self.path, None)
+        if stale is not None:
+            store._release(stale)
         store.pending[self.path] = recipe
 
-    def publish(self) -> None:
+    def publish(self, op_id: Optional[int] = None) -> bool:
         """Swap the staged recipe in as the restartable generation and
-        retire the previous one (released at the *next* publish)."""
+        retire the previous one (released at the *next* publish).
+
+        When ``op_id`` is given, only a pending recipe staged by that
+        very op is swapped in (mirroring :meth:`rollback`): if two ops
+        interleave on one path, op A's publish must not promote op B's —
+        possibly truncated — stage under A's read-back validation.
+        Returns True iff a recipe was published.
+        """
         store = self.store_
-        staged = store.pending.pop(self.path, None)
+        staged = store.pending.get(self.path)
         if staged is None:
-            return
+            return False
+        if op_id is not None and int(staged.get("op_id", -1)) != int(op_id):
+            return False
+        store.pending.pop(self.path)
         if self.path in store.retired:
             previous = store.retired.pop(self.path)
             if previous is not None:
                 store._release(previous)
         store.retired[self.path] = store.recipes.get(self.path)
         store.recipes[self.path] = staged
+        store.carried_bytes += int(staged.pop("carried", 0))
+        return True
 
     def store(self, image: PodImage, truncate: Optional[float] = None,
               op_id: int = 0) -> None:
         """One-shot write: :meth:`stage` then :meth:`publish`."""
         self.stage(image, op_id=op_id, truncate=truncate)
-        self.publish()
+        self.publish(op_id)
 
     # -- FileSink-parallel surface --------------------------------------
     def exists(self) -> bool:

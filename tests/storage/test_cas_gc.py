@@ -174,6 +174,57 @@ def test_truncated_stage_never_restartable_and_rollback_balances():
     assert not store.rollback_path("/san/t.img", 7)
 
 
+def test_restage_over_stale_pending_keeps_shared_chunks():
+    """Re-staging a path over a crashed op's leftover pending stage with
+    overlapping content must not drop the shared chunks: the new stage's
+    references are taken before the stale recipe is released, so the
+    published generation never dangles."""
+    san, vfs = _world()
+    store = CasStore.on(san)
+    sink = _sink(san, vfs, "/san/a.img")
+    data = _payload(15, 8192)
+    sink.stage(_image("pod-a", data), op_id=1)  # op 1 crashed pre-publish
+    sink.stage(_image("pod-a", data), op_id=2)  # retry with the same data
+    assert sink.publish(2)
+    assert sink.load("pod-a")[0].data == data
+    assert store.audit() == []
+
+
+def test_publish_is_op_keyed():
+    """Op A's publish must not promote op B's stage at the same path;
+    only the op that staged the pending recipe can swap it in."""
+    san, vfs = _world()
+    store = CasStore.on(san)
+    sink = _sink(san, vfs, "/san/a.img")
+    d1, d2 = _payload(16), _payload(17)
+    sink.stage(_image("pod-a", d1), op_id=1)
+    sink.stage(_image("pod-a", d2), op_id=2)  # op 2 replaced op 1's stage
+    assert not sink.publish(1)  # op 1 must not publish op 2's stage
+    assert "/san/a.img" not in store.recipes
+    assert sink.publish(2)
+    assert sink.load("pod-a")[0].data == d2
+    assert store.audit() == []
+
+
+def test_carried_bytes_counted_once_per_published_stage():
+    """The chain-carry stat is de-duplicated by cid and folded in only
+    when a stage publishes: a retried (re-staged) delta flush must not
+    inflate it, and an abandoned stage must not count at all."""
+    san, vfs = _world()
+    store = CasStore.on(san)
+    sink = _sink(san, vfs, "/san/a.img")
+    base, delta = _payload(18, 8192), _payload(19, 512)
+    sink.store(_image("pod-a", base), op_id=1)
+    assert store.carried_bytes == 0
+    carried_expected = sum(o.size for o in store.objects.values())
+    sink.stage(_image("pod-a", delta, epoch=1, delta=True), op_id=2)
+    assert store.carried_bytes == 0  # staged but not yet published
+    sink.stage(_image("pod-a", delta, epoch=1, delta=True), op_id=3)
+    assert sink.publish(3)  # the retry publishes; one carry, not two
+    assert store.carried_bytes == carried_expected
+    assert store.audit() == []
+
+
 def test_unrelated_tombstone_is_a_noop():
     """GC for an op that never touched a path must not disturb the
     published generation there."""
